@@ -1,0 +1,168 @@
+//! AppSAT-style approximate attack.
+//!
+//! The exact SAT attack needs one DIP per wrong key against point-function
+//! locking — infeasible for realistic key sizes. Approximate attacks stop
+//! early and settle for a key that is correct on *most* inputs. Against
+//! critical-minterm locking this recovers an approximate netlist that is
+//! still wrong exactly on the protected minterms — which is why the paper
+//! maximizes how often those minterms occur in the workload: the residual
+//! error of an approximately-unlocked chip stays application-relevant.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lockbind_locking::corruption::error_rate;
+use lockbind_locking::LockedNetlist;
+use lockbind_netlist::cnf::{encode_netlist, Cnf};
+use lockbind_sat::{SolveResult, Solver};
+
+/// Outcome of [`approximate_sat_attack`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproximateOutcome {
+    /// The recovered (approximate) key.
+    pub key: Vec<bool>,
+    /// DIP iterations actually spent.
+    pub iterations: u64,
+    /// Random reinforcement queries spent.
+    pub random_queries: u64,
+    /// Exact residual error rate of the recovered key (fraction of the
+    /// input space still corrupted).
+    pub residual_error_rate: f64,
+    /// `true` if the key is exactly correct (residual error 0).
+    pub exact: bool,
+}
+
+/// Runs a budgeted DIP loop (at most `dip_budget` iterations), reinforces
+/// with `random_queries` oracle samples, and returns any key consistent
+/// with everything observed — the AppSAT recipe. Residual error is then
+/// measured exhaustively.
+///
+/// # Panics
+/// Panics if the module has more than 24 inputs (exhaustive residual-error
+/// measurement guard).
+pub fn approximate_sat_attack(
+    locked: &LockedNetlist,
+    dip_budget: u64,
+    random_queries: u64,
+    seed: u64,
+) -> ApproximateOutcome {
+    let nl = locked.netlist();
+    let n = nl.num_inputs();
+    let kb = nl.num_keys();
+
+    let mut cnf = Cnf::new();
+    let mut solver = Solver::new();
+    let mut pushed = 0usize;
+    let x = cnf.new_vars(n);
+    let k1 = cnf.new_vars(kb);
+    let k2 = cnf.new_vars(kb);
+    let act = cnf.new_var();
+    let ct = cnf.new_var();
+    cnf.add_clause([ct]);
+
+    let o1 = encode_netlist(nl, &mut cnf, &x, &k1);
+    let o2 = encode_netlist(nl, &mut cnf, &x, &k2);
+    let mut miter = vec![-act];
+    for (a, b) in o1.iter().zip(&o2) {
+        let d = cnf.new_var();
+        cnf.add_clause([-d, *a, *b]);
+        cnf.add_clause([-d, -*a, -*b]);
+        cnf.add_clause([d, -*a, *b]);
+        cnf.add_clause([d, *a, -*b]);
+        miter.push(d);
+    }
+    cnf.add_clause(miter);
+
+    let flush = |cnf: &Cnf, solver: &mut Solver, pushed: &mut usize| {
+        solver.reserve_vars(cnf.num_vars());
+        for cl in &cnf.clauses()[*pushed..] {
+            solver.add_clause(cl);
+        }
+        *pushed = cnf.clauses().len();
+    };
+    let constrain = |cnf: &mut Cnf, bits: &[bool], y: &[bool]| {
+        let in_lits: Vec<i32> = bits.iter().map(|&b| if b { ct } else { -ct }).collect();
+        for keys in [&k1, &k2] {
+            let outs = encode_netlist(nl, cnf, &in_lits, keys);
+            for (o, &yv) in outs.iter().zip(y) {
+                cnf.add_clause([if yv { *o } else { -*o }]);
+            }
+        }
+    };
+
+    let mut iterations = 0u64;
+    while iterations < dip_budget {
+        flush(&cnf, &mut solver, &mut pushed);
+        match solver.solve_with_assumptions(&[act]) {
+            SolveResult::Unsat => break,
+            SolveResult::Sat => {
+                iterations += 1;
+                let bits: Vec<bool> = x.iter().map(|&l| solver.model_value(l)).collect();
+                let y = locked.oracle().eval(&bits, &[]).expect("oracle arity");
+                constrain(&mut cnf, &bits, &y);
+            }
+        }
+    }
+
+    // Random reinforcement (the "App" part).
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..random_queries {
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let y = locked.oracle().eval(&bits, &[]).expect("oracle arity");
+        constrain(&mut cnf, &bits, &y);
+    }
+
+    flush(&cnf, &mut solver, &mut pushed);
+    let res = solver.solve_with_assumptions(&[-act]);
+    debug_assert_eq!(res, SolveResult::Sat, "the correct key is always consistent");
+    let key: Vec<bool> = k1.iter().map(|&l| solver.model_value(l)).collect();
+    let residual = error_rate(locked, &key, n as u32);
+    ApproximateOutcome {
+        exact: residual == 0.0,
+        residual_error_rate: residual,
+        key,
+        iterations,
+        random_queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockbind_locking::{lock_critical_minterms, lock_rll};
+    use lockbind_netlist::builders::adder_fu;
+
+    #[test]
+    fn unbudgeted_run_recovers_exact_key_on_rll() {
+        let locked = lock_rll(&adder_fu(3), 6, 3).expect("lockable");
+        let out = approximate_sat_attack(&locked, 10_000, 0, 1);
+        assert!(out.exact);
+        assert_eq!(out.residual_error_rate, 0.0);
+    }
+
+    #[test]
+    fn tiny_budget_leaves_residual_error_on_point_lock() {
+        // 4-bit adder, 1 protected minterm: with only 2 DIPs + a few random
+        // queries the approximate key is almost surely still wrong at the
+        // protected minterm.
+        let locked = lock_critical_minterms(&adder_fu(4), &[0x5B]).expect("lockable");
+        let out = approximate_sat_attack(&locked, 2, 8, 7);
+        assert!(out.iterations <= 2);
+        assert!(
+            !out.exact,
+            "a 2-DIP budget should not pin a 256-point key space"
+        );
+        // Residual error is tiny (a few minterms) — exactly the paper's
+        // point: approximate attacks leave the *protected* behaviour wrong.
+        assert!(out.residual_error_rate > 0.0);
+        assert!(out.residual_error_rate < 0.1);
+    }
+
+    #[test]
+    fn budget_zero_is_pure_random_query() {
+        let locked = lock_rll(&adder_fu(3), 5, 9).expect("lockable");
+        let out = approximate_sat_attack(&locked, 0, 64, 11);
+        assert_eq!(out.iterations, 0);
+        assert!(out.exact, "64 random queries pin down RLL");
+    }
+}

@@ -1,0 +1,306 @@
+//! The oracle-guided SAT attack (DIP loop).
+
+use lockbind_locking::LockedNetlist;
+use lockbind_netlist::cnf::{encode_netlist, Cnf};
+use lockbind_sat::{SolveResult, Solver, SolverStats};
+
+use crate::is_functionally_correct;
+
+/// Configuration for [`sat_attack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackConfig {
+    /// Abort after this many DIP iterations (the outcome reports
+    /// `success = false`). SAT-resilient locks are *expected* to hit this.
+    pub max_iterations: u64,
+    /// Verify the extracted key exhaustively against the oracle.
+    pub verify: bool,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            max_iterations: 200_000,
+            verify: true,
+        }
+    }
+}
+
+/// Outcome of a [`sat_attack`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatAttackOutcome {
+    /// The extracted key (meaningful only if `success`).
+    pub key: Vec<bool>,
+    /// DIP iterations performed.
+    pub iterations: u64,
+    /// The distinguishing input patterns found, packed LSB-first.
+    pub dips: Vec<u64>,
+    /// `true` if the attack terminated with a (verified, if configured)
+    /// functionally-correct key; `false` if the iteration cap was hit or
+    /// verification failed.
+    pub success: bool,
+    /// Cumulative statistics of the underlying CDCL solver.
+    pub solver_stats: SolverStats,
+    /// Solver conflicts spent in each DIP search — the per-iteration
+    /// *runtime* proxy that distinguishes the exponential-iteration-runtime
+    /// locking family (Full-Lock-style) from merely iteration-count-hard
+    /// schemes (Sec. II-A / V-C of the paper).
+    pub conflicts_per_iteration: Vec<u64>,
+}
+
+impl SatAttackOutcome {
+    /// Mean solver conflicts per DIP iteration (0 if no iterations ran).
+    pub fn mean_conflicts_per_iteration(&self) -> f64 {
+        if self.conflicts_per_iteration.is_empty() {
+            0.0
+        } else {
+            self.conflicts_per_iteration.iter().sum::<u64>() as f64
+                / self.conflicts_per_iteration.len() as f64
+        }
+    }
+}
+
+/// Runs the SAT attack against a locked module, using its retained original
+/// netlist as the activated-chip oracle (the standard threat model: the
+/// attacker owns one unlocked chip plus the locked GDSII).
+///
+/// # Panics
+/// Panics if the module has more than 63 inputs (DIP packing limit).
+pub fn sat_attack(locked: &LockedNetlist, config: &AttackConfig) -> SatAttackOutcome {
+    let nl = locked.netlist();
+    let n = nl.num_inputs();
+    let kb = nl.num_keys();
+    assert!(n <= 63, "sat attack DIP packing supports at most 63 inputs");
+
+    let mut cnf = Cnf::new();
+    let mut solver = Solver::new();
+    let mut pushed = 0usize;
+
+    let x = cnf.new_vars(n);
+    let k1 = cnf.new_vars(kb);
+    let k2 = cnf.new_vars(kb);
+    let act = cnf.new_var();
+    // Constant-true literal for binding DIP inputs in agreement copies.
+    let ct = cnf.new_var();
+    cnf.add_clause([ct]);
+
+    // Miter: two keyed copies sharing X, with outputs forced to differ when
+    // `act` is assumed.
+    let o1 = encode_netlist(nl, &mut cnf, &x, &k1);
+    let o2 = encode_netlist(nl, &mut cnf, &x, &k2);
+    let mut diff_lits = Vec::with_capacity(o1.len());
+    for (a, b) in o1.iter().zip(&o2) {
+        let d = cnf.new_var();
+        // d <-> a xor b
+        cnf.add_clause([-d, *a, *b]);
+        cnf.add_clause([-d, -*a, -*b]);
+        cnf.add_clause([d, -*a, *b]);
+        cnf.add_clause([d, *a, -*b]);
+        diff_lits.push(d);
+    }
+    let mut miter_clause = vec![-act];
+    miter_clause.extend(&diff_lits);
+    cnf.add_clause(miter_clause);
+
+    let flush = |cnf: &Cnf, solver: &mut Solver, pushed: &mut usize| {
+        solver.reserve_vars(cnf.num_vars());
+        for cl in &cnf.clauses()[*pushed..] {
+            solver.add_clause(cl);
+        }
+        *pushed = cnf.clauses().len();
+    };
+
+    let mut iterations = 0u64;
+    let mut dips = Vec::new();
+    let mut conflicts_per_iteration = Vec::new();
+    let mut last_conflicts = 0u64;
+    loop {
+        flush(&cnf, &mut solver, &mut pushed);
+        let result = solver.solve_with_assumptions(&[act]);
+        let now = solver.stats().conflicts;
+        match result {
+            SolveResult::Unsat => break,
+            SolveResult::Sat => {
+                iterations += 1;
+                conflicts_per_iteration.push(now - last_conflicts);
+                last_conflicts = now;
+                let dip_bits: Vec<bool> = x.iter().map(|&l| solver.model_value(l)).collect();
+                let dip_packed = dip_bits
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
+                dips.push(dip_packed);
+
+                // Oracle query on the activated chip.
+                let y = locked
+                    .oracle()
+                    .eval(&dip_bits, &[])
+                    .expect("oracle arity matches");
+
+                // Both key copies must reproduce the oracle on this DIP.
+                let in_lits: Vec<i32> = dip_bits
+                    .iter()
+                    .map(|&b| if b { ct } else { -ct })
+                    .collect();
+                for keys in [&k1, &k2] {
+                    let outs = encode_netlist(nl, &mut cnf, &in_lits, keys);
+                    for (o, &yv) in outs.iter().zip(&y) {
+                        cnf.add_clause([if yv { *o } else { -*o }]);
+                    }
+                }
+
+                if iterations >= config.max_iterations {
+                    return SatAttackOutcome {
+                        key: vec![false; kb],
+                        iterations,
+                        dips,
+                        success: false,
+                        solver_stats: solver.stats(),
+                        conflicts_per_iteration,
+                    };
+                }
+            }
+        }
+    }
+
+    // No DIP remains: any key consistent with the agreement constraints is
+    // functionally correct. Deactivate the miter and extract one.
+    flush(&cnf, &mut solver, &mut pushed);
+    let res = solver.solve_with_assumptions(&[-act]);
+    debug_assert_eq!(
+        res,
+        SolveResult::Sat,
+        "the correct key always satisfies the agreement constraints"
+    );
+    let key: Vec<bool> = k1.iter().map(|&l| solver.model_value(l)).collect();
+    let success = if config.verify {
+        is_functionally_correct(locked, &key)
+    } else {
+        true
+    };
+    SatAttackOutcome {
+        key,
+        iterations,
+        dips,
+        success,
+        solver_stats: solver.stats(),
+        conflicts_per_iteration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockbind_locking::{lock_anti_sat, lock_critical_minterms, lock_permutation, lock_rll};
+    use lockbind_netlist::builders::{adder_fu, multiplier_fu, xor_fu};
+
+    #[test]
+    fn breaks_rll_on_adder_quickly() {
+        let locked = lock_rll(&adder_fu(4), 6, 11).expect("lockable");
+        let out = sat_attack(&locked, &AttackConfig::default());
+        assert!(out.success);
+        assert!(out.iterations <= 40, "iterations = {}", out.iterations);
+    }
+
+    #[test]
+    fn breaks_rll_on_multiplier() {
+        let locked = lock_rll(&multiplier_fu(4), 8, 5).expect("lockable");
+        let out = sat_attack(&locked, &AttackConfig::default());
+        assert!(out.success);
+    }
+
+    #[test]
+    fn extracted_key_may_differ_from_designers_but_is_functional() {
+        let locked = lock_rll(&xor_fu(3), 4, 9).expect("lockable");
+        let out = sat_attack(&locked, &AttackConfig::default());
+        assert!(out.success);
+        assert!(is_functionally_correct(&locked, &out.key));
+    }
+
+    #[test]
+    fn point_function_lock_needs_many_iterations_on_average() {
+        // 3-bit operands -> 6 input bits, 6-bit key, 64 key values. Each DIP
+        // eliminates ~1 wrong key, so the attack ends only when its DIP
+        // sequence stumbles on the secret — ~32 iterations in expectation.
+        // A single run can get lucky, so average over several secrets.
+        let secrets = [0b101010u64, 0b000001, 0b111111, 0b010011, 0b100100, 0b011110];
+        let mut total = 0u64;
+        for &s in &secrets {
+            let locked = lock_critical_minterms(&xor_fu(3), &[s]).expect("lockable");
+            let out = sat_attack(&locked, &AttackConfig::default());
+            assert!(out.success, "secret {s:#b}");
+            total += out.iterations;
+        }
+        let mean = total as f64 / secrets.len() as f64;
+        assert!(
+            mean >= 12.0,
+            "point-function locks broke in only {mean} mean iterations"
+        );
+    }
+
+    #[test]
+    fn anti_sat_needs_many_iterations() {
+        let locked = lock_anti_sat(&xor_fu(2)).expect("lockable");
+        let out = sat_attack(&locked, &AttackConfig::default());
+        assert!(out.success);
+        // 4 input bits -> g fires on single minterms; expect >= ~2^4/2 DIPs.
+        assert!(out.iterations >= 4, "iterations = {}", out.iterations);
+    }
+
+    #[test]
+    fn permutation_lock_is_breakable_but_not_instant() {
+        let locked = lock_permutation(&adder_fu(3), 2).expect("lockable");
+        let out = sat_attack(&locked, &AttackConfig::default());
+        assert!(out.success);
+        assert!(out.iterations >= 1);
+    }
+
+    #[test]
+    fn iteration_cap_reports_failure() {
+        let locked = lock_critical_minterms(&adder_fu(4), &[0x11]).expect("lockable");
+        let out = sat_attack(
+            &locked,
+            &AttackConfig {
+                max_iterations: 3,
+                verify: true,
+            },
+        );
+        assert!(!out.success);
+        assert_eq!(out.iterations, 3);
+        assert_eq!(out.dips.len(), 3);
+    }
+
+    #[test]
+    fn per_iteration_profile_matches_iteration_count() {
+        let locked = lock_rll(&adder_fu(4), 6, 11).expect("lockable");
+        let out = sat_attack(&locked, &AttackConfig::default());
+        assert_eq!(out.conflicts_per_iteration.len() as u64, out.iterations);
+        assert!(out.mean_conflicts_per_iteration() >= 0.0);
+    }
+
+    #[test]
+    fn permutation_stages_increase_per_iteration_hardness() {
+        // The Full-Lock-family claim: more routing stages make each DIP
+        // search harder. Compare mean conflicts/iteration at 1 vs 4 stages.
+        let adder = adder_fu(3);
+        let shallow = lock_permutation(&adder, 1).expect("lockable");
+        let deep = lock_permutation(&adder, 4).expect("lockable");
+        let a = sat_attack(&shallow, &AttackConfig::default());
+        let b = sat_attack(&deep, &AttackConfig::default());
+        assert!(a.success && b.success);
+        let total_a: u64 = a.solver_stats.conflicts;
+        let total_b: u64 = b.solver_stats.conflicts;
+        assert!(
+            total_b >= total_a,
+            "4-stage network should cost at least as many conflicts ({total_b} vs {total_a})"
+        );
+    }
+
+    #[test]
+    fn dips_are_within_input_space() {
+        let locked = lock_rll(&adder_fu(4), 5, 3).expect("lockable");
+        let out = sat_attack(&locked, &AttackConfig::default());
+        for d in out.dips {
+            assert!(d < (1 << 8));
+        }
+    }
+}

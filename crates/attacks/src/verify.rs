@@ -1,0 +1,32 @@
+//! Key verification against the oracle.
+
+use lockbind_locking::corruption::error_rate;
+use lockbind_locking::LockedNetlist;
+
+/// `true` if `key` makes the locked module functionally identical to the
+/// oracle, checked exhaustively (the module input spaces in this project are
+/// at most 2^16–2^24, which bit-parallel simulation sweeps quickly).
+///
+/// # Panics
+/// Panics if the module has more than 24 inputs (outside this project's
+/// FU sizes).
+pub fn is_functionally_correct(locked: &LockedNetlist, key: &[bool]) -> bool {
+    let bits = locked.netlist().num_inputs() as u32;
+    error_rate(locked, key, bits) == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockbind_locking::lock_critical_minterms;
+    use lockbind_netlist::builders::adder_fu;
+
+    #[test]
+    fn correct_key_verifies_and_wrong_key_fails() {
+        let locked = lock_critical_minterms(&adder_fu(4), &[0x42]).expect("lockable");
+        assert!(is_functionally_correct(&locked, locked.correct_key()));
+        let mut wrong = locked.correct_key().to_vec();
+        wrong[2] = !wrong[2];
+        assert!(!is_functionally_correct(&locked, &wrong));
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-substrate property tests: the Tseitin encoder, the CDCL solver,
+//! and the netlist simulator must agree with each other on random circuits.
+
+use lockbind_netlist::cnf::{encode_netlist, Cnf};
+use lockbind_netlist::{Netlist, Signal};
+use lockbind_sat::{SolveResult, Solver};
+use proptest::prelude::*;
+
+/// Random netlist recipe: each step adds a gate whose operands are chosen
+/// among existing signals.
+fn netlist_strategy() -> impl Strategy<Value = Netlist> {
+    let gate = (0..4usize, 0..64usize, 0..64usize);
+    (2..6usize, proptest::collection::vec(gate, 2..30)).prop_map(|(num_inputs, gates)| {
+        let mut nl = Netlist::new("random");
+        let mut signals: Vec<Signal> = (0..num_inputs).map(|_| nl.add_input()).collect();
+        for (kind, a, b) in gates {
+            let sa = signals[a % signals.len()];
+            let sb = signals[b % signals.len()];
+            let s = match kind {
+                0 => nl.and(sa, sb),
+                1 => nl.or(sa, sb),
+                2 => nl.xor(sa, sb),
+                _ => nl.not(sa),
+            };
+            signals.push(s);
+        }
+        let out = *signals.last().expect("at least inputs");
+        nl.mark_output(out);
+        nl
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A miter of a netlist against itself (shared inputs) is UNSAT: the
+    /// encoder never invents degrees of freedom and the solver proves it.
+    #[test]
+    fn self_miter_is_unsat(nl in netlist_strategy()) {
+        let mut cnf = Cnf::new();
+        let inputs = cnf.new_vars(nl.num_inputs());
+        let o1 = encode_netlist(&nl, &mut cnf, &inputs, &[]);
+        let o2 = encode_netlist(&nl, &mut cnf, &inputs, &[]);
+        // Force some output pair to differ.
+        let mut diff_lits = Vec::new();
+        for (a, b) in o1.iter().zip(&o2) {
+            let d = cnf.new_var();
+            cnf.add_clause([-d, *a, *b]);
+            cnf.add_clause([-d, -*a, -*b]);
+            cnf.add_clause([d, -*a, *b]);
+            cnf.add_clause([d, *a, -*b]);
+            diff_lits.push(d);
+        }
+        cnf.add_clause(diff_lits);
+
+        let mut solver = Solver::new();
+        solver.reserve_vars(cnf.num_vars());
+        for cl in cnf.clauses() {
+            solver.add_clause(cl);
+        }
+        prop_assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+
+    /// Constraining the inputs to a concrete vector forces the output
+    /// literal to the simulated value.
+    #[test]
+    fn solver_agrees_with_simulation(nl in netlist_strategy(), stim in any::<u64>()) {
+        let in_bits: Vec<bool> = (0..nl.num_inputs()).map(|i| (stim >> i) & 1 == 1).collect();
+        let sim = nl.eval(&in_bits, &[]).expect("arity");
+
+        let mut cnf = Cnf::new();
+        let inputs = cnf.new_vars(nl.num_inputs());
+        let outputs = encode_netlist(&nl, &mut cnf, &inputs, &[]);
+        let mut solver = Solver::new();
+        solver.reserve_vars(cnf.num_vars());
+        for cl in cnf.clauses() {
+            solver.add_clause(cl);
+        }
+        let assumptions: Vec<i32> = inputs
+            .iter()
+            .zip(&in_bits)
+            .map(|(&v, &b)| if b { v } else { -v })
+            .collect();
+        prop_assert_eq!(solver.solve_with_assumptions(&assumptions), SolveResult::Sat);
+        for (lit, &expect) in outputs.iter().zip(&sim) {
+            prop_assert_eq!(solver.model_value(*lit), expect);
+        }
+    }
+
+    /// Forcing the output to the WRONG value under fixed inputs is UNSAT.
+    #[test]
+    fn wrong_output_is_unsat(nl in netlist_strategy(), stim in any::<u64>()) {
+        let in_bits: Vec<bool> = (0..nl.num_inputs()).map(|i| (stim >> i) & 1 == 1).collect();
+        let sim = nl.eval(&in_bits, &[]).expect("arity");
+
+        let mut cnf = Cnf::new();
+        let inputs = cnf.new_vars(nl.num_inputs());
+        let outputs = encode_netlist(&nl, &mut cnf, &inputs, &[]);
+        let mut solver = Solver::new();
+        solver.reserve_vars(cnf.num_vars());
+        for cl in cnf.clauses() {
+            solver.add_clause(cl);
+        }
+        let mut assumptions: Vec<i32> = inputs
+            .iter()
+            .zip(&in_bits)
+            .map(|(&v, &b)| if b { v } else { -v })
+            .collect();
+        // Demand the negated output.
+        assumptions.push(if sim[0] { -outputs[0] } else { outputs[0] });
+        prop_assert_eq!(solver.solve_with_assumptions(&assumptions), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,117 @@
+//! Criterion bench: binding-algorithm runtime on suite kernels and on
+//! synthetic DFGs of growing size (the P-time complexity claims of
+//! Sec. IV-C and Sec. V-B).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lockbind_bench::PreparedKernel;
+use lockbind_core::{
+    bind_area_aware, bind_obfuscation_aware, bind_power_aware, codesign_heuristic, LockingSpec,
+};
+use lockbind_hls::{
+    schedule_list, Allocation, Dfg, FuClass, FuId, OccurrenceProfile, OpKind, Trace,
+};
+use lockbind_mediabench::Kernel;
+
+/// Synthetic layered DFG: `layers` cycles of `width_ops` independent adds.
+fn synthetic(layers: usize, width_ops: usize) -> (Dfg, Trace) {
+    let mut d = Dfg::new(8);
+    let inputs: Vec<_> = (0..width_ops + 1).map(|i| d.input(format!("x{i}"))).collect();
+    let mut prev: Vec<_> = (0..width_ops)
+        .map(|i| d.op(OpKind::Add, inputs[i], inputs[i + 1]))
+        .collect();
+    for _ in 1..layers {
+        prev = (0..width_ops)
+            .map(|i| {
+                d.op(
+                    OpKind::Add,
+                    prev[i].into(),
+                    prev[(i + 1) % width_ops].into(),
+                )
+            })
+            .collect();
+    }
+    for op in &prev {
+        d.mark_output(*op);
+    }
+    let trace = Trace::from_frames(
+        (0..64u64)
+            .map(|f| (0..width_ops as u64 + 1).map(|i| (f * 7 + i) % 256).collect())
+            .collect(),
+    );
+    (d, trace)
+}
+
+fn bench_obf_aware_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obf_aware_scaling");
+    for layers in [8usize, 32, 128] {
+        let (d, trace) = synthetic(layers, 3);
+        let alloc = Allocation::new(3, 0);
+        let sched = schedule_list(&d, &alloc).expect("feasible");
+        let profile = OccurrenceProfile::from_trace(&d, &trace).expect("profiled");
+        let ops = d.ops_of_class(FuClass::Adder);
+        let cands = profile.top_candidates_among(&ops, 3);
+        let spec = LockingSpec::new(
+            &alloc,
+            vec![(FuId::new(FuClass::Adder, 0), cands.clone())],
+        )
+        .expect("valid");
+        group.bench_with_input(BenchmarkId::new("layers", layers), &layers, |b, _| {
+            b.iter(|| {
+                bind_obfuscation_aware(
+                    black_box(&d),
+                    black_box(&sched),
+                    &alloc,
+                    &profile,
+                    &spec,
+                )
+                .expect("feasible")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_algorithms(c: &mut Criterion) {
+    let p = PreparedKernel::new(Kernel::Dct, 128, 3);
+    let candidates = p.candidates(FuClass::Adder, 10);
+    let spec = LockingSpec::new(
+        &p.alloc,
+        vec![(FuId::new(FuClass::Adder, 0), candidates[..2].to_vec())],
+    )
+    .expect("valid");
+    let fus = [FuId::new(FuClass::Adder, 0), FuId::new(FuClass::Adder, 1)];
+
+    let mut group = c.benchmark_group("dct_binding");
+    group.bench_function("obf_aware", |b| {
+        b.iter(|| {
+            bind_obfuscation_aware(&p.dfg, &p.schedule, &p.alloc, &p.profile, &spec)
+                .expect("feasible")
+        })
+    });
+    group.bench_function("area_aware", |b| {
+        b.iter(|| bind_area_aware(&p.dfg, &p.schedule, &p.alloc).expect("feasible"))
+    });
+    group.bench_function("power_aware", |b| {
+        b.iter(|| {
+            bind_power_aware(&p.dfg, &p.schedule, &p.alloc, &p.switching).expect("feasible")
+        })
+    });
+    group.bench_function("codesign_heuristic_2fu_2inp", |b| {
+        b.iter(|| {
+            codesign_heuristic(
+                &p.dfg,
+                &p.schedule,
+                &p.alloc,
+                &p.profile,
+                &fus,
+                2,
+                &candidates,
+            )
+            .expect("feasible")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obf_aware_scaling, bench_kernel_algorithms);
+criterion_main!(benches);

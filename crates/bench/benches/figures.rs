@@ -1,0 +1,38 @@
+//! Criterion bench: end-to-end cost of one Fig.-4 experiment cell per
+//! kernel family (tracks the cost of regenerating the paper's figures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lockbind_bench::{run_error_experiment, ExperimentParams, PreparedKernel};
+use lockbind_mediabench::Kernel;
+
+fn bench_fig4_cell(c: &mut Criterion) {
+    let params = ExperimentParams {
+        num_candidates: 6,
+        max_locked_fus: 2,
+        max_locked_inputs: 2,
+        max_assignments: 200,
+        optimal_budget: 0,
+        seed: 1,
+    };
+    let mut group = c.benchmark_group("fig4_cell");
+    group.sample_size(10);
+    for kernel in [Kernel::Fir, Kernel::Dct, Kernel::Motion3] {
+        let p = PreparedKernel::new(kernel, 100, 2);
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| run_error_experiment(&p, &params).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_preparation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepare_kernel");
+    group.sample_size(10);
+    group.bench_function("dct_300_frames", |b| {
+        b.iter(|| PreparedKernel::new(Kernel::Dct, 300, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_cell, bench_preparation);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: Hungarian max-weight matching scaling (supports the
+//! paper's O(s·N·R·log R) binding-runtime claim, Sec. IV-C).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lockbind_matching::{max_weight_matching, WeightMatrix};
+
+fn random_matrix(n: usize, m: usize, seed: u64) -> WeightMatrix {
+    let mut s = seed;
+    WeightMatrix::from_fn(n, m, |_, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        Some(((s >> 33) % 1000) as i64)
+    })
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for n in [3usize, 8, 16, 64, 128] {
+        let w = random_matrix(n, n, 42);
+        group.bench_with_input(BenchmarkId::new("square", n), &w, |b, w| {
+            b.iter(|| max_weight_matching(black_box(w)).expect("feasible"))
+        });
+    }
+    // The binding-shaped case: few rows (ops in a cycle), few cols (FUs).
+    let w = random_matrix(3, 3, 7);
+    group.bench_function("cycle_3ops_3fus", |b| {
+        b.iter(|| max_weight_matching(black_box(&w)).expect("feasible"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

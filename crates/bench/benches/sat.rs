@@ -1,0 +1,72 @@
+//! Criterion bench: CDCL solver and SAT-attack cost, including the
+//! per-iteration-hardness contrast between locking families (Sec. V-C).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lockbind_attacks::{sat_attack, AttackConfig};
+use lockbind_locking::{lock_critical_minterms, lock_permutation, lock_rll};
+use lockbind_netlist::builders::adder_fu;
+use lockbind_sat::{SolveResult, Solver};
+
+fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+    let mut s = Solver::new();
+    let mut var = vec![vec![0i32; holes]; pigeons];
+    for row in var.iter_mut() {
+        for v in row.iter_mut() {
+            *v = s.new_var();
+        }
+    }
+    for row in &var {
+        s.add_clause(row);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                s.add_clause(&[-var[p1][h], -var[p2][h]]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdcl");
+    group.sample_size(10);
+    group.bench_function("pigeonhole_7_6", |b| {
+        b.iter_with_setup(
+            || pigeonhole(7, 6),
+            |mut s| assert_eq!(s.solve(), SolveResult::Unsat),
+        )
+    });
+    group.finish();
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_attack");
+    group.sample_size(10);
+    let adder3 = adder_fu(3);
+    let rll = lock_rll(&adder3, 6, 42).expect("lockable");
+    group.bench_function("rll_adder3", |b| {
+        b.iter(|| {
+            let out = sat_attack(&rll, &AttackConfig::default());
+            assert!(out.success);
+        })
+    });
+    let cml = lock_critical_minterms(&adder3, &[0x15]).expect("lockable");
+    group.bench_function("critical_minterm_adder3", |b| {
+        b.iter(|| {
+            let out = sat_attack(&cml, &AttackConfig::default());
+            assert!(out.success);
+        })
+    });
+    let perm = lock_permutation(&adder3, 2).expect("lockable");
+    group.bench_function("permutation_adder3", |b| {
+        b.iter(|| {
+            let out = sat_attack(&perm, &AttackConfig::default());
+            assert!(out.success);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Regenerates **Fig. 4** of the paper: per-benchmark increase in
+//! application errors caused by locking for (top) obfuscation-aware binding
+//! and (bottom) binding-obfuscation co-design, vs area-aware and power-aware
+//! binding, adders and multipliers separately.
+//!
+//! Usage: `cargo run -p lockbind-bench --release --bin fig4 [frames] [seed]`
+
+use lockbind_bench::errors_experiment::geomean;
+use lockbind_bench::report::{fmt_ratio, render_table};
+use lockbind_bench::{run_error_experiment, ExperimentParams, PreparedKernel, SecurityAlgo};
+use lockbind_hls::FuClass;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let frames: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2021);
+    let params = ExperimentParams::default();
+
+    println!("Fig. 4 — increase in application errors of locking (x over baseline)");
+    println!("workload: {frames} frames, seed {seed}; candidates: {}", params.num_candidates);
+    println!();
+
+    let suite = PreparedKernel::suite(frames, seed);
+    let mut all_records = Vec::new();
+    for p in &suite {
+        let recs = run_error_experiment(p, &params).expect("suite kernels are feasible");
+        all_records.extend(recs);
+    }
+
+    for (title, algo) in [
+        ("Obfuscation-Aware Binding over Area/Power-Aware Binding", SecurityAlgo::ObfAware),
+        (
+            "Binding-Obfuscation Co-Design over Area/Power-Aware Binding",
+            SecurityAlgo::CoDesignHeuristic,
+        ),
+    ] {
+        println!("== {title} ==");
+        let headers = [
+            "benchmark",
+            "add vs area",
+            "add vs power",
+            "mul vs area",
+            "mul vs power",
+        ];
+        let mut rows = Vec::new();
+        let mut kernel_means = Vec::new();
+        for p in &suite {
+            let name = p.name.as_str();
+            let mut cell = |class: FuClass, vs_area: bool| -> String {
+                let vals: Vec<f64> = all_records
+                    .iter()
+                    .filter(|r| r.kernel == name && r.class == class && r.algo == algo)
+                    .map(|r| if vs_area { r.vs_area } else { r.vs_power })
+                    .collect();
+                if vals.is_empty() {
+                    "-".to_string()
+                } else {
+                    let g = geomean(vals.iter().copied());
+                    kernel_means.push(g);
+                    fmt_ratio(g)
+                }
+            };
+            rows.push(vec![
+                name.to_string(),
+                cell(FuClass::Adder, true),
+                cell(FuClass::Adder, false),
+                cell(FuClass::Multiplier, true),
+                cell(FuClass::Multiplier, false),
+            ]);
+        }
+        let avg = geomean(kernel_means.iter().copied());
+        rows.push(vec![
+            "Avg.".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            fmt_ratio(avg),
+        ]);
+        println!("{}", render_table(&headers, &rows));
+    }
+}

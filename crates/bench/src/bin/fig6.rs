@@ -1,0 +1,68 @@
+//! Regenerates **Fig. 6**: design overhead of the security-aware binding
+//! algorithms — register-count increase over area-aware binding (top) and
+//! switching-rate increase over power-aware binding (bottom), per benchmark
+//! and averaged (paper: ~+4.7 registers, ~+0.03 switching rate).
+//!
+//! Usage: `cargo run -p lockbind-bench --release --bin fig6 [frames] [seed]`
+
+use lockbind_bench::report::render_table;
+use lockbind_bench::{measure_overhead, PreparedKernel, SecurityAlgo};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let frames: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2021);
+
+    println!("Fig. 6 — design overhead of security-aware binding");
+    println!();
+
+    let suite = PreparedKernel::suite(frames, seed);
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 4];
+    for p in &suite {
+        let records = measure_overhead(p, 10).expect("feasible");
+        let get = |algo: SecurityAlgo| -> (f64, f64) {
+            records
+                .iter()
+                .find(|r| r.algo == algo)
+                .map(|r| (r.register_increase, r.switching_increase))
+                .unwrap_or((f64::NAN, f64::NAN))
+        };
+        let (obf_reg, obf_sw) = get(SecurityAlgo::ObfAware);
+        let (cd_reg, cd_sw) = get(SecurityAlgo::CoDesignHeuristic);
+        sums[0] += obf_reg;
+        sums[1] += cd_reg;
+        sums[2] += obf_sw;
+        sums[3] += cd_sw;
+        rows.push(vec![
+            p.name.clone(),
+            format!("{obf_reg:+.2}"),
+            format!("{cd_reg:+.2}"),
+            format!("{obf_sw:+.4}"),
+            format!("{cd_sw:+.4}"),
+        ]);
+    }
+    let n = suite.len() as f64;
+    rows.push(vec![
+        "Avg.".to_string(),
+        format!("{:+.2}", sums[0] / n),
+        format!("{:+.2}", sums[1] / n),
+        format!("{:+.4}", sums[2] / n),
+        format!("{:+.4}", sums[3] / n),
+    ]);
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "Δregisters obf-aware",
+                "Δregisters co-design",
+                "Δswitching obf-aware",
+                "Δswitching co-design",
+            ],
+            &rows
+        )
+    );
+    println!("(registers vs area-aware binding; switching rate vs power-aware binding)");
+}

@@ -1,0 +1,106 @@
+//! Regenerates the paper's **headline scalars** (abstract / Sec. VI-A):
+//!
+//! * obfuscation-aware binding: 22x vs area-aware, 29x vs power-aware
+//!   (26x combined),
+//! * binding-obfuscation co-design: 82x vs area, 115x vs power (99x),
+//! * the P-time heuristic degrades the optimal co-design solution by <0.5%.
+//!
+//! Usage: `cargo run -p lockbind-bench --release --bin headline [frames] [seed]`
+
+use lockbind_bench::errors_experiment::geomean;
+use lockbind_bench::{run_error_experiment, ExperimentParams, PreparedKernel, SecurityAlgo};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let frames: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2021);
+    let params = ExperimentParams::default();
+
+    let suite = PreparedKernel::suite(frames, seed);
+    let mut records = Vec::new();
+    for p in &suite {
+        records.extend(run_error_experiment(p, &params).expect("feasible"));
+    }
+
+    let collect = |algo: SecurityAlgo, vs_area: bool| -> Vec<f64> {
+        records
+            .iter()
+            .filter(|r| r.algo == algo)
+            .map(|r| if vs_area { r.vs_area } else { r.vs_power })
+            .collect()
+    };
+    let amean = |vals: &[f64]| vals.iter().sum::<f64>() / vals.len() as f64;
+
+    let obf_area = collect(SecurityAlgo::ObfAware, true);
+    let obf_power = collect(SecurityAlgo::ObfAware, false);
+    let cd_area = collect(SecurityAlgo::CoDesignHeuristic, true);
+    let cd_power = collect(SecurityAlgo::CoDesignHeuristic, false);
+
+    println!("Headline numbers over all kernels/configs/combination assignments;");
+    println!("arithmetic mean of per-config mean ratios (the paper's convention),");
+    println!("geometric mean in (parens); paper reference values in [brackets]");
+    println!();
+    println!("obfuscation-aware binding:");
+    println!(
+        "  vs area-aware : {:7.1}x ({:.1}x)   [22x]",
+        amean(&obf_area),
+        geomean(obf_area.iter().copied())
+    );
+    println!(
+        "  vs power-aware: {:7.1}x ({:.1}x)   [29x]",
+        amean(&obf_power),
+        geomean(obf_power.iter().copied())
+    );
+    println!(
+        "  combined      : {:7.1}x   [26x]",
+        (amean(&obf_area) + amean(&obf_power)) / 2.0
+    );
+    println!();
+    println!("binding-obfuscation co-design (P-time heuristic):");
+    println!(
+        "  vs area-aware : {:7.1}x ({:.1}x)   [82x]",
+        amean(&cd_area),
+        geomean(cd_area.iter().copied())
+    );
+    println!(
+        "  vs power-aware: {:7.1}x ({:.1}x)   [115x]",
+        amean(&cd_power),
+        geomean(cd_power.iter().copied())
+    );
+    println!(
+        "  combined      : {:7.1}x   [99x]",
+        (amean(&cd_area) + amean(&cd_power)) / 2.0
+    );
+    println!();
+
+    // Heuristic vs optimal degradation (on configs where optimal ran).
+    let mut degradations = Vec::new();
+    for opt in records
+        .iter()
+        .filter(|r| r.algo == SecurityAlgo::CoDesignOptimal)
+    {
+        if let Some(heur) = records.iter().find(|h| {
+            h.algo == SecurityAlgo::CoDesignHeuristic
+                && h.kernel == opt.kernel
+                && h.class == opt.class
+                && h.locked_fus == opt.locked_fus
+                && h.locked_inputs == opt.locked_inputs
+        }) {
+            if opt.mean_errors > 0.0 {
+                degradations.push(1.0 - heur.mean_errors / opt.mean_errors);
+            }
+        }
+    }
+    if degradations.is_empty() {
+        println!("heuristic vs optimal: no tractable optimal configs were run");
+    } else {
+        let mean = degradations.iter().sum::<f64>() / degradations.len() as f64;
+        let max = degradations.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "heuristic vs optimal co-design: mean degradation {:.3}% (max {:.3}%) over {} configs   [<0.5%]",
+            mean * 100.0,
+            max * 100.0,
+            degradations.len()
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Benchmark-suite shape statistics (the prose numbers of Sec. VI of the
+//! paper: "The resulting DFGs contained an average of 18.6 add and 10.6
+//! multiply operations spanning 13.5 cycles", scheduled onto up to 3 FUs).
+//!
+//! Usage: `cargo run -p lockbind-bench --release --bin suite_stats`
+
+use lockbind_bench::report::render_table;
+use lockbind_hls::{schedule_list, Allocation, FuClass};
+use lockbind_mediabench::{Kernel, SuiteStats};
+
+fn main() {
+    let mut rows = Vec::new();
+    for k in Kernel::ALL {
+        let dfg = k.build_dfg();
+        let (adds, muls) = dfg.op_mix();
+        let alloc = Allocation::new(3, if muls > 0 { 3 } else { 0 });
+        let sched = schedule_list(&dfg, &alloc).expect("schedulable");
+        rows.push(vec![
+            k.name().to_string(),
+            dfg.num_inputs().to_string(),
+            adds.to_string(),
+            muls.to_string(),
+            sched.num_cycles().to_string(),
+            sched.max_concurrency(&dfg, FuClass::Adder).to_string(),
+            sched.max_concurrency(&dfg, FuClass::Multiplier).to_string(),
+        ]);
+    }
+    let s = SuiteStats::for_all_kernels();
+    rows.push(vec![
+        "Avg.".to_string(),
+        String::new(),
+        format!("{:.1}", s.avg_adds),
+        format!("{:.1}", s.avg_muls),
+        format!("{:.1}", s.avg_cycles),
+        String::new(),
+        String::new(),
+    ]);
+
+    println!("Benchmark suite shape (paper: avg 18.6 adds, 10.6 muls, 13.5 cycles)");
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "kernel",
+                "inputs",
+                "adder ops",
+                "mul ops",
+                "cycles",
+                "peak adders",
+                "peak muls"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,29 @@
+//! Experiment harness regenerating the paper's evaluation (Sec. VI).
+//!
+//! The binaries in `src/bin/` print the same rows/series the paper reports:
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `fig4` | Fig. 4 — per-benchmark error increase of obfuscation-aware binding and co-design over area/power-aware binding |
+//! | `fig5` | Fig. 5 — error increase vs locking configuration |
+//! | `fig6` | Fig. 6 — register-count / switching-rate overhead |
+//! | `headline` | the abstract's 26x / 99x scalars + heuristic-vs-optimal gap |
+//! | `sat_resilience` | Eqn.-1 validation with real SAT attacks (Sec. II-A) |
+//! | `methodology` | the Sec. V-C design methodology walk-through |
+//!
+//! This library holds the shared machinery: kernel preparation, the
+//! ratio-of-errors experiment, and overhead measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod errors_experiment;
+pub mod overhead;
+pub mod prepared;
+pub mod report;
+
+pub use errors_experiment::{
+    run_error_experiment, ErrorRecord, ExperimentParams, SecurityAlgo,
+};
+pub use overhead::{measure_overhead, OverheadRecord};
+pub use prepared::PreparedKernel;

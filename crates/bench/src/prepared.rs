@@ -1,0 +1,100 @@
+//! One-time preparation of a kernel: schedule, allocation, profiles,
+//! candidate locked inputs.
+
+use lockbind_hls::{
+    schedule_list, Allocation, Dfg, FuClass, Minterm, OccurrenceProfile, Schedule,
+    SwitchingProfile,
+};
+use lockbind_mediabench::{Benchmark, Kernel};
+
+/// A kernel with everything the binding experiments need, built once.
+#[derive(Debug, Clone)]
+pub struct PreparedKernel {
+    /// Benchmark name (the DFG's name for custom benchmarks).
+    pub name: String,
+    /// The kernel DFG.
+    pub dfg: Dfg,
+    /// Resource-constrained schedule (up to 3 FUs per class, as in the
+    /// paper).
+    pub schedule: Schedule,
+    /// The FU allocation used for every experiment.
+    pub alloc: Allocation,
+    /// The K matrix over the generated typical workload.
+    pub profile: OccurrenceProfile,
+    /// Pairwise switching profile over the same workload.
+    pub switching: SwitchingProfile,
+}
+
+impl PreparedKernel {
+    /// Prepares a suite kernel with `frames` workload frames from `seed`.
+    pub fn new(kernel: Kernel, frames: usize, seed: u64) -> Self {
+        Self::from_benchmark(kernel.benchmark(frames, seed))
+    }
+
+    /// Prepares an arbitrary benchmark (e.g. the tunable synthetic kernel
+    /// or a user-supplied design).
+    ///
+    /// # Panics
+    /// Panics if the DFG cannot be scheduled onto 3 FUs per used class or
+    /// the trace arity mismatches the DFG.
+    pub fn from_benchmark(bench: Benchmark) -> Self {
+        let (_, muls) = bench.dfg.op_mix();
+        let alloc = Allocation::new(3, if muls > 0 { 3 } else { 0 });
+        let schedule = schedule_list(&bench.dfg, &alloc).expect("kernels fit 3+3 FUs");
+        let profile =
+            OccurrenceProfile::from_trace(&bench.dfg, &bench.trace).expect("arity matches");
+        let switching =
+            SwitchingProfile::from_trace(&bench.dfg, &bench.trace).expect("arity matches");
+        PreparedKernel {
+            name: bench.dfg.name().to_string(),
+            dfg: bench.dfg,
+            schedule,
+            alloc,
+            profile,
+            switching,
+        }
+    }
+
+    /// Prepares every kernel of the suite.
+    pub fn suite(frames: usize, seed: u64) -> Vec<PreparedKernel> {
+        Kernel::ALL
+            .into_iter()
+            .map(|k| PreparedKernel::new(k, frames, seed))
+            .collect()
+    }
+
+    /// The paper's candidate locked-input list: the `k` most common input
+    /// minterms among this kernel's operations of `class`.
+    pub fn candidates(&self, class: FuClass, k: usize) -> Vec<Minterm> {
+        let ops = self.dfg.ops_of_class(class);
+        self.profile.top_candidates_among(&ops, k)
+    }
+
+    /// FU classes with at least one operation (ecb_enc4 has no multiplies).
+    pub fn classes(&self) -> Vec<FuClass> {
+        FuClass::ALL
+            .into_iter()
+            .filter(|&c| !self.dfg.ops_of_class(c).is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preparation_builds_candidates() {
+        let p = PreparedKernel::new(Kernel::Fir, 100, 3);
+        let c = p.candidates(FuClass::Multiplier, 10);
+        assert!(!c.is_empty());
+        assert!(c.len() <= 10);
+        assert_eq!(p.classes().len(), 2);
+    }
+
+    #[test]
+    fn suite_prepares_all_kernels() {
+        let suite = PreparedKernel::suite(30, 1);
+        assert_eq!(suite.len(), 11);
+    }
+}

@@ -1,0 +1,89 @@
+//! Small combinatorics helper for the co-design search.
+
+/// All `k`-element index combinations of `0..n`, in lexicographic order.
+///
+/// # Example
+/// ```
+/// use lockbind_core::combinations;
+/// assert_eq!(combinations(3, 2), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+/// assert_eq!(combinations(2, 0), vec![Vec::<usize>::new()]);
+/// assert!(combinations(2, 3).is_empty());
+/// ```
+pub fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    if k > n {
+        return Vec::new();
+    }
+    if k == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.clone());
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_binomials() {
+        let binom = |n: u64, k: u64| -> u64 {
+            if k > n {
+                return 0;
+            }
+            let mut r = 1u64;
+            for i in 0..k {
+                r = r * (n - i) / (i + 1);
+            }
+            r
+        };
+        for n in 0..=8 {
+            for k in 0..=8 {
+                assert_eq!(
+                    combinations(n, k).len() as u64,
+                    binom(n as u64, k as u64),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_are_sorted_and_unique() {
+        let cs = combinations(10, 3);
+        for c in &cs {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+        let mut sorted = cs.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cs.len());
+    }
+
+    #[test]
+    fn paper_scale_candidate_counts() {
+        // The paper's setup: 10 candidates, 1..=3 locked inputs per FU.
+        assert_eq!(combinations(10, 1).len(), 10);
+        assert_eq!(combinations(10, 2).len(), 45);
+        assert_eq!(combinations(10, 3).len(), 120);
+    }
+}

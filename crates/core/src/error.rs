@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+use lockbind_hls::HlsError;
+use lockbind_locking::LockError;
+use lockbind_matching::MatchingError;
+
+/// Errors produced by the binding algorithms and design methodology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An underlying HLS-substrate error (invalid binding, schedule, ...).
+    Hls(HlsError),
+    /// An assignment-problem failure (more concurrent ops than FUs, ...).
+    Matching(MatchingError),
+    /// A netlist-locking failure while realizing modules.
+    Lock(LockError),
+    /// The locking spec references an FU outside the allocation.
+    UnknownFu {
+        /// Display form of the offending FU.
+        fu: String,
+    },
+    /// The same FU appears twice in a locking spec.
+    DuplicateFu {
+        /// Display form of the offending FU.
+        fu: String,
+    },
+    /// A co-design call asked for more locked inputs per FU than there are
+    /// candidates.
+    NotEnoughCandidates {
+        /// Candidates available.
+        candidates: usize,
+        /// Locked inputs requested per FU.
+        requested: usize,
+    },
+    /// The optimal co-design search space exceeds the configured guard.
+    SearchSpaceTooLarge {
+        /// Number of binding evaluations the exhaustive search would need.
+        evaluations: u128,
+        /// The guard limit.
+        limit: u128,
+    },
+    /// The methodology could not reach the requested application-error
+    /// target with any admissible configuration.
+    ErrorTargetUnreachable {
+        /// Best achievable expected application errors.
+        best: u64,
+        /// Requested target.
+        target: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Hls(e) => write!(f, "hls error: {e}"),
+            CoreError::Matching(e) => write!(f, "matching error: {e}"),
+            CoreError::Lock(e) => write!(f, "locking error: {e}"),
+            CoreError::UnknownFu { fu } => write!(f, "locking spec references unallocated {fu}"),
+            CoreError::DuplicateFu { fu } => write!(f, "locking spec lists {fu} twice"),
+            CoreError::NotEnoughCandidates {
+                candidates,
+                requested,
+            } => write!(
+                f,
+                "cannot choose {requested} locked inputs from {candidates} candidates"
+            ),
+            CoreError::SearchSpaceTooLarge { evaluations, limit } => write!(
+                f,
+                "optimal co-design needs {evaluations} binding evaluations (limit {limit}); use codesign_heuristic"
+            ),
+            CoreError::ErrorTargetUnreachable { best, target } => write!(
+                f,
+                "application-error target {target} unreachable (best achievable {best})"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Hls(e) => Some(e),
+            CoreError::Matching(e) => Some(e),
+            CoreError::Lock(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HlsError> for CoreError {
+    fn from(e: HlsError) -> Self {
+        CoreError::Hls(e)
+    }
+}
+
+impl From<MatchingError> for CoreError {
+    fn from(e: MatchingError) -> Self {
+        CoreError::Matching(e)
+    }
+}
+
+impl From<LockError> for CoreError {
+    fn from(e: LockError) -> Self {
+        CoreError::Lock(e)
+    }
+}

@@ -1,0 +1,144 @@
+use std::fmt;
+
+use lockbind_hls::{Allocation, FuId, Minterm};
+
+use crate::CoreError;
+
+/// A locking configuration: which allocated FUs are locked and with which
+/// locked-input minterm sets (`L` and the `M_l` of Sec. IV).
+///
+/// Critical-minterm locking is assumed (as in the paper), so the locked
+/// inputs are static across wrong keys and can be reasoned about at binding
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockingSpec {
+    entries: Vec<(FuId, Vec<Minterm>)>,
+}
+
+impl LockingSpec {
+    /// Builds a spec from `(locked FU, locked minterms)` pairs, validating
+    /// that every FU exists in `alloc` and appears at most once.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownFu`] / [`CoreError::DuplicateFu`] on invalid
+    /// entries.
+    pub fn new(
+        alloc: &Allocation,
+        entries: Vec<(FuId, Vec<Minterm>)>,
+    ) -> Result<Self, CoreError> {
+        for (i, (fu, _)) in entries.iter().enumerate() {
+            if fu.index >= alloc.count(fu.class) {
+                return Err(CoreError::UnknownFu { fu: fu.to_string() });
+            }
+            if entries[..i].iter().any(|(f, _)| f == fu) {
+                return Err(CoreError::DuplicateFu { fu: fu.to_string() });
+            }
+        }
+        Ok(LockingSpec { entries })
+    }
+
+    /// An empty spec (nothing locked) — useful as a baseline.
+    pub fn unlocked() -> Self {
+        LockingSpec {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The locked FUs, in entry order.
+    pub fn locked_fus(&self) -> impl Iterator<Item = FuId> + '_ {
+        self.entries.iter().map(|(fu, _)| *fu)
+    }
+
+    /// The locked minterm set of `fu`, if locked.
+    pub fn minterms_of(&self, fu: FuId) -> Option<&[Minterm]> {
+        self.entries
+            .iter()
+            .find(|(f, _)| *f == fu)
+            .map(|(_, ms)| ms.as_slice())
+    }
+
+    /// `true` if `fu` is locked.
+    pub fn is_locked(&self, fu: FuId) -> bool {
+        self.minterms_of(fu).is_some()
+    }
+
+    /// Iterates over `(FuId, &[Minterm])` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (FuId, &[Minterm])> {
+        self.entries.iter().map(|(fu, ms)| (*fu, ms.as_slice()))
+    }
+
+    /// Total locked inputs across all FUs (drives SAT resilience via Eqn. 1).
+    pub fn total_locked_inputs(&self) -> usize {
+        self.entries.iter().map(|(_, ms)| ms.len()).sum()
+    }
+
+    /// Number of locked FUs.
+    pub fn num_locked_fus(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl fmt::Display for LockingSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lock[")?;
+        for (i, (fu, ms)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fu}:{} inputs", ms.len())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockbind_hls::FuClass;
+
+    fn fu(i: usize) -> FuId {
+        FuId::new(FuClass::Adder, i)
+    }
+
+    fn m(v: u64) -> Minterm {
+        Minterm::pack(v & 0xF, v >> 4, 4)
+    }
+
+    #[test]
+    fn valid_spec_roundtrips() {
+        let alloc = Allocation::new(3, 1);
+        let spec = LockingSpec::new(
+            &alloc,
+            vec![(fu(0), vec![m(1), m(2)]), (fu(2), vec![m(3)])],
+        )
+        .expect("valid");
+        assert_eq!(spec.num_locked_fus(), 2);
+        assert_eq!(spec.total_locked_inputs(), 3);
+        assert!(spec.is_locked(fu(0)));
+        assert!(!spec.is_locked(fu(1)));
+        assert_eq!(spec.minterms_of(fu(2)), Some(&[m(3)][..]));
+        assert_eq!(spec.locked_fus().count(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_fu() {
+        let alloc = Allocation::new(1, 0);
+        let err = LockingSpec::new(&alloc, vec![(fu(1), vec![m(1)])]).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownFu { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_fu() {
+        let alloc = Allocation::new(2, 0);
+        let err =
+            LockingSpec::new(&alloc, vec![(fu(0), vec![m(1)]), (fu(0), vec![m(2)])]).unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateFu { .. }));
+    }
+
+    #[test]
+    fn unlocked_spec_is_empty() {
+        let spec = LockingSpec::unlocked();
+        assert_eq!(spec.total_locked_inputs(), 0);
+        assert_eq!(spec.to_string(), "lock[]");
+    }
+}

@@ -1,0 +1,84 @@
+use std::fmt;
+
+use crate::value::FuClass;
+use crate::FuId;
+
+/// A resource allocation: how many functional units of each class are
+/// available to bind the scheduled DFG onto (the output of HLS allocation,
+/// Sec. II-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Allocation {
+    adders: usize,
+    multipliers: usize,
+}
+
+impl Allocation {
+    /// Creates an allocation with the given number of adder/ALU and
+    /// multiplier units.
+    ///
+    /// # Example
+    /// ```
+    /// use lockbind_hls::{Allocation, FuClass};
+    /// let a = Allocation::new(3, 2);
+    /// assert_eq!(a.count(FuClass::Adder), 3);
+    /// assert_eq!(a.count(FuClass::Multiplier), 2);
+    /// ```
+    pub fn new(adders: usize, multipliers: usize) -> Self {
+        Allocation {
+            adders,
+            multipliers,
+        }
+    }
+
+    /// Number of FUs of the given class.
+    pub fn count(&self, class: FuClass) -> usize {
+        match class {
+            FuClass::Adder => self.adders,
+            FuClass::Multiplier => self.multipliers,
+        }
+    }
+
+    /// Iterates over every allocated FU id, adders first.
+    pub fn fu_ids(&self) -> impl Iterator<Item = FuId> + '_ {
+        FuClass::ALL.into_iter().flat_map(move |class| {
+            (0..self.count(class)).map(move |index| FuId { class, index })
+        })
+    }
+
+    /// Total number of allocated FUs across classes.
+    pub fn total(&self) -> usize {
+        self.adders + self.multipliers
+    }
+}
+
+impl fmt::Display for Allocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} adder(s), {} multiplier(s)",
+            self.adders, self.multipliers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_ids_enumerates_all_units() {
+        let a = Allocation::new(2, 1);
+        let ids: Vec<_> = a.fu_ids().collect();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], FuId::new(FuClass::Adder, 0));
+        assert_eq!(ids[1], FuId::new(FuClass::Adder, 1));
+        assert_eq!(ids[2], FuId::new(FuClass::Multiplier, 0));
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn zero_allocation_is_representable() {
+        let a = Allocation::new(0, 0);
+        assert_eq!(a.fu_ids().count(), 0);
+    }
+}

@@ -1,0 +1,421 @@
+use std::fmt;
+
+use crate::value::{FuClass, InputId};
+
+/// Identifier of an operation node in a [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub(crate) usize);
+
+impl OpId {
+    /// Zero-based index of this operation in the DFG's operation list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The operation kinds supported by the DFG. Each executes in one clock cycle
+/// on a functional unit of the class given by [`OpKind::fu_class`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low word).
+    Mul,
+    /// Absolute difference `|a - b|` (the SAD kernel primitive).
+    AbsDiff,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Left shift by `b mod width`.
+    Shl,
+    /// Logical right shift by `b mod width`.
+    Shr,
+}
+
+impl OpKind {
+    /// The FU class this operation executes on. Multiplies need a multiplier;
+    /// everything else runs on the adder/ALU class.
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            OpKind::Mul => FuClass::Multiplier,
+            _ => FuClass::Adder,
+        }
+    }
+
+    /// Evaluates the operation on `width`-bit operands (result masked to
+    /// `width` bits).
+    ///
+    /// # Example
+    /// ```
+    /// use lockbind_hls::OpKind;
+    /// assert_eq!(OpKind::Add.eval(0xFF, 1, 8), 0);     // wraps
+    /// assert_eq!(OpKind::AbsDiff.eval(3, 10, 8), 7);
+    /// assert_eq!(OpKind::Shl.eval(1, 3, 8), 8);
+    /// ```
+    pub fn eval(self, a: u64, b: u64, width: u32) -> u64 {
+        let mask = (1u64 << width) - 1;
+        let r = match self {
+            OpKind::Add => a.wrapping_add(b),
+            OpKind::Sub => a.wrapping_sub(b),
+            OpKind::Mul => a.wrapping_mul(b),
+            OpKind::AbsDiff => a.abs_diff(b),
+            OpKind::Min => a.min(b),
+            OpKind::Max => a.max(b),
+            OpKind::And => a & b,
+            OpKind::Or => a | b,
+            OpKind::Xor => a ^ b,
+            OpKind::Shl => a << (b % width as u64),
+            OpKind::Shr => a >> (b % width as u64),
+        };
+        r & mask
+    }
+
+    /// `true` for operations where swapping the operands never changes the
+    /// result.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            OpKind::Add
+                | OpKind::Mul
+                | OpKind::AbsDiff
+                | OpKind::Min
+                | OpKind::Max
+                | OpKind::And
+                | OpKind::Or
+                | OpKind::Xor
+        )
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::AbsDiff => "absdiff",
+            OpKind::Min => "min",
+            OpKind::Max => "max",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Shl => "shl",
+            OpKind::Shr => "shr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A reference to a value flowing through the DFG: a primary input, a
+/// compile-time constant, or the result of another operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueRef {
+    /// A primary input.
+    Input(InputId),
+    /// A constant word (masked to the DFG width on evaluation).
+    Const(u64),
+    /// The output of an operation.
+    Op(OpId),
+}
+
+impl From<InputId> for ValueRef {
+    fn from(id: InputId) -> Self {
+        ValueRef::Input(id)
+    }
+}
+
+impl From<OpId> for ValueRef {
+    fn from(id: OpId) -> Self {
+        ValueRef::Op(id)
+    }
+}
+
+/// One two-input operation node of a [`Dfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// What the operation computes.
+    pub kind: OpKind,
+    /// Left operand.
+    pub lhs: ValueRef,
+    /// Right operand.
+    pub rhs: ValueRef,
+}
+
+/// A data-flow graph: the scheduled-DFG input of the paper's Fig. 1/2, before
+/// scheduling. Nodes are single-cycle two-input operations; edges are data
+/// dependencies implied by [`ValueRef::Op`] operands.
+///
+/// Construction is append-only, so the graph is acyclic by construction:
+/// an operation may only reference operations created before it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfg {
+    width: u32,
+    input_names: Vec<String>,
+    ops: Vec<Operation>,
+    outputs: Vec<OpId>,
+    name: String,
+}
+
+impl Dfg {
+    /// Creates an empty DFG over `width`-bit operands.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or exceeds 31 (the packed-minterm limit).
+    pub fn new(width: u32) -> Self {
+        assert!((1..=31).contains(&width), "operand width must be 1..=31");
+        Dfg {
+            width,
+            input_names: Vec::new(),
+            ops: Vec::new(),
+            outputs: Vec::new(),
+            name: String::from("dfg"),
+        }
+    }
+
+    /// Sets a human-readable benchmark name (used in reports).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The benchmark name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operand width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Declares a new primary input and returns a [`ValueRef`] to it.
+    pub fn input(&mut self, name: impl Into<String>) -> ValueRef {
+        let id = InputId(self.input_names.len());
+        self.input_names.push(name.into());
+        ValueRef::Input(id)
+    }
+
+    /// Adds an operation and returns its id.
+    ///
+    /// # Panics
+    /// Panics if an operand references an operation id that has not been
+    /// created yet (which would introduce a cycle).
+    pub fn op(&mut self, kind: OpKind, lhs: ValueRef, rhs: ValueRef) -> OpId {
+        for v in [lhs, rhs] {
+            match v {
+                ValueRef::Op(OpId(i)) => {
+                    assert!(i < self.ops.len(), "operand references future op {i}")
+                }
+                ValueRef::Input(InputId(i)) => {
+                    assert!(i < self.input_names.len(), "operand references unknown input")
+                }
+                ValueRef::Const(_) => {}
+            }
+        }
+        let id = OpId(self.ops.len());
+        self.ops.push(Operation { kind, lhs, rhs });
+        id
+    }
+
+    /// Marks an operation's result as a primary output of the design.
+    pub fn mark_output(&mut self, op: OpId) {
+        if !self.outputs.contains(&op) {
+            self.outputs.push(op);
+        }
+    }
+
+    /// Number of operations.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Name of a primary input.
+    pub fn input_name(&self, id: InputId) -> &str {
+        &self.input_names[id.0]
+    }
+
+    /// The operation node for `id`.
+    pub fn operation(&self, id: OpId) -> &Operation {
+        &self.ops[id.0]
+    }
+
+    /// Iterates over `(OpId, &Operation)` in creation (topological) order.
+    pub fn iter_ops(&self) -> impl Iterator<Item = (OpId, &Operation)> {
+        self.ops.iter().enumerate().map(|(i, op)| (OpId(i), op))
+    }
+
+    /// All op ids, in topological order.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> {
+        (0..self.ops.len()).map(OpId)
+    }
+
+    /// The declared primary outputs.
+    pub fn outputs(&self) -> &[OpId] {
+        &self.outputs
+    }
+
+    /// The operation ids that consume the result of `op`.
+    pub fn consumers(&self, op: OpId) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.lhs == ValueRef::Op(op) || o.rhs == ValueRef::Op(op))
+            .map(|(i, _)| OpId(i))
+            .collect()
+    }
+
+    /// The operation ids `op` directly depends on.
+    pub fn predecessors(&self, op: OpId) -> Vec<OpId> {
+        let o = &self.ops[op.0];
+        let mut preds = Vec::new();
+        for v in [o.lhs, o.rhs] {
+            if let ValueRef::Op(p) = v {
+                if !preds.contains(&p) {
+                    preds.push(p);
+                }
+            }
+        }
+        preds
+    }
+
+    /// Count of operations per FU class: `(adders, multipliers)` — the shape
+    /// statistic the paper reports (avg 18.6 adds, 10.6 muls).
+    pub fn op_mix(&self) -> (usize, usize) {
+        let muls = self
+            .ops
+            .iter()
+            .filter(|o| o.kind.fu_class() == FuClass::Multiplier)
+            .count();
+        (self.ops.len() - muls, muls)
+    }
+
+    /// Ops belonging to one FU class, in topological order.
+    pub fn ops_of_class(&self, class: FuClass) -> Vec<OpId> {
+        self.iter_ops()
+            .filter(|(_, o)| o.kind.fu_class() == class)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+impl fmt::Display for Dfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "dfg {} (width {}, {} inputs, {} ops)",
+            self.name,
+            self.width,
+            self.num_inputs(),
+            self.num_ops()
+        )?;
+        for (id, op) in self.iter_ops() {
+            writeln!(f, "  {id} = {} {:?} {:?}", op.kind, op.lhs, op.rhs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dfg, OpId, OpId, OpId) {
+        let mut d = Dfg::new(8);
+        let a = d.input("a");
+        let b = d.input("b");
+        let s = d.op(OpKind::Add, a, b);
+        let t = d.op(OpKind::Sub, a, b);
+        let m = d.op(OpKind::Mul, s.into(), t.into());
+        d.mark_output(m);
+        (d, s, t, m)
+    }
+
+    #[test]
+    fn builder_tracks_shape() {
+        let (d, _, _, m) = diamond();
+        assert_eq!(d.num_ops(), 3);
+        assert_eq!(d.num_inputs(), 2);
+        assert_eq!(d.outputs(), &[m]);
+        assert_eq!(d.op_mix(), (2, 1));
+    }
+
+    #[test]
+    fn consumers_and_predecessors() {
+        let (d, s, t, m) = diamond();
+        assert_eq!(d.consumers(s), vec![m]);
+        assert_eq!(d.consumers(m), vec![]);
+        assert_eq!(d.predecessors(m), vec![s, t]);
+        assert_eq!(d.predecessors(s), vec![]);
+    }
+
+    #[test]
+    fn mark_output_is_idempotent() {
+        let (mut d, _, _, m) = diamond();
+        d.mark_output(m);
+        assert_eq!(d.outputs().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "future op")]
+    fn forward_reference_panics() {
+        let mut d = Dfg::new(8);
+        let a = d.input("a");
+        let _ = d.op(OpKind::Add, a, ValueRef::Op(OpId(5)));
+    }
+
+    #[test]
+    fn opkind_eval_semantics() {
+        assert_eq!(OpKind::Sub.eval(0, 1, 8), 0xFF);
+        assert_eq!(OpKind::Mul.eval(16, 16, 8), 0); // 256 wraps to 0
+        assert_eq!(OpKind::Min.eval(5, 9, 8), 5);
+        assert_eq!(OpKind::Max.eval(5, 9, 8), 9);
+        assert_eq!(OpKind::And.eval(0b1100, 0b1010, 4), 0b1000);
+        assert_eq!(OpKind::Or.eval(0b1100, 0b1010, 4), 0b1110);
+        assert_eq!(OpKind::Xor.eval(0b1100, 0b1010, 4), 0b0110);
+        assert_eq!(OpKind::Shr.eval(0b1000, 3, 4), 1);
+        // shift amount wraps modulo width
+        assert_eq!(OpKind::Shl.eval(1, 8, 8), 1);
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(OpKind::Add.is_commutative());
+        assert!(!OpKind::Sub.is_commutative());
+        assert!(!OpKind::Shl.is_commutative());
+        assert!(OpKind::Xor.is_commutative());
+    }
+
+    #[test]
+    fn fu_class_partition() {
+        let (d, _, _, _) = diamond();
+        assert_eq!(d.ops_of_class(FuClass::Adder).len(), 2);
+        assert_eq!(d.ops_of_class(FuClass::Multiplier).len(), 1);
+    }
+
+    #[test]
+    fn display_contains_ops() {
+        let (d, _, _, _) = diamond();
+        let s = d.to_string();
+        assert!(s.contains("op0 = add"));
+        assert!(s.contains("op2 = mul"));
+    }
+}

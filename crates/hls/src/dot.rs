@@ -1,0 +1,126 @@
+//! Graphviz DOT export for scheduled data-flow graphs (debuggability aid;
+//! renders the same style of picture as the paper's Fig. 1/2).
+
+use std::fmt::Write as _;
+
+use crate::dfg::{Dfg, ValueRef};
+use crate::{Binding, Schedule};
+
+/// Renders the DFG as a Graphviz `digraph`; when a schedule is given, ops
+/// are clustered by clock cycle, and when a binding is given each node is
+/// labelled with its FU.
+///
+/// # Example
+/// ```
+/// use lockbind_hls::{Dfg, OpKind, schedule_asap, dot::to_dot};
+/// let mut d = Dfg::new(8);
+/// let a = d.input("a");
+/// let b = d.input("b");
+/// let s = d.op(OpKind::Add, a, b);
+/// d.mark_output(s);
+/// let sched = schedule_asap(&d);
+/// let dot = to_dot(&d, Some(&sched), None);
+/// assert!(dot.contains("cluster_cycle0"));
+/// ```
+pub fn to_dot(dfg: &Dfg, schedule: Option<&Schedule>, binding: Option<&Binding>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", dfg.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+
+    for i in 0..dfg.num_inputs() {
+        let _ = writeln!(
+            out,
+            "  in{i} [label=\"{}\", shape=box];",
+            dfg.input_name(crate::InputId(i))
+        );
+    }
+
+    let label = |id: crate::OpId| -> String {
+        let op = dfg.operation(id);
+        match binding {
+            Some(b) => format!("{} {}\\n[{}]", id, op.kind, b.fu(id)),
+            None => format!("{} {}", id, op.kind),
+        }
+    };
+
+    match schedule {
+        Some(s) => {
+            for t in 0..s.num_cycles() {
+                let _ = writeln!(out, "  subgraph cluster_cycle{t} {{");
+                let _ = writeln!(out, "    label=\"clk {t}\";");
+                for id in s.ops_in_cycle(t) {
+                    let _ = writeln!(out, "    op{} [label=\"{}\"];", id.index(), label(id));
+                }
+                let _ = writeln!(out, "  }}");
+            }
+        }
+        None => {
+            for (id, _) in dfg.iter_ops() {
+                let _ = writeln!(out, "  op{} [label=\"{}\"];", id.index(), label(id));
+            }
+        }
+    }
+
+    for (id, op) in dfg.iter_ops() {
+        for v in [op.lhs, op.rhs] {
+            match v {
+                ValueRef::Input(i) => {
+                    let _ = writeln!(out, "  in{} -> op{};", i.index(), id.index());
+                }
+                ValueRef::Const(c) => {
+                    let _ = writeln!(
+                        out,
+                        "  const{}_{c} [label=\"{c}\", shape=plaintext];",
+                        id.index()
+                    );
+                    let _ = writeln!(out, "  const{}_{c} -> op{};", id.index(), id.index());
+                }
+                ValueRef::Op(p) => {
+                    let _ = writeln!(out, "  op{} -> op{};", p.index(), id.index());
+                }
+            }
+        }
+    }
+    for (i, o) in dfg.outputs().iter().enumerate() {
+        let _ = writeln!(out, "  out{i} [shape=doublecircle];");
+        let _ = writeln!(out, "  op{} -> out{i};", o.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::bind_naive;
+    use crate::{schedule_asap, Allocation, OpKind};
+
+    #[test]
+    fn dot_with_schedule_and_binding() {
+        let mut d = Dfg::new(8);
+        let a = d.input("a");
+        let b = d.input("b");
+        let s1 = d.op(OpKind::Add, a, b);
+        let s2 = d.op(OpKind::Mul, s1.into(), ValueRef::Const(3));
+        d.mark_output(s2);
+        let sched = schedule_asap(&d);
+        let alloc = Allocation::new(1, 1);
+        let bind = bind_naive(&d, &sched, &alloc).expect("feasible");
+        let dot = to_dot(&d, Some(&sched), Some(&bind));
+        assert!(dot.contains("cluster_cycle1"));
+        assert!(dot.contains("adder0"));
+        assert!(dot.contains("\\n[multiplier0]"));
+        assert!(dot.contains("op0 -> op1"));
+    }
+
+    #[test]
+    fn dot_without_schedule_lists_ops_flat() {
+        let mut d = Dfg::new(4);
+        let a = d.input("only");
+        let o = d.op(OpKind::Add, a, a);
+        d.mark_output(o);
+        let dot = to_dot(&d, None, None);
+        assert!(!dot.contains("cluster"));
+        assert!(dot.contains("only"));
+    }
+}

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the HLS substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HlsError {
+    /// An operation references a value that does not exist in the DFG.
+    DanglingReference {
+        /// Index of the offending operation.
+        op: usize,
+    },
+    /// A schedule places a consumer at or before the cycle of its producer.
+    ScheduleViolatesDependency {
+        /// Producer operation index.
+        producer: usize,
+        /// Consumer operation index.
+        consumer: usize,
+    },
+    /// A cycle requires more concurrent operations of one FU class than the
+    /// allocation provides.
+    InsufficientResources {
+        /// The clock cycle where demand exceeds supply.
+        cycle: u32,
+        /// Human-readable FU class name.
+        class: &'static str,
+        /// Concurrent operations demanded.
+        demanded: usize,
+        /// FUs allocated.
+        available: usize,
+    },
+    /// A binding maps two concurrent operations onto the same FU, maps an
+    /// operation to an FU of the wrong class, or leaves an operation unbound.
+    InvalidBinding {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// A trace frame does not provide a value for every primary input.
+    FrameArityMismatch {
+        /// Inputs expected by the DFG.
+        expected: usize,
+        /// Values present in the frame.
+        got: usize,
+    },
+    /// The DFG contains a combinational cycle (should be unreachable with the
+    /// builder API, but guards hand-constructed graphs).
+    CombinationalCycle,
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsError::DanglingReference { op } => {
+                write!(f, "operation {op} references a non-existent value")
+            }
+            HlsError::ScheduleViolatesDependency { producer, consumer } => write!(
+                f,
+                "schedule places consumer op {consumer} at or before its producer op {producer}"
+            ),
+            HlsError::InsufficientResources {
+                cycle,
+                class,
+                demanded,
+                available,
+            } => write!(
+                f,
+                "cycle {cycle} demands {demanded} {class} units but only {available} are allocated"
+            ),
+            HlsError::InvalidBinding { reason } => write!(f, "invalid binding: {reason}"),
+            HlsError::FrameArityMismatch { expected, got } => write!(
+                f,
+                "trace frame has {got} values but the DFG has {expected} primary inputs"
+            ),
+            HlsError::CombinationalCycle => write!(f, "data-flow graph contains a cycle"),
+        }
+    }
+}
+
+impl Error for HlsError {}

@@ -1,0 +1,192 @@
+//! Force-directed scheduling (Paulin & Knight): latency-constrained
+//! scheduling that balances the expected number of concurrent operations
+//! per FU class across cycles, minimizing the allocation needed to bind
+//! the schedule. Complements [`crate::schedule_list`] (which is
+//! resource-constrained instead) and gives experiments a second realistic
+//! scheduler to check that binding conclusions are schedule-independent.
+
+use crate::dfg::{Dfg, OpId};
+use crate::value::FuClass;
+use crate::{schedule_alap, schedule_asap, HlsError, Schedule};
+
+/// Schedules the DFG into at most `latency` cycles, choosing each
+/// operation's cycle to minimize the classic *force* (self force plus
+/// predecessor/successor forces) against per-class distribution graphs.
+///
+/// # Errors
+/// [`HlsError::ScheduleViolatesDependency`] is impossible by construction;
+/// the function returns `Err` only if `latency` is below the critical path
+/// (reported as [`HlsError::InsufficientResources`] on the pseudo class
+/// "latency").
+pub fn schedule_force_directed(dfg: &Dfg, latency: u32) -> Result<Schedule, HlsError> {
+    let asap = schedule_asap(dfg);
+    if latency < asap.num_cycles() {
+        return Err(HlsError::InsufficientResources {
+            cycle: latency,
+            class: "latency",
+            demanded: asap.num_cycles() as usize,
+            available: latency as usize,
+        });
+    }
+    if dfg.num_ops() == 0 {
+        return Schedule::from_cycles(dfg, Vec::new());
+    }
+    let alap = schedule_alap(dfg, latency);
+
+    // Mobility windows [lo, hi] per op; fixed[op] = Some(cycle) once chosen.
+    let mut lo: Vec<u32> = dfg.op_ids().map(|id| asap.cycle(id)).collect();
+    let mut hi: Vec<u32> = dfg.op_ids().map(|id| alap.cycle(id)).collect();
+    let mut fixed: Vec<Option<u32>> = vec![None; dfg.num_ops()];
+
+    // Distribution graph: expected concurrency of `class` at cycle `t`,
+    // assuming each unfixed op is uniform over its window.
+    let distribution = |class: FuClass, t: u32, lo: &[u32], hi: &[u32]| -> f64 {
+        dfg.iter_ops()
+            .filter(|(_, op)| op.kind.fu_class() == class)
+            .map(|(id, _)| {
+                let (l, h) = (lo[id.index()], hi[id.index()]);
+                if t < l || t > h {
+                    0.0
+                } else {
+                    1.0 / f64::from(h - l + 1)
+                }
+            })
+            .sum()
+    };
+
+    for _ in 0..dfg.num_ops() {
+        // Pick the unfixed op/cycle pair with minimum force.
+        let mut best: Option<(OpId, u32, f64)> = None;
+        for (id, op) in dfg.iter_ops() {
+            if fixed[id.index()].is_some() {
+                continue;
+            }
+            let class = op.kind.fu_class();
+            let (l, h) = (lo[id.index()], hi[id.index()]);
+            for t in l..=h {
+                // Self force: DG at t minus the average DG over the window.
+                let dg_t = distribution(class, t, &lo, &hi);
+                let avg: f64 = (l..=h)
+                    .map(|u| distribution(class, u, &lo, &hi))
+                    .sum::<f64>()
+                    / f64::from(h - l + 1);
+                let mut force = dg_t - avg;
+                // Predecessor/successor forces: tightening neighbours'
+                // windows shifts their expected contribution; approximate
+                // with the window shrinkage penalty.
+                for p in dfg.predecessors(id) {
+                    let ph = hi[p.index()].min(t.saturating_sub(1));
+                    let pl = lo[p.index()];
+                    if ph < hi[p.index()] && ph >= pl {
+                        force += 0.5 / f64::from(ph - pl + 1);
+                    }
+                }
+                for s in dfg.consumers(id) {
+                    let sl = lo[s.index()].max(t + 1);
+                    let sh = hi[s.index()];
+                    if sl > lo[s.index()] && sl <= sh {
+                        force += 0.5 / f64::from(sh - sl + 1);
+                    }
+                }
+                if best.is_none_or(|(_, _, f)| force < f) {
+                    best = Some((id, t, force));
+                }
+            }
+        }
+        let (id, t, _) = best.expect("an unfixed op remains");
+        fixed[id.index()] = Some(t);
+        lo[id.index()] = t;
+        hi[id.index()] = t;
+        // Propagate window tightening through dependencies.
+        propagate_windows(dfg, &mut lo, &mut hi);
+    }
+
+    let cycles: Vec<u32> = fixed.into_iter().map(|c| c.expect("all fixed")).collect();
+    Schedule::from_cycles(dfg, cycles)
+}
+
+/// Forward/backward pass restoring `lo[pred] < lo[op]`-style consistency
+/// after a window was pinned.
+fn propagate_windows(dfg: &Dfg, lo: &mut [u32], hi: &mut [u32]) {
+    for (id, _) in dfg.iter_ops() {
+        for p in dfg.predecessors(id) {
+            lo[id.index()] = lo[id.index()].max(lo[p.index()] + 1);
+        }
+    }
+    for (id, _) in dfg.iter_ops().collect::<Vec<_>>().into_iter().rev() {
+        for s in dfg.consumers(id) {
+            hi[id.index()] = hi[id.index()].min(hi[s.index()].saturating_sub(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::OpKind;
+    use crate::Allocation;
+
+    fn wide_dfg() -> Dfg {
+        // 6 independent adds feeding a 3-level reduction: ASAP piles 6 ops
+        // into cycle 0; a good latency-constrained scheduler spreads them.
+        let mut d = Dfg::new(8);
+        let ins: Vec<_> = (0..12).map(|i| d.input(format!("x{i}"))).collect();
+        let l1: Vec<_> = (0..6)
+            .map(|i| d.op(OpKind::Add, ins[2 * i], ins[2 * i + 1]))
+            .collect();
+        let m1 = d.op(OpKind::Add, l1[0].into(), l1[1].into());
+        let m2 = d.op(OpKind::Add, l1[2].into(), l1[3].into());
+        let m3 = d.op(OpKind::Add, l1[4].into(), l1[5].into());
+        let t1 = d.op(OpKind::Add, m1.into(), m2.into());
+        let out = d.op(OpKind::Add, t1.into(), m3.into());
+        d.mark_output(out);
+        d
+    }
+
+    #[test]
+    fn produces_valid_schedule_within_latency() {
+        let d = wide_dfg();
+        let s = schedule_force_directed(&d, 6).expect("feasible");
+        assert!(s.num_cycles() <= 6);
+        // Validity is checked by Schedule::from_cycles internally; verify
+        // once more via reconstruction.
+        let cycles: Vec<u32> = d.op_ids().map(|id| s.cycle(id)).collect();
+        assert!(Schedule::from_cycles(&d, cycles).is_ok());
+    }
+
+    #[test]
+    fn balances_concurrency_vs_asap() {
+        let d = wide_dfg();
+        let asap = schedule_asap(&d);
+        let fd = schedule_force_directed(&d, asap.num_cycles() + 2).expect("feasible");
+        let peak_asap = asap.max_concurrency(&d, FuClass::Adder);
+        let peak_fd = fd.max_concurrency(&d, FuClass::Adder);
+        assert!(
+            peak_fd < peak_asap,
+            "force-directed peak {peak_fd} must beat ASAP peak {peak_asap}"
+        );
+    }
+
+    #[test]
+    fn schedule_is_bindable_with_reduced_allocation() {
+        let d = wide_dfg();
+        let fd = schedule_force_directed(&d, 6).expect("feasible");
+        let needed = fd.max_concurrency(&d, FuClass::Adder);
+        let alloc = Allocation::new(needed, 0);
+        assert!(crate::binding::bind_naive(&d, &fd, &alloc).is_ok());
+        assert!(needed <= 3, "6-cycle budget should need at most 3 adders");
+    }
+
+    #[test]
+    fn rejects_latency_below_critical_path() {
+        let d = wide_dfg();
+        assert!(schedule_force_directed(&d, 2).is_err());
+    }
+
+    #[test]
+    fn empty_dfg_is_fine() {
+        let d = Dfg::new(8);
+        let s = schedule_force_directed(&d, 1).expect("trivial");
+        assert_eq!(s.num_cycles(), 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Datapath overhead metrics: register count and switching rate.
+//!
+//! These are the two overheads the paper reports in Fig. 6 when comparing
+//! security-aware binding against the area-aware \[20\] and power-aware \[19\]
+//! baselines. Both are RT-level models:
+//!
+//! * **Registers** — the classic mux-aware datapath model: each FU writes its
+//!   results into a private register bank, so the bank size of FU `f` is the
+//!   maximum number of simultaneously-live values produced by `f`, and the
+//!   design's register count is the sum over FUs. This makes register count
+//!   depend on the binding, which is exactly what area-aware binding
+//!   minimizes.
+//! * **Switching rate** — the average fraction of FU input bits that toggle
+//!   between consecutive operations executed on the same FU, which is what
+//!   power-aware binding minimizes.
+
+use crate::binding::Binding;
+use crate::dfg::Dfg;
+use crate::value::FuId;
+use crate::{Allocation, Schedule, SwitchingProfile};
+
+/// Lifetime of each operation's result value: `(def_cycle, last_use_cycle)`.
+///
+/// A value is written to a register at the end of `def_cycle` and must be
+/// held until `last_use_cycle` (the latest cycle of any consumer). Values
+/// marked as primary outputs are held until the end of the schedule.
+///
+/// # Example
+/// ```
+/// use lockbind_hls::{Dfg, OpKind, schedule_asap, metrics::value_lifetimes};
+/// let mut d = Dfg::new(8);
+/// let a = d.input("a");
+/// let b = d.input("b");
+/// let s = d.op(OpKind::Add, a, b);          // cycle 0
+/// let m = d.op(OpKind::Mul, s.into(), b);   // cycle 1
+/// d.mark_output(m);
+/// let s4 = schedule_asap(&d);
+/// let lt = value_lifetimes(&d, &s4);
+/// assert_eq!(lt[s.index()], (0, 1)); // defined cycle 0, used cycle 1
+/// assert_eq!(lt[m.index()], (1, 2)); // output: held to schedule end
+/// ```
+pub fn value_lifetimes(dfg: &Dfg, schedule: &Schedule) -> Vec<(u32, u32)> {
+    dfg.op_ids()
+        .map(|id| {
+            let def = schedule.cycle(id);
+            let mut last = dfg
+                .consumers(id)
+                .into_iter()
+                .map(|c| schedule.cycle(c))
+                .max()
+                .unwrap_or(def);
+            if dfg.outputs().contains(&id) {
+                last = schedule.num_cycles();
+            }
+            (def, last)
+        })
+        .collect()
+}
+
+/// Register bank size needed by one FU under the per-FU register model: the
+/// maximum number of values produced on `fu` that are simultaneously live.
+pub fn fu_register_count(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    binding: &Binding,
+    fu: FuId,
+) -> usize {
+    let lifetimes = value_lifetimes(dfg, schedule);
+    let ops = binding.ops_on(fu);
+    if ops.is_empty() {
+        return 0;
+    }
+    // A value produced at def is live at boundaries (def, last]; count
+    // overlap at each integer time point t in 1..=num_cycles.
+    let mut best = 0usize;
+    for t in 1..=schedule.num_cycles() {
+        let live = ops
+            .iter()
+            .filter(|&&op| {
+                let (def, last) = lifetimes[op.index()];
+                def < t && t <= last
+            })
+            .count();
+        best = best.max(live);
+    }
+    // Every producing FU needs at least its output register.
+    best.max(1)
+}
+
+/// Total register count of a bound design: sum of per-FU register banks
+/// (Fig. 6 top metric).
+pub fn register_count(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    binding: &Binding,
+    alloc: &Allocation,
+) -> usize {
+    alloc
+        .fu_ids()
+        .map(|fu| fu_register_count(dfg, schedule, binding, fu))
+        .sum()
+}
+
+/// A binding-independent lower bound on the register count: the maximum
+/// number of simultaneously-live values across the whole design (global
+/// left-edge bound). Used by the ablation bench to contrast with the per-FU
+/// model.
+pub fn register_lower_bound(dfg: &Dfg, schedule: &Schedule) -> usize {
+    let lifetimes = value_lifetimes(dfg, schedule);
+    (1..=schedule.num_cycles())
+        .map(|t| {
+            lifetimes
+                .iter()
+                .filter(|&&(def, last)| def < t && t <= last)
+                .count()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Switching statistics of a bound design over the profiled workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchingStats {
+    /// Total expected toggled operand bits across all FU transitions and all
+    /// frames.
+    pub total_bits: f64,
+    /// Total number of FU input transitions (per frame within-frame
+    /// transitions plus cross-frame wraparounds).
+    pub transitions: f64,
+    /// Average toggled fraction of the `2 x width` FU input bits per
+    /// transition (the paper's "switching rate" in Fig. 6 bottom).
+    pub rate: f64,
+}
+
+/// Computes the expected switching of a binding over the profiled workload
+/// (Fig. 6 bottom metric).
+///
+/// For an FU executing ops `o_1..o_k` (in schedule order) every frame, each
+/// frame contributes `k - 1` within-frame transitions plus one wraparound
+/// transition from `o_k` of frame `f` to `o_1` of frame `f + 1`.
+pub fn switching(
+    schedule: &Schedule,
+    binding: &Binding,
+    alloc: &Allocation,
+    profile: &SwitchingProfile,
+) -> SwitchingStats {
+    let frames = profile.frames() as f64;
+    let mut total_bits = 0.0;
+    let mut transitions = 0.0;
+    for fu in alloc.fu_ids() {
+        let ops = binding.ops_on_in_time(fu, schedule);
+        if ops.is_empty() {
+            continue;
+        }
+        for w in ops.windows(2) {
+            total_bits += frames * profile.within(w[0], w[1]);
+            transitions += frames;
+        }
+        if profile.frames() > 1 {
+            let crossings = frames - 1.0;
+            total_bits += crossings * profile.cross(ops[ops.len() - 1], ops[0]);
+            transitions += crossings;
+        }
+    }
+    let bits_per_transition = 2.0 * f64::from(profile.width());
+    let rate = if transitions > 0.0 {
+        total_bits / (transitions * bits_per_transition)
+    } else {
+        0.0
+    };
+    SwitchingStats {
+        total_bits,
+        transitions,
+        rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::bind_naive;
+    use crate::dfg::OpKind;
+    use crate::schedule::schedule_asap;
+    use crate::{Trace, ValueRef};
+
+    /// Chain: s1 -> s2 -> s3 on one adder; all intermediate values short-lived.
+    fn chain() -> (Dfg, Schedule, Allocation, Binding) {
+        let mut d = Dfg::new(8);
+        let a = d.input("a");
+        let b = d.input("b");
+        let s1 = d.op(OpKind::Add, a, b);
+        let s2 = d.op(OpKind::Add, s1.into(), b);
+        let s3 = d.op(OpKind::Add, s2.into(), a);
+        d.mark_output(s3);
+        let sched = schedule_asap(&d);
+        let alloc = Allocation::new(1, 0);
+        let bind = bind_naive(&d, &sched, &alloc).expect("feasible");
+        (d, sched, alloc, bind)
+    }
+
+    #[test]
+    fn chain_needs_one_register() {
+        let (d, s, a, b) = chain();
+        // Each value dies the cycle after it is defined; the output value is
+        // held one boundary. Max overlap per boundary = 1.
+        assert_eq!(register_count(&d, &s, &b, &a), 1);
+        assert_eq!(register_lower_bound(&d, &s), 1);
+    }
+
+    #[test]
+    fn long_lived_values_accumulate_registers() {
+        let mut d = Dfg::new(8);
+        let a = d.input("a");
+        let b = d.input("b");
+        // v0 defined in cycle 0, consumed in cycle 3 -> long lifetime.
+        let v0 = d.op(OpKind::Add, a, b);
+        let v1 = d.op(OpKind::Add, v0.into(), b); // cycle 1
+        let v2 = d.op(OpKind::Add, v1.into(), b); // cycle 2
+        let v3 = d.op(OpKind::Add, v0.into(), v2.into()); // cycle 3
+        d.mark_output(v3);
+        let sched = schedule_asap(&d);
+        let alloc = Allocation::new(1, 0);
+        let bind = bind_naive(&d, &sched, &alloc).expect("feasible");
+        // At boundary t=2: v0 (def 0, last 3) and v1 (def 1, last 2) live.
+        assert_eq!(register_count(&d, &sched, &bind, &alloc), 2);
+    }
+
+    #[test]
+    fn unused_fu_contributes_zero_registers() {
+        let (d, s, _, b) = chain();
+        let wide = Allocation::new(3, 0);
+        // Rebind under wider allocation (same assignment still valid).
+        let bind = Binding::from_assignment(&d, &s, &wide, b.as_slice().to_vec())
+            .expect("still valid");
+        assert_eq!(register_count(&d, &s, &bind, &wide), 1);
+    }
+
+    #[test]
+    fn value_lifetimes_of_outputs_extend_to_end() {
+        let (d, s, _, _) = chain();
+        let lt = value_lifetimes(&d, &s);
+        assert_eq!(lt[2], (2, 3)); // s3 is output, schedule has 3 cycles
+    }
+
+    #[test]
+    fn switching_counts_within_and_cross_transitions() {
+        let (d, sched, alloc, bind) = chain();
+        let t = Trace::from_frames(vec![vec![0, 0], vec![0xFF, 0xFF]]);
+        let prof = SwitchingProfile::from_trace(&d, &t).expect("profiled");
+        let st = switching(&sched, &bind, &alloc, &prof);
+        // 3 ops on one FU: 2 within-frame transitions x 2 frames + 1 cross.
+        assert_eq!(st.transitions, 5.0);
+        assert!(st.rate >= 0.0 && st.rate <= 1.0);
+    }
+
+    #[test]
+    fn switching_zero_for_constant_trace() {
+        let (d, sched, alloc, bind) = chain();
+        let t = Trace::from_frames(vec![vec![5, 7]; 4]);
+        let prof = SwitchingProfile::from_trace(&d, &t).expect("profiled");
+        let st = switching(&sched, &bind, &alloc, &prof);
+        // All frames identical: within-frame ops differ, but repeated frames
+        // mean cross-frame HD(o3, o1) is the same as within-frame. Rate is
+        // still well-defined and > 0 because different ops see different
+        // operands; check only that it is finite and bounded.
+        assert!(st.rate.is_finite());
+        assert!(st.rate <= 1.0);
+    }
+
+    #[test]
+    fn empty_binding_has_zero_switching() {
+        let d = Dfg::new(8);
+        let sched = schedule_asap(&d);
+        let alloc = Allocation::new(1, 0);
+        let bind = Binding::from_assignment(&d, &sched, &alloc, vec![]).expect("empty ok");
+        let prof = SwitchingProfile::from_trace(&d, &Trace::new()).expect("profiled");
+        let st = switching(&sched, &bind, &alloc, &prof);
+        assert_eq!(st.rate, 0.0);
+        assert_eq!(st.transitions, 0.0);
+    }
+
+    #[test]
+    fn const_operand_lifetime_guard() {
+        // An op consuming a constant still produces a value with a lifetime.
+        let mut d = Dfg::new(8);
+        let a = d.input("a");
+        let v = d.op(OpKind::Add, a, ValueRef::Const(1));
+        d.mark_output(v);
+        let sched = schedule_asap(&d);
+        let lt = value_lifetimes(&d, &sched);
+        assert_eq!(lt[v.index()], (0, 1));
+    }
+}

@@ -1,0 +1,106 @@
+use std::fmt;
+
+/// One execution of the DFG: a value for every primary input, in input
+/// declaration order. Values must fit in the DFG's operand width.
+pub type Frame = Vec<u64>;
+
+/// A "typical workload" input trace: the sequence of input frames the DFG is
+/// executed on (the paper assumes such traces are available during HLS, as in
+/// the cited power-aware binding literature).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    frames: Vec<Frame>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Wraps a list of frames.
+    ///
+    /// # Example
+    /// ```
+    /// use lockbind_hls::Trace;
+    /// let t = Trace::from_frames(vec![vec![1, 2], vec![3, 4]]);
+    /// assert_eq!(t.len(), 2);
+    /// ```
+    pub fn from_frames(frames: Vec<Frame>) -> Self {
+        Trace { frames }
+    }
+
+    /// Appends a frame.
+    pub fn push(&mut self, frame: Frame) {
+        self.frames.push(frame);
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` if the trace has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Iterates over the frames.
+    pub fn iter(&self) -> std::slice::Iter<'_, Frame> {
+        self.frames.iter()
+    }
+
+    /// Borrow the frames.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Trace({} frames)", self.frames.len())
+    }
+}
+
+impl FromIterator<Frame> for Trace {
+    fn from_iter<I: IntoIterator<Item = Frame>>(iter: I) -> Self {
+        Trace {
+            frames: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Frame> for Trace {
+    fn extend<I: IntoIterator<Item = Frame>>(&mut self, iter: I) {
+        self.frames.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Frame;
+    type IntoIter = std::slice::Iter<'a, Frame>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.frames.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: Trace = vec![vec![1u64]].into_iter().collect();
+        t.extend(vec![vec![2u64]]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let sum: u64 = t.iter().map(|f| f[0]).sum();
+        assert_eq!(sum, 3);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let t = Trace::from_frames(vec![vec![0; 100]; 1000]);
+        assert_eq!(format!("{t:?}"), "Trace(1000 frames)");
+    }
+}

@@ -1,0 +1,194 @@
+use std::fmt;
+
+/// Identifier of a primary input of a [`crate::Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InputId(pub(crate) usize);
+
+impl InputId {
+    /// Zero-based index of this input in the DFG's input list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for InputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in{}", self.0)
+    }
+}
+
+/// The functional-unit class an operation requires.
+///
+/// The paper binds adders and multipliers separately (Sec. VI); every
+/// non-multiply operation in our op set maps onto the adder/ALU class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FuClass {
+    /// Adder / general ALU (add, sub, abs-diff, min/max, bitwise, shifts).
+    Adder,
+    /// Multiplier.
+    Multiplier,
+}
+
+impl FuClass {
+    /// All FU classes, in a stable order.
+    pub const ALL: [FuClass; 2] = [FuClass::Adder, FuClass::Multiplier];
+
+    /// Short human-readable name ("adder" / "multiplier").
+    pub fn name(self) -> &'static str {
+        match self {
+            FuClass::Adder => "adder",
+            FuClass::Multiplier => "multiplier",
+        }
+    }
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identifier of an allocated functional unit: a class plus an index within
+/// that class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuId {
+    /// The FU's class.
+    pub class: FuClass,
+    /// Zero-based index among FUs of the same class.
+    pub index: usize,
+}
+
+impl FuId {
+    /// Convenience constructor.
+    ///
+    /// # Example
+    /// ```
+    /// use lockbind_hls::{FuClass, FuId};
+    /// let fu = FuId::new(FuClass::Adder, 1);
+    /// assert_eq!(fu.to_string(), "adder1");
+    /// ```
+    pub fn new(class: FuClass, index: usize) -> Self {
+        FuId { class, index }
+    }
+}
+
+impl fmt::Display for FuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.class, self.index)
+    }
+}
+
+/// A packed FU-input minterm: the pair of operand words applied to a
+/// two-input functional unit in one cycle.
+///
+/// Logic locking corrupts an FU's output for a designated set of these
+/// minterms; the paper's `K` matrix counts their occurrences per operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Minterm(u64);
+
+impl Minterm {
+    /// Packs the operand pair `(a, b)` at the given operand `width` (bits per
+    /// operand, at most 31).
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or exceeds 31, or if either operand does not
+    /// fit in `width` bits.
+    ///
+    /// # Example
+    /// ```
+    /// use lockbind_hls::Minterm;
+    /// let m = Minterm::pack(0xAB, 0x01, 8);
+    /// assert_eq!(m.unpack(8), (0xAB, 0x01));
+    /// ```
+    pub fn pack(a: u64, b: u64, width: u32) -> Self {
+        assert!((1..=31).contains(&width), "operand width must be 1..=31");
+        let mask = (1u64 << width) - 1;
+        assert!(a <= mask && b <= mask, "operands must fit in {width} bits");
+        Minterm((a << width) | b)
+    }
+
+    /// Unpacks into the `(a, b)` operand pair for the given operand width.
+    pub fn unpack(self, width: u32) -> (u64, u64) {
+        let mask = (1u64 << width) - 1;
+        (self.0 >> width, self.0 & mask)
+    }
+
+    /// Raw packed key (stable ordering/hashing key).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a minterm from a raw key previously obtained with
+    /// [`Minterm::raw`].
+    pub fn from_raw(raw: u64) -> Self {
+        Minterm(raw)
+    }
+
+    /// Hamming distance between two minterms (number of differing operand
+    /// bits) — the quantity the power-aware binding baseline minimizes.
+    ///
+    /// # Example
+    /// ```
+    /// use lockbind_hls::Minterm;
+    /// let x = Minterm::pack(0b1100, 0b0001, 4);
+    /// let y = Minterm::pack(0b1000, 0b0011, 4);
+    /// assert_eq!(x.hamming_distance(y), 2);
+    /// ```
+    pub fn hamming_distance(self, other: Minterm) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+}
+
+impl fmt::Display for Minterm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for w in [1u32, 4, 8, 12, 16] {
+            let mask = (1u64 << w) - 1;
+            let a = 0xDEAD_BEEF & mask;
+            let b = 0x1234_5678 & mask;
+            let m = Minterm::pack(a, b, w);
+            assert_eq!(m.unpack(w), (a, b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in")]
+    fn pack_rejects_oversized_operand() {
+        let _ = Minterm::pack(256, 0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn pack_rejects_zero_width() {
+        let _ = Minterm::pack(0, 0, 0);
+    }
+
+    #[test]
+    fn hamming_distance_is_symmetric_and_zero_on_self() {
+        let x = Minterm::pack(0x5A, 0x3C, 8);
+        let y = Minterm::pack(0xA5, 0x3C, 8);
+        assert_eq!(x.hamming_distance(x), 0);
+        assert_eq!(x.hamming_distance(y), y.hamming_distance(x));
+        assert_eq!(x.hamming_distance(y), 8);
+    }
+
+    #[test]
+    fn fu_id_display() {
+        assert_eq!(FuId::new(FuClass::Multiplier, 2).to_string(), "multiplier2");
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let m = Minterm::pack(7, 9, 5);
+        assert_eq!(Minterm::from_raw(m.raw()), m);
+    }
+}

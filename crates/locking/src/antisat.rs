@@ -1,0 +1,122 @@
+//! The Anti-SAT block: SAT-resilient locking with near-zero corruption.
+//!
+//! The block computes `y = g(X xor K_A) AND NOT g(X xor K_B)` with
+//! `g = AND-reduction`, and XORs `y` into every module output. For any key
+//! with `K_A == K_B` the block is silent (`y ≡ 0`), so the correct-key space
+//! has `2^n` members; for `K_A != K_B` exactly one input minterm is
+//! corrupted. Each SAT-attack DIP eliminates O(1) wrong keys, so expected
+//! iterations grow as `2^n` — the low-corruption/high-resilience end of the
+//! paper's trade-off (and a useful contrast to critical-minterm locking,
+//! which *chooses* the corrupted minterms).
+
+use lockbind_netlist::builders::conditional_invert;
+use lockbind_netlist::{Netlist, Signal};
+
+use crate::point::clone_logic;
+use crate::{LockError, LockedNetlist};
+
+/// Applies an Anti-SAT block to `original`. The key is `2 x num_inputs`
+/// bits (`K_A` then `K_B`); the returned correct key is all zeros
+/// (`K_A == K_B == 0`).
+///
+/// # Errors
+///
+/// * [`LockError::AlreadyKeyed`] if `original` has key inputs,
+/// * [`LockError::TooManyInputs`] if the module has more than 63 inputs.
+pub fn lock_anti_sat(original: &Netlist) -> Result<LockedNetlist, LockError> {
+    if original.num_keys() != 0 {
+        return Err(LockError::AlreadyKeyed);
+    }
+    let n = original.num_inputs();
+    if n > 63 {
+        return Err(LockError::TooManyInputs { inputs: n, max: 63 });
+    }
+    if n == 0 {
+        return Err(LockError::NoInternalWires);
+    }
+
+    let mut nl = Netlist::new(format!("{}+antisat", original.name()));
+    let inputs = nl.add_inputs(n);
+    let outputs = clone_logic(original, &mut nl, &inputs, &[]);
+
+    let key_a = nl.add_keys(n);
+    let key_b = nl.add_keys(n);
+    let g_a = and_reduce_xor(&mut nl, &inputs, &key_a);
+    let g_b = and_reduce_xor(&mut nl, &inputs, &key_b);
+    let not_g_b = nl.not(g_b);
+    let y = nl.and(g_a, not_g_b);
+
+    let corrupted = conditional_invert(&mut nl, y, &outputs);
+    for s in corrupted {
+        nl.mark_output(s);
+    }
+
+    Ok(LockedNetlist::new(
+        nl,
+        original.clone(),
+        vec![false; 2 * n],
+        "anti-sat",
+    ))
+}
+
+/// `AND_i (x_i xor k_i)` — the Anti-SAT `g` function.
+fn and_reduce_xor(nl: &mut Netlist, xs: &[Signal], ks: &[Signal]) -> Signal {
+    let mut acc: Option<Signal> = None;
+    for (&x, &k) in xs.iter().zip(ks) {
+        let t = nl.xor(x, k);
+        acc = Some(match acc {
+            None => t,
+            Some(prev) => nl.and(prev, t),
+        });
+    }
+    acc.expect("n >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corruption::{corrupted_inputs, error_rate};
+    use lockbind_netlist::builders::adder_fu;
+
+    #[test]
+    fn correct_key_is_silent() {
+        let orig = adder_fu(4);
+        let locked = lock_anti_sat(&orig).expect("lockable");
+        assert_eq!(locked.key_bits(), 16);
+        assert_eq!(error_rate(&locked, locked.correct_key(), 8), 0.0);
+    }
+
+    #[test]
+    fn equal_halves_are_also_correct() {
+        // Any key with K_A == K_B silences the block: c = 2^n correct keys.
+        let orig = adder_fu(4);
+        let locked = lock_anti_sat(&orig).expect("lockable");
+        let ka = 0xA5u64;
+        let key: Vec<bool> = (0..8)
+            .map(|i| (ka >> i) & 1 == 1)
+            .chain((0..8).map(|i| (ka >> i) & 1 == 1))
+            .collect();
+        assert_eq!(error_rate(&locked, &key, 8), 0.0);
+    }
+
+    #[test]
+    fn wrong_key_corrupts_exactly_one_input() {
+        let orig = adder_fu(4);
+        let locked = lock_anti_sat(&orig).expect("lockable");
+        // K_A = 0x0F, K_B = 0x00: g_a fires at X = !0x0F = 0xF0, g_b at 0xFF.
+        let ka = 0x0Fu64;
+        let key: Vec<bool> = (0..8)
+            .map(|i| (ka >> i) & 1 == 1)
+            .chain(std::iter::repeat(false).take(8))
+            .collect();
+        let errs = corrupted_inputs(&locked, &key, 8);
+        assert_eq!(errs, vec![0xF0]);
+    }
+
+    #[test]
+    fn rejects_keyed_module() {
+        let orig = adder_fu(4);
+        let locked = lock_anti_sat(&orig).expect("lockable");
+        assert_eq!(lock_anti_sat(locked.netlist()), Err(LockError::AlreadyKeyed));
+    }
+}

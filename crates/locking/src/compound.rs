@@ -1,0 +1,148 @@
+//! Compound locking: critical-minterm locking layered with a keyed
+//! permutation network — the Sec. V-C escalation path when Eqn. 1 says the
+//! minterm budget alone cannot reach the SAT-resilience target.
+//!
+//! The permutation stages multiply per-iteration SAT cost while the
+//! critical-minterm layer keeps the *designer-chosen* corrupted minterms
+//! that the binding algorithms optimize for; the combined key is the
+//! concatenation (minterm segments first, then routing bits).
+
+use crate::{lock_critical_minterms, LockError, LockedNetlist};
+use lockbind_netlist::Netlist;
+
+/// Applies critical-minterm locking on `minterms` and then wraps the result
+/// in `stages` permutation layers.
+///
+/// # Errors
+/// Anything [`lock_critical_minterms`] or [`crate::lock_permutation`] can
+/// return.
+pub fn lock_compound(
+    original: &Netlist,
+    minterms: &[u64],
+    stages: usize,
+) -> Result<LockedNetlist, LockError> {
+    let cml = lock_critical_minterms(original, minterms)?;
+    // Re-lock the keyed netlist's *inputs* with a permutation network. The
+    // permutation layer must not see the CML key inputs as routable wires,
+    // which lock_permutation guarantees (it only routes primary inputs).
+    let perm = lock_permutation_keyed(cml.netlist(), stages)?;
+    let mut correct_key = cml.correct_key().to_vec();
+    correct_key.extend_from_slice(perm.1.as_slice());
+    Ok(LockedNetlist::new(
+        perm.0,
+        original.clone(),
+        correct_key,
+        "compound",
+    ))
+}
+
+/// Permutation-locks a netlist that may already carry key inputs; returns
+/// the new netlist and the routing key segment appended after the existing
+/// key bits.
+fn lock_permutation_keyed(
+    keyed: &Netlist,
+    stages: usize,
+) -> Result<(Netlist, Vec<bool>), LockError> {
+    if stages == 0 {
+        return Err(LockError::EmptyConfiguration);
+    }
+    let n = keyed.num_inputs();
+    if n < 2 {
+        return Err(LockError::NoInternalWires);
+    }
+    use lockbind_netlist::Gate;
+
+    let mut nl = Netlist::new(format!("{}+perm", keyed.name()));
+    let mut wires: Vec<lockbind_netlist::Signal> = nl.add_inputs(n);
+    // Existing key inputs first (so the combined correct key is the CML key
+    // followed by routing zeros).
+    let existing_keys: Vec<lockbind_netlist::Signal> = nl.add_keys(keyed.num_keys());
+    let mut routing_bits = 0usize;
+    for stage in 0..stages {
+        let offset = stage % 2;
+        let mut i = offset;
+        while i + 1 < n {
+            let k = nl.add_key();
+            routing_bits += 1;
+            let (a, b) = (wires[i], wires[i + 1]);
+            wires[i] = nl.mux(k, b, a);
+            wires[i + 1] = nl.mux(k, a, b);
+            i += 2;
+        }
+    }
+    // Clone the keyed logic with permuted inputs and the re-declared keys.
+    let mut map: Vec<lockbind_netlist::Signal> = Vec::with_capacity(keyed.num_nodes());
+    for (_, gate) in keyed.iter_gates() {
+        let s = match gate {
+            Gate::False => nl.lit_false(),
+            Gate::Input(i) => wires[i],
+            Gate::Key(i) => existing_keys[i],
+            Gate::And(a, b) => nl.and(map[a.index()], map[b.index()]),
+            Gate::Or(a, b) => nl.or(map[a.index()], map[b.index()]),
+            Gate::Xor(a, b) => nl.xor(map[a.index()], map[b.index()]),
+            Gate::Not(a) => nl.not(map[a.index()]),
+        };
+        map.push(s);
+    }
+    for out in keyed.outputs() {
+        let s = map[out.index()];
+        nl.mark_output(s);
+    }
+    Ok((nl, vec![false; routing_bits]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corruption::{corrupted_inputs, error_rate};
+    use lockbind_netlist::builders::adder_fu;
+
+    #[test]
+    fn correct_key_preserves_function() {
+        let orig = adder_fu(4);
+        let locked = lock_compound(&orig, &[0x3C, 0x81], 2).expect("lockable");
+        assert_eq!(error_rate(&locked, locked.correct_key(), 8), 0.0);
+        // Key = 2 minterm segments (8 bits each) + routing bits.
+        assert!(locked.key_bits() > 16);
+    }
+
+    #[test]
+    fn wrong_minterm_segment_corrupts_protected_minterms() {
+        let orig = adder_fu(4);
+        let locked = lock_compound(&orig, &[0x3C], 2).expect("lockable");
+        let mut wrong = locked.correct_key().to_vec();
+        wrong[0] = !wrong[0]; // flip inside the CML segment
+        let errs = corrupted_inputs(&locked, &wrong, 8);
+        assert!(errs.contains(&0x3C));
+    }
+
+    #[test]
+    fn wrong_routing_corrupts_heavily() {
+        let orig = adder_fu(4);
+        let locked = lock_compound(&orig, &[0x3C], 2).expect("lockable");
+        let mut wrong = locked.correct_key().to_vec();
+        let routing_start = 8; // one 8-bit minterm segment
+        wrong[routing_start] = !wrong[routing_start];
+        let rate = error_rate(&locked, &wrong, 8);
+        assert!(rate > 0.1, "routing corruption too low: {rate}");
+    }
+
+    #[test]
+    fn compound_is_harder_to_attack_than_cml_alone() {
+        use lockbind_netlist::builders::xor_fu;
+        let orig = xor_fu(2);
+        let cml = lock_critical_minterms(&orig, &[0b0110]).expect("lockable");
+        let comp = lock_compound(&orig, &[0b0110], 2).expect("lockable");
+        assert!(comp.key_bits() > cml.key_bits());
+        assert!(comp.netlist().gate_count() > cml.netlist().gate_count());
+    }
+
+    #[test]
+    fn rejects_zero_stages() {
+        let orig = adder_fu(4);
+        assert_eq!(
+            lock_compound(&orig, &[1], 0),
+            Err(LockError::EmptyConfiguration)
+        );
+    }
+}

@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing locked netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// The original module already contains key inputs.
+    AlreadyKeyed,
+    /// The module's input count exceeds what packed-minterm patterns support.
+    TooManyInputs {
+        /// Inputs in the module.
+        inputs: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// No minterms (or key gates, or stages) were requested.
+    EmptyConfiguration,
+    /// A minterm pattern does not fit in the module's input space.
+    PatternOutOfRange {
+        /// The offending pattern.
+        pattern: u64,
+        /// Module input count.
+        inputs: usize,
+    },
+    /// Duplicate minterms in the protected set.
+    DuplicateMinterm {
+        /// The duplicated pattern.
+        pattern: u64,
+    },
+    /// The module has no internal logic gates to insert key gates into.
+    NoInternalWires,
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::AlreadyKeyed => write!(f, "module already contains key inputs"),
+            LockError::TooManyInputs { inputs, max } => {
+                write!(f, "module has {inputs} inputs; locking supports at most {max}")
+            }
+            LockError::EmptyConfiguration => write!(f, "locking configuration is empty"),
+            LockError::PatternOutOfRange { pattern, inputs } => {
+                write!(f, "minterm {pattern:#x} does not fit in {inputs} input bits")
+            }
+            LockError::DuplicateMinterm { pattern } => {
+                write!(f, "minterm {pattern:#x} appears twice in the protected set")
+            }
+            LockError::NoInternalWires => {
+                write!(f, "module has no internal gates to insert key gates into")
+            }
+        }
+    }
+}
+
+impl Error for LockError {}

@@ -1,0 +1,134 @@
+//! The corruption/SAT-resilience trade-off model (Eqn. 1 of the paper).
+
+/// Expected number of SAT-attack iterations to unlock a module, per Eqn. 1
+/// of the paper (originally derived in "Trace Logic Locking" \[2\]):
+///
+/// ```text
+/// λ = ceil( log( (N - εN) / (εN (N-1)) ) / log( (N - εN) / (N-1) ) )
+/// ```
+///
+/// with `N = 2^|k| - c` wrong keys, `c` correct keys, and `ε` the ratio of
+/// locked inputs to total input minterms.
+///
+/// Returned as `f64` (may be enormous for realistic key sizes); use
+/// [`expected_sat_iterations`]`.min(...)` or compare in log space for
+/// plotting.
+///
+/// # Panics
+/// Panics if `epsilon` is outside `(0, 1)`, `key_bits` is 0 or > 1023, or
+/// there are no wrong keys.
+///
+/// # Example
+/// ```
+/// use lockbind_locking::expected_sat_iterations;
+/// // Fewer locked inputs (smaller ε) => more expected SAT iterations.
+/// let hard = expected_sat_iterations(16, 1, 1e-5);
+/// let easy = expected_sat_iterations(16, 1, 0.25);
+/// assert!(hard > easy);
+/// ```
+pub fn expected_sat_iterations(key_bits: u32, correct_keys: u64, epsilon: f64) -> f64 {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon must lie strictly between 0 and 1"
+    );
+    assert!(
+        (1..=1023).contains(&key_bits),
+        "key_bits must lie in 1..=1023"
+    );
+    let total_keys = 2f64.powi(key_bits as i32);
+    let n = total_keys - correct_keys as f64;
+    assert!(n > 1.0, "need at least two wrong keys");
+
+    // num = ln( (1-ε) / (ε (N-1)) ), den = ln( N (1-ε) / (N-1) ).
+    // Note num and den usually share sign (both negative when ε > 1/N),
+    // so the ratio is positive. Expanded with ln_1p to avoid catastrophic
+    // cancellation when ε ~ 1/N:
+    //   num = ln(1-ε) - ln(ε) - ln(N-1)
+    //   den = ln(N/(N-1)) + ln(1-ε) = ln_1p(1/(N-1)) + ln_1p(-ε)
+    let ln_one_minus_eps = (-epsilon).ln_1p();
+    let num = ln_one_minus_eps - epsilon.ln() - (n - 1.0).ln();
+    let den = (1.0 / (n - 1.0)).ln_1p() + ln_one_minus_eps;
+    let lambda = num / den;
+    if !lambda.is_finite() || lambda < 1.0 {
+        1.0
+    } else {
+        lambda.ceil()
+    }
+}
+
+/// Convenience: ε for a module locking `locked_count` input minterms of an
+/// `input_bits`-wide input space.
+///
+/// # Example
+/// ```
+/// use lockbind_locking::epsilon_for_locked_inputs;
+/// assert_eq!(epsilon_for_locked_inputs(2, 16), 2.0 / 65536.0);
+/// ```
+pub fn epsilon_for_locked_inputs(locked_count: u64, input_bits: u32) -> f64 {
+    assert!(input_bits <= 63, "input space too large for exact ε");
+    locked_count as f64 / 2f64.powi(input_bits as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterations_decrease_with_epsilon() {
+        let mut prev = f64::INFINITY;
+        for eps in [1e-6, 1e-4, 1e-2, 0.1, 0.5] {
+            let l = expected_sat_iterations(12, 1, eps);
+            assert!(l <= prev, "λ must be non-increasing in ε");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn iterations_increase_with_key_bits_in_point_function_regime() {
+        // In the point-function regime ε scales as 2^-|k| (one locked input
+        // in an input space as large as the key space): λ then grows with
+        // key length. With ε held *fixed*, larger keys mean each DIP
+        // eliminates εN keys — more per query — so λ does not grow; that is
+        // exactly the trade-off Eqn. 1 captures.
+        let l8 = expected_sat_iterations(8, 1, epsilon_for_locked_inputs(1, 8));
+        let l16 = expected_sat_iterations(16, 1, epsilon_for_locked_inputs(1, 16));
+        assert!(l16 > l8, "λ16 = {l16}, λ8 = {l8}");
+    }
+
+    #[test]
+    fn large_epsilon_needs_a_handful_of_queries() {
+        // ε = 0.9: each DIP eliminates ~90% of the wrong keys, so unlocking
+        // 255 keys takes ~log(255)/log(10) ≈ 4 queries.
+        let l = expected_sat_iterations(8, 1, 0.9);
+        assert!((1.0..=5.0).contains(&l), "λ = {l}");
+    }
+
+    #[test]
+    fn point_function_scale_matches_intuition() {
+        // One locked input in a 16-bit input space with a 16-bit key: the
+        // DIP-per-wrong-key regime, λ on the order of the key space.
+        let eps = epsilon_for_locked_inputs(1, 16);
+        let l = expected_sat_iterations(16, 1, eps);
+        assert!(l > 1_000.0, "λ = {l}");
+    }
+
+    #[test]
+    fn more_correct_keys_reduce_wrong_key_space() {
+        let eps = 1e-4;
+        let few = expected_sat_iterations(10, 1, eps);
+        let many = expected_sat_iterations(10, 512, eps);
+        assert!(many <= few);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_epsilon_zero() {
+        let _ = expected_sat_iterations(8, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input space")]
+    fn epsilon_guard() {
+        let _ = epsilon_for_locked_inputs(1, 64);
+    }
+}

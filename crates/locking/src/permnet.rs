@@ -1,0 +1,133 @@
+//! Full-Lock-style keyed permutation-network locking.
+//!
+//! A logarithmic network of key-controlled 2x2 switchboxes is inserted in
+//! front of the module's inputs. Wrong keys permute the input wires, which
+//! corrupts most of the function, and the symmetric switch structure
+//! produces the hard SAT instances that make per-iteration attack runtime
+//! grow — the paper's "exponential SAT-iteration runtime" family (Sec. V-C
+//! combines it with critical-minterm locking when extra resilience is
+//! needed).
+
+use lockbind_netlist::{Netlist, Signal};
+
+use crate::point::clone_logic;
+use crate::{LockError, LockedNetlist};
+
+/// Inserts `stages` layers of key-controlled swap boxes in front of the
+/// inputs of `original`. Even layers pair wires `(0,1)(2,3)...`; odd layers
+/// are offset by one, `(1,2)(3,4)...`, so signals can travel across the bus.
+/// The correct key is all zeros (identity routing).
+///
+/// Key length is `stages x floor((n - offset) / 2)` summed per layer.
+///
+/// # Errors
+///
+/// * [`LockError::AlreadyKeyed`] if `original` has key inputs,
+/// * [`LockError::EmptyConfiguration`] if `stages` is zero,
+/// * [`LockError::NoInternalWires`] if the module has fewer than 2 inputs.
+pub fn lock_permutation(
+    original: &Netlist,
+    stages: usize,
+) -> Result<LockedNetlist, LockError> {
+    if original.num_keys() != 0 {
+        return Err(LockError::AlreadyKeyed);
+    }
+    if stages == 0 {
+        return Err(LockError::EmptyConfiguration);
+    }
+    let n = original.num_inputs();
+    if n < 2 {
+        return Err(LockError::NoInternalWires);
+    }
+
+    let mut nl = Netlist::new(format!("{}+perm", original.name()));
+    let mut wires: Vec<Signal> = nl.add_inputs(n);
+    let mut key_bits = 0usize;
+    for stage in 0..stages {
+        let offset = stage % 2;
+        let mut i = offset;
+        while i + 1 < n {
+            let k = nl.add_key();
+            key_bits += 1;
+            let (a, b) = (wires[i], wires[i + 1]);
+            // swap when k = 1
+            wires[i] = nl.mux(k, b, a);
+            wires[i + 1] = nl.mux(k, a, b);
+            i += 2;
+        }
+    }
+    let outputs = clone_logic(original, &mut nl, &wires, &[]);
+    for s in outputs {
+        nl.mark_output(s);
+    }
+
+    Ok(LockedNetlist::new(
+        nl,
+        original.clone(),
+        vec![false; key_bits],
+        "permutation",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corruption::error_rate;
+    use lockbind_netlist::builders::adder_fu;
+
+    #[test]
+    fn identity_key_preserves_function() {
+        let orig = adder_fu(4);
+        let locked = lock_permutation(&orig, 3).expect("lockable");
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(
+                    locked.eval_with_key(&[a, b], 4, locked.correct_key()),
+                    orig.eval_words(&[a, b], 4, &[]),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_length_matches_structure() {
+        let orig = adder_fu(4); // 8 inputs
+        let locked = lock_permutation(&orig, 2).expect("lockable");
+        // Stage 0: 4 swaps; stage 1 (offset): 3 swaps.
+        assert_eq!(locked.key_bits(), 7);
+    }
+
+    #[test]
+    fn wrong_routing_corrupts_heavily() {
+        let orig = adder_fu(4);
+        let locked = lock_permutation(&orig, 2).expect("lockable");
+        let mut wrong = locked.correct_key().to_vec();
+        wrong[0] = true; // swap input bits 0 and 1 (a0 <-> a1)
+        let rate = error_rate(&locked, &wrong, 8);
+        assert!(rate > 0.2, "permutation corruption unexpectedly low: {rate}");
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let orig = adder_fu(4);
+        assert_eq!(
+            lock_permutation(&orig, 0),
+            Err(LockError::EmptyConfiguration)
+        );
+        let mut one_in = Netlist::new("1in");
+        let a = one_in.add_input();
+        let b = one_in.not(a);
+        one_in.mark_output(b);
+        assert_eq!(lock_permutation(&one_in, 1), Err(LockError::NoInternalWires));
+    }
+
+    #[test]
+    fn gate_overhead_grows_with_stages() {
+        let orig = adder_fu(8);
+        let l1 = lock_permutation(&orig, 1).expect("lockable");
+        let l4 = lock_permutation(&orig, 4).expect("lockable");
+        assert!(l4.netlist().gate_count() > l1.netlist().gate_count());
+        // Permutation networks are expensive — the Sec. V-C argument.
+        assert!(l4.area_overhead() > l1.area_overhead());
+    }
+}

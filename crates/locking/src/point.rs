@@ -1,0 +1,229 @@
+//! Critical-minterm locking (SFLL-rem / TTLock style).
+//!
+//! For each protected minterm `m_i` the construction adds one stripped
+//! point-function (a hard-wired comparator on the inputs) and one keyed
+//! restore point-function (a comparator between the inputs and a dedicated
+//! key segment). The flip signal
+//!
+//! ```text
+//! flip = XOR_i [ (X == m_i)  XOR  (X == K_i) ]
+//! ```
+//!
+//! is XORed into every output bit. With the correct key (`K_i = m_i` for all
+//! `i`) the two comparators cancel and the module is functionally intact.
+//! For a wrong key, every protected minterm whose key segment is wrong
+//! produces errant output — the *locked inputs* are static across wrong keys
+//! (the paper's Sec. IV assumption) — plus the wrong key's own restore
+//! patterns. Each SAT-attack DIP eliminates only ~one wrong key-segment
+//! value, giving the exponential iteration counts of Eqn. 1.
+
+use lockbind_netlist::builders::{conditional_invert, equals_const};
+use lockbind_netlist::{Netlist, Signal};
+
+use crate::{LockError, LockedNetlist};
+
+/// Locks `original` so that the given input minterms (packed LSB-first over
+/// the module's input bus) are corrupted for wrong keys.
+///
+/// The key is `minterms.len() * original.num_inputs()` bits long; the correct
+/// key is the concatenation of the protected minterms themselves.
+///
+/// # Errors
+///
+/// * [`LockError::AlreadyKeyed`] if `original` has key inputs,
+/// * [`LockError::TooManyInputs`] if the module has more than 63 inputs,
+/// * [`LockError::EmptyConfiguration`] if `minterms` is empty,
+/// * [`LockError::PatternOutOfRange`] / [`LockError::DuplicateMinterm`] on
+///   malformed minterm lists.
+pub fn lock_critical_minterms(
+    original: &Netlist,
+    minterms: &[u64],
+) -> Result<LockedNetlist, LockError> {
+    if original.num_keys() != 0 {
+        return Err(LockError::AlreadyKeyed);
+    }
+    let n_in = original.num_inputs();
+    if n_in > 63 {
+        return Err(LockError::TooManyInputs {
+            inputs: n_in,
+            max: 63,
+        });
+    }
+    if minterms.is_empty() {
+        return Err(LockError::EmptyConfiguration);
+    }
+    for (i, &m) in minterms.iter().enumerate() {
+        if n_in < 64 && m >> n_in != 0 {
+            return Err(LockError::PatternOutOfRange {
+                pattern: m,
+                inputs: n_in,
+            });
+        }
+        if minterms[..i].contains(&m) {
+            return Err(LockError::DuplicateMinterm { pattern: m });
+        }
+    }
+
+    // Rebuild the original circuit inside a fresh netlist.
+    let mut nl = Netlist::new(format!("{}+cml", original.name()));
+    let inputs = nl.add_inputs(n_in);
+    let outputs = clone_logic(original, &mut nl, &inputs, &[]);
+
+    // Strip + restore flip signal.
+    let mut flip: Option<Signal> = None;
+    let mut correct_key = Vec::with_capacity(minterms.len() * n_in);
+    for &m in minterms {
+        let strip = equals_const(&mut nl, &inputs, m);
+        let key_seg = nl.add_keys(n_in);
+        let restore = {
+            // (X == K_i): bitwise XNOR reduced by AND.
+            let mut acc: Option<Signal> = None;
+            for (x, k) in inputs.iter().zip(&key_seg) {
+                let eq = nl.xnor(*x, *k);
+                acc = Some(match acc {
+                    None => eq,
+                    Some(prev) => nl.and(prev, eq),
+                });
+            }
+            acc.expect("n_in >= 1")
+        };
+        let seg_flip = nl.xor(strip, restore);
+        flip = Some(match flip {
+            None => seg_flip,
+            Some(prev) => nl.xor(prev, seg_flip),
+        });
+        for bit in 0..n_in {
+            correct_key.push((m >> bit) & 1 == 1);
+        }
+    }
+    let flip = flip.expect("at least one minterm");
+    let corrupted = conditional_invert(&mut nl, flip, &outputs);
+    for s in corrupted {
+        nl.mark_output(s);
+    }
+
+    Ok(LockedNetlist::new(
+        nl,
+        original.clone(),
+        correct_key,
+        "critical-minterm",
+    ))
+}
+
+/// Copies the logic of `src` into `dst`, mapping `src` inputs/keys to the
+/// provided signals; returns the mapped output signals (not yet marked).
+pub(crate) fn clone_logic(
+    src: &Netlist,
+    dst: &mut Netlist,
+    input_map: &[Signal],
+    key_map: &[Signal],
+) -> Vec<Signal> {
+    use lockbind_netlist::Gate;
+    let mut map: Vec<Signal> = Vec::with_capacity(src.num_nodes());
+    for (_, gate) in src.iter_gates() {
+        let s = match gate {
+            Gate::False => dst.lit_false(),
+            Gate::Input(i) => input_map[i],
+            Gate::Key(i) => key_map[i],
+            Gate::And(a, b) => dst.and(map[a.index()], map[b.index()]),
+            Gate::Or(a, b) => dst.or(map[a.index()], map[b.index()]),
+            Gate::Xor(a, b) => dst.xor(map[a.index()], map[b.index()]),
+            Gate::Not(a) => dst.not(map[a.index()]),
+        };
+        map.push(s);
+    }
+    src.outputs().iter().map(|s| map[s.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockbind_netlist::builders::{adder_fu, multiplier_fu};
+
+    #[test]
+    fn correct_key_preserves_function_exhaustive() {
+        let orig = adder_fu(4);
+        let locked = lock_critical_minterms(&orig, &[0x34, 0xFF]).expect("lockable");
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let want = orig.eval_words(&[a, b], 4, &[]);
+                let got = locked.eval_with_key(&[a, b], 4, locked.correct_key());
+                assert_eq!(got, want, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_key_corrupts_protected_minterm() {
+        let orig = adder_fu(4);
+        let m = 0x34u64; // a=4, b=3
+        let locked = lock_critical_minterms(&orig, &[m]).expect("lockable");
+        // Flip one key bit -> key segment no longer equals m.
+        let mut wrong = locked.correct_key().to_vec();
+        wrong[0] = !wrong[0];
+        let (a, b) = (m & 0xF, m >> 4);
+        let want = orig.eval_words(&[a, b], 4, &[]);
+        let got = locked.eval_with_key(&[a, b], 4, &wrong);
+        assert_ne!(got, want);
+    }
+
+    #[test]
+    fn wrong_key_corrupts_its_own_restore_pattern() {
+        let orig = adder_fu(4);
+        let locked = lock_critical_minterms(&orig, &[0x00]).expect("lockable");
+        // Wrong key k = 0x21 -> restore fires at X = 0x21, corrupting it.
+        let k = 0x21u64;
+        let wrong: Vec<bool> = (0..8).map(|i| (k >> i) & 1 == 1).collect();
+        let (a, b) = (k & 0xF, k >> 4);
+        let want = orig.eval_words(&[a, b], 4, &[]);
+        let got = locked.eval_with_key(&[a, b], 4, &wrong);
+        assert_ne!(got, want);
+    }
+
+    #[test]
+    fn key_length_scales_with_minterm_count() {
+        let orig = multiplier_fu(4);
+        for n in 1..=3 {
+            let ms: Vec<u64> = (0..n).map(|i| i as u64 * 3 + 1).collect();
+            let locked = lock_critical_minterms(&orig, &ms).expect("lockable");
+            assert_eq!(locked.key_bits(), n * 8);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configurations() {
+        let orig = adder_fu(4);
+        assert_eq!(
+            lock_critical_minterms(&orig, &[]),
+            Err(LockError::EmptyConfiguration)
+        );
+        assert_eq!(
+            lock_critical_minterms(&orig, &[1 << 10]),
+            Err(LockError::PatternOutOfRange {
+                pattern: 1 << 10,
+                inputs: 8
+            })
+        );
+        assert_eq!(
+            lock_critical_minterms(&orig, &[5, 5]),
+            Err(LockError::DuplicateMinterm { pattern: 5 })
+        );
+        let locked = lock_critical_minterms(&orig, &[5]).expect("lockable");
+        assert_eq!(
+            lock_critical_minterms(locked.netlist(), &[5]),
+            Err(LockError::AlreadyKeyed)
+        );
+    }
+
+    #[test]
+    fn area_overhead_is_modest() {
+        let orig = adder_fu(8);
+        let locked = lock_critical_minterms(&orig, &[1, 2, 3]).expect("lockable");
+        // Comparator banks only. Relative to a tiny ripple-carry adder the
+        // factor looks large, but it stays bounded (every added gate is one
+        // of 3 comparators over 16 inputs) and is far below the blow-up of
+        // permutation-network locking at comparable key length.
+        assert!(locked.area_overhead() < 10.0);
+        assert!(locked.area_overhead() > 0.0);
+    }
+}

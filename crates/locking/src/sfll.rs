@@ -1,0 +1,232 @@
+//! SFLL-HD: stripped-functionality locking over a Hamming-distance shell.
+//!
+//! Generalizes point-function locking (the `h = 0` case): all input
+//! minterms at Hamming distance exactly `h` from a hard-wired secret are
+//! stripped, and the restore unit re-flips minterms at distance `h` from
+//! the key. With the correct key (`K = secret`) the two shells coincide and
+//! the circuit is intact; a wrong key corrupts the symmetric difference of
+//! the two shells — `C(n, h)`-many minterms each way, letting the designer
+//! trade corruption (larger `h`) against SAT resilience per Eqn. 1, which
+//! is exactly the knob the SFLL papers (\[3\]-\[5\] in the paper) expose.
+
+use lockbind_netlist::builders::{conditional_invert, equals_const, ripple_carry_adder, Bus};
+use lockbind_netlist::{Netlist, Signal};
+
+use crate::point::clone_logic;
+use crate::{LockError, LockedNetlist};
+
+/// Adds two counts, growing the result bus so the carry is never lost.
+fn add_with_growth(nl: &mut Netlist, a: &[Signal], b: &[Signal]) -> Bus {
+    let w = a.len().max(b.len()) + 1;
+    let zero = nl.lit_false();
+    let mut ea: Bus = a.to_vec();
+    let mut eb: Bus = b.to_vec();
+    ea.resize(w, zero);
+    eb.resize(w, zero);
+    ripple_carry_adder(nl, &ea, &eb)
+}
+
+/// Population count of a bit vector as a binary bus (LSB first).
+fn popcount(nl: &mut Netlist, bits: &[Signal]) -> Bus {
+    assert!(!bits.is_empty());
+    let mut layer: Vec<Bus> = bits.iter().map(|&b| vec![b]).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut iter = layer.chunks(2);
+        for pair in &mut iter {
+            if pair.len() == 2 {
+                next.push(add_with_growth(nl, &pair[0], &pair[1]));
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        layer = next;
+    }
+    layer.pop().expect("non-empty")
+}
+
+/// `1` iff the Hamming distance between `x` and `y` equals `h`.
+fn hamming_equals(nl: &mut Netlist, x: &[Signal], y: &[Signal], h: u32) -> Signal {
+    let diffs: Vec<Signal> = x.iter().zip(y).map(|(&a, &b)| nl.xor(a, b)).collect();
+    let count = popcount(nl, &diffs);
+    equals_const(nl, &count, u64::from(h))
+}
+
+/// Locks `original` with SFLL-HD: strips the Hamming-`h` shell around
+/// `secret` (packed LSB-first over the input bus) and restores it with a
+/// key-driven comparator. The key is `num_inputs` bits; the correct key is
+/// the secret itself.
+///
+/// # Errors
+///
+/// * [`LockError::AlreadyKeyed`] if `original` has key inputs,
+/// * [`LockError::TooManyInputs`] for more than 63 inputs,
+/// * [`LockError::PatternOutOfRange`] if `secret` does not fit,
+/// * [`LockError::EmptyConfiguration`] if `h > num_inputs` (empty shell).
+pub fn lock_sfll_hd(
+    original: &Netlist,
+    secret: u64,
+    h: u32,
+) -> Result<LockedNetlist, LockError> {
+    if original.num_keys() != 0 {
+        return Err(LockError::AlreadyKeyed);
+    }
+    let n = original.num_inputs();
+    if n > 63 {
+        return Err(LockError::TooManyInputs { inputs: n, max: 63 });
+    }
+    if n < 64 && secret >> n != 0 {
+        return Err(LockError::PatternOutOfRange {
+            pattern: secret,
+            inputs: n,
+        });
+    }
+    if h as usize > n {
+        return Err(LockError::EmptyConfiguration);
+    }
+
+    let mut nl = Netlist::new(format!("{}+sfll-hd{h}", original.name()));
+    let inputs = nl.add_inputs(n);
+    let outputs = clone_logic(original, &mut nl, &inputs, &[]);
+
+    // Strip: HD(X, secret) == h with the secret hard-wired (fold constants
+    // into conditional inverters on the input taps).
+    let secret_bits: Vec<Signal> = (0..n)
+        .map(|i| {
+            if (secret >> i) & 1 == 1 {
+                nl.lit_true()
+            } else {
+                nl.lit_false()
+            }
+        })
+        .collect();
+    let strip = hamming_equals(&mut nl, &inputs, &secret_bits, h);
+
+    // Restore: HD(X, K) == h.
+    let key = nl.add_keys(n);
+    let restore = hamming_equals(&mut nl, &inputs, &key, h);
+
+    let flip = nl.xor(strip, restore);
+    let corrupted = conditional_invert(&mut nl, flip, &outputs);
+    for s in corrupted {
+        nl.mark_output(s);
+    }
+
+    let correct_key: Vec<bool> = (0..n).map(|i| (secret >> i) & 1 == 1).collect();
+    Ok(LockedNetlist::new(nl, original.clone(), correct_key, "sfll-hd"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corruption::{corrupted_inputs, error_rate};
+    use lockbind_netlist::builders::adder_fu;
+
+    fn binom(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1u64;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn correct_key_preserves_function() {
+        let orig = adder_fu(3);
+        for h in 0..=3u32 {
+            let locked = lock_sfll_hd(&orig, 0b101100, h).expect("lockable");
+            assert_eq!(
+                error_rate(&locked, locked.correct_key(), 6),
+                0.0,
+                "h = {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn h0_matches_point_function_shape() {
+        let orig = adder_fu(3);
+        let locked = lock_sfll_hd(&orig, 0b000111, 0).expect("lockable");
+        // A wrong key at distance 1 corrupts the secret point and the wrong
+        // key's own point: exactly 2 minterms.
+        let mut wrong = locked.correct_key().to_vec();
+        wrong[0] = !wrong[0];
+        let errs = corrupted_inputs(&locked, &wrong, 6);
+        assert_eq!(errs.len(), 2);
+        assert!(errs.contains(&0b000111));
+    }
+
+    #[test]
+    fn shell_size_scales_with_h() {
+        // For a wrong key far from the secret, the corrupted set is the
+        // symmetric difference of two C(n, h) shells: 2*C(n, h) when the
+        // shells are disjoint.
+        let orig = adder_fu(3);
+        let secret = 0b000000u64;
+        for h in [1u32, 2] {
+            let locked = lock_sfll_hd(&orig, secret, h).expect("lockable");
+            // Wrong key = all ones: shells around 0b000000 and 0b111111 at
+            // distance h<=2 are disjoint for n=6.
+            let wrong = vec![true; 6];
+            let errs = corrupted_inputs(&locked, &wrong, 6);
+            assert_eq!(errs.len() as u64, 2 * binom(6, u64::from(h)), "h = {h}");
+        }
+    }
+
+    #[test]
+    fn larger_h_means_more_corruption() {
+        // Wrong key at distance 2 from the secret (NOT the complement: at
+        // n = 2h the complement's shell coincides with the secret's and the
+        // corruption cancels — a known SFLL-HD corner).
+        let orig = adder_fu(3);
+        let l1 = lock_sfll_hd(&orig, 0, 1).expect("lockable");
+        let l3 = lock_sfll_hd(&orig, 0, 3).expect("lockable");
+        let wrong: Vec<bool> = (0..6).map(|i| i < 2).collect(); // key 0b000011
+        let e1 = corrupted_inputs(&l1, &wrong, 6).len();
+        let e3 = corrupted_inputs(&l3, &wrong, 6).len();
+        // Shell symmetric differences: 8 at h=1, 16 at h=3.
+        assert_eq!(e1, 8);
+        assert_eq!(e3, 16);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let orig = adder_fu(3);
+        assert_eq!(
+            lock_sfll_hd(&orig, 1 << 10, 1),
+            Err(LockError::PatternOutOfRange {
+                pattern: 1 << 10,
+                inputs: 6
+            })
+        );
+        assert_eq!(lock_sfll_hd(&orig, 0, 7), Err(LockError::EmptyConfiguration));
+        let locked = lock_sfll_hd(&orig, 0, 1).expect("lockable");
+        assert_eq!(
+            lock_sfll_hd(locked.netlist(), 0, 1),
+            Err(LockError::AlreadyKeyed)
+        );
+    }
+
+    #[test]
+    fn popcount_is_correct_via_module() {
+        // Build a tiny netlist exposing the popcount bus.
+        let mut nl = Netlist::new("pc");
+        let bits = nl.add_inputs(5);
+        let count = popcount(&mut nl, &bits);
+        for s in count {
+            nl.mark_output(s);
+        }
+        for v in 0..32u64 {
+            let in_bits: Vec<bool> = (0..5).map(|i| (v >> i) & 1 == 1).collect();
+            let out = nl.eval(&in_bits, &[]).expect("ok");
+            let got = out
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
+            assert_eq!(got, v.count_ones() as u64, "popcount({v:#b})");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Exponential reference solver used to validate the Hungarian implementation.
+
+use crate::{Matching, MatchingError, WeightMatrix};
+
+/// Solves the assignment problem by enumerating every injection of rows into
+/// columns. Exponential — intended for testing on instances with at most ~8
+/// rows/columns.
+///
+/// `maximize` selects between max-weight and min-cost objectives.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::max_weight_matching`].
+///
+/// # Example
+/// ```
+/// use lockbind_matching::{WeightMatrix, brute_force, max_weight_matching};
+/// # fn main() -> Result<(), lockbind_matching::MatchingError> {
+/// let w = WeightMatrix::from_fn(3, 3, |r, c| Some((r * c) as i64));
+/// assert_eq!(brute_force(&w, true)?.total, max_weight_matching(&w)?.total);
+/// # Ok(())
+/// # }
+/// ```
+pub fn brute_force(weights: &WeightMatrix, maximize: bool) -> Result<Matching, MatchingError> {
+    let n = weights.rows();
+    let m = weights.cols();
+    if n == 0 {
+        return Ok(Matching {
+            row_to_col: Vec::new(),
+            total: 0,
+        });
+    }
+    if m == 0 {
+        return Err(MatchingError::NoColumns);
+    }
+    if n > m {
+        return Err(MatchingError::MoreRowsThanCols { rows: n, cols: m });
+    }
+
+    let mut best: Option<(i64, Vec<usize>)> = None;
+    let mut assignment = vec![usize::MAX; n];
+    let mut used = vec![false; m];
+    recurse(
+        weights,
+        maximize,
+        0,
+        0,
+        &mut assignment,
+        &mut used,
+        &mut best,
+    );
+    match best {
+        Some((total, row_to_col)) => Ok(Matching { row_to_col, total }),
+        None => Err(MatchingError::Infeasible),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    weights: &WeightMatrix,
+    maximize: bool,
+    row: usize,
+    acc: i64,
+    assignment: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    best: &mut Option<(i64, Vec<usize>)>,
+) {
+    if row == weights.rows() {
+        let better = match best {
+            None => true,
+            Some((b, _)) => {
+                if maximize {
+                    acc > *b
+                } else {
+                    acc < *b
+                }
+            }
+        };
+        if better {
+            *best = Some((acc, assignment.clone()));
+        }
+        return;
+    }
+    for c in 0..weights.cols() {
+        if used[c] {
+            continue;
+        }
+        if let Some(w) = weights.get(row, c) {
+            used[c] = true;
+            assignment[row] = c;
+            recurse(weights, maximize, row + 1, acc + w, assignment, used, best);
+            assignment[row] = usize::MAX;
+            used[c] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_force_min_max_diverge() {
+        let w = WeightMatrix::from_fn(2, 2, |r, c| Some(if r == c { 0 } else { 5 }));
+        assert_eq!(brute_force(&w, true).map(|m| m.total), Ok(10));
+        assert_eq!(brute_force(&w, false).map(|m| m.total), Ok(0));
+    }
+
+    #[test]
+    fn brute_force_detects_infeasible() {
+        let w = WeightMatrix::from_fn(1, 1, |_, _| None);
+        assert_eq!(brute_force(&w, true), Err(MatchingError::Infeasible));
+    }
+}

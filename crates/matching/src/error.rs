@@ -1,0 +1,37 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the matching solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchingError {
+    /// The matrix has more rows (operations) than columns (resources), so no
+    /// complete matching of rows exists.
+    MoreRowsThanCols {
+        /// Number of rows in the offending matrix.
+        rows: usize,
+        /// Number of columns in the offending matrix.
+        cols: usize,
+    },
+    /// The matrix is empty (zero rows are fine for an empty cycle, but zero
+    /// columns with at least one row cannot be matched).
+    NoColumns,
+    /// Forbidden edges make a complete matching impossible.
+    Infeasible,
+}
+
+impl fmt::Display for MatchingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchingError::MoreRowsThanCols { rows, cols } => write!(
+                f,
+                "cannot match {rows} rows into {cols} columns: need cols >= rows"
+            ),
+            MatchingError::NoColumns => write!(f, "matrix has rows but no columns"),
+            MatchingError::Infeasible => {
+                write!(f, "forbidden edges make a complete matching impossible")
+            }
+        }
+    }
+}
+
+impl Error for MatchingError {}

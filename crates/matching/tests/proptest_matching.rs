@@ -1,0 +1,87 @@
+//! Property-based validation of the Hungarian solver against brute force.
+
+use lockbind_matching::{
+    brute_force, max_weight_matching, min_cost_matching, MatchingError, WeightMatrix,
+};
+use proptest::prelude::*;
+
+fn matrix_strategy(
+    max_rows: usize,
+    max_cols: usize,
+    forbid: bool,
+) -> impl Strategy<Value = WeightMatrix> {
+    (1..=max_rows, 1..=max_cols)
+        .prop_flat_map(move |(r, c)| {
+            let cols = c.max(r); // keep feasible shape: cols >= rows
+            let cells = proptest::collection::vec(
+                (-100i64..=100, proptest::bool::weighted(if forbid { 0.15 } else { 0.0 })),
+                r * cols,
+            );
+            (Just(r), Just(cols), cells)
+        })
+        .prop_map(|(rows, cols, cells)| {
+            WeightMatrix::from_fn(rows, cols, |r, c| {
+                let (w, forbidden) = cells[r * cols + c];
+                if forbidden {
+                    None
+                } else {
+                    Some(w)
+                }
+            })
+        })
+}
+
+proptest! {
+    #[test]
+    fn hungarian_matches_brute_force_max(w in matrix_strategy(5, 6, false)) {
+        let h = max_weight_matching(&w).expect("complete graph is feasible");
+        let b = brute_force(&w, true).expect("complete graph is feasible");
+        prop_assert_eq!(h.total, b.total);
+    }
+
+    #[test]
+    fn hungarian_matches_brute_force_min(w in matrix_strategy(5, 6, false)) {
+        let h = min_cost_matching(&w).expect("complete graph is feasible");
+        let b = brute_force(&w, false).expect("complete graph is feasible");
+        prop_assert_eq!(h.total, b.total);
+    }
+
+    #[test]
+    fn hungarian_matches_brute_force_with_forbidden(w in matrix_strategy(4, 5, true)) {
+        match (max_weight_matching(&w), brute_force(&w, true)) {
+            (Ok(h), Ok(b)) => prop_assert_eq!(h.total, b.total),
+            (Err(MatchingError::Infeasible), Err(MatchingError::Infeasible)) => {}
+            (h, b) => prop_assert!(false, "solver disagreement: {:?} vs {:?}", h, b),
+        }
+    }
+
+    #[test]
+    fn assignment_is_injective_and_total_is_consistent(w in matrix_strategy(6, 8, false)) {
+        let m = max_weight_matching(&w).expect("feasible");
+        let mut seen = vec![false; w.cols()];
+        let mut total = 0i64;
+        for (r, &c) in m.row_to_col.iter().enumerate() {
+            prop_assert!(c < w.cols());
+            prop_assert!(!seen[c]);
+            seen[c] = true;
+            total += w.get(r, c).expect("selected edge must be allowed");
+        }
+        prop_assert_eq!(total, m.total);
+    }
+
+    #[test]
+    fn max_dominates_every_random_permutation(w in matrix_strategy(5, 5, false), seed in any::<u64>()) {
+        let m = max_weight_matching(&w).expect("feasible");
+        // Build a deterministic pseudo-random permutation from the seed.
+        let n = w.rows();
+        let mut perm: Vec<usize> = (0..w.cols()).collect();
+        let mut s = seed;
+        for i in (1..perm.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let total: i64 = (0..n).map(|r| w.get(r, perm[r]).expect("allowed")).sum();
+        prop_assert!(m.total >= total);
+    }
+}

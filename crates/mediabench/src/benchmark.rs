@@ -1,0 +1,104 @@
+use lockbind_hls::{Dfg, Trace};
+
+use crate::Kernel;
+
+/// A benchmark instance: a kernel DFG plus its generated typical workload.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// The kernel's data-flow graph.
+    pub dfg: Dfg,
+    /// The synthetic "typical workload" input trace.
+    pub trace: Trace,
+}
+
+impl Benchmark {
+    /// Operation mix `(adder-class ops, multiplier ops)`.
+    pub fn op_mix(&self) -> (usize, usize) {
+        self.dfg.op_mix()
+    }
+}
+
+/// Aggregate shape statistics over a set of benchmarks — the numbers the
+/// paper reports for its suite (avg 18.6 adds, 10.6 multiplies, 13.5 cycles
+/// with up to 3 FUs per class).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteStats {
+    /// Mean adder-class operations per kernel.
+    pub avg_adds: f64,
+    /// Mean multiply operations per kernel.
+    pub avg_muls: f64,
+    /// Mean schedule depth (cycles) when list-scheduled onto 3+3 FUs.
+    pub avg_cycles: f64,
+}
+
+impl SuiteStats {
+    /// Computes suite statistics for every kernel.
+    pub fn for_all_kernels() -> SuiteStats {
+        use lockbind_hls::{schedule_list, Allocation};
+        let mut adds = 0usize;
+        let mut muls = 0usize;
+        let mut cycles = 0u32;
+        let kernels = Kernel::ALL;
+        for k in kernels {
+            let dfg = k.build_dfg();
+            let (a, m) = dfg.op_mix();
+            adds += a;
+            muls += m;
+            let alloc = Allocation::new(3, 3.min(if m == 0 { 0 } else { 3 }));
+            let alloc = if m == 0 { Allocation::new(3, 0) } else { alloc };
+            let sched = schedule_list(&dfg, &alloc).expect("kernels schedule onto 3+3 FUs");
+            cycles += sched.num_cycles();
+        }
+        let n = kernels.len() as f64;
+        SuiteStats {
+            avg_adds: adds as f64 / n,
+            avg_muls: muls as f64 / n,
+            avg_cycles: f64::from(cycles) / n,
+        }
+    }
+}
+
+/// Convenience: the FU classes a kernel actually uses.
+#[cfg(test)]
+pub(crate) fn classes_used(dfg: &Dfg) -> Vec<lockbind_hls::FuClass> {
+    lockbind_hls::FuClass::ALL
+        .into_iter()
+        .filter(|&c| !dfg.ops_of_class(c).is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockbind_hls::FuClass;
+
+    #[test]
+    fn suite_shape_matches_paper_scale() {
+        let s = SuiteStats::for_all_kernels();
+        // Paper: 18.6 adds, 10.6 muls, 13.5 cycles. Our stand-ins must land
+        // in the same regime (same order, within ~2x).
+        assert!(
+            (10.0..=30.0).contains(&s.avg_adds),
+            "avg adds {} out of regime",
+            s.avg_adds
+        );
+        assert!(
+            (5.0..=20.0).contains(&s.avg_muls),
+            "avg muls {} out of regime",
+            s.avg_muls
+        );
+        assert!(
+            (7.0..=27.0).contains(&s.avg_cycles),
+            "avg cycles {} out of regime",
+            s.avg_cycles
+        );
+    }
+
+    #[test]
+    fn classes_used_detects_multiplierless_kernels() {
+        let ecb = Kernel::EcbEnc4.build_dfg();
+        assert_eq!(classes_used(&ecb), vec![FuClass::Adder]);
+        let fir = Kernel::Fir.build_dfg();
+        assert_eq!(classes_used(&fir).len(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Synthetic value-stream generators reproducing the distribution *shapes*
+//! of the MediaBench sample workloads (see DESIGN.md substitution table).
+//!
+//! What matters for the paper's algorithms is that operand values are
+//! heavily skewed and differ per operation: DC-dominated pixel blocks,
+//! chroma clustered at 128, zero-dominated prediction residuals, spiky
+//! quantized coefficients, ASCII-weighted plaintext, and quantized
+//! sinusoidal audio. All generators are deterministic in the seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An 8x1 pixel row with a frame-level DC value plus small AC detail —
+/// the input shape of `dct`-like kernels. Values are 8-bit.
+pub(crate) fn pixel_row(rng: &mut StdRng, n: usize) -> Vec<u64> {
+    // DC concentrates on a few common levels (dark, mid-grey, bright).
+    let dc: i32 = match rng.gen_range(0..10) {
+        0..=4 => 128,
+        5..=7 => 16,
+        _ => 235,
+    };
+    (0..n)
+        .map(|i| {
+            // Position-dependent detail, as in real image rows: the row
+            // start is usually flat at the DC level, interiors carry small
+            // texture, and the row end frequently hits a dark border.
+            if i == 0 && rng.gen_range(0..4) != 0 {
+                return dc as u64;
+            }
+            if i + 1 == n && rng.gen_range(0..3) == 0 {
+                return 0;
+            }
+            let ac: i32 = if rng.gen_range(0..4) == 0 {
+                rng.gen_range(-24..=24)
+            } else {
+                rng.gen_range(-3..=3)
+            };
+            (dc + ac).clamp(0, 255) as u64
+        })
+        .collect()
+}
+
+/// Plaintext bytes with an ASCII-English letter-frequency bias (the input of
+/// the `ecb_enc4` crypto kernel).
+pub(crate) fn ascii_byte(rng: &mut StdRng) -> u64 {
+    const COMMON: &[u8] = b" eetaoinshrdlu";
+    if rng.gen_range(0..10) < 7 {
+        COMMON[rng.gen_range(0..COMMON.len())] as u64
+    } else {
+        rng.gen_range(32..127) as u64
+    }
+}
+
+/// Quantized audio sample: an 8-bit sinusoid with silence runs (`fir`, `fft`
+/// inputs). `t` advances per frame.
+pub(crate) fn audio_sample(rng: &mut StdRng, t: u64) -> u64 {
+    if rng.gen_range(0..8) == 0 {
+        return 128; // silence (mid-rail)
+    }
+    let phase = t as f64 * 0.19;
+    let s = (phase.sin() * 90.0) + 128.0 + rng.gen_range(-2..=2) as f64;
+    s.clamp(0.0, 255.0) as u64
+}
+
+/// Chroma sample clustered hard around 128 (neutral color), the `jdmerge`
+/// input shape.
+pub(crate) fn chroma(rng: &mut StdRng) -> u64 {
+    match rng.gen_range(0..20) {
+        0..=14 => 128,
+        15..=17 => (128 + rng.gen_range(-6i32..=6)).clamp(0, 255) as u64,
+        _ => rng.gen_range(64..192) as u64,
+    }
+}
+
+/// Luma sample: broader than chroma but still mode-heavy.
+pub(crate) fn luma(rng: &mut StdRng) -> u64 {
+    match rng.gen_range(0..10) {
+        0..=3 => 128,
+        4..=6 => 200,
+        _ => rng.gen_range(0..=255) as u64,
+    }
+}
+
+/// Quantized DCT coefficient: overwhelmingly zero, occasionally small
+/// (`jctrans2` input shape).
+pub(crate) fn coeff(rng: &mut StdRng) -> u64 {
+    match rng.gen_range(0..16) {
+        0..=10 => 0,
+        11..=13 => rng.gen_range(1..=3) as u64,
+        14 => rng.gen_range(4..=15) as u64,
+        _ => rng.gen_range(16..=127) as u64,
+    }
+}
+
+/// A pixel and its motion-compensated prediction: identical most of the
+/// time, occasionally offset (`motion*`, `noisest2` input shape).
+pub(crate) fn pixel_pair(rng: &mut StdRng) -> (u64, u64) {
+    let p = luma(rng);
+    let q = match rng.gen_range(0..8) {
+        0..=4 => p,
+        5..=6 => (p as i32 + rng.gen_range(-2i32..=2)).clamp(0, 255) as u64,
+        _ => luma(rng),
+    };
+    (p, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generators_are_deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for t in 0..50 {
+            assert_eq!(pixel_row(&mut a, 8), pixel_row(&mut b, 8));
+            assert_eq!(audio_sample(&mut a, t), audio_sample(&mut b, t));
+            assert_eq!(ascii_byte(&mut a), ascii_byte(&mut b));
+        }
+    }
+
+    #[test]
+    fn chroma_is_mode_heavy_at_128() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..1000).filter(|_| chroma(&mut rng) == 128).count();
+        assert!(hits > 400, "chroma mode too weak: {hits}/1000");
+    }
+
+    #[test]
+    fn coeff_is_mostly_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let zeros = (0..1000).filter(|_| coeff(&mut rng) == 0).count();
+        assert!(zeros > 500, "coefficients not sparse enough: {zeros}/1000");
+    }
+
+    #[test]
+    fn pixel_pairs_mostly_match() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let same = (0..1000)
+            .map(|_| pixel_pair(&mut rng))
+            .filter(|(p, q)| p == q)
+            .count();
+        assert!(same > 500, "residuals not sparse enough: {same}/1000");
+    }
+
+    #[test]
+    fn values_stay_in_byte_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for t in 0..500 {
+            assert!(audio_sample(&mut rng, t) < 256);
+            assert!(ascii_byte(&mut rng) < 256);
+            assert!(luma(&mut rng) < 256);
+            assert!(coeff(&mut rng) < 256);
+            for v in pixel_row(&mut rng, 8) {
+                assert!(v < 256);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! 8-point DCT-II butterfly kernel (mpeg2enc-style transform inner loop).
+
+use lockbind_hls::{Dfg, OpKind, Trace, ValueRef};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gen::pixel_row;
+
+/// Fixed-point cosine coefficients (scaled to 8 bits).
+const COEFFS: [u64; 8] = [91, 126, 118, 106, 91, 71, 49, 25];
+
+pub(crate) fn build() -> Dfg {
+    let mut d = Dfg::new(8);
+    d.set_name("dct");
+    let x: Vec<ValueRef> = (0..8).map(|i| d.input(format!("x{i}"))).collect();
+
+    // Stage 1: butterfly sums/differences x_i +/- x_{7-i}.
+    let mut s = Vec::new();
+    let mut t = Vec::new();
+    for i in 0..4 {
+        s.push(d.op(OpKind::Add, x[i], x[7 - i]));
+        t.push(d.op(OpKind::Sub, x[i], x[7 - i]));
+    }
+
+    // Stage 2: even part second butterfly.
+    let e0 = d.op(OpKind::Add, s[0].into(), s[3].into());
+    let e1 = d.op(OpKind::Add, s[1].into(), s[2].into());
+    let e2 = d.op(OpKind::Sub, s[0].into(), s[3].into());
+    let e3 = d.op(OpKind::Sub, s[1].into(), s[2].into());
+
+    // Stage 3: coefficient multiplies (MACs with fixed-point constants).
+    let m0 = d.op(OpKind::Mul, e0.into(), ValueRef::Const(COEFFS[0]));
+    let m1 = d.op(OpKind::Mul, e1.into(), ValueRef::Const(COEFFS[4]));
+    let m2 = d.op(OpKind::Mul, e2.into(), ValueRef::Const(COEFFS[2]));
+    let m3 = d.op(OpKind::Mul, e3.into(), ValueRef::Const(COEFFS[6]));
+    let m4 = d.op(OpKind::Mul, t[0].into(), ValueRef::Const(COEFFS[1]));
+    let m5 = d.op(OpKind::Mul, t[1].into(), ValueRef::Const(COEFFS[3]));
+    let m6 = d.op(OpKind::Mul, t[2].into(), ValueRef::Const(COEFFS[5]));
+    let m7 = d.op(OpKind::Mul, t[3].into(), ValueRef::Const(COEFFS[7]));
+
+    // Stage 4: recombination adds.
+    let y0 = d.op(OpKind::Add, m0.into(), m1.into());
+    let y4 = d.op(OpKind::Sub, m0.into(), m1.into());
+    let y2 = d.op(OpKind::Add, m2.into(), m3.into());
+    let o1 = d.op(OpKind::Add, m4.into(), m5.into());
+    let o3 = d.op(OpKind::Sub, m6.into(), m7.into());
+    let y1 = d.op(OpKind::Add, o1.into(), o3.into());
+    let y3 = d.op(OpKind::Sub, o1.into(), o3.into());
+
+    for y in [y0, y1, y2, y3, y4] {
+        d.mark_output(y);
+    }
+    d
+}
+
+pub(crate) fn workload(frames: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..frames).map(|_| pixel_row(&mut rng, 8)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let d = build();
+        assert_eq!(d.num_inputs(), 8);
+        let (adds, muls) = d.op_mix();
+        assert_eq!(muls, 8);
+        // 8 stage-1 butterflies + 4 stage-2 + 7 recombination add/subs.
+        assert_eq!(adds, 19);
+    }
+
+    #[test]
+    fn workload_arity_matches() {
+        let t = workload(10, 1);
+        assert_eq!(t.frames()[0].len(), 8);
+    }
+}

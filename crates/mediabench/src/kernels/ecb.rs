@@ -1,0 +1,74 @@
+//! ECB block-encryption round (pegwit-style), adders/ALU only — the paper
+//! notes this is the one benchmark without multipliers.
+
+use lockbind_hls::{Dfg, OpKind, Trace, ValueRef};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gen::ascii_byte;
+
+/// Round constants (fixed "key schedule" bytes baked into the dataflow).
+const RK: [u64; 8] = [0x3A, 0xC5, 0x96, 0x07, 0x5D, 0xE1, 0x4B, 0xB8];
+
+pub(crate) fn build() -> Dfg {
+    let mut d = Dfg::new(8);
+    d.set_name("ecb_enc4");
+    let p: Vec<ValueRef> = (0..4).map(|i| d.input(format!("p{i}"))).collect();
+
+    // Two Feistel-ish rounds over 4 plaintext bytes.
+    let mut state: Vec<ValueRef> = p.clone();
+    for round in 0..2 {
+        let mut next = Vec::new();
+        for (i, &w) in state.iter().enumerate() {
+            let k = ValueRef::Const(RK[(round * 4 + i) % 8]);
+            let xored = d.op(OpKind::Xor, w, k);
+            let rotl = d.op(OpKind::Shl, xored.into(), ValueRef::Const(3));
+            let rotr = d.op(OpKind::Shr, xored.into(), ValueRef::Const(5));
+            let rot = d.op(OpKind::Or, rotl.into(), rotr.into());
+            let mixed = d.op(
+                OpKind::Add,
+                rot.into(),
+                state[(i + 1) % state.len()],
+            );
+            next.push(ValueRef::Op(mixed));
+        }
+        state = next;
+    }
+    // Final whitening.
+    for (i, &w) in state.clone().iter().enumerate() {
+        let out = d.op(OpKind::Xor, w, ValueRef::Const(RK[7 - i]));
+        d.mark_output(out);
+    }
+    d
+}
+
+pub(crate) fn workload(frames: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..frames)
+        .map(|_| (0..4).map(|_| ascii_byte(&mut rng)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_multiplierless() {
+        let d = build();
+        let (adds, muls) = d.op_mix();
+        assert_eq!(muls, 0);
+        assert!(adds >= 20, "adds = {adds}");
+        assert_eq!(d.num_inputs(), 4);
+        assert_eq!(d.outputs().len(), 4);
+    }
+
+    #[test]
+    fn workload_is_bytes() {
+        let t = workload(5, 2);
+        for f in &t {
+            assert_eq!(f.len(), 4);
+            assert!(f.iter().all(|&v| v < 256));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Radix-2 FFT butterfly pair (epic-style filterbank inner loop).
+
+use lockbind_hls::{Dfg, OpKind, Trace, ValueRef};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gen::audio_sample;
+
+/// Fixed-point twiddle factors (8-bit scaled cos/sin).
+const TWIDDLE: [(u64, u64); 2] = [(126, 49), (91, 91)];
+
+/// One complex butterfly: returns (sum_r, sum_i, diff_r, diff_i).
+fn butterfly(
+    d: &mut Dfg,
+    ar: ValueRef,
+    ai: ValueRef,
+    br: ValueRef,
+    bi: ValueRef,
+    w: (u64, u64),
+) -> [ValueRef; 4] {
+    let (wr, wi) = (ValueRef::Const(w.0), ValueRef::Const(w.1));
+    // t = b * w  (complex multiply, 4 real multiplies)
+    let brwr = d.op(OpKind::Mul, br, wr);
+    let biwi = d.op(OpKind::Mul, bi, wi);
+    let brwi = d.op(OpKind::Mul, br, wi);
+    let biwr = d.op(OpKind::Mul, bi, wr);
+    let tr = d.op(OpKind::Sub, brwr.into(), biwi.into());
+    let ti = d.op(OpKind::Add, brwi.into(), biwr.into());
+    // out = a +/- t
+    let sr = d.op(OpKind::Add, ar, tr.into());
+    let si = d.op(OpKind::Add, ai, ti.into());
+    let dr = d.op(OpKind::Sub, ar, tr.into());
+    let di = d.op(OpKind::Sub, ai, ti.into());
+    [sr.into(), si.into(), dr.into(), di.into()]
+}
+
+pub(crate) fn build() -> Dfg {
+    let mut d = Dfg::new(8);
+    d.set_name("fft");
+    // Two complex input pairs (4 complex points, interleaved re/im).
+    let ins: Vec<ValueRef> = (0..8).map(|i| d.input(format!("x{i}"))).collect();
+    let b0 = butterfly(&mut d, ins[0], ins[1], ins[2], ins[3], TWIDDLE[0]);
+    let b1 = butterfly(&mut d, ins[4], ins[5], ins[6], ins[7], TWIDDLE[1]);
+    // Second stage combining the two butterflies.
+    let b2 = butterfly(&mut d, b0[0], b0[1], b1[0], b1[1], TWIDDLE[1]);
+    for v in b2 {
+        if let ValueRef::Op(id) = v {
+            d.mark_output(id);
+        }
+    }
+    // Also expose one difference lane from stage 1.
+    if let ValueRef::Op(id) = b0[2] {
+        d.mark_output(id);
+    }
+    d
+}
+
+pub(crate) fn workload(frames: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..frames)
+        .map(|f| {
+            (0..8)
+                .map(|i| audio_sample(&mut rng, (f * 8 + i) as u64))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let d = build();
+        let (adds, muls) = d.op_mix();
+        assert_eq!(muls, 12); // 3 butterflies x 4 multiplies
+        assert_eq!(adds, 18); // 3 butterflies x 6 add/subs
+    }
+}

@@ -1,0 +1,61 @@
+//! 8-tap FIR filter kernel.
+
+use lockbind_hls::{Dfg, OpKind, Trace, ValueRef};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gen::audio_sample;
+use crate::kernels::adder_tree;
+
+/// Low-pass tap coefficients (8-bit fixed point).
+const TAPS: [u64; 8] = [3, 12, 32, 67, 67, 32, 12, 3];
+
+pub(crate) fn build() -> Dfg {
+    let mut d = Dfg::new(8);
+    d.set_name("fir");
+    let x: Vec<ValueRef> = (0..8).map(|i| d.input(format!("x{i}"))).collect();
+    let products: Vec<ValueRef> = x
+        .iter()
+        .zip(TAPS)
+        .map(|(&xi, c)| ValueRef::Op(d.op(OpKind::Mul, xi, ValueRef::Const(c))))
+        .collect();
+    let acc = adder_tree(&mut d, &products);
+    // Round and scale the accumulator.
+    let rounded = d.op(OpKind::Add, acc, ValueRef::Const(4));
+    let scaled = d.op(OpKind::Shr, rounded.into(), ValueRef::Const(3));
+    d.mark_output(scaled);
+    d
+}
+
+pub(crate) fn workload(frames: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sliding window over a continuous sample stream.
+    let total = frames + 7;
+    let stream: Vec<u64> = (0..total)
+        .map(|t| audio_sample(&mut rng, t as u64))
+        .collect();
+    (0..frames)
+        .map(|f| stream[f..f + 8].to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let d = build();
+        let (adds, muls) = d.op_mix();
+        assert_eq!(muls, 8);
+        assert_eq!(adds, 9); // 7 tree adds + round + shift
+    }
+
+    #[test]
+    fn sliding_window_overlaps() {
+        let t = workload(5, 3);
+        let f0 = &t.frames()[0];
+        let f1 = &t.frames()[1];
+        assert_eq!(f0[1..], f1[..7]);
+    }
+}

@@ -1,0 +1,62 @@
+//! JPEG transcode quantization kernel (`jctrans`-style): dequantize,
+//! scale, requantize a strip of DCT coefficients.
+
+use lockbind_hls::{Dfg, OpKind, Trace, ValueRef};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gen::coeff;
+
+/// Source and destination quantization steps for 6 coefficient positions.
+const Q_SRC: [u64; 6] = [8, 11, 13, 16, 20, 24];
+const Q_DST: [u64; 6] = [6, 9, 12, 14, 18, 22];
+
+pub(crate) fn build() -> Dfg {
+    let mut d = Dfg::new(8);
+    d.set_name("jctrans2");
+    let c: Vec<ValueRef> = (0..6).map(|i| d.input(format!("c{i}"))).collect();
+    let mut outs = Vec::new();
+    for (i, &ci) in c.iter().enumerate() {
+        // Dequantize with the source table.
+        let deq = d.op(OpKind::Mul, ci, ValueRef::Const(Q_SRC[i]));
+        // Add rounding bias, rescale toward the destination step.
+        let biased = d.op(OpKind::Add, deq.into(), ValueRef::Const(Q_DST[i] / 2));
+        let shifted = d.op(OpKind::Shr, biased.into(), ValueRef::Const(3));
+        // Neighbouring-coefficient smoothing term (cross add).
+        let neighbour = if i + 1 < c.len() { c[i + 1] } else { c[0] };
+        let smooth = d.op(OpKind::Add, shifted.into(), neighbour);
+        outs.push(smooth);
+    }
+    // Accumulate an activity measure over the strip.
+    let total = crate::kernels::adder_tree(
+        &mut d,
+        &outs.iter().map(|&o| ValueRef::Op(o)).collect::<Vec<_>>(),
+    );
+    if let ValueRef::Op(id) = total {
+        d.mark_output(id);
+    }
+    for o in outs.into_iter().take(3) {
+        d.mark_output(o);
+    }
+    d
+}
+
+pub(crate) fn workload(frames: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..frames)
+        .map(|_| (0..6).map(|_| coeff(&mut rng)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let d = build();
+        let (adds, muls) = d.op_mix();
+        assert_eq!(muls, 6);
+        assert!(adds >= 17, "adds = {adds}");
+    }
+}

@@ -1,0 +1,90 @@
+//! JPEG upsample-merge color conversion (`jdmerge`-style): YCbCr -> RGB
+//! with shared chroma across `pixels` luma samples. The three paper
+//! variants (`jdmerge1/3/4`) differ in how many pixels share one chroma
+//! pair.
+
+use lockbind_hls::{Dfg, OpKind, Trace, ValueRef};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gen::{chroma, luma};
+
+/// Fixed-point color-conversion coefficients.
+const C_RV: u64 = 91; // 1.402 scaled
+const C_GU: u64 = 22; // 0.344
+const C_GV: u64 = 46; // 0.714
+const C_BU: u64 = 113; // 1.772
+
+pub(crate) fn build(pixels: usize) -> Dfg {
+    let mut d = Dfg::new(8);
+    d.set_name(match pixels {
+        1 => "jdmerge1",
+        2 => "jdmerge3",
+        _ => "jdmerge4",
+    });
+    let cb = d.input("cb");
+    let cr = d.input("cr");
+    let ys: Vec<ValueRef> = (0..pixels).map(|i| d.input(format!("y{i}"))).collect();
+
+    // Chroma is centered at 128 in storage.
+    let cb_c = d.op(OpKind::Sub, cb, ValueRef::Const(128));
+    let cr_c = d.op(OpKind::Sub, cr, ValueRef::Const(128));
+
+    // Per-chroma products shared by all pixels in the group.
+    let rv = d.op(OpKind::Mul, cr_c.into(), ValueRef::Const(C_RV));
+    let gu = d.op(OpKind::Mul, cb_c.into(), ValueRef::Const(C_GU));
+    let gv = d.op(OpKind::Mul, cr_c.into(), ValueRef::Const(C_GV));
+    let bu = d.op(OpKind::Mul, cb_c.into(), ValueRef::Const(C_BU));
+    let g_term = d.op(OpKind::Add, gu.into(), gv.into());
+
+    for &y in &ys {
+        // Per-pixel luma weighting (adds multiplier work per pixel).
+        let y_scaled = d.op(OpKind::Mul, y, ValueRef::Const(77));
+        let r = d.op(OpKind::Add, y_scaled.into(), rv.into());
+        let g = d.op(OpKind::Sub, y_scaled.into(), g_term.into());
+        let b = d.op(OpKind::Add, y_scaled.into(), bu.into());
+        // Clamp-ish post-processing.
+        let r8 = d.op(OpKind::Shr, r.into(), ValueRef::Const(1));
+        let g8 = d.op(OpKind::Min, g.into(), ValueRef::Const(255));
+        let b8 = d.op(OpKind::Shr, b.into(), ValueRef::Const(1));
+        for out in [r8, g8, b8] {
+            d.mark_output(out);
+        }
+    }
+    d
+}
+
+pub(crate) fn workload(pixels: usize, frames: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..frames)
+        .map(|_| {
+            let mut f = vec![chroma(&mut rng), chroma(&mut rng)];
+            f.extend((0..pixels).map(|_| luma(&mut rng)));
+            f
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_scale_with_pixel_count() {
+        let d1 = build(1);
+        let d2 = build(2);
+        let d4 = build(4);
+        assert!(d2.num_ops() > d1.num_ops());
+        assert!(d4.num_ops() > d2.num_ops());
+        let (_, m1) = d1.op_mix();
+        let (_, m4) = d4.op_mix();
+        assert_eq!(m1, 5); // 4 chroma products + 1 luma scale
+        assert_eq!(m4, 8); // 4 chroma products + 4 luma scales
+    }
+
+    #[test]
+    fn workload_arity_tracks_variant() {
+        assert_eq!(workload(1, 3, 1).frames()[0].len(), 3);
+        assert_eq!(workload(4, 3, 1).frames()[0].len(), 6);
+    }
+}

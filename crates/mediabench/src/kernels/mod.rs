@@ -1,0 +1,229 @@
+//! The 11 benchmark kernels.
+
+mod dct;
+mod ecb;
+mod fft;
+mod fir;
+mod jctrans;
+mod jdmerge;
+mod motion;
+mod noisest;
+
+use lockbind_hls::{Dfg, Trace};
+
+use crate::Benchmark;
+
+/// The 11 MediaBench-derived kernels of the paper's evaluation (Sec. VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// 8-point DCT butterfly (from `mpeg2enc`-style transform code).
+    Dct,
+    /// Block-cipher ECB encryption round (from `pegwit`); adders only.
+    EcbEnc4,
+    /// Radix-2 FFT butterfly pair (from `epic`-style filterbanks).
+    Fft,
+    /// 8-tap FIR filter.
+    Fir,
+    /// JPEG transcode quant/dequant kernel (`cjpeg/jctrans`).
+    Jctrans2,
+    /// JPEG upsample-merge color conversion, 1-pixel variant (`djpeg`).
+    Jdmerge1,
+    /// JPEG upsample-merge, 2-pixel variant.
+    Jdmerge3,
+    /// JPEG upsample-merge, 4-pixel variant.
+    Jdmerge4,
+    /// Motion-estimation SAD with weighted half-pel interpolation
+    /// (`mpeg2enc/motion`).
+    Motion2,
+    /// Motion estimation with candidate min-compare stage.
+    Motion3,
+    /// Noise estimation (squared-residual accumulation) from `rasta`.
+    Noisest2,
+}
+
+impl Kernel {
+    /// Every kernel, in the order the paper's figures list them.
+    pub const ALL: [Kernel; 11] = [
+        Kernel::Dct,
+        Kernel::EcbEnc4,
+        Kernel::Fft,
+        Kernel::Fir,
+        Kernel::Jctrans2,
+        Kernel::Jdmerge1,
+        Kernel::Jdmerge3,
+        Kernel::Jdmerge4,
+        Kernel::Motion2,
+        Kernel::Motion3,
+        Kernel::Noisest2,
+    ];
+
+    /// The benchmark's name as it appears in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Dct => "dct",
+            Kernel::EcbEnc4 => "ecb_enc4",
+            Kernel::Fft => "fft",
+            Kernel::Fir => "fir",
+            Kernel::Jctrans2 => "jctrans2",
+            Kernel::Jdmerge1 => "jdmerge1",
+            Kernel::Jdmerge3 => "jdmerge3",
+            Kernel::Jdmerge4 => "jdmerge4",
+            Kernel::Motion2 => "motion2",
+            Kernel::Motion3 => "motion3",
+            Kernel::Noisest2 => "noisest2",
+        }
+    }
+
+    /// Builds the kernel's DFG (deterministic; 8-bit operands).
+    pub fn build_dfg(self) -> Dfg {
+        match self {
+            Kernel::Dct => dct::build(),
+            Kernel::EcbEnc4 => ecb::build(),
+            Kernel::Fft => fft::build(),
+            Kernel::Fir => fir::build(),
+            Kernel::Jctrans2 => jctrans::build(),
+            Kernel::Jdmerge1 => jdmerge::build(1),
+            Kernel::Jdmerge3 => jdmerge::build(2),
+            Kernel::Jdmerge4 => jdmerge::build(4),
+            Kernel::Motion2 => motion::build(false),
+            Kernel::Motion3 => motion::build(true),
+            Kernel::Noisest2 => noisest::build(),
+        }
+    }
+
+    /// Generates the kernel's typical workload: `frames` input frames drawn
+    /// from the kernel-specific distribution, deterministically in `seed`.
+    pub fn workload(self, frames: usize, seed: u64) -> Trace {
+        // Mix the kernel index into the seed so suites built from one seed
+        // do not correlate across kernels.
+        let seed = seed ^ (self as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        match self {
+            Kernel::Dct => dct::workload(frames, seed),
+            Kernel::EcbEnc4 => ecb::workload(frames, seed),
+            Kernel::Fft => fft::workload(frames, seed),
+            Kernel::Fir => fir::workload(frames, seed),
+            Kernel::Jctrans2 => jctrans::workload(frames, seed),
+            Kernel::Jdmerge1 => jdmerge::workload(1, frames, seed),
+            Kernel::Jdmerge3 => jdmerge::workload(2, frames, seed),
+            Kernel::Jdmerge4 => jdmerge::workload(4, frames, seed),
+            Kernel::Motion2 => motion::workload(false, frames, seed),
+            Kernel::Motion3 => motion::workload(true, frames, seed),
+            Kernel::Noisest2 => noisest::workload(frames, seed),
+        }
+    }
+
+    /// Builds the DFG and its workload together.
+    pub fn benchmark(self, frames: usize, seed: u64) -> Benchmark {
+        Benchmark {
+            dfg: self.build_dfg(),
+            trace: self.workload(frames, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Shared helper: balanced adder-reduction tree over a list of values.
+pub(crate) fn adder_tree(
+    dfg: &mut Dfg,
+    values: &[lockbind_hls::ValueRef],
+) -> lockbind_hls::ValueRef {
+    use lockbind_hls::OpKind;
+    assert!(!values.is_empty());
+    let mut layer: Vec<lockbind_hls::ValueRef> = values.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(dfg.op(OpKind::Add, pair[0], pair[1]).into());
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockbind_hls::sim::execute_frame;
+    use lockbind_hls::{schedule_list, Allocation};
+
+    #[test]
+    fn all_kernels_build_and_execute() {
+        for k in Kernel::ALL {
+            let b = k.benchmark(25, 7);
+            assert_eq!(b.dfg.name(), k.name());
+            assert!(b.dfg.num_ops() > 8, "{k} too small");
+            assert!(!b.dfg.outputs().is_empty(), "{k} has no outputs");
+            for frame in &b.trace {
+                execute_frame(&b.dfg, frame).expect("workload frames match arity");
+            }
+        }
+    }
+
+    #[test]
+    fn all_kernels_schedule_onto_three_fus() {
+        for k in Kernel::ALL {
+            let dfg = k.build_dfg();
+            let (_, muls) = dfg.op_mix();
+            let alloc = Allocation::new(3, if muls > 0 { 3 } else { 0 });
+            let sched = schedule_list(&dfg, &alloc).expect("schedulable");
+            assert!(sched.num_cycles() >= 3, "{k} suspiciously shallow");
+        }
+    }
+
+    #[test]
+    fn only_ecb_lacks_multipliers() {
+        for k in Kernel::ALL {
+            let (_, muls) = k.build_dfg().op_mix();
+            if k == Kernel::EcbEnc4 {
+                assert_eq!(muls, 0, "paper: no multipliers in ecb_enc4");
+            } else {
+                assert!(muls > 0, "{k} should use multipliers");
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        for k in [Kernel::Dct, Kernel::Motion2, Kernel::Jdmerge4] {
+            let a = k.workload(30, 5);
+            let b = k.workload(30, 5);
+            assert_eq!(a.frames(), b.frames());
+        }
+    }
+
+    #[test]
+    fn workloads_differ_across_kernels_with_same_seed() {
+        let a = Kernel::Jdmerge1.workload(10, 5);
+        let b = Kernel::Jctrans2.workload(10, 5);
+        // Different arities already; compare lengths of first frames.
+        assert_ne!(a.frames()[0].len(), 0);
+        assert_ne!(b.frames()[0].len(), 0);
+    }
+
+    #[test]
+    fn adder_tree_reduces_to_single_value() {
+        use lockbind_hls::{Dfg, OpKind};
+        let mut d = Dfg::new(8);
+        let vals: Vec<_> = (0..5).map(|i| d.input(format!("x{i}"))).collect();
+        let sum = adder_tree(&mut d, &vals);
+        if let lockbind_hls::ValueRef::Op(id) = sum {
+            d.mark_output(id);
+        } else {
+            panic!("tree of >1 values must end in an op");
+        }
+        // 5 leaves -> 4 adds.
+        assert_eq!(d.num_ops(), 4);
+        let acts = execute_frame(&d, &vec![1, 2, 3, 4, 5]).expect("ok");
+        assert_eq!(acts.last().expect("ops").out, 15);
+        let _ = OpKind::Add;
+    }
+}

@@ -1,0 +1,107 @@
+//! Motion-estimation SAD kernels (`mpeg2enc` motion search inner loops).
+//!
+//! `motion2`: SAD over an 8-pixel strip with weighted half-pel
+//! interpolation; `motion3` additionally compares two candidate SADs with a
+//! min stage.
+
+use lockbind_hls::{Dfg, OpKind, Trace, ValueRef};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gen::pixel_pair;
+use crate::kernels::adder_tree;
+
+pub(crate) fn build(with_compare: bool) -> Dfg {
+    let mut d = Dfg::new(8);
+    d.set_name(if with_compare { "motion3" } else { "motion2" });
+    let n = 6usize; // pixels per strip
+    let cur: Vec<ValueRef> = (0..n).map(|i| d.input(format!("c{i}"))).collect();
+    let refp: Vec<ValueRef> = (0..n).map(|i| d.input(format!("r{i}"))).collect();
+
+    // Half-pel interpolation on the reference: (r_i + r_{i+1}) * w_i >> 1,
+    // with position-dependent filter weights (as in real sub-pel
+    // interpolation filters) so each multiplier op sees its own operand
+    // distribution.
+    const WEIGHTS: [u64; 6] = [64, 48, 80, 32, 96, 72];
+    let mut interp = Vec::new();
+    for i in 0..n {
+        let nbr = refp[(i + 1) % n];
+        let sum = d.op(OpKind::Add, refp[i], nbr);
+        let weighted = d.op(OpKind::Mul, sum.into(), ValueRef::Const(WEIGHTS[i]));
+        let half = d.op(OpKind::Shr, weighted.into(), ValueRef::Const(7));
+        interp.push(ValueRef::Op(half));
+    }
+
+    // SAD against the interpolated reference.
+    let diffs: Vec<ValueRef> = cur
+        .iter()
+        .zip(&interp)
+        .map(|(&c, &r)| ValueRef::Op(d.op(OpKind::AbsDiff, c, r)))
+        .collect();
+    let sad_half = adder_tree(&mut d, &diffs);
+
+    // SAD against the full-pel reference.
+    let diffs_full: Vec<ValueRef> = cur
+        .iter()
+        .zip(&refp)
+        .map(|(&c, &r)| ValueRef::Op(d.op(OpKind::AbsDiff, c, r)))
+        .collect();
+    let sad_full = adder_tree(&mut d, &diffs_full);
+
+    if with_compare {
+        let best = d.op(OpKind::Min, sad_half, sad_full);
+        let worst = d.op(OpKind::Max, sad_half, sad_full);
+        let margin = d.op(OpKind::Sub, worst.into(), best.into());
+        d.mark_output(best);
+        d.mark_output(margin);
+    } else {
+        if let ValueRef::Op(id) = sad_half {
+            d.mark_output(id);
+        }
+        if let ValueRef::Op(id) = sad_full {
+            d.mark_output(id);
+        }
+    }
+    d
+}
+
+pub(crate) fn workload(_with_compare: bool, frames: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 6usize;
+    (0..frames)
+        .map(|_| {
+            let pairs: Vec<(u64, u64)> = (0..n).map(|_| pixel_pair(&mut rng)).collect();
+            pairs
+                .iter()
+                .map(|&(c, _)| c)
+                .chain(pairs.iter().map(|&(_, r)| r))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motion2_shape() {
+        let d = build(false);
+        let (adds, muls) = d.op_mix();
+        assert_eq!(muls, 6);
+        assert!(adds >= 25, "adds = {adds}");
+    }
+
+    #[test]
+    fn motion3_adds_compare_stage() {
+        let d2 = build(false);
+        let d3 = build(true);
+        assert_eq!(d3.num_ops(), d2.num_ops() + 3);
+    }
+
+    #[test]
+    fn workload_has_current_then_reference() {
+        let t = workload(false, 2, 9);
+        assert_eq!(t.frames()[0].len(), 12);
+    }
+}

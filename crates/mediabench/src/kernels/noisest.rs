@@ -1,0 +1,95 @@
+//! Noise-estimation kernel (`rasta`-style): accumulate squared residuals
+//! between a signal and its smoothed prediction, with clamping.
+
+use lockbind_hls::{Dfg, OpKind, Trace, ValueRef};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gen::pixel_pair;
+use crate::kernels::adder_tree;
+
+pub(crate) fn build() -> Dfg {
+    let mut d = Dfg::new(8);
+    d.set_name("noisest2");
+    let n = 5usize;
+    let sig: Vec<ValueRef> = (0..n).map(|i| d.input(format!("s{i}"))).collect();
+    let pred: Vec<ValueRef> = (0..n).map(|i| d.input(format!("p{i}"))).collect();
+
+    // Per-band emphasis weights (rasta applies a critical-band weighting),
+    // giving each band's ops their own operand distributions.
+    const BAND_WEIGHT: [u64; 5] = [200, 150, 110, 80, 60];
+    let mut squares = Vec::new();
+    for i in 0..n {
+        let resid = d.op(OpKind::AbsDiff, sig[i], pred[i]);
+        // Square the residual: both multiplier operands are the same value
+        // stream — a sharply skewed minterm distribution around (0, 0).
+        let sq = d.op(OpKind::Mul, resid.into(), resid.into());
+        // Clamp the energy contribution with a band-dependent ceiling.
+        let clamped = d.op(OpKind::Min, sq.into(), ValueRef::Const(BAND_WEIGHT[i]));
+        squares.push(ValueRef::Op(clamped));
+    }
+    let energy = adder_tree(&mut d, &squares);
+    // Exponential smoothing with the previous estimate (first signal input
+    // doubles as state for the stand-in).
+    let scaled = d.op(OpKind::Mul, energy, ValueRef::Const(13));
+    let smoothed = d.op(OpKind::Shr, scaled.into(), ValueRef::Const(4));
+    let floor = d.op(OpKind::Max, smoothed.into(), ValueRef::Const(1));
+    d.mark_output(floor);
+    d
+}
+
+pub(crate) fn workload(frames: usize, seed: u64) -> Trace {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 5usize;
+    (0..frames)
+        .map(|_| {
+            // Low bands are smooth (prediction matches almost always);
+            // high bands carry most of the noise — so each band's residual,
+            // and hence each squaring op's minterm stream, is distinct.
+            let pairs: Vec<(u64, u64)> = (0..n)
+                .map(|band| {
+                    let (s, p) = pixel_pair(&mut rng);
+                    if band <= 1 || rng.gen_range(0..5) > band {
+                        (s, s) // perfectly predicted
+                    } else {
+                        (s, p)
+                    }
+                })
+                .collect();
+            pairs
+                .iter()
+                .map(|&(s, _)| s)
+                .chain(pairs.iter().map(|&(_, p)| p))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let d = build();
+        let (adds, muls) = d.op_mix();
+        assert_eq!(muls, 6); // 5 squares + 1 smoothing scale
+        assert!(adds >= 12, "adds = {adds}");
+    }
+
+    #[test]
+    fn squares_see_equal_operands() {
+        use lockbind_hls::sim::execute_frame;
+        let d = build();
+        let t = workload(1, 3);
+        let acts = execute_frame(&d, &t.frames()[0]).expect("ok");
+        // Find a mul op whose operands are equal (the squaring ops).
+        let squares = d
+            .iter_ops()
+            .filter(|(_, o)| o.kind == OpKind::Mul && o.lhs == o.rhs)
+            .count();
+        assert_eq!(squares, 5);
+        let _ = acts;
+    }
+}

@@ -1,0 +1,105 @@
+//! Workload characterization: how skewed and how operation-specific a
+//! trace's minterm distributions are.
+//!
+//! These statistics quantify the property the paper's binding algorithms
+//! exploit — without concentrated, per-operation-distinct minterm
+//! distributions there is nothing for a security-aware binding to optimize
+//! (see the `ablation` bench's skew sweep).
+
+use lockbind_hls::{Dfg, HlsError, OccurrenceProfile, Trace};
+
+/// Distribution statistics of a DFG's workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Per operation: share of that op's applications taken by its single
+    /// most common minterm (1.0 = fully deterministic stream).
+    pub top_share: Vec<f64>,
+    /// Per operation: number of distinct minterms observed.
+    pub distinct: Vec<usize>,
+    /// Mean of `top_share`.
+    pub mean_top_share: f64,
+    /// Mean of `distinct`.
+    pub mean_distinct: f64,
+}
+
+/// Computes [`TraceStats`] by profiling the trace.
+///
+/// # Errors
+/// [`HlsError::FrameArityMismatch`] on malformed traces.
+pub fn trace_stats(dfg: &Dfg, trace: &Trace) -> Result<TraceStats, HlsError> {
+    let profile = OccurrenceProfile::from_trace(dfg, trace)?;
+    let mut top_share = Vec::with_capacity(dfg.num_ops());
+    let mut distinct = Vec::with_capacity(dfg.num_ops());
+    for id in dfg.op_ids() {
+        let ms = profile.minterms_of(id);
+        let total: u64 = ms.iter().map(|&(_, c)| c).sum();
+        let top = ms.first().map(|&(_, c)| c).unwrap_or(0);
+        top_share.push(if total == 0 {
+            0.0
+        } else {
+            top as f64 / total as f64
+        });
+        distinct.push(ms.len());
+    }
+    let n = dfg.num_ops().max(1) as f64;
+    Ok(TraceStats {
+        mean_top_share: top_share.iter().sum::<f64>() / n,
+        mean_distinct: distinct.iter().sum::<usize>() as f64 / n,
+        top_share,
+        distinct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthetic_benchmark, Kernel, SkewParams};
+
+    #[test]
+    fn media_workloads_are_more_concentrated_than_uniform() {
+        // Uniform reference: synthetic kernel at zero hot-probability.
+        let uniform = synthetic_benchmark(
+            &SkewParams {
+                hot_probability: 0.0,
+                lanes: 6,
+            },
+            300,
+            1,
+        );
+        let u = trace_stats(&uniform.dfg, &uniform.trace).expect("stats");
+
+        for kernel in [Kernel::Jctrans2, Kernel::Jdmerge1, Kernel::Motion2] {
+            let b = kernel.benchmark(300, 1);
+            let s = trace_stats(&b.dfg, &b.trace).expect("stats");
+            assert!(
+                s.mean_top_share > u.mean_top_share,
+                "{kernel}: top share {:.3} not above uniform {:.3}",
+                s.mean_top_share,
+                u.mean_top_share
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_stream_has_share_one() {
+        let b = synthetic_benchmark(
+            &SkewParams {
+                hot_probability: 1.0,
+                lanes: 3,
+            },
+            50,
+            7,
+        );
+        let s = trace_stats(&b.dfg, &b.trace).expect("stats");
+        assert!(s.top_share.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        assert!(s.distinct.iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_shares() {
+        let b = Kernel::Fir.benchmark(0, 1);
+        let s = trace_stats(&b.dfg, &b.trace).expect("stats");
+        assert_eq!(s.mean_top_share, 0.0);
+        assert_eq!(s.mean_distinct, 0.0);
+    }
+}

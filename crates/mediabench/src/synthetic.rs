@@ -1,0 +1,157 @@
+//! Parameterized synthetic kernel for ablation studies.
+//!
+//! The magnitude of the paper's error-increase ratios depends on how
+//! *skewed* and how *operation-specific* the workload's minterm
+//! distributions are. This module provides a kernel whose workload skew is
+//! a single tunable knob, so the ablation bench can sweep it and show the
+//! robustness band of Fig. 5 (see DESIGN.md "Trace skew").
+
+use lockbind_hls::{Dfg, OpKind, Trace, ValueRef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Benchmark;
+
+/// Skew knob for [`synthetic_benchmark`].
+///
+/// `hot_probability` is the chance that an operation's input assumes its
+/// per-operation "hot" value in a frame (the rest of the mass is uniform):
+/// `0.0` gives uniform operands (no structure for binding to exploit),
+/// `1.0` gives fully deterministic streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewParams {
+    /// Probability of the per-op hot value (0.0..=1.0).
+    pub hot_probability: f64,
+    /// Number of parallel MAC lanes (ops scale linearly with it).
+    pub lanes: usize,
+}
+
+impl Default for SkewParams {
+    fn default() -> Self {
+        SkewParams {
+            hot_probability: 0.7,
+            lanes: 6,
+        }
+    }
+}
+
+/// Builds a MAC-bank kernel (one multiply + accumulate add per lane, plus a
+/// reduction tree) and a workload where lane `i`'s input has its own hot
+/// value with probability `hot_probability`.
+///
+/// # Panics
+/// Panics if `hot_probability` is outside `[0, 1]` or `lanes` is zero.
+pub fn synthetic_benchmark(params: &SkewParams, frames: usize, seed: u64) -> Benchmark {
+    assert!(
+        (0.0..=1.0).contains(&params.hot_probability),
+        "hot_probability must lie in [0, 1]"
+    );
+    assert!(params.lanes > 0, "need at least one lane");
+
+    let mut dfg = Dfg::new(8);
+    dfg.set_name("synthetic-mac");
+    let inputs: Vec<ValueRef> = (0..params.lanes)
+        .map(|i| dfg.input(format!("x{i}")))
+        .collect();
+    let mut partials = Vec::new();
+    for (i, &x) in inputs.iter().enumerate() {
+        let coeff = ValueRef::Const(17 + 11 * i as u64);
+        let prod = dfg.op(OpKind::Mul, x, coeff);
+        let biased = dfg.op(OpKind::Add, prod.into(), ValueRef::Const(i as u64 + 1));
+        partials.push(ValueRef::Op(biased));
+    }
+    let total = crate::kernels::adder_tree(&mut dfg, &partials);
+    if let ValueRef::Op(id) = total {
+        dfg.mark_output(id);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hot: Vec<u64> = (0..params.lanes).map(|i| (37 * i as u64 + 5) % 256).collect();
+    let trace: Trace = (0..frames)
+        .map(|_| {
+            (0..params.lanes)
+                .map(|i| {
+                    if rng.gen_bool(params.hot_probability) {
+                        hot[i]
+                    } else {
+                        rng.gen_range(0..256)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    Benchmark { dfg, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockbind_hls::OccurrenceProfile;
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let b = synthetic_benchmark(
+            &SkewParams {
+                hot_probability: 0.0,
+                lanes: 4,
+            },
+            512,
+            3,
+        );
+        let k = OccurrenceProfile::from_trace(&b.dfg, &b.trace).expect("profiled");
+        // No minterm of the first multiply should dominate.
+        let op = b.dfg.ops_of_class(lockbind_hls::FuClass::Multiplier)[0];
+        let top = k.minterms_of(op)[0].1;
+        assert!(top < 30, "top count {top} too high for uniform input");
+    }
+
+    #[test]
+    fn full_skew_is_deterministic() {
+        let b = synthetic_benchmark(
+            &SkewParams {
+                hot_probability: 1.0,
+                lanes: 4,
+            },
+            100,
+            3,
+        );
+        let k = OccurrenceProfile::from_trace(&b.dfg, &b.trace).expect("profiled");
+        let op = b.dfg.ops_of_class(lockbind_hls::FuClass::Multiplier)[0];
+        assert_eq!(k.minterms_of(op)[0].1, 100);
+    }
+
+    #[test]
+    fn lanes_scale_op_count() {
+        let small = synthetic_benchmark(
+            &SkewParams {
+                hot_probability: 0.5,
+                lanes: 3,
+            },
+            10,
+            1,
+        );
+        let big = synthetic_benchmark(
+            &SkewParams {
+                hot_probability: 0.5,
+                lanes: 9,
+            },
+            10,
+            1,
+        );
+        assert!(big.dfg.num_ops() > small.dfg.num_ops());
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_probability")]
+    fn rejects_bad_probability() {
+        let _ = synthetic_benchmark(
+            &SkewParams {
+                hot_probability: 1.5,
+                lanes: 2,
+            },
+            1,
+            1,
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Alternative datapath architectures for the FU modules.
+//!
+//! Locking overhead and SAT-attack hardness both depend on the *structure*
+//! of the locked module, not only its function. These builders provide
+//! faster/wider-industry-standard implementations functionally equivalent
+//! to the ripple-carry/array versions in [`crate::builders`], so experiments
+//! can check that the paper's conclusions are architecture-independent.
+
+use crate::builders::{full_adder, Bus};
+use crate::{Netlist, Signal};
+
+/// Carry-lookahead adder (block size = full width, textbook generate/
+/// propagate network); wraps like the ripple-carry version.
+///
+/// # Panics
+/// Panics if the buses differ in width or are empty.
+pub fn carry_lookahead_adder(nl: &mut Netlist, a: &[Signal], b: &[Signal]) -> Bus {
+    assert_eq!(a.len(), b.len(), "adder operands must have equal width");
+    assert!(!a.is_empty(), "adder width must be positive");
+    let w = a.len();
+    // Generate and propagate per bit.
+    let g: Vec<Signal> = (0..w).map(|i| nl.and(a[i], b[i])).collect();
+    let p: Vec<Signal> = (0..w).map(|i| nl.xor(a[i], b[i])).collect();
+    // Carries: c[0] = 0; c[i+1] = g[i] | (p[i] & c[i]) — expanded as a
+    // lookahead network (prefix AND-OR chains).
+    let mut carries: Vec<Signal> = Vec::with_capacity(w + 1);
+    carries.push(nl.lit_false());
+    for i in 0..w {
+        // c[i+1] = g[i] | p[i]&g[i-1] | p[i]&p[i-1]&g[i-2] | ...
+        let mut term_chain: Option<Signal> = None;
+        let mut prefix: Option<Signal> = None; // p[i] & p[i-1] & ... (running)
+        for j in (0..=i).rev() {
+            let term = match prefix {
+                None => g[j],
+                Some(pre) => nl.and(pre, g[j]),
+            };
+            term_chain = Some(match term_chain {
+                None => term,
+                Some(acc) => nl.or(acc, term),
+            });
+            prefix = Some(match prefix {
+                None => p[j],
+                Some(pre) => nl.and(pre, p[j]),
+            });
+        }
+        carries.push(term_chain.expect("i+1 terms"));
+    }
+    (0..w).map(|i| nl.xor(p[i], carries[i])).collect()
+}
+
+/// Wallace-tree multiplier: partial products reduced with carry-save
+/// adders, final carry-propagate stage; returns the low `width` bits
+/// (wrapping), like [`crate::builders::array_multiplier`].
+pub fn wallace_multiplier(nl: &mut Netlist, a: &[Signal], b: &[Signal]) -> Bus {
+    assert_eq!(a.len(), b.len(), "multiplier operands must have equal width");
+    assert!(!a.is_empty(), "multiplier width must be positive");
+    let w = a.len();
+    // Column-wise partial-product bits (truncated to w columns).
+    let mut columns: Vec<Vec<Signal>> = vec![Vec::new(); w];
+    for (i, &bi) in b.iter().enumerate() {
+        for (j, &aj) in a.iter().enumerate() {
+            if i + j < w {
+                columns[i + j].push(nl.and(aj, bi));
+            }
+        }
+    }
+    // Carry-save reduction: repeatedly compress columns of 3 bits into
+    // sum+carry until every column has at most 2 bits.
+    loop {
+        let max_height = columns.iter().map(Vec::len).max().unwrap_or(0);
+        if max_height <= 2 {
+            break;
+        }
+        let mut next: Vec<Vec<Signal>> = vec![Vec::new(); w];
+        for (c, col) in columns.iter().enumerate() {
+            let mut i = 0;
+            while col.len() - i >= 3 {
+                let (s, carry) = {
+                    let cin = col[i + 2];
+                    full_adder(nl, col[i], col[i + 1], cin)
+                };
+                next[c].push(s);
+                if c + 1 < w {
+                    next[c + 1].push(carry);
+                }
+                i += 3;
+            }
+            if col.len() - i == 2 {
+                // Half adder.
+                let s = nl.xor(col[i], col[i + 1]);
+                let carry = nl.and(col[i], col[i + 1]);
+                next[c].push(s);
+                if c + 1 < w {
+                    next[c + 1].push(carry);
+                }
+            } else if col.len() - i == 1 {
+                next[c].push(col[i]);
+            }
+        }
+        columns = next;
+    }
+    // Final carry-propagate addition over the two remaining rows.
+    let zero = nl.lit_false();
+    let row0: Vec<Signal> = columns
+        .iter()
+        .map(|col| col.first().copied().unwrap_or(zero))
+        .collect();
+    let row1: Vec<Signal> = columns
+        .iter()
+        .map(|col| col.get(1).copied().unwrap_or(zero))
+        .collect();
+    crate::builders::ripple_carry_adder(nl, &row0, &row1)
+}
+
+/// A `width`-bit carry-lookahead adder FU (drop-in alternative to
+/// [`crate::builders::adder_fu`]).
+pub fn cla_adder_fu(width: u32) -> Netlist {
+    let mut nl = Netlist::new(format!("cla_adder{width}"));
+    let a = nl.add_inputs(width as usize);
+    let b = nl.add_inputs(width as usize);
+    let sum = carry_lookahead_adder(&mut nl, &a, &b);
+    for s in sum {
+        nl.mark_output(s);
+    }
+    nl
+}
+
+/// A `width`-bit Wallace-tree multiplier FU (drop-in alternative to
+/// [`crate::builders::multiplier_fu`]).
+pub fn wallace_multiplier_fu(width: u32) -> Netlist {
+    let mut nl = Netlist::new(format!("wallace_mul{width}"));
+    let a = nl.add_inputs(width as usize);
+    let b = nl.add_inputs(width as usize);
+    let prod = wallace_multiplier(&mut nl, &a, &b);
+    for s in prod {
+        nl.mark_output(s);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{adder_fu, multiplier_fu};
+
+    #[test]
+    fn cla_matches_ripple_exhaustive_4bit() {
+        let cla = cla_adder_fu(4);
+        let rc = adder_fu(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(
+                    cla.eval_words(&[a, b], 4, &[]),
+                    rc.eval_words(&[a, b], 4, &[]),
+                    "({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_matches_array_exhaustive_4bit() {
+        let wal = wallace_multiplier_fu(4);
+        let arr = multiplier_fu(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(
+                    wal.eval_words(&[a, b], 4, &[]),
+                    arr.eval_words(&[a, b], 4, &[]),
+                    "({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cla_matches_ripple_random_8bit() {
+        let cla = cla_adder_fu(8);
+        let mut x = 0xACE1u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (x >> 5) & 0xFF;
+            let b = (x >> 29) & 0xFF;
+            assert_eq!(cla.eval_words(&[a, b], 8, &[]), vec![(a + b) & 0xFF]);
+        }
+    }
+
+    #[test]
+    fn wallace_matches_array_random_8bit() {
+        let wal = wallace_multiplier_fu(8);
+        let mut x = 0xBEE5u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (x >> 5) & 0xFF;
+            let b = (x >> 29) & 0xFF;
+            assert_eq!(wal.eval_words(&[a, b], 8, &[]), vec![(a * b) & 0xFF]);
+        }
+    }
+
+    #[test]
+    fn architectures_have_distinct_structure() {
+        // Same function, different gate graph: that is the point.
+        let cla = cla_adder_fu(8);
+        let rc = adder_fu(8);
+        assert_ne!(cla.gate_count(), rc.gate_count());
+        assert!(cla.gate_count() > rc.gate_count(), "lookahead costs gates");
+    }
+}

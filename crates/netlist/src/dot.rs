@@ -1,0 +1,94 @@
+//! Graphviz DOT export for netlists (debuggability aid).
+
+use std::fmt::Write as _;
+
+use crate::{Gate, Netlist};
+
+/// Renders the netlist as a Graphviz `digraph`. Inputs are boxes, keys are
+/// red boxes, outputs are doubled circles, gates are labelled ellipses.
+///
+/// # Example
+/// ```
+/// use lockbind_netlist::{Netlist, dot::to_dot};
+/// let mut nl = Netlist::new("demo");
+/// let a = nl.add_input();
+/// let k = nl.add_key();
+/// let x = nl.xor(a, k);
+/// nl.mark_output(x);
+/// let dot = to_dot(&nl);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("xor"));
+/// ```
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (sig, gate) in netlist.iter_gates() {
+        let id = sig.index();
+        match gate {
+            Gate::False => {
+                let _ = writeln!(out, "  n{id} [label=\"0\", shape=plaintext];");
+            }
+            Gate::Input(i) => {
+                let _ = writeln!(out, "  n{id} [label=\"in{i}\", shape=box];");
+            }
+            Gate::Key(i) => {
+                let _ = writeln!(
+                    out,
+                    "  n{id} [label=\"key{i}\", shape=box, color=red, fontcolor=red];"
+                );
+            }
+            Gate::And(a, b) => {
+                let _ = writeln!(out, "  n{id} [label=\"and\"];");
+                let _ = writeln!(out, "  n{} -> n{id};", a.index());
+                let _ = writeln!(out, "  n{} -> n{id};", b.index());
+            }
+            Gate::Or(a, b) => {
+                let _ = writeln!(out, "  n{id} [label=\"or\"];");
+                let _ = writeln!(out, "  n{} -> n{id};", a.index());
+                let _ = writeln!(out, "  n{} -> n{id};", b.index());
+            }
+            Gate::Xor(a, b) => {
+                let _ = writeln!(out, "  n{id} [label=\"xor\"];");
+                let _ = writeln!(out, "  n{} -> n{id};", a.index());
+                let _ = writeln!(out, "  n{} -> n{id};", b.index());
+            }
+            Gate::Not(a) => {
+                let _ = writeln!(out, "  n{id} [label=\"not\"];");
+                let _ = writeln!(out, "  n{} -> n{id};", a.index());
+            }
+        }
+    }
+    for (i, s) in netlist.outputs().iter().enumerate() {
+        let _ = writeln!(out, "  out{i} [label=\"out{i}\", shape=doublecircle];");
+        let _ = writeln!(out, "  n{} -> out{i};", s.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::adder_fu;
+
+    #[test]
+    fn dot_contains_all_nodes_and_outputs() {
+        let nl = adder_fu(2);
+        let dot = to_dot(&nl);
+        assert!(dot.contains("in0"));
+        assert!(dot.contains("out1"));
+        assert!(dot.contains("xor"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn keys_are_highlighted() {
+        let mut nl = Netlist::new("k");
+        let a = nl.add_input();
+        let k = nl.add_key();
+        let x = nl.and(a, k);
+        nl.mark_output(x);
+        assert!(to_dot(&nl).contains("color=red"));
+    }
+}

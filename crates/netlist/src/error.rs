@@ -1,0 +1,47 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by netlist construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// An evaluation was given the wrong number of primary-input values.
+    InputArityMismatch {
+        /// Inputs the netlist declares.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// An evaluation was given the wrong number of key-input values.
+    KeyArityMismatch {
+        /// Key bits the netlist declares.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// Word-level evaluation was asked for a width that does not divide the
+    /// input count evenly.
+    WordWidthMismatch {
+        /// Total primary inputs.
+        inputs: usize,
+        /// Requested word width.
+        width: u32,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::InputArityMismatch { expected, got } => {
+                write!(f, "netlist has {expected} inputs but {got} values were supplied")
+            }
+            NetlistError::KeyArityMismatch { expected, got } => {
+                write!(f, "netlist has {expected} key bits but {got} values were supplied")
+            }
+            NetlistError::WordWidthMismatch { inputs, width } => {
+                write!(f, "{inputs} inputs cannot be grouped into {width}-bit words")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}

@@ -1,0 +1,426 @@
+use std::fmt;
+
+use crate::NetlistError;
+
+/// A signal (net) in a [`Netlist`]: the output of one gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signal(pub(crate) u32);
+
+impl Signal {
+    /// Index of the driving gate.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A gate in the netlist. The gate set is deliberately small; richer cells
+/// (mux, xnor, comparators) are composed structurally by [`crate::builders`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Constant logic 0.
+    False,
+    /// Primary input with the given index.
+    Input(usize),
+    /// Key input with the given index (withheld from the foundry).
+    Key(usize),
+    /// 2-input AND.
+    And(Signal, Signal),
+    /// 2-input OR.
+    Or(Signal, Signal),
+    /// 2-input XOR.
+    Xor(Signal, Signal),
+    /// Inverter.
+    Not(Signal),
+}
+
+/// A combinational gate-level netlist with primary inputs, key inputs, and
+/// declared outputs. Construction is append-only, so the graph is acyclic by
+/// construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    num_inputs: usize,
+    num_keys: usize,
+    outputs: Vec<Signal>,
+    name: String,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            gates: Vec::new(),
+            num_inputs: 0,
+            num_keys: 0,
+            outputs: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// The netlist's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares a new primary input and returns its signal.
+    pub fn add_input(&mut self) -> Signal {
+        let s = self.push(Gate::Input(self.num_inputs));
+        self.num_inputs += 1;
+        s
+    }
+
+    /// Declares `n` primary inputs (an input bus, LSB first).
+    pub fn add_inputs(&mut self, n: usize) -> Vec<Signal> {
+        (0..n).map(|_| self.add_input()).collect()
+    }
+
+    /// Declares a new key input and returns its signal.
+    pub fn add_key(&mut self) -> Signal {
+        let s = self.push(Gate::Key(self.num_keys));
+        self.num_keys += 1;
+        s
+    }
+
+    /// Declares `n` key inputs (a key bus, LSB first).
+    pub fn add_keys(&mut self, n: usize) -> Vec<Signal> {
+        (0..n).map(|_| self.add_key()).collect()
+    }
+
+    /// The constant-0 signal.
+    pub fn lit_false(&mut self) -> Signal {
+        self.push(Gate::False)
+    }
+
+    /// The constant-1 signal.
+    pub fn lit_true(&mut self) -> Signal {
+        let f = self.lit_false();
+        self.not(f)
+    }
+
+    /// Adds an AND gate.
+    pub fn and(&mut self, a: Signal, b: Signal) -> Signal {
+        self.push(Gate::And(a, b))
+    }
+
+    /// Adds an OR gate.
+    pub fn or(&mut self, a: Signal, b: Signal) -> Signal {
+        self.push(Gate::Or(a, b))
+    }
+
+    /// Adds an XOR gate.
+    pub fn xor(&mut self, a: Signal, b: Signal) -> Signal {
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// Adds an inverter.
+    pub fn not(&mut self, a: Signal) -> Signal {
+        self.push(Gate::Not(a))
+    }
+
+    /// XNOR composed from XOR + NOT.
+    pub fn xnor(&mut self, a: Signal, b: Signal) -> Signal {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// 2:1 mux: `sel ? t : f`, composed structurally.
+    pub fn mux(&mut self, sel: Signal, t: Signal, f: Signal) -> Signal {
+        let ns = self.not(sel);
+        let a = self.and(sel, t);
+        let b = self.and(ns, f);
+        self.or(a, b)
+    }
+
+    /// Marks a signal as a primary output.
+    pub fn mark_output(&mut self, s: Signal) {
+        self.outputs.push(s);
+    }
+
+    /// Declared outputs, in declaration order.
+    pub fn outputs(&self) -> &[Signal] {
+        &self.outputs
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of key inputs.
+    pub fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    /// Number of declared outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Total gates including inputs/keys/constants.
+    pub fn num_nodes(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Logic gate count (excluding inputs, keys, and constants) — the area
+    /// proxy used in overhead comparisons.
+    pub fn gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| {
+                !matches!(g, Gate::Input(_) | Gate::Key(_) | Gate::False)
+            })
+            .count()
+    }
+
+    /// The gate driving `s`.
+    pub fn gate(&self, s: Signal) -> Gate {
+        self.gates[s.index()]
+    }
+
+    /// Iterates over all gates in topological order.
+    pub fn iter_gates(&self) -> impl Iterator<Item = (Signal, Gate)> + '_ {
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (Signal(i as u32), g))
+    }
+
+    fn push(&mut self, gate: Gate) -> Signal {
+        match gate {
+            Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => {
+                assert!(
+                    a.index() < self.gates.len() && b.index() < self.gates.len(),
+                    "gate references future signal"
+                );
+            }
+            Gate::Not(a) => {
+                assert!(a.index() < self.gates.len(), "gate references future signal");
+            }
+            _ => {}
+        }
+        let id = Signal(u32::try_from(self.gates.len()).expect("netlist too large"));
+        self.gates.push(gate);
+        id
+    }
+
+    /// Evaluates the netlist 64 frames at a time: each input/key value is a
+    /// 64-lane bit vector, and each output is the corresponding 64-lane
+    /// result.
+    ///
+    /// # Errors
+    /// Arity errors if `inputs`/`keys` lengths do not match the declarations.
+    pub fn eval_u64(&self, inputs: &[u64], keys: &[u64]) -> Result<Vec<u64>, NetlistError> {
+        if inputs.len() != self.num_inputs {
+            return Err(NetlistError::InputArityMismatch {
+                expected: self.num_inputs,
+                got: inputs.len(),
+            });
+        }
+        if keys.len() != self.num_keys {
+            return Err(NetlistError::KeyArityMismatch {
+                expected: self.num_keys,
+                got: keys.len(),
+            });
+        }
+        let mut val = vec![0u64; self.gates.len()];
+        for (i, &g) in self.gates.iter().enumerate() {
+            val[i] = match g {
+                Gate::False => 0,
+                Gate::Input(k) => inputs[k],
+                Gate::Key(k) => keys[k],
+                Gate::And(a, b) => val[a.index()] & val[b.index()],
+                Gate::Or(a, b) => val[a.index()] | val[b.index()],
+                Gate::Xor(a, b) => val[a.index()] ^ val[b.index()],
+                Gate::Not(a) => !val[a.index()],
+            };
+        }
+        Ok(self.outputs.iter().map(|s| val[s.index()]).collect())
+    }
+
+    /// Single-frame boolean evaluation.
+    ///
+    /// # Errors
+    /// Same as [`Netlist::eval_u64`].
+    pub fn eval(&self, inputs: &[bool], keys: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let to_u64 = |bits: &[bool]| -> Vec<u64> {
+            bits.iter().map(|&b| if b { !0u64 } else { 0 }).collect()
+        };
+        let out = self.eval_u64(&to_u64(inputs), &to_u64(keys))?;
+        Ok(out.into_iter().map(|v| v & 1 == 1).collect())
+    }
+
+    /// Word-level evaluation convenience: groups the primary inputs into
+    /// `width`-bit words (LSB-first within each word, words in declaration
+    /// order), evaluates, and regroups the outputs into one word (if the
+    /// output count equals `width`) or multiple words.
+    ///
+    /// `keys` is a key-bit vector (LSB-first across the whole key).
+    ///
+    /// # Panics
+    /// Panics if the input count is not a multiple of `width` or arity of
+    /// `words`/`keys` is wrong. Intended for tests and examples; use
+    /// [`Netlist::eval_u64`] for fallible evaluation.
+    pub fn eval_words(&self, words: &[u64], width: u32, key: &[bool]) -> Vec<u64> {
+        let w = width as usize;
+        assert!(self.num_inputs % w == 0, "inputs not divisible into words");
+        assert_eq!(words.len() * w, self.num_inputs, "wrong number of words");
+        let mut inputs = Vec::with_capacity(self.num_inputs);
+        for &word in words {
+            for bit in 0..w {
+                inputs.push((word >> bit) & 1 == 1);
+            }
+        }
+        let keys: Vec<bool> = key.to_vec();
+        let out_bits = self.eval(&inputs, &keys).expect("arity checked above");
+        out_bits
+            .chunks(w.min(out_bits.len().max(1)))
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist {} ({} inputs, {} keys, {} outputs, {} gates)",
+            self.name,
+            self.num_inputs,
+            self.num_keys,
+            self.outputs.len(),
+            self.gate_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_gates_evaluate() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let and = nl.and(a, b);
+        let or = nl.or(a, b);
+        let xor = nl.xor(a, b);
+        let not = nl.not(a);
+        for s in [and, or, xor, not] {
+            nl.mark_output(s);
+        }
+        let table = [
+            ((false, false), (false, false, false, true)),
+            ((false, true), (false, true, true, true)),
+            ((true, false), (false, true, true, false)),
+            ((true, true), (true, true, false, false)),
+        ];
+        for ((x, y), (e_and, e_or, e_xor, e_not)) in table {
+            let out = nl.eval(&[x, y], &[]).expect("arity ok");
+            assert_eq!(out, vec![e_and, e_or, e_xor, e_not]);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut nl = Netlist::new("mux");
+        let s = nl.add_input();
+        let t = nl.add_input();
+        let f = nl.add_input();
+        let m = nl.mux(s, t, f);
+        nl.mark_output(m);
+        assert_eq!(nl.eval(&[true, true, false], &[]).expect("ok"), vec![true]);
+        assert_eq!(nl.eval(&[false, true, false], &[]).expect("ok"), vec![false]);
+        assert_eq!(nl.eval(&[false, false, true], &[]).expect("ok"), vec![true]);
+    }
+
+    #[test]
+    fn xnor_truth_table() {
+        let mut nl = Netlist::new("xnor");
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.xnor(a, b);
+        nl.mark_output(x);
+        assert_eq!(nl.eval(&[false, false], &[]).expect("ok"), vec![true]);
+        assert_eq!(nl.eval(&[true, false], &[]).expect("ok"), vec![false]);
+    }
+
+    #[test]
+    fn key_inputs_participate() {
+        let mut nl = Netlist::new("keyed");
+        let a = nl.add_input();
+        let k = nl.add_key();
+        let x = nl.xor(a, k);
+        nl.mark_output(x);
+        assert_eq!(nl.eval(&[true], &[false]).expect("ok"), vec![true]);
+        assert_eq!(nl.eval(&[true], &[true]).expect("ok"), vec![false]);
+        assert_eq!(nl.num_keys(), 1);
+    }
+
+    #[test]
+    fn arity_errors() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input();
+        nl.mark_output(a);
+        assert!(matches!(
+            nl.eval(&[], &[]),
+            Err(NetlistError::InputArityMismatch { expected: 1, got: 0 })
+        ));
+        assert!(matches!(
+            nl.eval(&[true], &[true]),
+            Err(NetlistError::KeyArityMismatch { expected: 0, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn gate_count_excludes_terminals() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let k = nl.add_key();
+        let x = nl.xor(a, b);
+        let y = nl.and(x, k);
+        nl.mark_output(y);
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.num_nodes(), 5);
+    }
+
+    #[test]
+    fn eval_u64_is_lanewise() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.xor(a, b);
+        nl.mark_output(x);
+        let out = nl.eval_u64(&[0b1100, 0b1010], &[]).expect("ok");
+        assert_eq!(out, vec![0b0110]);
+    }
+
+    #[test]
+    fn lit_true_and_false() {
+        let mut nl = Netlist::new("t");
+        let t = nl.lit_true();
+        let f = nl.lit_false();
+        nl.mark_output(t);
+        nl.mark_output(f);
+        assert_eq!(nl.eval(&[], &[]).expect("ok"), vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "future signal")]
+    fn forward_reference_panics() {
+        let mut nl = Netlist::new("t");
+        let _ = nl.not(Signal(7));
+    }
+}

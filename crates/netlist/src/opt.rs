@@ -1,0 +1,360 @@
+//! Netlist optimization: constant folding, common-subexpression
+//! elimination (structural hashing), and dead-gate elimination.
+//!
+//! Locked netlists are built compositionally (clone + splice), which leaves
+//! redundant constants and duplicate comparator substructures behind. This
+//! pass canonicalizes them so gate-count comparisons between locking
+//! schemes measure logic, not construction artifacts.
+
+use std::collections::HashMap;
+
+use crate::{Gate, Netlist, Signal};
+
+/// Result of [`optimize`]: the optimized netlist plus a summary.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// The optimized, functionally equivalent netlist.
+    pub netlist: Netlist,
+    /// Gates before optimization (logic gates only).
+    pub gates_before: usize,
+    /// Gates after optimization.
+    pub gates_after: usize,
+}
+
+/// Canonical key for structural hashing. Commutative gates sort their
+/// operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Input(usize),
+    Key(usize),
+    And(u32, u32),
+    Or(u32, u32),
+    Xor(u32, u32),
+    Not(u32),
+}
+
+/// Optimizes a netlist: folds constants, deduplicates structurally
+/// identical gates, simplifies trivial identities (`x & x = x`,
+/// `x ^ x = 0`, `!!x = x`, constant absorption), and drops gates that do
+/// not reach any output. Iterates to a fixpoint (one pass can expose new
+/// folds, e.g. `x ^ 1` becomes `!1` which folds next round).
+///
+/// The result is functionally equivalent on every input/key assignment
+/// (property-tested).
+pub fn optimize(netlist: &Netlist) -> OptimizeOutcome {
+    let gates_before = netlist.gate_count();
+    let mut current = optimize_once(netlist);
+    loop {
+        let next = optimize_once(&current);
+        if next.gate_count() >= current.gate_count() {
+            break;
+        }
+        current = next;
+    }
+    OptimizeOutcome {
+        gates_before,
+        gates_after: current.gate_count(),
+        netlist: current,
+    }
+}
+
+/// One rewrite + sweep pass.
+fn optimize_once(netlist: &Netlist) -> Netlist {
+    let mut out = Netlist::new(netlist.name().to_string());
+    // Pre-declare inputs/keys so indices survive.
+    let inputs: Vec<Signal> = (0..netlist.num_inputs()).map(|_| out.add_input()).collect();
+    let keys: Vec<Signal> = (0..netlist.num_keys()).map(|_| out.add_key()).collect();
+
+    // Lazily-created canonical constants.
+    let mut const_false: Option<Signal> = None;
+    let mut const_true: Option<Signal> = None;
+
+    // value-number of each new signal (we reuse the signal id itself) and
+    // a map from canonical keys to existing signals.
+    let mut hash: HashMap<Key, Signal> = HashMap::new();
+    for (i, &s) in inputs.iter().enumerate() {
+        hash.insert(Key::Input(i), s);
+    }
+    for (i, &s) in keys.iter().enumerate() {
+        hash.insert(Key::Key(i), s);
+    }
+
+    // Classification of a new signal: constant or general.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Knowledge {
+        Zero,
+        One,
+        Other,
+    }
+    let mut know: HashMap<Signal, Knowledge> = HashMap::new();
+
+    let mut map: Vec<Signal> = Vec::with_capacity(netlist.num_nodes());
+    for (_, gate) in netlist.iter_gates() {
+        let new = match gate {
+            Gate::False => {
+                let s = *const_false.get_or_insert_with(|| out.lit_false());
+                know.insert(s, Knowledge::Zero);
+                s
+            }
+            Gate::Input(i) => inputs[i],
+            Gate::Key(i) => keys[i],
+            Gate::Not(a) => {
+                let a = map[a.index()];
+                match know.get(&a) {
+                    Some(Knowledge::Zero) => {
+                        let s = *const_true.get_or_insert_with(|| out.lit_true());
+                        know.insert(s, Knowledge::One);
+                        s
+                    }
+                    Some(Knowledge::One) => {
+                        let s = *const_false.get_or_insert_with(|| out.lit_false());
+                        know.insert(s, Knowledge::Zero);
+                        s
+                    }
+                    _ => {
+                        // !!x = x
+                        if let Gate::Not(inner) = out.gate(a) {
+                            inner
+                        } else {
+                            let key = Key::Not(a.index() as u32);
+                            *hash.entry(key).or_insert_with(|| out.not(a))
+                        }
+                    }
+                }
+            }
+            Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => {
+                let (a, b) = (map[a.index()], map[b.index()]);
+                let (ka, kb) = (
+                    know.get(&a).copied().unwrap_or(Knowledge::Other),
+                    know.get(&b).copied().unwrap_or(Knowledge::Other),
+                );
+                let mk_false = |out: &mut Netlist,
+                                cf: &mut Option<Signal>,
+                                know: &mut HashMap<Signal, Knowledge>| {
+                    let s = *cf.get_or_insert_with(|| out.lit_false());
+                    know.insert(s, Knowledge::Zero);
+                    s
+                };
+                let mk_true = |out: &mut Netlist,
+                               ct: &mut Option<Signal>,
+                               know: &mut HashMap<Signal, Knowledge>| {
+                    let s = *ct.get_or_insert_with(|| out.lit_true());
+                    know.insert(s, Knowledge::One);
+                    s
+                };
+                match gate {
+                    Gate::And(..) => match (ka, kb) {
+                        (Knowledge::Zero, _) | (_, Knowledge::Zero) => {
+                            mk_false(&mut out, &mut const_false, &mut know)
+                        }
+                        (Knowledge::One, _) => b,
+                        (_, Knowledge::One) => a,
+                        _ if a == b => a,
+                        _ => {
+                            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+                            let key = Key::And(x.index() as u32, y.index() as u32);
+                            *hash.entry(key).or_insert_with(|| out.and(x, y))
+                        }
+                    },
+                    Gate::Or(..) => match (ka, kb) {
+                        (Knowledge::One, _) | (_, Knowledge::One) => {
+                            mk_true(&mut out, &mut const_true, &mut know)
+                        }
+                        (Knowledge::Zero, _) => b,
+                        (_, Knowledge::Zero) => a,
+                        _ if a == b => a,
+                        _ => {
+                            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+                            let key = Key::Or(x.index() as u32, y.index() as u32);
+                            *hash.entry(key).or_insert_with(|| out.or(x, y))
+                        }
+                    },
+                    Gate::Xor(..) => match (ka, kb) {
+                        (Knowledge::Zero, _) => b,
+                        (_, Knowledge::Zero) => a,
+                        (Knowledge::One, _) => {
+                            let key = Key::Not(b.index() as u32);
+                            *hash.entry(key).or_insert_with(|| out.not(b))
+                        }
+                        (_, Knowledge::One) => {
+                            let key = Key::Not(a.index() as u32);
+                            *hash.entry(key).or_insert_with(|| out.not(a))
+                        }
+                        _ if a == b => mk_false(&mut out, &mut const_false, &mut know),
+                        _ => {
+                            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+                            let key = Key::Xor(x.index() as u32, y.index() as u32);
+                            *hash.entry(key).or_insert_with(|| out.xor(x, y))
+                        }
+                    },
+                    _ => unreachable!(),
+                }
+            }
+        };
+        map.push(new);
+    }
+    for o in netlist.outputs() {
+        let s = map[o.index()];
+        out.mark_output(s);
+    }
+
+    // Dead-gate elimination: rebuild keeping only the cone of the outputs.
+    sweep(&out)
+}
+
+/// Rebuilds keeping only gates reachable from the outputs (inputs/keys are
+/// always kept so interfaces stay stable).
+fn sweep(netlist: &Netlist) -> Netlist {
+    let mut live = vec![false; netlist.num_nodes()];
+    let mut stack: Vec<usize> = netlist.outputs().iter().map(|s| s.index()).collect();
+    while let Some(i) = stack.pop() {
+        if live[i] {
+            continue;
+        }
+        live[i] = true;
+        match netlist.gate(Signal(i as u32)) {
+            Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => {
+                stack.push(a.index());
+                stack.push(b.index());
+            }
+            Gate::Not(a) => stack.push(a.index()),
+            _ => {}
+        }
+    }
+
+    let mut out = Netlist::new(netlist.name().to_string());
+    let inputs: Vec<Signal> = (0..netlist.num_inputs()).map(|_| out.add_input()).collect();
+    let keys: Vec<Signal> = (0..netlist.num_keys()).map(|_| out.add_key()).collect();
+    let mut map: Vec<Option<Signal>> = vec![None; netlist.num_nodes()];
+    for (sig, gate) in netlist.iter_gates() {
+        let i = sig.index();
+        let mapped = match gate {
+            Gate::Input(k) => Some(inputs[k]),
+            Gate::Key(k) => Some(keys[k]),
+            _ if !live[i] => None,
+            Gate::False => Some(out.lit_false()),
+            Gate::And(a, b) => Some(out.and(
+                map[a.index()].expect("live fanin"),
+                map[b.index()].expect("live fanin"),
+            )),
+            Gate::Or(a, b) => Some(out.or(
+                map[a.index()].expect("live fanin"),
+                map[b.index()].expect("live fanin"),
+            )),
+            Gate::Xor(a, b) => Some(out.xor(
+                map[a.index()].expect("live fanin"),
+                map[b.index()].expect("live fanin"),
+            )),
+            Gate::Not(a) => Some(out.not(map[a.index()].expect("live fanin"))),
+        };
+        map[i] = mapped;
+    }
+    for o in netlist.outputs() {
+        let s = map[o.index()].expect("outputs are live");
+        out.mark_output(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{adder_fu, multiplier_fu};
+
+    fn equivalent(a: &Netlist, b: &Netlist, samples: u64) -> bool {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        assert_eq!(a.num_keys(), b.num_keys());
+        let mut x = 0x1234_5678u64;
+        for _ in 0..samples {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let ins: Vec<bool> = (0..a.num_inputs()).map(|i| (x >> (i % 60)) & 1 == 1).collect();
+            let ks: Vec<bool> = (0..a.num_keys())
+                .map(|i| (x >> ((i + 13) % 60)) & 1 == 1)
+                .collect();
+            if a.eval(&ins, &ks).expect("ok") != b.eval(&ins, &ks).expect("ok") {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn optimized_adder_is_equivalent_and_smaller_or_equal() {
+        let nl = adder_fu(8);
+        let opt = optimize(&nl);
+        assert!(equivalent(&nl, &opt.netlist, 200));
+        assert!(opt.gates_after <= opt.gates_before);
+    }
+
+    #[test]
+    fn folds_constants_aggressively() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input();
+        let f = nl.lit_false();
+        let t = nl.lit_true();
+        let and0 = nl.and(a, f); // = 0
+        let or1 = nl.or(and0, t); // = 1
+        let x = nl.xor(or1, a); // = !a
+        nl.mark_output(x);
+        let opt = optimize(&nl);
+        assert!(equivalent(&nl, &opt.netlist, 4));
+        // Just an inverter (plus the constant cone is swept).
+        assert!(opt.gates_after <= 2, "gates_after = {}", opt.gates_after);
+    }
+
+    #[test]
+    fn deduplicates_common_subexpressions() {
+        let mut nl = Netlist::new("cse");
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x1 = nl.and(a, b);
+        let x2 = nl.and(a, b); // duplicate
+        let x3 = nl.and(b, a); // commuted duplicate
+        let o1 = nl.xor(x1, x2); // = 0
+        let o2 = nl.or(x3, x1); // = x1
+        nl.mark_output(o1);
+        nl.mark_output(o2);
+        let opt = optimize(&nl);
+        assert!(equivalent(&nl, &opt.netlist, 8));
+        assert!(opt.gates_after <= 2, "gates_after = {}", opt.gates_after);
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let mut nl = Netlist::new("nn");
+        let a = nl.add_input();
+        let n1 = nl.not(a);
+        let n2 = nl.not(n1);
+        let n3 = nl.not(n2);
+        nl.mark_output(n3);
+        let opt = optimize(&nl);
+        assert!(equivalent(&nl, &opt.netlist, 4));
+        assert_eq!(opt.gates_after, 1);
+    }
+
+    #[test]
+    fn keyed_netlists_keep_interfaces() {
+        use crate::builders::conditional_invert;
+        let mut nl = Netlist::new("k");
+        let ins = nl.add_inputs(4);
+        let k = nl.add_key();
+        let bus = conditional_invert(&mut nl, k, &ins);
+        for s in bus {
+            nl.mark_output(s);
+        }
+        let opt = optimize(&nl);
+        assert_eq!(opt.netlist.num_keys(), 1);
+        assert_eq!(opt.netlist.num_inputs(), 4);
+        assert!(equivalent(&nl, &opt.netlist, 32));
+    }
+
+    #[test]
+    fn multiplier_optimizes_without_changing_function() {
+        let nl = multiplier_fu(6);
+        let opt = optimize(&nl);
+        assert!(equivalent(&nl, &opt.netlist, 300));
+        // The array multiplier adds rows of constant-zero partial products
+        // at the edges; folding must win at least a few gates.
+        assert!(opt.gates_after < opt.gates_before);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property test: the optimizer preserves function on random netlists.
+
+use lockbind_netlist::opt::optimize;
+use lockbind_netlist::{Netlist, Signal};
+use proptest::prelude::*;
+
+fn netlist_strategy() -> impl Strategy<Value = Netlist> {
+    let gate = (0..6usize, 0..64usize, 0..64usize);
+    (1..5usize, 0..3usize, proptest::collection::vec(gate, 1..40)).prop_map(
+        |(num_inputs, num_keys, gates)| {
+            let mut nl = Netlist::new("random");
+            let mut signals: Vec<Signal> = (0..num_inputs).map(|_| nl.add_input()).collect();
+            signals.extend((0..num_keys).map(|_| nl.add_key()));
+            signals.push(nl.lit_false());
+            signals.push(nl.lit_true());
+            for (kind, a, b) in gates {
+                let sa = signals[a % signals.len()];
+                let sb = signals[b % signals.len()];
+                let s = match kind {
+                    0 => nl.and(sa, sb),
+                    1 => nl.or(sa, sb),
+                    2 => nl.xor(sa, sb),
+                    3 => nl.not(sa),
+                    4 => nl.xnor(sa, sb),
+                    _ => nl.mux(sa, sb, signals[(a + b) % signals.len()]),
+                };
+                signals.push(s);
+            }
+            // Mark the last few signals as outputs.
+            for s in signals.iter().rev().take(3) {
+                nl.mark_output(*s);
+            }
+            nl
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimize_preserves_function(nl in netlist_strategy(), stim in any::<u64>(), kstim in any::<u64>()) {
+        let opt = optimize(&nl).netlist;
+        prop_assert_eq!(opt.num_inputs(), nl.num_inputs());
+        prop_assert_eq!(opt.num_keys(), nl.num_keys());
+        prop_assert_eq!(opt.num_outputs(), nl.num_outputs());
+        let ins: Vec<bool> = (0..nl.num_inputs()).map(|i| (stim >> i) & 1 == 1).collect();
+        let ks: Vec<bool> = (0..nl.num_keys()).map(|i| (kstim >> i) & 1 == 1).collect();
+        prop_assert_eq!(
+            nl.eval(&ins, &ks).expect("arity"),
+            opt.eval(&ins, &ks).expect("arity")
+        );
+    }
+
+    #[test]
+    fn optimize_never_grows(nl in netlist_strategy()) {
+        let out = optimize(&nl);
+        prop_assert!(out.gates_after <= out.gates_before);
+    }
+
+    #[test]
+    fn optimize_is_idempotent_in_size(nl in netlist_strategy()) {
+        let once = optimize(&nl);
+        let twice = optimize(&once.netlist);
+        prop_assert_eq!(twice.gates_after, once.gates_after);
+    }
+}

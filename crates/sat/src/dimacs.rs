@@ -1,0 +1,193 @@
+//! DIMACS CNF import/export, for interoperability with external tools and
+//! for archiving the SAT-attack instances the experiments generate.
+
+use std::fmt::Write as _;
+
+use crate::Solver;
+
+/// Errors raised while parsing DIMACS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDimacsError {
+    /// A token could not be parsed as an integer.
+    BadLiteral {
+        /// The offending token.
+        token: String,
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A clause was not terminated with `0` before end of input.
+    UnterminatedClause,
+    /// A literal references a variable beyond the header's declaration.
+    LiteralOutOfRange {
+        /// The offending literal.
+        literal: i32,
+        /// Declared variable count.
+        declared: u32,
+    },
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseDimacsError::BadLiteral { token, line } => {
+                write!(f, "cannot parse literal {token:?} on line {line}")
+            }
+            ParseDimacsError::UnterminatedClause => {
+                write!(f, "input ended inside an unterminated clause")
+            }
+            ParseDimacsError::LiteralOutOfRange { literal, declared } => {
+                write!(f, "literal {literal} exceeds declared variable count {declared}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text into clauses, returning `(num_vars, clauses)`.
+/// Comment lines (`c ...`) and the problem line (`p cnf ...`) are honoured;
+/// a missing problem line is tolerated (variables inferred).
+///
+/// # Errors
+/// See [`ParseDimacsError`].
+///
+/// # Example
+/// ```
+/// use lockbind_sat::dimacs::parse_dimacs;
+/// let (nv, clauses) = parse_dimacs("c demo\np cnf 2 2\n1 -2 0\n2 0\n")?;
+/// assert_eq!(nv, 2);
+/// assert_eq!(clauses, vec![vec![1, -2], vec![2]]);
+/// # Ok::<(), lockbind_sat::dimacs::ParseDimacsError>(())
+/// ```
+pub fn parse_dimacs(text: &str) -> Result<(u32, Vec<Vec<i32>>), ParseDimacsError> {
+    let mut declared: Option<u32> = None;
+    let mut clauses = Vec::new();
+    let mut current: Vec<i32> = Vec::new();
+    let mut max_var = 0u32;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            // "p cnf <vars> <clauses>"
+            let mut it = line.split_whitespace().skip(2);
+            if let Some(v) = it.next().and_then(|t| t.parse::<u32>().ok()) {
+                declared = Some(v);
+            }
+            continue;
+        }
+        for token in line.split_whitespace() {
+            let lit: i32 = token.parse().map_err(|_| ParseDimacsError::BadLiteral {
+                token: token.to_string(),
+                line: lineno + 1,
+            })?;
+            if lit == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                if let Some(d) = declared {
+                    if lit.unsigned_abs() > d {
+                        return Err(ParseDimacsError::LiteralOutOfRange {
+                            literal: lit,
+                            declared: d,
+                        });
+                    }
+                }
+                max_var = max_var.max(lit.unsigned_abs());
+                current.push(lit);
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError::UnterminatedClause);
+    }
+    Ok((declared.unwrap_or(max_var), clauses))
+}
+
+/// Loads DIMACS text directly into a fresh [`Solver`].
+///
+/// # Errors
+/// Same as [`parse_dimacs`].
+pub fn solver_from_dimacs(text: &str) -> Result<Solver, ParseDimacsError> {
+    let (nv, clauses) = parse_dimacs(text)?;
+    let mut s = Solver::new();
+    s.reserve_vars(nv);
+    for cl in &clauses {
+        s.add_clause(cl);
+    }
+    Ok(s)
+}
+
+/// Serializes clauses to DIMACS CNF text.
+///
+/// # Example
+/// ```
+/// use lockbind_sat::dimacs::to_dimacs;
+/// let text = to_dimacs(2, &[vec![1, -2], vec![2]]);
+/// assert!(text.contains("p cnf 2 2"));
+/// ```
+pub fn to_dimacs(num_vars: u32, clauses: &[Vec<i32>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {num_vars} {}", clauses.len());
+    for cl in clauses {
+        for &l in cl {
+            let _ = write!(out, "{l} ");
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn roundtrip() {
+        let clauses = vec![vec![1, -2, 3], vec![-1], vec![2, 3]];
+        let text = to_dimacs(3, &clauses);
+        let (nv, parsed) = parse_dimacs(&text).expect("parses");
+        assert_eq!(nv, 3);
+        assert_eq!(parsed, clauses);
+    }
+
+    #[test]
+    fn solver_from_dimacs_solves() {
+        let mut s = solver_from_dimacs("p cnf 2 2\n1 2 0\n-1 0\n").expect("parses");
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(2));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let (nv, clauses) =
+            parse_dimacs("c hello\n\nc world\np cnf 1 1\n1 0\n").expect("parses");
+        assert_eq!((nv, clauses.len()), (1, 1));
+    }
+
+    #[test]
+    fn missing_header_infers_vars() {
+        let (nv, _) = parse_dimacs("5 -3 0\n").expect("parses");
+        assert_eq!(nv, 5);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            parse_dimacs("1 x 0\n"),
+            Err(ParseDimacsError::BadLiteral { .. })
+        ));
+        assert_eq!(parse_dimacs("1 2\n"), Err(ParseDimacsError::UnterminatedClause));
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\n2 0\n"),
+            Err(ParseDimacsError::LiteralOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn clause_spanning_lines_is_accepted() {
+        let (_, clauses) = parse_dimacs("1 2\n3 0\n").expect("parses");
+        assert_eq!(clauses, vec![vec![1, 2, 3]]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Indexed max-heap over variables ordered by VSIDS activity.
+
+/// A binary max-heap of variable indices keyed by an external activity array,
+/// with position tracking so membership tests and increases are `O(log n)`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VarHeap {
+    heap: Vec<u32>,
+    /// `pos[v]` = index of `v` in `heap`, or `usize::MAX` if absent.
+    pos: Vec<usize>,
+}
+
+impl VarHeap {
+    pub(crate) fn new() -> Self {
+        VarHeap::default()
+    }
+
+    pub(crate) fn grow_to(&mut self, num_vars: usize) {
+        while self.pos.len() < num_vars {
+            self.pos.push(usize::MAX);
+        }
+    }
+
+    pub(crate) fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != usize::MAX
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, v: u32, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    pub(crate) fn pop(&mut self, activity: &[f64]) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top as usize] = usize::MAX;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Re-establishes heap order after `v`'s activity increased.
+    pub(crate) fn decrease_key(&mut self, v: u32, activity: &[f64]) {
+        if let Some(&i) = self
+            .pos
+            .get(v as usize)
+            .filter(|&&p| p != usize::MAX)
+            .as_ref()
+        {
+            self.sift_up(*i, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l] as usize] > activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r] as usize] > activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a;
+        self.pos[self.heap[b] as usize] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(4);
+        for v in 0..4 {
+            h.push(v, &act);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop(&act)).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn push_is_idempotent() {
+        let act = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(2);
+        h.push(0, &act);
+        h.push(0, &act);
+        assert_eq!(h.pop(&act), Some(0));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn decrease_key_reorders() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        h.grow_to(3);
+        for v in 0..3 {
+            h.push(v, &act);
+        }
+        act[0] = 10.0;
+        h.decrease_key(0, &act);
+        assert_eq!(h.pop(&act), Some(0));
+    }
+}

@@ -1,0 +1,51 @@
+//! The Luby restart sequence.
+
+/// Returns the `i`-th element (1-indexed) of the Luby sequence
+/// `1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...`, the theoretically optimal
+/// universal restart schedule.
+///
+/// # Example
+/// ```
+/// use lockbind_sat::luby;
+/// let prefix: Vec<u64> = (1..=9).map(luby).collect();
+/// assert_eq!(prefix, vec![1, 1, 2, 1, 1, 2, 4, 1, 1]);
+/// ```
+pub fn luby(i: u64) -> u64 {
+    assert!(i >= 1, "luby sequence is 1-indexed");
+    // Find the subsequence this index falls into: if i = 2^k - 1, value is
+    // 2^(k-1); otherwise recurse into the tail.
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    if (1u64 << k) - 1 == i {
+        1u64 << (k - 1)
+    } else {
+        luby(i - ((1u64 << (k - 1)) - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fifteen_terms() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "term {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn powers_appear_at_boundaries() {
+        assert_eq!(luby(31), 16);
+        assert_eq!(luby(63), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-indexed")]
+    fn zero_rejected() {
+        let _ = luby(0);
+    }
+}

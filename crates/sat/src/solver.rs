@@ -1,0 +1,863 @@
+//! The CDCL solver core.
+
+use std::fmt;
+
+use crate::heap::VarHeap;
+use crate::luby::luby;
+
+/// Internal literal: `var * 2 + sign` (sign 1 = negated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Lit(u32);
+
+impl Lit {
+    fn new(var: u32, neg: bool) -> Lit {
+        Lit(var * 2 + u32::from(neg))
+    }
+    fn from_dimacs(l: i32) -> Lit {
+        debug_assert!(l != 0);
+        Lit::new(l.unsigned_abs() - 1, l < 0)
+    }
+    fn var(self) -> u32 {
+        self.0 >> 1
+    }
+    fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+    fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with
+    /// [`Solver::model_value`].
+    Sat,
+    /// The formula is unsatisfiable (under the given assumptions, if any).
+    Unsat,
+}
+
+/// Aggregate solver statistics, reset never (cumulative per solver).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// `solve`/`solve_with_assumptions` calls completed.
+    pub solves: u64,
+}
+
+/// A CDCL SAT solver. See the [crate docs](crate) for an example.
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `watches[lit.index()]`: clause refs in which `lit` is watched.
+    watches: Vec<Vec<u32>>,
+    assign: Vec<Option<bool>>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    /// Formula already proven unsatisfiable at level 0.
+    unsat: bool,
+    stats: SolverStats,
+    max_learnts: f64,
+    conflict_budget: Option<u64>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarHeap::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            unsat: false,
+            stats: SolverStats::default(),
+            max_learnts: 1000.0,
+            conflict_budget: None,
+        }
+    }
+
+    /// Allocates a fresh variable and returns its positive DIMACS literal.
+    pub fn new_var(&mut self) -> i32 {
+        self.assign.push(None);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        let v = self.assign.len() as u32 - 1;
+        self.order.grow_to(self.assign.len());
+        self.order.push(v, &self.activity);
+        v as i32 + 1
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> u32 {
+        self.assign.len() as u32
+    }
+
+    /// Ensures variables up to `var` (DIMACS, 1-based) exist.
+    pub fn reserve_vars(&mut self, var: u32) {
+        while self.num_vars() < var {
+            let _ = self.new_var();
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits the next `solve` call to approximately `conflicts` conflicts;
+    /// `None` removes the limit. When the budget is exhausted the solve
+    /// returns `Unsat`... no — it panics? Neither: see [`Solver::solve_limited`].
+    #[doc(hidden)]
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.conflict_budget = conflicts;
+    }
+
+    /// Adds a clause of DIMACS literals, growing the variable space if
+    /// needed. May be called between solves (incremental interface).
+    ///
+    /// # Panics
+    /// Panics if any literal is 0.
+    pub fn add_clause(&mut self, lits: &[i32]) {
+        assert!(lits.iter().all(|&l| l != 0), "literal 0 is invalid");
+        if let Some(max) = lits.iter().map(|l| l.unsigned_abs()).max() {
+            self.reserve_vars(max);
+        }
+        // Adding clauses is only legal at decision level 0.
+        self.cancel_until(0);
+        if self.unsat {
+            return;
+        }
+        // Simplify: drop duplicate/false-at-0 literals, detect tautology.
+        let mut ls: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &dl in lits {
+            let l = Lit::from_dimacs(dl);
+            match self.lit_value(l) {
+                Some(true) => return, // satisfied at level 0
+                Some(false) => continue,
+                None => {}
+            }
+            if ls.contains(&l) {
+                continue;
+            }
+            if ls.contains(&l.negated()) {
+                return; // tautology
+            }
+            ls.push(l);
+        }
+        match ls.len() {
+            0 => self.unsat = true,
+            1 => {
+                self.enqueue(ls[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                self.attach_clause(ls, false);
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        self.watches[lits[0].index()].push(cref);
+        self.watches[lits[1].index()].push(cref);
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        }
+        cref
+    }
+
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var() as usize].map(|v| v != l.is_neg())
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.lit_value(l), None);
+        let v = l.var() as usize;
+        self.assign[v] = Some(!l.is_neg());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Two-watched-literal Boolean constraint propagation. Returns the
+    /// conflicting clause ref, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let not_p = p.negated();
+            let mut ws = std::mem::take(&mut self.watches[not_p.index()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let cref = ws[i];
+                if self.clauses[cref as usize].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Make sure the false literal is at position 1.
+                {
+                    let c = &mut self.clauses[cref as usize];
+                    if c.lits[0] == not_p {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], not_p);
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if self.lit_value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.lit_value(lk) != Some(false) {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        let new_watch = self.clauses[cref as usize].lits[1];
+                        self.watches[new_watch.index()].push(cref);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == Some(false) {
+                    // Conflict: restore remaining watches and bail out.
+                    self.watches[not_p.index()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.enqueue(first, Some(cref));
+                i += 1;
+            }
+            self.watches[not_p.index()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: u32) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.decrease_key(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let current = self.decision_level();
+
+        loop {
+            self.bump_clause(confl);
+            let lits = self.clauses[confl as usize].lits.clone();
+            let skip = usize::from(p.is_some());
+            for &q in &lits[skip..] {
+                let v = q.var();
+                if !self.seen[v as usize] && self.level[v as usize] > 0 {
+                    self.seen[v as usize] = true;
+                    self.bump_var(v);
+                    if self.level[v as usize] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal to expand (walk the trail backwards).
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = pl.negated();
+                break;
+            }
+            confl = self.reason[pl.var() as usize]
+                .expect("non-decision literal at conflict level must have a reason");
+            p = Some(pl);
+        }
+
+        // Cheap clause minimization: drop literals whose reason clause is
+        // entirely covered by the remaining seen literals.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.literal_redundant(l))
+            .collect();
+        let mut minimized = vec![learnt[0]];
+        minimized.extend(keep);
+
+        // Clear seen flags.
+        for l in &learnt {
+            self.seen[l.var() as usize] = false;
+        }
+
+        // Compute backtrack level = max level among non-asserting literals,
+        // and move such a literal to position 1 so it gets watched.
+        let bt = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var() as usize]
+                    > self.level[minimized[max_i].var() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var() as usize]
+        };
+        (minimized, bt)
+    }
+
+    /// A literal is redundant in the learnt clause if it was propagated and
+    /// every literal of its reason clause is already seen (self-subsumption).
+    fn literal_redundant(&self, l: Lit) -> bool {
+        match self.reason[l.var() as usize] {
+            None => false,
+            Some(cref) => self.clauses[cref as usize].lits[1..].iter().all(|&q| {
+                self.seen[q.var() as usize] || self.level[q.var() as usize] == 0
+            }),
+        }
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail non-empty");
+                let v = l.var();
+                self.phase[v as usize] = !l.is_neg();
+                self.assign[v as usize] = None;
+                self.reason[v as usize] = None;
+                self.order.push(v, &self.activity);
+            }
+        }
+        self.qhead = self.qhead.min(self.trail.len());
+    }
+
+    fn pick_branch_var(&mut self) -> Option<u32> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assign[v as usize].is_none() {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Collect learnt, unlocked clause refs sorted by activity ascending.
+        let locked: Vec<bool> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                !c.deleted
+                    && !c.lits.is_empty()
+                    && self.reason[c.lits[0].var() as usize] == Some(i as u32)
+                    && self.lit_value(c.lits[0]) == Some(true)
+            })
+            .collect();
+        let mut learnts: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learnt && !c.deleted && !locked[i as usize] && c.lits.len() > 2
+            })
+            .collect();
+        learnts.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &cref in &learnts[..learnts.len() / 2] {
+            self.clauses[cref as usize].deleted = true;
+            self.clauses[cref as usize].lits.clear();
+            self.clauses[cref as usize].lits.shrink_to_fit();
+            self.stats.learnt_clauses = self.stats.learnt_clauses.saturating_sub(1);
+        }
+        // Deleted clauses are lazily dropped from watch lists in propagate().
+    }
+
+    /// Solves the current formula.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given DIMACS-literal assumptions. The assumptions act
+    /// as forced first decisions: `Unsat` means unsatisfiable *under these
+    /// assumptions* (the formula itself may remain satisfiable).
+    ///
+    /// # Panics
+    /// Panics if any assumption literal is 0 or references an unallocated
+    /// variable.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[i32]) -> SolveResult {
+        for &a in assumptions {
+            assert!(a != 0, "literal 0 is invalid");
+            assert!(
+                a.unsigned_abs() <= self.num_vars(),
+                "assumption {a} references unallocated variable"
+            );
+        }
+        self.stats.solves += 1;
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SolveResult::Unsat;
+        }
+
+        let assumps: Vec<Lit> = assumptions.iter().map(|&l| Lit::from_dimacs(l)).collect();
+        self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = luby(1) * 100;
+        let mut conflicts_this_solve = 0u64;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_solve += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SolveResult::Unsat;
+                }
+                // A conflict while only assumption decisions are on the trail
+                // means the assumptions are contradictory with the formula.
+                if self.decision_level() <= assumps.len() as u32 {
+                    // Learn what we can, then report Unsat-under-assumptions.
+                    let (learnt, bt) = self.analyze(confl);
+                    self.cancel_until(bt.min(self.decision_level().saturating_sub(1)));
+                    self.learn(learnt);
+                    // Re-establish from scratch on next call.
+                    self.cancel_until(0);
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.cancel_until(bt.max(assumps.len() as u32).min(self.decision_level() - 1));
+                self.learn(learnt);
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+                if conflicts_this_solve >= conflicts_until_restart {
+                    restart_count += 1;
+                    self.stats.restarts += 1;
+                    conflicts_until_restart =
+                        conflicts_this_solve + luby(restart_count + 1) * 100;
+                    self.cancel_until(0);
+                }
+                if self.stats.learnt_clauses as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+                if let Some(budget) = self.conflict_budget {
+                    if conflicts_this_solve > budget {
+                        // Budget exhausted: treat as Unsat-under-budget. The
+                        // attack harness uses budgets only as a safety net.
+                        self.cancel_until(0);
+                        return SolveResult::Unsat;
+                    }
+                }
+            } else {
+                // Assert pending assumptions, one decision level each.
+                let dl = self.decision_level() as usize;
+                if dl < assumps.len() {
+                    let a = assumps[dl];
+                    match self.lit_value(a) {
+                        Some(true) => {
+                            // Already implied: open an empty level to keep the
+                            // level<->assumption correspondence.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Some(false) => {
+                            self.cancel_until(0);
+                            return SolveResult::Unsat;
+                        }
+                        None => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return SolveResult::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.phase[v as usize];
+                        self.enqueue(Lit::new(v, !phase), None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        match learnt.len() {
+            0 => self.unsat = true,
+            1 => {
+                // A unit consequence holds at level 0; enqueue it there so it
+                // never appears as a reasonless non-decision literal at a
+                // higher level (which would break conflict analysis).
+                self.cancel_until(0);
+                if self.lit_value(learnt[0]) == Some(false) {
+                    self.unsat = true;
+                } else if self.lit_value(learnt[0]).is_none() {
+                    self.enqueue(learnt[0], None);
+                }
+            }
+            _ => {
+                let asserting = learnt[0];
+                let cref = self.attach_clause(learnt, true);
+                self.bump_clause(cref);
+                if self.lit_value(asserting).is_none() {
+                    self.enqueue(asserting, Some(cref));
+                }
+            }
+        }
+    }
+
+    /// Reads the value of a DIMACS literal from the last `Sat` model.
+    ///
+    /// # Panics
+    /// Panics if the last solve was not `Sat` for this variable (unassigned)
+    /// or the literal is invalid.
+    pub fn model_value(&self, lit: i32) -> bool {
+        assert!(lit != 0, "literal 0 is invalid");
+        let l = Lit::from_dimacs(lit);
+        self.lit_value(l)
+            .expect("variable unassigned: call solve() and check Sat first")
+    }
+}
+
+impl fmt::Debug for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Solver({} vars, {} clauses, {:?})",
+            self.num_vars(),
+            self.clauses.len(),
+            self.stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_sat_and_model() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a]);
+        s.add_clause(&[-a, b]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(a));
+        assert!(s.model_value(b));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a]);
+        s.add_clause(&[-a]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // Stays unsat.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause(&[]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn tautological_clause_ignored() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a, -a]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_parity() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 1 is unsatisfiable (parity).
+        let mut s = Solver::new();
+        let x: Vec<i32> = (0..3).map(|_| s.new_var()).collect();
+        let xor_true = |s: &mut Solver, a: i32, b: i32| {
+            s.add_clause(&[a, b]);
+            s.add_clause(&[-a, -b]);
+        };
+        xor_true(&mut s, x[0], x[1]);
+        xor_true(&mut s, x[1], x[2]);
+        xor_true(&mut s, x[0], x[2]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// Pigeonhole principle PHP(n+1, n) is a classic hard UNSAT family.
+    fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+        let mut s = Solver::new();
+        let mut var = vec![vec![0i32; holes]; pigeons];
+        for p in 0..pigeons {
+            for h in 0..holes {
+                var[p][h] = s.new_var();
+            }
+        }
+        for p in 0..pigeons {
+            s.add_clause(&var[p]);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[-var[p1][h], -var[p2][h]]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for n in 2..=5 {
+            let mut s = pigeonhole(n + 1, n);
+            assert_eq!(s.solve(), SolveResult::Unsat, "PHP({}, {})", n + 1, n);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_exact_fit_sat() {
+        let mut s = pigeonhole(4, 4);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumptions_restrict_then_release() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a, b]);
+        assert_eq!(s.solve_with_assumptions(&[-a, -b]), SolveResult::Unsat);
+        // Without assumptions the formula is still satisfiable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Single assumption forces the other literal.
+        assert_eq!(s.solve_with_assumptions(&[-a]), SolveResult::Sat);
+        assert!(s.model_value(b));
+    }
+
+    #[test]
+    fn assumptions_conflicting_with_unit() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause(&[a]);
+        assert_eq!(s.solve_with_assumptions(&[-a]), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(a));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let v: Vec<i32> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(&[v[0], v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause(&[-v[0]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(v[1]));
+        s.add_clause(&[-v[1], v[2]]);
+        s.add_clause(&[-v[2], v[3]]);
+        s.add_clause(&[-v[3]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn add_clause_grows_variable_space() {
+        let mut s = Solver::new();
+        s.add_clause(&[5]);
+        assert_eq!(s.num_vars(), 5);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(5));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = pigeonhole(5, 4);
+        let _ = s.solve();
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.propagations > 0);
+        assert_eq!(st.solves, 1);
+    }
+
+    #[test]
+    fn random_3sat_small_instances() {
+        // Deterministic LCG-generated instances cross-checked by brute force.
+        let mut seed = 0x2026_0705u64;
+        let mut rand = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for inst in 0..40 {
+            let nvars = 6 + (rand() % 4) as usize; // 6..9
+            let nclauses = 20 + (rand() % 20) as usize;
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    let v = (rand() as usize % nvars) as i32 + 1;
+                    let l = if rand() % 2 == 0 { v } else { -v };
+                    cl.push(l);
+                }
+                clauses.push(cl);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for m in 0..(1u32 << nvars) {
+                for cl in &clauses {
+                    let ok = cl.iter().any(|&l| {
+                        let bit = (m >> (l.unsigned_abs() - 1)) & 1 == 1;
+                        if l > 0 {
+                            bit
+                        } else {
+                            !bit
+                        }
+                    });
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = Solver::new();
+            for cl in &clauses {
+                s.add_clause(cl);
+            }
+            let res = s.solve();
+            assert_eq!(
+                res == SolveResult::Sat,
+                brute_sat,
+                "instance {inst} disagreement"
+            );
+            if res == SolveResult::Sat {
+                // Model must satisfy every clause (model_value is the value
+                // of the *literal*, true literal = satisfied).
+                for cl in &clauses {
+                    assert!(cl.iter().any(|&l| s.model_value(l)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "literal 0")]
+    fn zero_literal_rejected() {
+        let mut s = Solver::new();
+        s.add_clause(&[0]);
+    }
+}

