@@ -1,0 +1,31 @@
+//! Boolean strategies (`proptest::bool`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Generates `true` with the configured probability.
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    probability: f64,
+}
+
+/// Generates `true` with probability `probability`.
+pub fn weighted(probability: f64) -> Weighted {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "probability {probability} out of [0,1]"
+    );
+    Weighted { probability }
+}
+
+/// Fair coin flips.
+pub const ANY: Weighted = Weighted { probability: 0.5 };
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(self.probability)
+    }
+}

@@ -114,7 +114,11 @@ pub fn approximate_sat_attack(
 
     flush(&cnf, &mut solver, &mut pushed);
     let res = solver.solve_with_assumptions(&[-act]);
-    debug_assert_eq!(res, SolveResult::Sat, "the correct key is always consistent");
+    debug_assert_eq!(
+        res,
+        SolveResult::Sat,
+        "the correct key is always consistent"
+    );
     let key: Vec<bool> = k1.iter().map(|&l| solver.model_value(l)).collect();
     let residual = error_rate(locked, &key, n as u32);
     ApproximateOutcome {

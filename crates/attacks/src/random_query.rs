@@ -29,11 +29,7 @@ pub struct RandomQueryOutcome {
 
 /// Queries the oracle on `queries` uniform random inputs, then SAT-solves
 /// for any key consistent with the observed behaviour and verifies it.
-pub fn random_query_attack(
-    locked: &LockedNetlist,
-    queries: u64,
-    seed: u64,
-) -> RandomQueryOutcome {
+pub fn random_query_attack(locked: &LockedNetlist, queries: u64, seed: u64) -> RandomQueryOutcome {
     let nl = locked.netlist();
     let n = nl.num_inputs();
     let kb = nl.num_keys();
@@ -97,7 +93,10 @@ mod tests {
         // functionally wrong at the protected minterm.
         let locked = lock_critical_minterms(&adder_fu(4), &[0x9C]).expect("lockable");
         let out = random_query_attack(&locked, 32, 1234);
-        assert!(!out.success, "random queries should not pin the point function");
+        assert!(
+            !out.success,
+            "random queries should not pin the point function"
+        );
     }
 
     #[test]

@@ -137,10 +137,8 @@ pub fn sat_attack(locked: &LockedNetlist, config: &AttackConfig) -> SatAttackOut
                     .expect("oracle arity matches");
 
                 // Both key copies must reproduce the oracle on this DIP.
-                let in_lits: Vec<i32> = dip_bits
-                    .iter()
-                    .map(|&b| if b { ct } else { -ct })
-                    .collect();
+                let in_lits: Vec<i32> =
+                    dip_bits.iter().map(|&b| if b { ct } else { -ct }).collect();
                 for keys in [&k1, &k2] {
                     let outs = encode_netlist(nl, &mut cnf, &in_lits, keys);
                     for (o, &yv) in outs.iter().zip(&y) {
@@ -222,7 +220,14 @@ mod tests {
         // eliminates ~1 wrong key, so the attack ends only when its DIP
         // sequence stumbles on the secret — ~32 iterations in expectation.
         // A single run can get lucky, so average over several secrets.
-        let secrets = [0b101010u64, 0b000001, 0b111111, 0b010011, 0b100100, 0b011110];
+        let secrets = [
+            0b101010u64,
+            0b000001,
+            0b111111,
+            0b010011,
+            0b100100,
+            0b011110,
+        ];
         let mut total = 0u64;
         for &s in &secrets {
             let locked = lock_critical_minterms(&xor_fu(3), &[s]).expect("lockable");

@@ -15,7 +15,9 @@ use lockbind_mediabench::Kernel;
 /// Synthetic layered DFG: `layers` cycles of `width_ops` independent adds.
 fn synthetic(layers: usize, width_ops: usize) -> (Dfg, Trace) {
     let mut d = Dfg::new(8);
-    let inputs: Vec<_> = (0..width_ops + 1).map(|i| d.input(format!("x{i}"))).collect();
+    let inputs: Vec<_> = (0..width_ops + 1)
+        .map(|i| d.input(format!("x{i}")))
+        .collect();
     let mut prev: Vec<_> = (0..width_ops)
         .map(|i| d.op(OpKind::Add, inputs[i], inputs[i + 1]))
         .collect();
@@ -35,7 +37,11 @@ fn synthetic(layers: usize, width_ops: usize) -> (Dfg, Trace) {
     }
     let trace = Trace::from_frames(
         (0..64u64)
-            .map(|f| (0..width_ops as u64 + 1).map(|i| (f * 7 + i) % 256).collect())
+            .map(|f| {
+                (0..width_ops as u64 + 1)
+                    .map(|i| (f * 7 + i) % 256)
+                    .collect()
+            })
             .collect(),
     );
     (d, trace)
@@ -50,21 +56,12 @@ fn bench_obf_aware_scaling(c: &mut Criterion) {
         let profile = OccurrenceProfile::from_trace(&d, &trace).expect("profiled");
         let ops = d.ops_of_class(FuClass::Adder);
         let cands = profile.top_candidates_among(&ops, 3);
-        let spec = LockingSpec::new(
-            &alloc,
-            vec![(FuId::new(FuClass::Adder, 0), cands.clone())],
-        )
-        .expect("valid");
+        let spec = LockingSpec::new(&alloc, vec![(FuId::new(FuClass::Adder, 0), cands.clone())])
+            .expect("valid");
         group.bench_with_input(BenchmarkId::new("layers", layers), &layers, |b, _| {
             b.iter(|| {
-                bind_obfuscation_aware(
-                    black_box(&d),
-                    black_box(&sched),
-                    &alloc,
-                    &profile,
-                    &spec,
-                )
-                .expect("feasible")
+                bind_obfuscation_aware(black_box(&d), black_box(&sched), &alloc, &profile, &spec)
+                    .expect("feasible")
             })
         });
     }
@@ -92,9 +89,7 @@ fn bench_kernel_algorithms(c: &mut Criterion) {
         b.iter(|| bind_area_aware(&p.dfg, &p.schedule, &p.alloc).expect("feasible"))
     });
     group.bench_function("power_aware", |b| {
-        b.iter(|| {
-            bind_power_aware(&p.dfg, &p.schedule, &p.alloc, &p.switching).expect("feasible")
-        })
+        b.iter(|| bind_power_aware(&p.dfg, &p.schedule, &p.alloc, &p.switching).expect("feasible"))
     });
     group.bench_function("codesign_heuristic_2fu_2inp", |b| {
         b.iter(|| {

@@ -7,7 +7,9 @@ use lockbind_matching::{max_weight_matching, WeightMatrix};
 fn random_matrix(n: usize, m: usize, seed: u64) -> WeightMatrix {
     let mut s = seed;
     WeightMatrix::from_fn(n, m, |_, _| {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         Some(((s >> 33) % 1000) as i64)
     })
 }

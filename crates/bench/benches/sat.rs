@@ -18,10 +18,10 @@ fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
     for row in &var {
         s.add_clause(row);
     }
-    for h in 0..holes {
-        for p1 in 0..pigeons {
-            for p2 in (p1 + 1)..pigeons {
-                s.add_clause(&[-var[p1][h], -var[p2][h]]);
+    for p1 in 0..pigeons {
+        for p2 in (p1 + 1)..pigeons {
+            for (a, b) in var[p1].iter().zip(&var[p2]) {
+                s.add_clause(&[-a, -b]);
             }
         }
     }

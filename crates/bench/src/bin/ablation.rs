@@ -11,24 +11,64 @@
 //! 4. **Switching baselines** — power-aware binding vs naive/random binding
 //!    switching rates (validates the Fig.-6 power baseline).
 //!
-//! Usage: `cargo run -p lockbind-bench --release --bin ablation`
+//! Parts 1, 3, and 4 run their independent cells on the execution engine
+//! (each part keeps its own fixed frames/seed so results stay comparable
+//! with the documented deviations); `--threads` controls the pool.
+//!
+//! Usage: `cargo run -p lockbind-bench --release --bin ablation --
+//! [--threads N] [--json PATH] [--fail-fast]`
 
+use lockbind_bench::grid::cached_prepared;
 use lockbind_bench::report::render_table;
-use lockbind_bench::PreparedKernel;
+use lockbind_bench::{ErrorRecord, ExperimentParams, PreparedKernel};
 use lockbind_core::{
     bind_area_aware, bind_obfuscation_aware, bind_power_aware, bind_random,
     expected_application_errors, LockingSpec,
 };
+use lockbind_engine::{Engine, EngineArgs, Job, JobCtx};
 use lockbind_hls::metrics::{register_count, register_lower_bound, switching};
-use lockbind_hls::{
-    bind_naive, FuClass, FuId,
-};
+use lockbind_hls::{bind_naive, FuClass, FuId};
 use lockbind_mediabench::{synthetic_benchmark, Kernel, SkewParams};
 
-fn skew_sweep() {
+const SKEW_HOTS: [f64; 6] = [0.0, 0.3, 0.5, 0.7, 0.9, 0.99];
+const SKEW_SEEDS: [u64; 3] = [9, 77, 1234];
+
+/// One synthetic-workload experiment of the skew sweep.
+struct SkewCell {
+    hot: f64,
+    seed: u64,
+    params: ExperimentParams,
+}
+
+impl Job for SkewCell {
+    type Output = Vec<ErrorRecord>;
+
+    fn label(&self) -> String {
+        format!("skew/h{:.2}/s{}", self.hot, self.seed)
+    }
+
+    fn stage(&self) -> &'static str {
+        "skew-sweep"
+    }
+
+    fn run(&self, _ctx: &mut JobCtx<'_>) -> Result<Self::Output, String> {
+        let bench = synthetic_benchmark(
+            &SkewParams {
+                hot_probability: self.hot,
+                lanes: 6,
+            },
+            400,
+            self.seed,
+        );
+        let prepared = PreparedKernel::from_benchmark(bench);
+        lockbind_bench::run_error_experiment(&prepared, &self.params).map_err(|e| e.to_string())
+    }
+}
+
+fn skew_sweep(engine: &Engine) -> Result<(), Vec<(String, String)>> {
     println!("== 1. trace-skew sweep (synthetic MAC kernel, full Fig.-4-style cell) ==");
     println!("(mean ratios over all configurations and candidate combinations)");
-    let params = lockbind_bench::ExperimentParams {
+    let params = ExperimentParams {
         num_candidates: 8,
         max_locked_fus: 2,
         max_locked_inputs: 2,
@@ -36,28 +76,32 @@ fn skew_sweep() {
         optimal_budget: 0,
         seed: 11,
     };
+    let cells: Vec<SkewCell> = SKEW_HOTS
+        .iter()
+        .flat_map(|&hot| {
+            SKEW_SEEDS
+                .iter()
+                .map(move |&seed| SkewCell { hot, seed, params })
+        })
+        .collect();
+    let report = engine.run(&cells);
+    let failures: Vec<(String, String)> = report
+        .failures()
+        .map(|(c, m)| (c.to_string(), m.to_string()))
+        .collect();
+    if !failures.is_empty() {
+        return Err(failures);
+    }
+
     let mut rows = Vec::new();
-    for hot in [0.0, 0.3, 0.5, 0.7, 0.9, 0.99] {
-        // Average over several workload seeds to damp combination luck.
+    for (hi, &hot) in SKEW_HOTS.iter().enumerate() {
+        // Average over the per-hot workload seeds to damp combination luck.
         let mut obf = (0.0, 0.0);
         let mut cd = (0.0, 0.0);
         let mut n = 0.0;
-        for seed in [9u64, 77, 1234] {
-            let bench = synthetic_benchmark(
-                &SkewParams {
-                    hot_probability: hot,
-                    lanes: 6,
-                },
-                400,
-                seed,
-            );
-            let prepared = PreparedKernel::from_benchmark(bench);
-            let records =
-                lockbind_bench::run_error_experiment(&prepared, &params).expect("feasible");
-            for r in records
-                .iter()
-                .filter(|r| r.class == FuClass::Multiplier)
-            {
+        for result in &report.results[hi * SKEW_SEEDS.len()..(hi + 1) * SKEW_SEEDS.len()] {
+            let records = result.output().expect("failures handled above");
+            for r in records.iter().filter(|r| r.class == FuClass::Multiplier) {
                 match r.algo {
                     lockbind_bench::SecurityAlgo::ObfAware => {
                         obf.0 += r.vs_area;
@@ -95,6 +139,7 @@ fn skew_sweep() {
     );
     println!("(uniform operands leave binding nothing to exploit; media-like skew");
     println!(" pushes the gains into the paper's 10-150x band)");
+    Ok(())
 }
 
 fn smoothing_sweep() {
@@ -134,60 +179,148 @@ fn smoothing_sweep() {
     println!();
 }
 
-fn register_models() {
-    println!("== 3. register models: per-FU banks (binding-dependent) vs global left-edge bound ==");
-    let mut rows = Vec::new();
-    for kernel in Kernel::ALL {
-        let p = PreparedKernel::new(kernel, 100, 5);
-        let area = bind_area_aware(&p.dfg, &p.schedule, &p.alloc).expect("feasible");
-        let naive = bind_naive(&p.dfg, &p.schedule, &p.alloc).expect("feasible");
+/// One kernel row of the register-model comparison (part 3).
+struct RegisterRowCell {
+    kernel: Kernel,
+}
+
+impl Job for RegisterRowCell {
+    type Output = Vec<String>;
+
+    fn label(&self) -> String {
+        format!("{}/registers", self.kernel.name())
+    }
+
+    fn stage(&self) -> &'static str {
+        "register-models"
+    }
+
+    fn run(&self, ctx: &mut JobCtx<'_>) -> Result<Self::Output, String> {
+        let p = cached_prepared(ctx.cache, self.kernel, 100, 5);
+        let area = bind_area_aware(&p.dfg, &p.schedule, &p.alloc).map_err(|e| e.to_string())?;
+        let naive = bind_naive(&p.dfg, &p.schedule, &p.alloc).map_err(|e| e.to_string())?;
         let lb = register_lower_bound(&p.dfg, &p.schedule);
-        rows.push(vec![
-            kernel.name().to_string(),
+        Ok(vec![
+            self.kernel.name().to_string(),
             lb.to_string(),
             register_count(&p.dfg, &p.schedule, &area, &p.alloc).to_string(),
             register_count(&p.dfg, &p.schedule, &naive, &p.alloc).to_string(),
-        ]);
+        ])
     }
+}
+
+fn register_models(engine: &Engine) -> Result<(), Vec<(String, String)>> {
+    println!(
+        "== 3. register models: per-FU banks (binding-dependent) vs global left-edge bound =="
+    );
+    let cells: Vec<RegisterRowCell> = Kernel::ALL
+        .into_iter()
+        .map(|kernel| RegisterRowCell { kernel })
+        .collect();
+    let report = engine.run(&cells);
+    let failures: Vec<(String, String)> = report
+        .failures()
+        .map(|(c, m)| (c.to_string(), m.to_string()))
+        .collect();
+    if !failures.is_empty() {
+        return Err(failures);
+    }
+    let rows: Vec<Vec<String>> = report.outputs().cloned().collect();
     println!(
         "{}",
         render_table(
-            &["kernel", "global lower bound", "area-aware (per-FU)", "naive (per-FU)"],
+            &[
+                "kernel",
+                "global lower bound",
+                "area-aware (per-FU)",
+                "naive (per-FU)"
+            ],
             &rows
         )
     );
     println!("(the per-FU model responds to binding choices; the bound does not)");
     println!();
+    Ok(())
 }
 
-fn switching_baselines() {
-    println!("== 4. switching rates: power-aware vs naive vs random binding ==");
-    let mut rows = Vec::new();
-    for kernel in [Kernel::Dct, Kernel::Jdmerge4, Kernel::Motion2, Kernel::Fft] {
-        let p = PreparedKernel::new(kernel, 150, 5);
+/// One kernel row of the switching-baseline comparison (part 4).
+struct SwitchingRowCell {
+    kernel: Kernel,
+}
+
+impl Job for SwitchingRowCell {
+    type Output = Vec<String>;
+
+    fn label(&self) -> String {
+        format!("{}/switching", self.kernel.name())
+    }
+
+    fn stage(&self) -> &'static str {
+        "switching-baselines"
+    }
+
+    fn run(&self, ctx: &mut JobCtx<'_>) -> Result<Self::Output, String> {
+        let p = cached_prepared(ctx.cache, self.kernel, 150, 5);
         let power = bind_power_aware(&p.dfg, &p.schedule, &p.alloc, &p.switching)
-            .expect("feasible");
-        let naive = bind_naive(&p.dfg, &p.schedule, &p.alloc).expect("feasible");
-        let random = bind_random(&p.dfg, &p.schedule, &p.alloc, 7).expect("feasible");
+            .map_err(|e| e.to_string())?;
+        let naive = bind_naive(&p.dfg, &p.schedule, &p.alloc).map_err(|e| e.to_string())?;
+        let random = bind_random(&p.dfg, &p.schedule, &p.alloc, 7).map_err(|e| e.to_string())?;
         let rate = |b| switching(&p.schedule, b, &p.alloc, &p.switching).rate;
-        rows.push(vec![
-            kernel.name().to_string(),
+        Ok(vec![
+            self.kernel.name().to_string(),
             format!("{:.4}", rate(&power)),
             format!("{:.4}", rate(&naive)),
             format!("{:.4}", rate(&random)),
-        ]);
+        ])
     }
+}
+
+fn switching_baselines(engine: &Engine) -> Result<(), Vec<(String, String)>> {
+    println!("== 4. switching rates: power-aware vs naive vs random binding ==");
+    let cells: Vec<SwitchingRowCell> =
+        [Kernel::Dct, Kernel::Jdmerge4, Kernel::Motion2, Kernel::Fft]
+            .into_iter()
+            .map(|kernel| SwitchingRowCell { kernel })
+            .collect();
+    let report = engine.run(&cells);
+    let failures: Vec<(String, String)> = report
+        .failures()
+        .map(|(c, m)| (c.to_string(), m.to_string()))
+        .collect();
+    if !failures.is_empty() {
+        return Err(failures);
+    }
+    let rows: Vec<Vec<String>> = report.outputs().cloned().collect();
     println!(
         "{}",
         render_table(&["kernel", "power-aware", "naive", "random"], &rows)
     );
     println!("(power-aware must be the column minimum — it is the Fig. 6 baseline)");
+    Ok(())
 }
 
 fn main() {
-    skew_sweep();
+    let args = EngineArgs::parse("ablation");
+    let engine = Engine::new(args.engine_config());
+
+    let mut all_failures = Vec::new();
+    if let Err(f) = skew_sweep(&engine) {
+        all_failures.extend(f);
+    }
     println!();
     smoothing_sweep();
-    register_models();
-    switching_baselines();
+    if let Err(f) = register_models(&engine) {
+        all_failures.extend(f);
+    }
+    if let Err(f) = switching_baselines(&engine) {
+        all_failures.extend(f);
+    }
+
+    if !all_failures.is_empty() {
+        eprintln!("[ablation] {} cells FAILED:", all_failures.len());
+        for (cell, message) in &all_failures {
+            eprintln!("  {cell}: {message}");
+        }
+        std::process::exit(1);
+    }
 }

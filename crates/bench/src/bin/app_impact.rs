@@ -37,13 +37,25 @@ fn main() {
         let candidates = p.candidates(class, 10);
         let fus = [FuId::new(class, 0), FuId::new(class, 1)];
         let design = codesign_heuristic(
-            &p.dfg, &p.schedule, &p.alloc, &p.profile, &fus, 2, &candidates,
+            &p.dfg,
+            &p.schedule,
+            &p.alloc,
+            &p.profile,
+            &fus,
+            2,
+            &candidates,
         )
         .expect("feasible");
         let area = bind_area_aware(&p.dfg, &p.schedule, &p.alloc).expect("feasible");
 
-        let sec = application_impact(&p.dfg, &p.schedule, &design.binding, &design.spec, &bench.trace)
-            .expect("replay");
+        let sec = application_impact(
+            &p.dfg,
+            &p.schedule,
+            &design.binding,
+            &design.spec,
+            &bench.trace,
+        )
+        .expect("replay");
         let base = application_impact(&p.dfg, &p.schedule, &area, &design.spec, &bench.trace)
             .expect("replay");
 

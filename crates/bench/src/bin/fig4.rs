@@ -3,32 +3,37 @@
 //! and (bottom) binding-obfuscation co-design, vs area-aware and power-aware
 //! binding, adders and multipliers separately.
 //!
-//! Usage: `cargo run -p lockbind-bench --release --bin fig4 [frames] [seed]`
+//! Usage: `cargo run -p lockbind-bench --release --bin fig4 --
+//! [FRAMES] [SEED] [--threads N] [--json PATH] [--fail-fast]`
 
 use lockbind_bench::errors_experiment::geomean;
 use lockbind_bench::report::{fmt_ratio, render_table};
-use lockbind_bench::{run_error_experiment, ExperimentParams, PreparedKernel, SecurityAlgo};
+use lockbind_bench::{collect_error_records, error_grid, ExperimentParams, SecurityAlgo};
+use lockbind_engine::{Engine, EngineArgs};
 use lockbind_hls::FuClass;
+use lockbind_mediabench::Kernel;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let frames: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2021);
+    let args = EngineArgs::parse("fig4");
     let params = ExperimentParams::default();
 
     println!("Fig. 4 — increase in application errors of locking (x over baseline)");
-    println!("workload: {frames} frames, seed {seed}; candidates: {}", params.num_candidates);
+    println!(
+        "workload: {} frames, seed {}; candidates: {}",
+        args.frames, args.seed, params.num_candidates
+    );
     println!();
 
-    let suite = PreparedKernel::suite(frames, seed);
-    let mut all_records = Vec::new();
-    for p in &suite {
-        let recs = run_error_experiment(p, &params).expect("suite kernels are feasible");
-        all_records.extend(recs);
-    }
+    let engine = Engine::new(args.engine_config());
+    let cells = error_grid(&Kernel::ALL, args.frames, args.seed, &params);
+    let report = engine.run(&cells);
+    let (all_records, failures) = collect_error_records(&report.results);
 
     for (title, algo) in [
-        ("Obfuscation-Aware Binding over Area/Power-Aware Binding", SecurityAlgo::ObfAware),
+        (
+            "Obfuscation-Aware Binding over Area/Power-Aware Binding",
+            SecurityAlgo::ObfAware,
+        ),
         (
             "Binding-Obfuscation Co-Design over Area/Power-Aware Binding",
             SecurityAlgo::CoDesignHeuristic,
@@ -44,8 +49,8 @@ fn main() {
         ];
         let mut rows = Vec::new();
         let mut kernel_means = Vec::new();
-        for p in &suite {
-            let name = p.name.as_str();
+        for kernel in Kernel::ALL {
+            let name = kernel.name();
             let mut cell = |class: FuClass, vs_area: bool| -> String {
                 let vals: Vec<f64> = all_records
                     .iter()
@@ -77,5 +82,21 @@ fn main() {
             fmt_ratio(avg),
         ]);
         println!("{}", render_table(&headers, &rows));
+    }
+
+    eprintln!("[fig4] {}", report.metrics.summary());
+    if let Some(path) = &args.json {
+        if let Err(e) = report.metrics.write_json(path) {
+            eprintln!("fig4: cannot write metrics to {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("[fig4] metrics written to {}", path.display());
+    }
+    if !failures.is_empty() {
+        eprintln!("[fig4] {} cells FAILED:", failures.len());
+        for (cell, message) in &failures {
+            eprintln!("  {cell}: {message}");
+        }
+        std::process::exit(1);
     }
 }

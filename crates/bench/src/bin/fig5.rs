@@ -3,27 +3,27 @@
 //! security-aware binding algorithm, averaged over all other parameters and
 //! normalized to area/power-aware binding with the identical configuration.
 //!
-//! Usage: `cargo run -p lockbind-bench --release --bin fig5 [frames] [seed]`
+//! Usage: `cargo run -p lockbind-bench --release --bin fig5 --
+//! [FRAMES] [SEED] [--threads N] [--json PATH] [--fail-fast]`
 
 use lockbind_bench::errors_experiment::geomean;
 use lockbind_bench::report::{fmt_ratio, render_table};
-use lockbind_bench::{run_error_experiment, ExperimentParams, PreparedKernel, SecurityAlgo};
+use lockbind_bench::{collect_error_records, error_grid, ExperimentParams, SecurityAlgo};
+use lockbind_engine::{Engine, EngineArgs};
+use lockbind_mediabench::Kernel;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let frames: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2021);
+    let args = EngineArgs::parse("fig5");
     let params = ExperimentParams::default();
 
     println!("Fig. 5 — error increase vs locking configuration (normalized to the");
     println!("same configuration under area/power-aware binding)");
     println!();
 
-    let suite = PreparedKernel::suite(frames, seed);
-    let mut records = Vec::new();
-    for p in &suite {
-        records.extend(run_error_experiment(p, &params).expect("feasible"));
-    }
+    let engine = Engine::new(args.engine_config());
+    let cells = error_grid(&Kernel::ALL, args.frames, args.seed, &params);
+    let report = engine.run(&cells);
+    let (records, failures) = collect_error_records(&report.results);
 
     let series = [
         ("Obf.-Aware vs Area-Aware", SecurityAlgo::ObfAware, true),
@@ -40,7 +40,8 @@ fn main() {
         ),
     ];
 
-    let buckets: [(&str, Box<dyn Fn(usize, usize) -> bool>); 7] = [
+    type ConfigFilter = Box<dyn Fn(usize, usize) -> bool>;
+    let buckets: [(&str, ConfigFilter); 7] = [
         ("1 FU", Box::new(|f, _| f == 1)),
         ("2 FUs", Box::new(|f, _| f == 2)),
         ("3 FUs", Box::new(|f, _| f == 3)),
@@ -71,4 +72,20 @@ fn main() {
         rows.push(row);
     }
     println!("{}", render_table(&headers, &rows));
+
+    eprintln!("[fig5] {}", report.metrics.summary());
+    if let Some(path) = &args.json {
+        if let Err(e) = report.metrics.write_json(path) {
+            eprintln!("fig5: cannot write metrics to {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("[fig5] metrics written to {}", path.display());
+    }
+    if !failures.is_empty() {
+        eprintln!("[fig5] {} cells FAILED:", failures.len());
+        for (cell, message) in &failures {
+            eprintln!("  {cell}: {message}");
+        }
+        std::process::exit(1);
+    }
 }

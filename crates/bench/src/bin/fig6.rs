@@ -3,24 +3,44 @@
 //! switching-rate increase over power-aware binding (bottom), per benchmark
 //! and averaged (paper: ~+4.7 registers, ~+0.03 switching rate).
 //!
-//! Usage: `cargo run -p lockbind-bench --release --bin fig6 [frames] [seed]`
+//! Usage: `cargo run -p lockbind-bench --release --bin fig6 --
+//! [FRAMES] [SEED] [--threads N] [--json PATH] [--fail-fast]`
 
 use lockbind_bench::report::render_table;
-use lockbind_bench::{measure_overhead, PreparedKernel, SecurityAlgo};
+use lockbind_bench::{OverheadCell, SecurityAlgo};
+use lockbind_engine::{CellResult, Engine, EngineArgs};
+use lockbind_mediabench::Kernel;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let frames: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2021);
+    let args = EngineArgs::parse("fig6");
 
     println!("Fig. 6 — design overhead of security-aware binding");
     println!();
 
-    let suite = PreparedKernel::suite(frames, seed);
+    let engine = Engine::new(args.engine_config());
+    let cells: Vec<OverheadCell> = Kernel::ALL
+        .into_iter()
+        .map(|kernel| OverheadCell {
+            kernel,
+            frames: args.frames,
+            seed: args.seed,
+            num_candidates: 10,
+        })
+        .collect();
+    let report = engine.run(&cells);
+
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 4];
-    for p in &suite {
-        let records = measure_overhead(p, 10).expect("feasible");
+    let mut failures = Vec::new();
+    let mut measured = 0usize;
+    for (cell, result) in cells.iter().zip(&report.results) {
+        let records = match result {
+            CellResult::Ok { output, .. } => output,
+            CellResult::Failed { cell, message } => {
+                failures.push((cell.clone(), message.clone()));
+                continue;
+            }
+        };
         let get = |algo: SecurityAlgo| -> (f64, f64) {
             records
                 .iter()
@@ -34,15 +54,16 @@ fn main() {
         sums[1] += cd_reg;
         sums[2] += obf_sw;
         sums[3] += cd_sw;
+        measured += 1;
         rows.push(vec![
-            p.name.clone(),
+            cell.kernel.name().to_string(),
             format!("{obf_reg:+.2}"),
             format!("{cd_reg:+.2}"),
             format!("{obf_sw:+.4}"),
             format!("{cd_sw:+.4}"),
         ]);
     }
-    let n = suite.len() as f64;
+    let n = measured.max(1) as f64;
     rows.push(vec![
         "Avg.".to_string(),
         format!("{:+.2}", sums[0] / n),
@@ -65,4 +86,20 @@ fn main() {
         )
     );
     println!("(registers vs area-aware binding; switching rate vs power-aware binding)");
+
+    eprintln!("[fig6] {}", report.metrics.summary());
+    if let Some(path) = &args.json {
+        if let Err(e) = report.metrics.write_json(path) {
+            eprintln!("fig6: cannot write metrics to {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("[fig6] metrics written to {}", path.display());
+    }
+    if !failures.is_empty() {
+        eprintln!("[fig6] {} cells FAILED:", failures.len());
+        for (cell, message) in &failures {
+            eprintln!("  {cell}: {message}");
+        }
+        std::process::exit(1);
+    }
 }

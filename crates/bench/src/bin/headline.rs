@@ -5,22 +5,27 @@
 //! * binding-obfuscation co-design: 82x vs area, 115x vs power (99x),
 //! * the P-time heuristic degrades the optimal co-design solution by <0.5%.
 //!
-//! Usage: `cargo run -p lockbind-bench --release --bin headline [frames] [seed]`
+//! Runs on the execution engine and always writes its run metrics to
+//! `results/BENCH_headline.json` (override the path with `--json`).
+//!
+//! Usage: `cargo run -p lockbind-bench --release --bin headline --
+//! [FRAMES] [SEED] [--threads N] [--json PATH] [--fail-fast]`
+
+use std::path::PathBuf;
 
 use lockbind_bench::errors_experiment::geomean;
-use lockbind_bench::{run_error_experiment, ExperimentParams, PreparedKernel, SecurityAlgo};
+use lockbind_bench::{collect_error_records, error_grid, ExperimentParams, SecurityAlgo};
+use lockbind_engine::{Engine, EngineArgs};
+use lockbind_mediabench::Kernel;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let frames: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2021);
+    let args = EngineArgs::parse("headline");
     let params = ExperimentParams::default();
 
-    let suite = PreparedKernel::suite(frames, seed);
-    let mut records = Vec::new();
-    for p in &suite {
-        records.extend(run_error_experiment(p, &params).expect("feasible"));
-    }
+    let engine = Engine::new(args.engine_config());
+    let cells = error_grid(&Kernel::ALL, args.frames, args.seed, &params);
+    let report = engine.run(&cells);
+    let (records, failures) = collect_error_records(&report.results);
 
     let collect = |algo: SecurityAlgo, vs_area: bool| -> Vec<f64> {
         records
@@ -102,5 +107,26 @@ fn main() {
             max * 100.0,
             degradations.len()
         );
+    }
+
+    let json_path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results/BENCH_headline.json"));
+    if let Err(e) = report.metrics.write_json(&json_path) {
+        eprintln!(
+            "headline: cannot write metrics to {}: {e}",
+            json_path.display()
+        );
+        std::process::exit(2);
+    }
+    eprintln!("[headline] {}", report.metrics.summary());
+    eprintln!("[headline] metrics written to {}", json_path.display());
+    if !failures.is_empty() {
+        eprintln!("[headline] {} cells FAILED:", failures.len());
+        for (cell, message) in &failures {
+            eprintln!("  {cell}: {message}");
+        }
+        std::process::exit(1);
     }
 }

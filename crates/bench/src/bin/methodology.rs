@@ -49,15 +49,19 @@ fn main() {
                 Ok(out) => {
                     let modules =
                         realize_locked_modules(&out.design.spec, p.dfg.width()).expect("lockable");
-                    let gates: usize =
-                        modules.iter().map(|(_, m)| m.netlist().gate_count()).sum();
+                    let gates: usize = modules.iter().map(|(_, m)| m.netlist().gate_count()).sum();
                     rows.push(vec![
                         kernel.name().to_string(),
                         format!("{target} errs"),
                         out.inputs_per_fu.to_string(),
                         format!("{}", out.design.errors),
                         format!("{:.2e}", out.sat_iterations),
-                        if out.needs_exponential_scheme { "yes" } else { "no" }.to_string(),
+                        if out.needs_exponential_scheme {
+                            "yes"
+                        } else {
+                            "no"
+                        }
+                        .to_string(),
                         gates.to_string(),
                     ]);
                 }

@@ -70,7 +70,10 @@ fn main() {
         "rll adder (8 key gates)".into(),
         lock_rll(&adder, 8, 42).expect("lockable"),
     );
-    run("anti-sat adder".into(), lock_anti_sat(&adder).expect("lockable"));
+    run(
+        "anti-sat adder".into(),
+        lock_anti_sat(&adder).expect("lockable"),
+    );
     run(
         "permutation adder (2 stages)".into(),
         lock_permutation(&adder, 2).expect("lockable"),
@@ -124,7 +127,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["scheme", "key bits", "iters", "conflicts/iter", "total conflicts"],
+            &[
+                "scheme",
+                "key bits",
+                "iters",
+                "conflicts/iter",
+                "total conflicts"
+            ],
             &rows3
         )
     );

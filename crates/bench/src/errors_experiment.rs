@@ -98,7 +98,7 @@ impl Default for ExperimentParams {
             max_locked_inputs: 3,
             max_assignments: 1500,
             optimal_budget: 20_000,
-            seed: 0xDAC2_021,
+            seed: 0x0DAC_2021,
         }
     }
 }
@@ -116,8 +116,107 @@ fn ratio(sec: u64, base: u64) -> f64 {
     (1.0 + sec as f64) / (1.0 + base as f64)
 }
 
+/// Locking-independent per-(kernel, class) context: the candidate locked
+/// inputs plus the area-/power-aware baseline bindings.
+///
+/// Building it is the expensive, *shared* part of every cell of a class —
+/// under the execution engine it is built once per (kernel, class) and
+/// memoized in the artifact cache.
+#[derive(Debug, Clone)]
+pub struct ClassContext {
+    /// The FU class this context covers.
+    pub class: FuClass,
+    /// The paper's candidate locked-input list for this class.
+    pub candidates: Vec<Minterm>,
+    /// Area-aware baseline binding (locking-independent).
+    pub area: Binding,
+    /// Power-aware baseline binding (locking-independent).
+    pub power: Binding,
+}
+
+impl ClassContext {
+    /// Builds the context, or `None` when the kernel has no candidates for
+    /// `class` (e.g. the multiplier class of a multiply-free kernel).
+    ///
+    /// # Errors
+    /// Propagates baseline binding errors from `lockbind-core`.
+    pub fn build(
+        prepared: &PreparedKernel,
+        class: FuClass,
+        num_candidates: usize,
+    ) -> Result<Option<ClassContext>, CoreError> {
+        let candidates = prepared.candidates(class, num_candidates);
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        let area = bind_area_aware(&prepared.dfg, &prepared.schedule, &prepared.alloc)?;
+        let power = bind_power_aware(
+            &prepared.dfg,
+            &prepared.schedule,
+            &prepared.alloc,
+            &prepared.switching,
+        )?;
+        Ok(Some(ClassContext {
+            class,
+            candidates,
+            area,
+            power,
+        }))
+    }
+}
+
+/// Evaluates one experiment cell — one `(locked_fus, locked_inputs)`
+/// configuration of one class — and returns its records.
+///
+/// This is a pure function of its arguments: no global state, no interior
+/// ordering dependence, which is what lets the execution engine run cells
+/// in parallel with results identical to the serial loop. Configurations
+/// outside the feasible bounds (more locked FUs than allocated, more locked
+/// inputs than candidates) return an empty record list.
+///
+/// # Errors
+/// Propagates binding/search errors from `lockbind-core`.
+pub fn run_error_cell(
+    prepared: &PreparedKernel,
+    ctx: &ClassContext,
+    params: &ExperimentParams,
+    locked_fus: usize,
+    locked_inputs: usize,
+) -> Result<Vec<ErrorRecord>, CoreError> {
+    let max_fus = params.max_locked_fus.min(prepared.alloc.count(ctx.class));
+    let max_inputs = params.max_locked_inputs.min(ctx.candidates.len());
+    if locked_fus == 0 || locked_fus > max_fus || locked_inputs == 0 || locked_inputs > max_inputs {
+        return Ok(Vec::new());
+    }
+    let fus: Vec<FuId> = (0..locked_fus).map(|i| FuId::new(ctx.class, i)).collect();
+    let mut records = obf_aware_cell(
+        prepared,
+        params,
+        ctx.class,
+        &fus,
+        locked_inputs,
+        &ctx.candidates,
+        &ctx.area,
+        &ctx.power,
+    )?;
+    records.extend(codesign_cell(
+        prepared,
+        params,
+        ctx.class,
+        &fus,
+        locked_inputs,
+        &ctx.candidates,
+        &ctx.area,
+        &ctx.power,
+    )?);
+    Ok(records)
+}
+
 /// Runs the full error-ratio experiment for one prepared kernel, producing
 /// one [`ErrorRecord`] per (class, configuration, algorithm).
+///
+/// This is the serial reference loop; the engine-backed grid in
+/// [`crate::grid`] produces the identical record sequence cell by cell.
 ///
 /// # Errors
 /// Propagates binding/search errors from `lockbind-core` (none are expected
@@ -128,42 +227,17 @@ pub fn run_error_experiment(
 ) -> Result<Vec<ErrorRecord>, CoreError> {
     let mut records = Vec::new();
     for class in prepared.classes() {
-        let candidates = prepared.candidates(class, params.num_candidates);
-        if candidates.is_empty() {
+        let Some(ctx) = ClassContext::build(prepared, class, params.num_candidates)? else {
             continue;
-        }
-        // Baseline bindings are locking-independent: compute once.
-        let area = bind_area_aware(&prepared.dfg, &prepared.schedule, &prepared.alloc)?;
-        let power = bind_power_aware(
-            &prepared.dfg,
-            &prepared.schedule,
-            &prepared.alloc,
-            &prepared.switching,
-        )?;
-
-        let max_fus = params.max_locked_fus.min(prepared.alloc.count(class));
-        for locked_fus in 1..=max_fus {
-            let fus: Vec<FuId> = (0..locked_fus).map(|i| FuId::new(class, i)).collect();
-            for locked_inputs in 1..=params.max_locked_inputs.min(candidates.len()) {
-                records.extend(obf_aware_cell(
+        };
+        for locked_fus in 1..=params.max_locked_fus {
+            for locked_inputs in 1..=params.max_locked_inputs {
+                records.extend(run_error_cell(
                     prepared,
+                    &ctx,
                     params,
-                    class,
-                    &fus,
+                    locked_fus,
                     locked_inputs,
-                    &candidates,
-                    &area,
-                    &power,
-                )?);
-                records.extend(codesign_cell(
-                    prepared,
-                    params,
-                    class,
-                    &fus,
-                    locked_inputs,
-                    &candidates,
-                    &area,
-                    &power,
                 )?);
             }
         }

@@ -18,12 +18,14 @@
 #![warn(missing_docs)]
 
 pub mod errors_experiment;
+pub mod grid;
 pub mod overhead;
 pub mod prepared;
 pub mod report;
 
 pub use errors_experiment::{
-    run_error_experiment, ErrorRecord, ExperimentParams, SecurityAlgo,
+    run_error_cell, run_error_experiment, ClassContext, ErrorRecord, ExperimentParams, SecurityAlgo,
 };
+pub use grid::{collect_error_records, error_grid, ErrorCell, OverheadCell};
 pub use overhead::{measure_overhead, OverheadRecord};
 pub use prepared::PreparedKernel;

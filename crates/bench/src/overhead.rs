@@ -48,7 +48,13 @@ pub fn measure_overhead(
         &prepared.switching,
     )?;
     let base_regs = register_count(&prepared.dfg, &prepared.schedule, &area, &prepared.alloc);
-    let base_sw = switching(&prepared.schedule, &power, &prepared.alloc, &prepared.switching).rate;
+    let base_sw = switching(
+        &prepared.schedule,
+        &power,
+        &prepared.alloc,
+        &prepared.switching,
+    )
+    .rate;
 
     let mut acc: Vec<(SecurityAlgo, f64, f64, usize)> = vec![
         (SecurityAlgo::ObfAware, 0.0, 0.0, 0),
@@ -102,12 +108,8 @@ pub fn measure_overhead(
                     (SecurityAlgo::ObfAware, &obf),
                     (SecurityAlgo::CoDesignHeuristic, &heur.binding),
                 ] {
-                    let regs = register_count(
-                        &prepared.dfg,
-                        &prepared.schedule,
-                        binding,
-                        &prepared.alloc,
-                    );
+                    let regs =
+                        register_count(&prepared.dfg, &prepared.schedule, binding, &prepared.alloc);
                     let sw = switching(
                         &prepared.schedule,
                         binding,

@@ -2,8 +2,7 @@
 //! candidate locked inputs.
 
 use lockbind_hls::{
-    schedule_list, Allocation, Dfg, FuClass, Minterm, OccurrenceProfile, Schedule,
-    SwitchingProfile,
+    schedule_list, Allocation, Dfg, FuClass, Minterm, OccurrenceProfile, Schedule, SwitchingProfile,
 };
 use lockbind_mediabench::{Benchmark, Kernel};
 

@@ -175,15 +175,7 @@ mod tests {
     use lockbind_hls::{schedule_list, FuClass};
     use lockbind_mediabench::Kernel;
 
-    fn setup(
-        kernel: Kernel,
-    ) -> (
-        Dfg,
-        Schedule,
-        Allocation,
-        OccurrenceProfile,
-        Vec<Minterm>,
-    ) {
+    fn setup(kernel: Kernel) -> (Dfg, Schedule, Allocation, OccurrenceProfile, Vec<Minterm>) {
         let b = kernel.benchmark(120, 31);
         let alloc = Allocation::new(3, 3);
         let sched = schedule_list(&b.dfg, &alloc).expect("schedulable");
@@ -209,10 +201,7 @@ mod tests {
     #[test]
     fn heuristic_within_tolerance_of_optimal_two_fus() {
         let (dfg, sched, alloc, profile, candidates) = setup(Kernel::Jdmerge1);
-        let fus = [
-            FuId::new(FuClass::Adder, 0),
-            FuId::new(FuClass::Adder, 1),
-        ];
+        let fus = [FuId::new(FuClass::Adder, 0), FuId::new(FuClass::Adder, 1)];
         let opt = codesign_optimal(&dfg, &sched, &alloc, &profile, &fus, 2, &candidates)
             .expect("searchable");
         let heu = codesign_heuristic(&dfg, &sched, &alloc, &profile, &fus, 2, &candidates)

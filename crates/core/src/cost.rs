@@ -58,9 +58,7 @@ pub fn expected_application_errors(
 mod tests {
     use super::*;
     use lockbind_hls::binding::bind_naive;
-    use lockbind_hls::{
-        schedule_asap, Allocation, Dfg, FuClass, FuId, Minterm, OpKind, Trace,
-    };
+    use lockbind_hls::{schedule_asap, Allocation, Dfg, FuClass, FuId, Minterm, OpKind, Trace};
 
     #[test]
     fn errors_sum_over_fus_minterms_and_ops() {

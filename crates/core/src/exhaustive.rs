@@ -167,8 +167,8 @@ mod tests {
         let alloc = Allocation::new(10, 0);
         let trace = lockbind_hls::Trace::from_frames(vec![vec![1]; 2]);
         let profile = OccurrenceProfile::from_trace(&d, &trace).expect("profiled");
-        let err = bind_exhaustive(&d, &sched, &alloc, &profile, &LockingSpec::unlocked())
-            .unwrap_err();
+        let err =
+            bind_exhaustive(&d, &sched, &alloc, &profile, &LockingSpec::unlocked()).unwrap_err();
         assert!(matches!(err, CoreError::SearchSpaceTooLarge { .. }));
     }
 }

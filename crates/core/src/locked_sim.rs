@@ -69,8 +69,7 @@ pub fn execute_with_locked_modules(
     }
     let width = dfg.width();
     let mask = (1u64 << width) - 1;
-    let module_of: HashMap<FuId, &LockedNetlist> =
-        modules.iter().map(|(fu, m)| (*fu, m)).collect();
+    let module_of: HashMap<FuId, &LockedNetlist> = modules.iter().map(|(fu, m)| (*fu, m)).collect();
 
     let mut values = vec![0u64; dfg.num_ops()];
     for (id, op) in dfg.iter_ops() {
@@ -88,9 +87,7 @@ pub fn execute_with_locked_modules(
         if let Some(module) = module_of.get(&fu) {
             let key = keys.get(&fu).expect("key provided for every locked FU");
             let locked_out = module.eval_with_key(&[a, b], width, key);
-            let golden_out = module
-                .oracle()
-                .eval_words(&[a, b], width, &[]);
+            let golden_out = module.oracle().eval_words(&[a, b], width, &[]);
             // The corruption signature is input-triggered and output-wide
             // (critical-minterm locking inverts the output bus), so it
             // transfers from the module's own function to whatever ALU
@@ -100,11 +97,7 @@ pub fn execute_with_locked_modules(
         }
         values[id.index()] = out;
     }
-    Ok(dfg
-        .outputs()
-        .iter()
-        .map(|o| values[o.index()])
-        .collect())
+    Ok(dfg.outputs().iter().map(|o| values[o.index()]).collect())
 }
 
 /// End-to-end corruption statistics over a trace.
@@ -146,11 +139,7 @@ pub fn output_corruption(
     for frame in trace {
         let clean = lockbind_hls::sim::execute_outputs(dfg, frame).map_err(CoreError::Hls)?;
         let locked = execute_with_locked_modules(dfg, binding, modules, keys, frame)?;
-        let diff = clean
-            .iter()
-            .zip(&locked)
-            .filter(|(c, l)| c != l)
-            .count() as u64;
+        let diff = clean.iter().zip(&locked).filter(|(c, l)| c != l).count() as u64;
         words_corrupted += diff;
         if diff > 0 {
             frames_corrupted += 1;
@@ -170,12 +159,7 @@ mod tests {
     use lockbind_hls::{schedule_list, Allocation, FuClass, OccurrenceProfile};
     use lockbind_mediabench::Kernel;
 
-    fn setup() -> (
-        Dfg,
-        Binding,
-        Vec<(FuId, LockedNetlist)>,
-        Trace,
-    ) {
+    fn setup() -> (Dfg, Binding, Vec<(FuId, LockedNetlist)>, Trace) {
         let bench = Kernel::Jctrans2.benchmark(120, 9);
         let alloc = Allocation::new(3, 3);
         let schedule = schedule_list(&bench.dfg, &alloc).expect("schedulable");
@@ -234,8 +218,7 @@ mod tests {
         let bench = Kernel::Motion2.benchmark(120, 9);
         let alloc = Allocation::new(3, 3);
         let schedule = schedule_list(&bench.dfg, &alloc).expect("schedulable");
-        let profile =
-            OccurrenceProfile::from_trace(&bench.dfg, &bench.trace).expect("profiled");
+        let profile = OccurrenceProfile::from_trace(&bench.dfg, &bench.trace).expect("profiled");
         let candidates =
             profile.top_candidates_among(&bench.dfg.ops_of_class(FuClass::Multiplier), 8);
         let design = codesign_heuristic(
@@ -287,11 +270,7 @@ mod tests {
                 };
                 let wrong = keys.get(fu).expect("key assigned");
                 let mut ms: Vec<lockbind_hls::Minterm> = Vec::new();
-                for (good_seg, wrong_seg) in m
-                    .correct_key()
-                    .chunks(n_in)
-                    .zip(wrong.chunks(n_in))
-                {
+                for (good_seg, wrong_seg) in m.correct_key().chunks(n_in).zip(wrong.chunks(n_in)) {
                     let good = unpack(good_seg);
                     if good_seg != wrong_seg {
                         ms.push(good);
@@ -307,8 +286,8 @@ mod tests {
         let alloc = Allocation::new(3, 3);
         let spec = crate::LockingSpec::new(&alloc, spec_entries).expect("valid");
         let schedule = schedule_list(&dfg, &alloc).expect("schedulable");
-        let impact = crate::application_impact(&dfg, &schedule, &binding, &spec, &trace)
-            .expect("replay");
+        let impact =
+            crate::application_impact(&dfg, &schedule, &binding, &spec, &trace).expect("replay");
 
         let corr = output_corruption(&dfg, &binding, &modules, &keys, &trace).expect("replay");
         assert!(
@@ -324,8 +303,8 @@ mod tests {
     fn arity_mismatch_is_reported() {
         let (dfg, binding, modules, _) = setup();
         let keys = correct_keys(&modules);
-        let err = execute_with_locked_modules(&dfg, &binding, &modules, &keys, &vec![1])
-            .unwrap_err();
+        let err =
+            execute_with_locked_modules(&dfg, &binding, &modules, &keys, &vec![1]).unwrap_err();
         assert!(matches!(err, CoreError::Hls(_)));
     }
 }

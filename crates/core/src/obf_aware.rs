@@ -134,16 +134,14 @@ mod tests {
 
         let fu1 = FuId::new(FuClass::Adder, 0);
         let fu2 = FuId::new(FuClass::Adder, 1);
-        let spec =
-            LockingSpec::new(&alloc, vec![(fu1, vec![x]), (fu2, vec![y])]).expect("valid");
+        let spec = LockingSpec::new(&alloc, vec![(fu1, vec![x]), (fu2, vec![y])]).expect("valid");
         (d, sched, alloc, profile, spec)
     }
 
     #[test]
     fn fig2_cycle0_matching_matches_paper() {
         let (d, sched, alloc, profile, spec) = fig2();
-        let bind = bind_obfuscation_aware(&d, &sched, &alloc, &profile, &spec)
-            .expect("feasible");
+        let bind = bind_obfuscation_aware(&d, &sched, &alloc, &profile, &spec).expect("feasible");
         // Paper: OPA -> FU2 (weight 9), OPB -> FU1 (weight 4), cost 13.
         let mut ids = d.op_ids();
         let opa = ids.next().expect("op 0");
@@ -155,8 +153,7 @@ mod tests {
     #[test]
     fn dominates_naive_binding() {
         let (d, sched, alloc, profile, spec) = fig2();
-        let obf = bind_obfuscation_aware(&d, &sched, &alloc, &profile, &spec)
-            .expect("feasible");
+        let obf = bind_obfuscation_aware(&d, &sched, &alloc, &profile, &spec).expect("feasible");
         let naive = bind_naive(&d, &sched, &alloc).expect("feasible");
         let e_obf = expected_application_errors(&obf, &profile, &spec);
         let e_naive = expected_application_errors(&naive, &profile, &spec);
@@ -167,8 +164,7 @@ mod tests {
     #[test]
     fn optimality_vs_exhaustive_on_small_dfg() {
         let (d, sched, alloc, profile, spec) = fig2();
-        let obf = bind_obfuscation_aware(&d, &sched, &alloc, &profile, &spec)
-            .expect("feasible");
+        let obf = bind_obfuscation_aware(&d, &sched, &alloc, &profile, &spec).expect("feasible");
         let best_obf = expected_application_errors(&obf, &profile, &spec);
 
         // Exhaustive: enumerate all valid bindings (3 FUs, ops per cycle
@@ -218,8 +214,11 @@ mod tests {
     #[test]
     fn rejects_unknown_locked_fu() {
         let (d, sched, alloc, profile, _) = fig2();
-        let bad = LockingSpec::new(&Allocation::new(9, 0), vec![(FuId::new(FuClass::Adder, 7), vec![])])
-            .expect("valid for bigger alloc");
+        let bad = LockingSpec::new(
+            &Allocation::new(9, 0),
+            vec![(FuId::new(FuClass::Adder, 7), vec![])],
+        )
+        .expect("valid for bigger alloc");
         let err = bind_obfuscation_aware(&d, &sched, &alloc, &profile, &bad).unwrap_err();
         assert!(matches!(err, CoreError::UnknownFu { .. }));
     }

@@ -90,11 +90,8 @@ mod tests {
         let width = 4u32;
         let m = Minterm::pack(0x9, 0x2, width); // a=9, b=2
         let alloc = Allocation::new(1, 0);
-        let spec = LockingSpec::new(
-            &alloc,
-            vec![(FuId::new(FuClass::Adder, 0), vec![m])],
-        )
-        .expect("valid");
+        let spec =
+            LockingSpec::new(&alloc, vec![(FuId::new(FuClass::Adder, 0), vec![m])]).expect("valid");
         let modules = realize_locked_modules(&spec, width).expect("lockable");
         let (_, locked) = &modules[0];
 
@@ -117,7 +114,10 @@ mod tests {
         let spec = LockingSpec::new(
             &alloc,
             vec![
-                (FuId::new(FuClass::Adder, 0), vec![Minterm::pack(1, 2, width)]),
+                (
+                    FuId::new(FuClass::Adder, 0),
+                    vec![Minterm::pack(1, 2, width)],
+                ),
                 (
                     FuId::new(FuClass::Multiplier, 0),
                     vec![Minterm::pack(3, 3, width)],
@@ -129,10 +129,16 @@ mod tests {
         assert_eq!(modules.len(), 2);
         // Multiplier module behaves like a multiplier under the correct key.
         let (_, mul) = &modules[1];
-        assert_eq!(mul.eval_with_key(&[3, 5], width, mul.correct_key()), vec![15]);
+        assert_eq!(
+            mul.eval_with_key(&[3, 5], width, mul.correct_key()),
+            vec![15]
+        );
         // Adder module adds.
         let (_, add) = &modules[0];
-        assert_eq!(add.eval_with_key(&[3, 5], width, add.correct_key()), vec![8]);
+        assert_eq!(
+            add.eval_with_key(&[3, 5], width, add.correct_key()),
+            vec![8]
+        );
     }
 
     #[test]

@@ -34,12 +34,14 @@ pub fn bind_random(
                 continue;
             }
             if ops.len() > alloc.count(class) {
-                return Err(CoreError::Hls(lockbind_hls::HlsError::InsufficientResources {
-                    cycle: t,
-                    class: class.name(),
-                    demanded: ops.len(),
-                    available: alloc.count(class),
-                }));
+                return Err(CoreError::Hls(
+                    lockbind_hls::HlsError::InsufficientResources {
+                        cycle: t,
+                        class: class.name(),
+                        demanded: ops.len(),
+                        available: alloc.count(class),
+                    },
+                ));
             }
             // Fisher-Yates over the FU indices, take the first |ops|.
             let mut fus: Vec<usize> = (0..alloc.count(class)).collect();

@@ -22,10 +22,7 @@ impl LockingSpec {
     /// # Errors
     /// [`CoreError::UnknownFu`] / [`CoreError::DuplicateFu`] on invalid
     /// entries.
-    pub fn new(
-        alloc: &Allocation,
-        entries: Vec<(FuId, Vec<Minterm>)>,
-    ) -> Result<Self, CoreError> {
+    pub fn new(alloc: &Allocation, entries: Vec<(FuId, Vec<Minterm>)>) -> Result<Self, CoreError> {
         for (i, (fu, _)) in entries.iter().enumerate() {
             if fu.index >= alloc.count(fu.class) {
                 return Err(CoreError::UnknownFu { fu: fu.to_string() });
@@ -107,11 +104,8 @@ mod tests {
     #[test]
     fn valid_spec_roundtrips() {
         let alloc = Allocation::new(3, 1);
-        let spec = LockingSpec::new(
-            &alloc,
-            vec![(fu(0), vec![m(1), m(2)]), (fu(2), vec![m(3)])],
-        )
-        .expect("valid");
+        let spec = LockingSpec::new(&alloc, vec![(fu(0), vec![m(1), m(2)]), (fu(2), vec![m(3)])])
+            .expect("valid");
         assert_eq!(spec.num_locked_fus(), 2);
         assert_eq!(spec.total_locked_inputs(), 3);
         assert!(spec.is_locked(fu(0)));

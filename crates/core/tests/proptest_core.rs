@@ -6,8 +6,8 @@ use lockbind_core::{
     LockingSpec,
 };
 use lockbind_hls::{
-    bind_naive, schedule_asap, Allocation, Dfg, FuClass, FuId, Minterm, OccurrenceProfile,
-    OpKind, Trace, ValueRef,
+    bind_naive, schedule_asap, Allocation, Dfg, FuClass, FuId, Minterm, OccurrenceProfile, OpKind,
+    Trace, ValueRef,
 };
 use proptest::prelude::*;
 
@@ -25,13 +25,7 @@ fn scenario() -> impl Strategy<Value = (Dfg, Trace)> {
                 .collect();
             for l in 1..layers {
                 prev = (0..width_ops)
-                    .map(|i| {
-                        ValueRef::Op(d.op(
-                            OpKind::Add,
-                            prev[i],
-                            prev[(i + l) % width_ops],
-                        ))
-                    })
+                    .map(|i| ValueRef::Op(d.op(OpKind::Add, prev[i], prev[(i + l) % width_ops])))
                     .collect();
             }
             let mut s = seed;

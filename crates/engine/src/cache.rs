@@ -1,0 +1,276 @@
+//! Content-keyed in-memory artifact cache.
+//!
+//! Experiment cells repeatedly need the same expensive, locking-independent
+//! artifacts: an HLS-scheduled kernel, its candidate minterm list, the
+//! area-/power-aware baseline bindings. The cache memoizes them across cells
+//! (and across worker threads) under a content key built from the inputs
+//! that determine the artifact — e.g. `(kernel, frames, seed)`.
+//!
+//! Keys hash with FNV-1a (hand-rolled; the environment has no external
+//! hashing crates), but lookup always compares the **exact key bytes**, so
+//! hash collisions can never alias two artifacts. Values are type-erased
+//! `Arc<dyn Any>`; [`ArtifactCache::get_or_insert_with`] downcasts back to
+//! the concrete type and panics on a type mismatch (a programming error:
+//! one namespace must always store one type).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An unambiguous byte key identifying one cached artifact.
+///
+/// Built from a namespace plus a sequence of typed fields; variable-length
+/// fields are length-prefixed so distinct field sequences can never encode
+/// to the same bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    bytes: Vec<u8>,
+}
+
+impl CacheKey {
+    /// Starts a key in `namespace` (e.g. `"prepared-kernel"`).
+    pub fn new(namespace: &str) -> Self {
+        CacheKey { bytes: Vec::new() }.push_str(namespace)
+    }
+
+    /// Appends a `u64` field.
+    pub fn push_u64(mut self, v: u64) -> Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `usize` field.
+    pub fn push_usize(self, v: usize) -> Self {
+        self.push_u64(v as u64)
+    }
+
+    /// Appends a length-prefixed string field.
+    pub fn push_str(self, s: &str) -> Self {
+        self.push_bytes(s.as_bytes())
+    }
+
+    /// Appends a length-prefixed raw byte field.
+    pub fn push_bytes(mut self, b: &[u8]) -> Self {
+        self.bytes
+            .extend_from_slice(&(b.len() as u64).to_le_bytes());
+        self.bytes.extend_from_slice(b);
+        self
+    }
+
+    /// FNV-1a over the key bytes; used only to pick the bucket.
+    fn fnv1a(&self) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for &byte in &self.bytes {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+type Erased = Arc<dyn Any + Send + Sync>;
+
+/// Cache hit/miss counters and the current entry count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the artifact.
+    pub misses: u64,
+    /// Artifacts currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none occurred).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One hash bucket: entries whose keys share an FNV-1a hash, resolved by
+/// exact key-byte comparison.
+type Bucket = Vec<(Vec<u8>, Erased)>;
+
+/// Thread-safe, type-erased artifact cache.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    buckets: Mutex<HashMap<u64, Bucket>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the artifact under `key`, building (and inserting) it with
+    /// `build` on a miss.
+    ///
+    /// The lock is **not** held while `build` runs, so two threads missing
+    /// the same key concurrently may both build it; the first insert wins
+    /// and the duplicate is discarded. Builds must therefore be
+    /// deterministic functions of the key — which is exactly what makes
+    /// them cacheable in the first place.
+    ///
+    /// # Panics
+    /// If an artifact was previously stored under the same key with a
+    /// different type.
+    pub fn get_or_insert_with<T, F>(&self, key: CacheKey, build: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let hash = key.fnv1a();
+        if let Some(found) = self.lookup(hash, &key.bytes) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return downcast::<T>(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built: Erased = Arc::new(build());
+        let mut buckets = self.buckets.lock().expect("cache poisoned");
+        let bucket = buckets.entry(hash).or_default();
+        // Re-check: another thread may have inserted while we were building.
+        if let Some((_, existing)) = bucket.iter().find(|(k, _)| *k == key.bytes) {
+            return downcast::<T>(Arc::clone(existing));
+        }
+        bucket.push((key.bytes, Arc::clone(&built)));
+        downcast::<T>(built)
+    }
+
+    fn lookup(&self, hash: u64, bytes: &[u8]) -> Option<Erased> {
+        let buckets = self.buckets.lock().expect("cache poisoned");
+        buckets
+            .get(&hash)?
+            .iter()
+            .find(|(k, _)| k == bytes)
+            .map(|(_, v)| Arc::clone(v))
+    }
+
+    /// Current hit/miss counters and entry count.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .buckets
+            .lock()
+            .expect("cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+fn downcast<T: Send + Sync + 'static>(erased: Erased) -> Arc<T> {
+    erased
+        .downcast::<T>()
+        .unwrap_or_else(|_| panic!("artifact cache type mismatch: one key stored two types"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_counts() {
+        let cache = ArtifactCache::new();
+        let key = || {
+            CacheKey::new("t")
+                .push_str("fir")
+                .push_usize(300)
+                .push_u64(2021)
+        };
+        let mut builds = 0;
+        let a = cache.get_or_insert_with::<u64, _>(key(), || {
+            builds += 1;
+            42
+        });
+        let b = cache.get_or_insert_with::<u64, _>(key(), || {
+            builds += 1;
+            99
+        });
+        assert_eq!(*a, 42);
+        assert_eq!(*b, 42, "second lookup must reuse the first artifact");
+        assert_eq!(builds, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_triples_never_collide() {
+        // Every distinct (kernel, frames, seed) triple must map to its own
+        // artifact, including pairs crafted to stress field boundaries.
+        let cache = ArtifactCache::new();
+        let triples: Vec<(&str, usize, u64)> = vec![
+            ("fir", 300, 2021),
+            ("fir", 300, 2022),
+            ("fir", 301, 2021),
+            ("fir2", 300, 2021),
+            // Same concatenated text, different field split.
+            ("ab", 1, 0),
+            ("a", 1, 0),
+            ("", 1, 0),
+        ];
+        for (i, (kernel, frames, seed)) in triples.iter().enumerate() {
+            let key = CacheKey::new("prepared")
+                .push_str(kernel)
+                .push_usize(*frames)
+                .push_u64(*seed);
+            let value = cache.get_or_insert_with::<usize, _>(key, || i);
+            assert_eq!(*value, i, "triple {i} aliased an earlier artifact");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, triples.len() as u64);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.entries, triples.len());
+    }
+
+    #[test]
+    fn namespaces_separate_artifacts() {
+        let cache = ArtifactCache::new();
+        let a = cache.get_or_insert_with::<u32, _>(CacheKey::new("ns-a").push_u64(7), || 1);
+        let b = cache.get_or_insert_with::<u32, _>(CacheKey::new("ns-b").push_u64(7), || 2);
+        assert_eq!((*a, *b), (1, 2));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let cache = ArtifactCache::new();
+        let key = || CacheKey::new("ns").push_u64(1);
+        let _ = cache.get_or_insert_with::<u32, _>(key(), || 1);
+        let _ = cache.get_or_insert_with::<u64, _>(key(), || 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_artifact() {
+        let cache = ArtifactCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for round in 0..64u64 {
+                        let key = CacheKey::new("shared").push_u64(round % 4);
+                        let v = cache.get_or_insert_with::<u64, _>(key, || round % 4);
+                        assert_eq!(*v, round % 4);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.hits + stats.misses, 8 * 64);
+    }
+}

@@ -1,0 +1,175 @@
+//! Shared command-line parsing for the figure binaries.
+//!
+//! All engine-backed binaries accept the same surface:
+//!
+//! ```text
+//! <bin> [FRAMES] [SEED] [--frames N] [--seed S] [--threads N]
+//!       [--json PATH] [--fail-fast]
+//! ```
+//!
+//! The two positionals predate the engine (`fig4 300 2021`) and remain
+//! supported; flags win when both are given.
+
+use std::path::PathBuf;
+
+use crate::pool::EngineConfig;
+
+/// Parsed engine-binary arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineArgs {
+    /// Profiling frames per kernel.
+    pub frames: usize,
+    /// Root seed (kernel preparation and per-cell streams).
+    pub seed: u64,
+    /// Worker threads; `0` = auto-detect.
+    pub threads: usize,
+    /// Where to write the run-metrics JSON, if anywhere.
+    pub json: Option<PathBuf>,
+    /// Abort the grid on the first failed cell.
+    pub fail_fast: bool,
+}
+
+impl EngineArgs {
+    /// Defaults shared by the paper binaries: 300 frames, seed 2021.
+    pub fn paper_defaults() -> Self {
+        EngineArgs {
+            frames: 300,
+            seed: 2021,
+            threads: 0,
+            json: None,
+            fail_fast: false,
+        }
+    }
+
+    /// Parses `std::env::args`, exiting with usage on a parse error.
+    pub fn parse(bin: &str) -> Self {
+        match Self::parse_from(std::env::args().skip(1), Self::paper_defaults()) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("{bin}: {message}");
+                eprintln!("{}", Self::usage(bin));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Usage string for `bin`.
+    pub fn usage(bin: &str) -> String {
+        format!(
+            "usage: {bin} [FRAMES] [SEED] [--frames N] [--seed S] [--threads N] [--json PATH] [--fail-fast]"
+        )
+    }
+
+    /// Parses an explicit argument iterator against `defaults`.
+    ///
+    /// # Errors
+    /// Returns a human-readable message for unknown flags, missing flag
+    /// values, unparsable numbers, or extra positionals.
+    pub fn parse_from(
+        args: impl Iterator<Item = String>,
+        defaults: EngineArgs,
+    ) -> Result<Self, String> {
+        let mut out = defaults;
+        let mut positionals = 0usize;
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let mut value_for = |flag: &str| {
+                args.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--frames" => out.frames = parse_num(&value_for("--frames")?, "--frames")?,
+                "--seed" => out.seed = parse_num(&value_for("--seed")?, "--seed")?,
+                "--threads" => out.threads = parse_num(&value_for("--threads")?, "--threads")?,
+                "--json" => out.json = Some(PathBuf::from(value_for("--json")?)),
+                "--fail-fast" => out.fail_fast = true,
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag {flag}"));
+                }
+                positional => {
+                    match positionals {
+                        0 => out.frames = parse_num(positional, "FRAMES")?,
+                        1 => out.seed = parse_num(positional, "SEED")?,
+                        _ => return Err(format!("unexpected argument {positional}")),
+                    }
+                    positionals += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The [`EngineConfig`] these arguments describe.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            threads: self.threads,
+            root_seed: self.seed,
+            fail_fast: self.fail_fast,
+            progress: true,
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{what}: invalid number {text:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<EngineArgs, String> {
+        EngineArgs::parse_from(
+            args.iter().map(|s| s.to_string()),
+            EngineArgs::paper_defaults(),
+        )
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let args = parse(&[]).unwrap();
+        assert_eq!((args.frames, args.seed, args.threads), (300, 2021, 0));
+        assert!(args.json.is_none());
+        assert!(!args.fail_fast);
+    }
+
+    #[test]
+    fn positionals_are_frames_then_seed() {
+        let args = parse(&["120", "7"]).unwrap();
+        assert_eq!((args.frames, args.seed), (120, 7));
+        assert!(parse(&["120", "7", "9"]).is_err());
+    }
+
+    #[test]
+    fn flags_parse_and_win() {
+        let args = parse(&[
+            "100",
+            "--threads",
+            "4",
+            "--seed",
+            "99",
+            "--json",
+            "results/run.json",
+            "--fail-fast",
+        ])
+        .unwrap();
+        assert_eq!(args.frames, 100);
+        assert_eq!(args.seed, 99);
+        assert_eq!(args.threads, 4);
+        assert_eq!(
+            args.json.as_deref(),
+            Some(std::path::Path::new("results/run.json"))
+        );
+        assert!(args.fail_fast);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&["--threads"])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse(&["--bogus"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["abc"]).unwrap_err().contains("invalid number"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Parallel experiment-execution engine for the lockbind evaluation suite.
+//!
+//! The paper's figures are grids of independent *cells* (kernel x FU class x
+//! locking configuration x algorithm set). This crate runs any such grid on a
+//! worker pool with:
+//!
+//! * **Determinism** — per-cell RNGs are derived from one root seed via
+//!   ChaCha stream splitting (stream id = cell index), so results are
+//!   bit-identical to a serial run at any worker count.
+//! * **Artifact caching** — a content-keyed, type-erased in-memory cache
+//!   ([`ArtifactCache`]) memoizes expensive locking-independent artifacts
+//!   (prepared kernels, candidate lists) across cells, with hit/miss
+//!   counters.
+//! * **Panic isolation** — each cell runs under `catch_unwind`; a panicking
+//!   or erroring cell becomes [`CellResult::Failed`] without taking down the
+//!   run (opt out with fail-fast).
+//! * **Observability** — per-cell and per-stage wall time, cells/sec, cache
+//!   hit rate, and a live progress line; exportable as hand-rolled JSON
+//!   ([`RunMetrics::to_json`]).
+//!
+//! The engine is experiment-agnostic: anything implementing [`Job`] can be
+//! scheduled. The concrete cell types live in `lockbind-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cli;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+
+pub use cache::{ArtifactCache, CacheKey, CacheStats};
+pub use cli::EngineArgs;
+pub use json::Json;
+pub use metrics::{CellTiming, RunMetrics, StageMetrics};
+pub use pool::{CellResult, Engine, EngineConfig, Job, JobCtx, RunReport};

@@ -1,0 +1,229 @@
+//! Run metrics: wall time, throughput, per-stage/per-cell timing, cache
+//! effectiveness — plus a hand-rolled JSON export.
+
+use std::time::Duration;
+
+use crate::cache::CacheStats;
+use crate::json::Json;
+
+impl CacheStats {
+    /// The stats accumulated *since* `earlier` (the cache is shared across
+    /// runs, so per-run metrics subtract the pre-run snapshot).
+    pub fn delta_from(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            entries: self.entries,
+        }
+    }
+}
+
+/// Wall time of one cell.
+#[derive(Debug, Clone)]
+pub struct CellTiming {
+    /// Cell label.
+    pub cell: String,
+    /// The cell's stage name.
+    pub stage: String,
+    /// Wall time of the cell body (including cache lookups/builds).
+    pub wall: Duration,
+}
+
+/// Aggregated wall time of one stage across all its cells.
+#[derive(Debug, Clone)]
+pub struct StageMetrics {
+    /// Stage name.
+    pub stage: String,
+    /// Cells executed in this stage.
+    pub cells: usize,
+    /// Summed cell wall time (CPU-side; overlaps across workers).
+    pub wall: Duration,
+}
+
+/// Everything measured during one [`crate::Engine::run`].
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Root seed the per-cell streams were split from.
+    pub root_seed: u64,
+    /// Cells submitted.
+    pub cells_total: usize,
+    /// Cells that completed.
+    pub cells_ok: usize,
+    /// Cells that failed (error, panic, or fail-fast skip).
+    pub cells_failed: usize,
+    /// End-to-end wall time of the run.
+    pub wall: Duration,
+    /// Executed cells per wall-clock second.
+    pub cells_per_sec: f64,
+    /// Artifact-cache activity during this run.
+    pub cache: CacheStats,
+    /// Per-stage aggregation.
+    pub stages: Vec<StageMetrics>,
+    /// Per-cell timings, in cell order (executed cells only).
+    pub cells: Vec<CellTiming>,
+}
+
+impl RunMetrics {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        threads: usize,
+        root_seed: u64,
+        cells_total: usize,
+        cells_ok: usize,
+        wall: Duration,
+        cache: CacheStats,
+        stage_acc: Vec<(&'static str, usize, Duration)>,
+        cells: Vec<CellTiming>,
+    ) -> Self {
+        let executed = cells.len();
+        let cells_per_sec = if wall.as_secs_f64() > 0.0 {
+            executed as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        RunMetrics {
+            threads,
+            root_seed,
+            cells_total,
+            cells_ok,
+            cells_failed: cells_total - cells_ok,
+            wall,
+            cells_per_sec,
+            cache,
+            stages: stage_acc
+                .into_iter()
+                .map(|(stage, cells, wall)| StageMetrics {
+                    stage: stage.to_string(),
+                    cells,
+                    wall,
+                })
+                .collect(),
+            cells,
+        }
+    }
+
+    /// A one-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cells ({} ok, {} failed) in {:.2}s on {} threads | {:.1} cells/s | cache {}h/{}m ({:.0}% hit)",
+            self.cells_total,
+            self.cells_ok,
+            self.cells_failed,
+            self.wall.as_secs_f64(),
+            self.threads,
+            self.cells_per_sec,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0
+        )
+    }
+
+    /// The full metrics tree as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("threads", Json::from(self.threads)),
+            ("root_seed", Json::from(self.root_seed)),
+            ("cells_total", Json::from(self.cells_total)),
+            ("cells_ok", Json::from(self.cells_ok)),
+            ("cells_failed", Json::from(self.cells_failed)),
+            ("wall_seconds", Json::from(self.wall.as_secs_f64())),
+            ("cells_per_sec", Json::from(self.cells_per_sec)),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::from(self.cache.hits)),
+                    ("misses", Json::from(self.cache.misses)),
+                    ("entries", Json::from(self.cache.entries)),
+                    ("hit_rate", Json::from(self.cache.hit_rate())),
+                ]),
+            ),
+            (
+                "stages",
+                Json::arr(self.stages.iter().map(|s| {
+                    Json::obj([
+                        ("stage", Json::from(s.stage.as_str())),
+                        ("cells", Json::from(s.cells)),
+                        ("wall_seconds", Json::from(s.wall.as_secs_f64())),
+                    ])
+                })),
+            ),
+            (
+                "cells",
+                Json::arr(self.cells.iter().map(|c| {
+                    Json::obj([
+                        ("cell", Json::from(c.cell.as_str())),
+                        ("stage", Json::from(c.stage.as_str())),
+                        ("wall_seconds", Json::from(c.wall.as_secs_f64())),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Writes the JSON export to `path`, creating parent directories.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json().render() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_and_json_cover_counters() {
+        let metrics = RunMetrics::new(
+            4,
+            2021,
+            10,
+            9,
+            Duration::from_millis(500),
+            CacheStats {
+                hits: 30,
+                misses: 10,
+                entries: 10,
+            },
+            vec![("error-cell", 10, Duration::from_millis(450))],
+            vec![CellTiming {
+                cell: "fir/add/1x1".to_string(),
+                stage: "error-cell".to_string(),
+                wall: Duration::from_millis(45),
+            }],
+        );
+        assert_eq!(metrics.cells_failed, 1);
+        assert!((metrics.cells_per_sec - 2.0).abs() < 1e-9);
+        let summary = metrics.summary();
+        assert!(summary.contains("9 ok"), "{summary}");
+        assert!(summary.contains("75% hit"), "{summary}");
+        let json = metrics.to_json().render();
+        assert!(json.contains("\"root_seed\":2021"));
+        assert!(json.contains("\"hit_rate\":0.75"));
+        assert!(json.contains("\"stage\":\"error-cell\""));
+    }
+
+    #[test]
+    fn cache_delta_subtracts_snapshot() {
+        let before = CacheStats {
+            hits: 5,
+            misses: 3,
+            entries: 3,
+        };
+        let after = CacheStats {
+            hits: 25,
+            misses: 4,
+            entries: 4,
+        };
+        let delta = after.delta_from(before);
+        assert_eq!((delta.hits, delta.misses, delta.entries), (20, 1, 4));
+    }
+}

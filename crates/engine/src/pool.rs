@@ -1,0 +1,473 @@
+//! Deterministic worker pool with panic isolation.
+//!
+//! Jobs are claimed from a shared atomic index and their results stored back
+//! by job index, so the *assignment* of jobs to threads is racy but the
+//! *output* is not: the result vector is always in job order, and each job's
+//! RNG depends only on `(root_seed, job_index)` — never on which worker ran
+//! it or when. Running with 1 thread and with N threads therefore produces
+//! bit-identical results.
+//!
+//! Each job body runs under [`std::panic::catch_unwind`]; a panic or an
+//! `Err` return becomes [`CellResult::Failed`] for that cell only. With
+//! [`EngineConfig::fail_fast`] the pool instead stops claiming new cells
+//! after the first failure and marks the unstarted remainder as skipped.
+
+use std::io::IsTerminal;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::cache::ArtifactCache;
+use crate::metrics::{CellTiming, RunMetrics};
+
+/// One schedulable experiment cell.
+///
+/// Implementations must be pure up to their [`JobCtx`]: the output may
+/// depend on the job's own fields, the per-cell RNG/seed, and cached
+/// artifacts, but not on global mutable state — that is what makes the
+/// parallel run equal to the serial one.
+pub trait Job: Send + Sync {
+    /// The cell's result payload.
+    type Output: Send + 'static;
+
+    /// Human-readable cell label (used in failures, timings, progress).
+    fn label(&self) -> String;
+
+    /// Coarse stage name for per-stage metrics aggregation.
+    fn stage(&self) -> &'static str {
+        "run"
+    }
+
+    /// Runs the cell. `Err` (and panics, caught by the pool) become
+    /// [`CellResult::Failed`].
+    fn run(&self, ctx: &mut JobCtx<'_>) -> Result<Self::Output, String>;
+}
+
+/// Per-cell execution context handed to [`Job::run`].
+pub struct JobCtx<'a> {
+    /// Index of this cell in the submitted job slice.
+    pub index: usize,
+    /// Per-cell seed: the first output of this cell's ChaCha stream. Use it
+    /// to seed experiment-local generators that must not depend on worker
+    /// count or scheduling order.
+    pub seed: u64,
+    /// Per-cell RNG: ChaCha12 seeded from the root seed with
+    /// `stream = index`, positioned after the [`seed`](Self::seed) draw.
+    pub rng: ChaCha12Rng,
+    /// Shared artifact cache.
+    pub cache: &'a ArtifactCache,
+}
+
+impl<'a> JobCtx<'a> {
+    fn new(index: usize, root_seed: u64, cache: &'a ArtifactCache) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(root_seed);
+        rng.set_stream(index as u64);
+        let seed = rng.next_u64();
+        JobCtx {
+            index,
+            seed,
+            rng,
+            cache,
+        }
+    }
+}
+
+/// Outcome of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellResult<T> {
+    /// The cell completed.
+    Ok {
+        /// Cell label.
+        cell: String,
+        /// The cell's payload.
+        output: T,
+    },
+    /// The cell returned an error, panicked, or was skipped by fail-fast.
+    Failed {
+        /// Cell label.
+        cell: String,
+        /// Error or panic message.
+        message: String,
+    },
+}
+
+impl<T> CellResult<T> {
+    /// The payload, if the cell completed.
+    pub fn output(&self) -> Option<&T> {
+        match self {
+            CellResult::Ok { output, .. } => Some(output),
+            CellResult::Failed { .. } => None,
+        }
+    }
+
+    /// The `(cell, message)` pair, if the cell failed.
+    pub fn failure(&self) -> Option<(&str, &str)> {
+        match self {
+            CellResult::Ok { .. } => None,
+            CellResult::Failed { cell, message } => Some((cell, message)),
+        }
+    }
+}
+
+/// Pool configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads; `0` auto-detects from available parallelism.
+    pub threads: usize,
+    /// Root seed all per-cell streams are split from.
+    pub root_seed: u64,
+    /// Stop claiming new cells after the first failure.
+    pub fail_fast: bool,
+    /// Emit a live `done/total` progress line to stderr (suppressed when
+    /// stderr is not a terminal).
+    pub progress: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            root_seed: 0,
+            fail_fast: false,
+            progress: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The effective worker count after auto-detection.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Everything a run produced: in-order cell results plus metrics.
+#[derive(Debug)]
+pub struct RunReport<T> {
+    /// One result per submitted job, in submission order.
+    pub results: Vec<CellResult<T>>,
+    /// Timing, throughput, and cache statistics for the run.
+    pub metrics: RunMetrics,
+}
+
+impl<T> RunReport<T> {
+    /// Iterates over the completed cells' payloads, in submission order.
+    pub fn outputs(&self) -> impl Iterator<Item = &T> {
+        self.results.iter().filter_map(CellResult::output)
+    }
+
+    /// Iterates over `(cell, message)` pairs of failed cells.
+    pub fn failures(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.results.iter().filter_map(CellResult::failure)
+    }
+}
+
+/// A completed cell as the workers hand it back: job index, result, stage
+/// name, and wall time.
+type Finished<T> = (usize, CellResult<T>, &'static str, Duration);
+
+/// The experiment-execution engine: a config plus a shared artifact cache
+/// that persists across [`Engine::run`] calls.
+#[derive(Debug, Default)]
+pub struct Engine {
+    cfg: EngineConfig,
+    cache: ArtifactCache,
+}
+
+impl Engine {
+    /// An engine with the given configuration and an empty cache.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine {
+            cfg,
+            cache: ArtifactCache::new(),
+        }
+    }
+
+    /// The shared artifact cache.
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Runs every job and returns in-order results plus run metrics.
+    pub fn run<J: Job>(&self, jobs: &[J]) -> RunReport<J::Output> {
+        let threads = self.cfg.effective_threads().min(jobs.len().max(1));
+        let show_progress = self.cfg.progress && std::io::stderr().is_terminal();
+        let cache_before = self.cache.stats();
+
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let failed = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let collected: Mutex<Vec<Finished<J::Output>>> = Mutex::new(Vec::with_capacity(jobs.len()));
+
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= jobs.len() {
+                        break;
+                    }
+                    let job = &jobs[index];
+                    let cell = job.label();
+                    let stage = job.stage();
+                    let mut ctx = JobCtx::new(index, self.cfg.root_seed, &self.cache);
+                    let cell_start = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| job.run(&mut ctx)));
+                    let wall = cell_start.elapsed();
+                    let result = match outcome {
+                        Ok(Ok(output)) => CellResult::Ok { cell, output },
+                        Ok(Err(message)) => CellResult::Failed { cell, message },
+                        Err(payload) => CellResult::Failed {
+                            cell,
+                            message: panic_message(payload.as_ref()),
+                        },
+                    };
+                    if matches!(result, CellResult::Failed { .. }) {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                        if self.cfg.fail_fast {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    collected
+                        .lock()
+                        .expect("result sink poisoned")
+                        .push((index, result, stage, wall));
+                    if show_progress {
+                        eprint!(
+                            "\r[engine] {finished}/{} cells | {} failed ",
+                            jobs.len(),
+                            failed.load(Ordering::Relaxed)
+                        );
+                    }
+                });
+            }
+        });
+        let wall = started.elapsed();
+        if show_progress {
+            eprintln!();
+        }
+
+        // Reassemble in job order; fail-fast leaves unclaimed cells, which
+        // surface as explicit skips rather than silently missing rows.
+        let mut slots: Vec<Option<CellResult<J::Output>>> = (0..jobs.len()).map(|_| None).collect();
+        let mut timings = Vec::with_capacity(jobs.len());
+        let mut stage_acc: Vec<(&'static str, usize, Duration)> = Vec::new();
+        let mut collected = collected.into_inner().expect("result sink poisoned");
+        collected.sort_by_key(|(index, ..)| *index);
+        for (index, result, stage, cell_wall) in collected {
+            timings.push(CellTiming {
+                cell: cell_label(&result),
+                stage: stage.to_string(),
+                wall: cell_wall,
+            });
+            match stage_acc.iter_mut().find(|(name, ..)| *name == stage) {
+                Some((_, cells, total)) => {
+                    *cells += 1;
+                    *total += cell_wall;
+                }
+                None => stage_acc.push((stage, 1, cell_wall)),
+            }
+            slots[index] = Some(result);
+        }
+        let results: Vec<CellResult<J::Output>> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.unwrap_or_else(|| CellResult::Failed {
+                    cell: jobs[index].label(),
+                    message: "skipped: fail-fast after an earlier failure".to_string(),
+                })
+            })
+            .collect();
+
+        let cells_ok = results
+            .iter()
+            .filter(|r| matches!(r, CellResult::Ok { .. }))
+            .count();
+        let metrics = RunMetrics::new(
+            threads,
+            self.cfg.root_seed,
+            results.len(),
+            cells_ok,
+            wall,
+            self.cache.stats().delta_from(cache_before),
+            stage_acc,
+            timings,
+        );
+        RunReport { results, metrics }
+    }
+}
+
+fn cell_label<T>(result: &CellResult<T>) -> String {
+    match result {
+        CellResult::Ok { cell, .. } | CellResult::Failed { cell, .. } => cell.clone(),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked: <non-string payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy job whose output depends on its RNG — detects any seed-stream
+    /// coupling between cells.
+    struct RngJob {
+        id: usize,
+    }
+
+    impl Job for RngJob {
+        type Output = (u64, u64);
+
+        fn label(&self) -> String {
+            format!("rng-{}", self.id)
+        }
+
+        fn run(&self, ctx: &mut JobCtx<'_>) -> Result<Self::Output, String> {
+            Ok((ctx.seed, ctx.rng.next_u64()))
+        }
+    }
+
+    fn run_with_threads(threads: usize) -> Vec<CellResult<(u64, u64)>> {
+        let jobs: Vec<RngJob> = (0..24).map(|id| RngJob { id }).collect();
+        let engine = Engine::new(EngineConfig {
+            threads,
+            root_seed: 0x0DAC_2021,
+            fail_fast: false,
+            progress: false,
+        });
+        engine.run(&jobs).results
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let serial = run_with_threads(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(run_with_threads(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_streams() {
+        let results = run_with_threads(1);
+        let mut seeds: Vec<u64> = results.iter().map(|r| r.output().expect("ok").0).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 24, "per-cell seeds must be pairwise distinct");
+    }
+
+    struct FaultyJob {
+        id: usize,
+    }
+
+    impl Job for FaultyJob {
+        type Output = usize;
+
+        fn label(&self) -> String {
+            format!("cell-{}", self.id)
+        }
+
+        fn run(&self, _ctx: &mut JobCtx<'_>) -> Result<usize, String> {
+            match self.id {
+                3 => panic!("injected panic in cell 3"),
+                5 => Err("injected error".to_string()),
+                id => Ok(id * 10),
+            }
+        }
+    }
+
+    #[test]
+    fn failures_are_isolated() {
+        let jobs: Vec<FaultyJob> = (0..8).map(|id| FaultyJob { id }).collect();
+        let engine = Engine::new(EngineConfig {
+            threads: 4,
+            progress: false,
+            ..EngineConfig::default()
+        });
+        let report = engine.run(&jobs);
+        assert_eq!(report.results.len(), 8);
+        let failures: Vec<(&str, &str)> = report.failures().collect();
+        assert_eq!(failures.len(), 2);
+        assert!(failures
+            .iter()
+            .any(|(c, m)| *c == "cell-3" && m.contains("injected panic")));
+        assert!(failures
+            .iter()
+            .any(|(c, m)| *c == "cell-5" && m.contains("injected error")));
+        // Every other cell still completed with its own output.
+        for (id, result) in report.results.iter().enumerate() {
+            if id != 3 && id != 5 {
+                assert_eq!(result.output(), Some(&(id * 10)));
+            }
+        }
+        assert_eq!(report.metrics.cells_ok, 6);
+        assert_eq!(report.metrics.cells_failed, 2);
+    }
+
+    #[test]
+    fn fail_fast_skips_remaining_cells() {
+        let jobs: Vec<FaultyJob> = (0..64).map(|id| FaultyJob { id }).collect();
+        let engine = Engine::new(EngineConfig {
+            threads: 1,
+            fail_fast: true,
+            progress: false,
+            ..EngineConfig::default()
+        });
+        let report = engine.run(&jobs);
+        assert_eq!(report.results.len(), 64, "every cell has a result row");
+        assert!(report.failures().any(|(_, m)| m.contains("injected panic")));
+        assert!(report.failures().any(|(_, m)| m.contains("fail-fast")));
+        assert!(report.metrics.cells_ok < 64);
+    }
+
+    #[test]
+    fn metrics_track_stage_and_throughput() {
+        let jobs: Vec<RngJob> = (0..6).map(|id| RngJob { id }).collect();
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            progress: false,
+            ..EngineConfig::default()
+        });
+        let report = engine.run(&jobs);
+        let m = &report.metrics;
+        assert_eq!(m.cells_total, 6);
+        assert_eq!(m.cells_ok, 6);
+        assert_eq!(m.stages.len(), 1);
+        assert_eq!(m.stages[0].stage, "run");
+        assert_eq!(m.stages[0].cells, 6);
+        assert_eq!(m.cells.len(), 6);
+        assert!(m.cells_per_sec > 0.0);
+        // JSON export is well-formed enough to contain the headline fields.
+        let json = m.to_json().render();
+        assert!(json.contains("\"cells_total\":6"));
+        assert!(json.contains("\"cache\""));
+    }
+}

@@ -40,9 +40,9 @@ impl Allocation {
 
     /// Iterates over every allocated FU id, adders first.
     pub fn fu_ids(&self) -> impl Iterator<Item = FuId> + '_ {
-        FuClass::ALL.into_iter().flat_map(move |class| {
-            (0..self.count(class)).map(move |index| FuId { class, index })
-        })
+        FuClass::ALL
+            .into_iter()
+            .flat_map(move |class| (0..self.count(class)).map(move |index| FuId { class, index }))
     }
 
     /// Total number of allocated FUs across classes.

@@ -42,10 +42,7 @@ impl Binding {
             let fu = fu_of[id.index()];
             if fu.class != op.kind.fu_class() {
                 return Err(HlsError::InvalidBinding {
-                    reason: format!(
-                        "{id} ({}) bound to {} of class {}",
-                        op.kind, fu, fu.class
-                    ),
+                    reason: format!("{id} ({}) bound to {} of class {}", op.kind, fu, fu.class),
                 });
             }
             if fu.index >= alloc.count(fu.class) {
@@ -64,10 +61,7 @@ impl Binding {
             let key = (schedule.cycle(id), fu_of[id.index()]);
             if let Some(prev) = seen.insert(key, id) {
                 return Err(HlsError::InvalidBinding {
-                    reason: format!(
-                        "{prev} and {id} both bound to {} in cycle {}",
-                        key.1, key.0
-                    ),
+                    reason: format!("{prev} and {id} both bound to {} in cycle {}", key.1, key.0),
                 });
             }
         }
@@ -100,8 +94,7 @@ impl Binding {
     /// Set of operations per FU (the paper's `N_l` sets), keyed by FU id,
     /// including allocated-but-unused FUs with empty sets.
     pub fn partition(&self, alloc: &Allocation) -> HashMap<FuId, Vec<OpId>> {
-        let mut map: HashMap<FuId, Vec<OpId>> =
-            alloc.fu_ids().map(|fu| (fu, Vec::new())).collect();
+        let mut map: HashMap<FuId, Vec<OpId>> = alloc.fu_ids().map(|fu| (fu, Vec::new())).collect();
         for (i, &fu) in self.fu_of.iter().enumerate() {
             map.entry(fu).or_default().push(OpId(i));
         }
@@ -134,11 +127,7 @@ impl fmt::Display for Binding {
 /// # Errors
 /// [`HlsError::InsufficientResources`] if some cycle has more concurrent
 /// operations of a class than allocated units.
-pub fn bind_naive(
-    dfg: &Dfg,
-    schedule: &Schedule,
-    alloc: &Allocation,
-) -> Result<Binding, HlsError> {
+pub fn bind_naive(dfg: &Dfg, schedule: &Schedule, alloc: &Allocation) -> Result<Binding, HlsError> {
     let mut fu_of = vec![FuId::new(FuClass::Adder, 0); dfg.num_ops()];
     for t in 0..schedule.num_cycles() {
         for class in FuClass::ALL {

@@ -221,7 +221,10 @@ impl Dfg {
                     assert!(i < self.ops.len(), "operand references future op {i}")
                 }
                 ValueRef::Input(InputId(i)) => {
-                    assert!(i < self.input_names.len(), "operand references unknown input")
+                    assert!(
+                        i < self.input_names.len(),
+                        "operand references unknown input"
+                    )
                 }
                 ValueRef::Const(_) => {}
             }

@@ -59,12 +59,7 @@ pub fn value_lifetimes(dfg: &Dfg, schedule: &Schedule) -> Vec<(u32, u32)> {
 
 /// Register bank size needed by one FU under the per-FU register model: the
 /// maximum number of values produced on `fu` that are simultaneously live.
-pub fn fu_register_count(
-    dfg: &Dfg,
-    schedule: &Schedule,
-    binding: &Binding,
-    fu: FuId,
-) -> usize {
+pub fn fu_register_count(dfg: &Dfg, schedule: &Schedule, binding: &Binding, fu: FuId) -> usize {
     let lifetimes = value_lifetimes(dfg, schedule);
     let ops = binding.ops_on(fu);
     if ops.is_empty() {
@@ -230,8 +225,8 @@ mod tests {
         let (d, s, _, b) = chain();
         let wide = Allocation::new(3, 0);
         // Rebind under wider allocation (same assignment still valid).
-        let bind = Binding::from_assignment(&d, &s, &wide, b.as_slice().to_vec())
-            .expect("still valid");
+        let bind =
+            Binding::from_assignment(&d, &s, &wide, b.as_slice().to_vec()).expect("still valid");
         assert_eq!(register_count(&d, &s, &bind, &wide), 1);
     }
 

@@ -93,7 +93,9 @@ impl OccurrenceProfile {
         let mut v: Vec<(u64, u64)> = agg.into_iter().collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(k);
-        v.into_iter().map(|(raw, _)| Minterm::from_raw(raw)).collect()
+        v.into_iter()
+            .map(|(raw, _)| Minterm::from_raw(raw))
+            .collect()
     }
 
     /// Total minterm applications recorded for `op` (equals the number of

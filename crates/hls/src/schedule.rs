@@ -191,10 +191,8 @@ pub fn schedule_list(dfg: &Dfg, alloc: &Allocation) -> Result<Schedule, HlsError
 
     let mut cycle_of = vec![u32::MAX; dfg.num_ops()];
     let mut remaining = dfg.num_ops();
-    let mut unscheduled_preds: Vec<usize> = dfg
-        .op_ids()
-        .map(|id| dfg.predecessors(id).len())
-        .collect();
+    let mut unscheduled_preds: Vec<usize> =
+        dfg.op_ids().map(|id| dfg.predecessors(id).len()).collect();
     let mut t = 0u32;
     while remaining > 0 {
         let mut budget: HashMap<FuClass, usize> = FuClass::ALL
@@ -204,9 +202,7 @@ pub fn schedule_list(dfg: &Dfg, alloc: &Allocation) -> Result<Schedule, HlsError
         // Ready ops: unscheduled, all preds scheduled in earlier cycles.
         let mut ready: Vec<OpId> = dfg
             .op_ids()
-            .filter(|id| {
-                cycle_of[id.index()] == u32::MAX && unscheduled_preds[id.index()] == 0
-            })
+            .filter(|id| cycle_of[id.index()] == u32::MAX && unscheduled_preds[id.index()] == 0)
             .collect();
         ready.sort_by_key(|id| std::cmp::Reverse(height[id.index()]));
         let mut started = Vec::new();
@@ -226,7 +222,10 @@ pub fn schedule_list(dfg: &Dfg, alloc: &Allocation) -> Result<Schedule, HlsError
             }
         }
         t += 1;
-        debug_assert!(t as usize <= dfg.num_ops() + 1, "scheduler failed to progress");
+        debug_assert!(
+            t as usize <= dfg.num_ops() + 1,
+            "scheduler failed to progress"
+        );
     }
     let num_cycles = cycle_of.iter().max().map_or(0, |&m| m + 1);
     Ok(Schedule {
@@ -271,7 +270,9 @@ mod tests {
         let mul = d.ops_of_class(FuClass::Multiplier)[0];
         assert_eq!(s.cycle(mul), 4);
         // Validates by construction.
-        assert!(Schedule::from_cycles(&d, (0..d.num_ops()).map(|i| s.cycle(OpId(i))).collect()).is_ok());
+        assert!(
+            Schedule::from_cycles(&d, (0..d.num_ops()).map(|i| s.cycle(OpId(i))).collect()).is_ok()
+        );
     }
 
     #[test]

@@ -77,11 +77,7 @@ pub fn execute_frame(dfg: &Dfg, frame: &Frame) -> Result<Vec<OpActivity>, HlsErr
 /// Same as [`execute_frame`].
 pub fn execute_outputs(dfg: &Dfg, frame: &Frame) -> Result<Vec<u64>, HlsError> {
     let acts = execute_frame(dfg, frame)?;
-    Ok(dfg
-        .outputs()
-        .iter()
-        .map(|o| acts[o.index()].out)
-        .collect())
+    Ok(dfg.outputs().iter().map(|o| acts[o.index()].out).collect())
 }
 
 #[cfg(test)]
@@ -116,7 +112,10 @@ mod tests {
         let _ = d.input("a");
         assert!(matches!(
             execute_frame(&d, &vec![]),
-            Err(HlsError::FrameArityMismatch { expected: 1, got: 0 })
+            Err(HlsError::FrameArityMismatch {
+                expected: 1,
+                got: 0
+            })
         ));
     }
 

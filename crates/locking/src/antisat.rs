@@ -107,7 +107,7 @@ mod tests {
         let ka = 0x0Fu64;
         let key: Vec<bool> = (0..8)
             .map(|i| (ka >> i) & 1 == 1)
-            .chain(std::iter::repeat(false).take(8))
+            .chain(std::iter::repeat_n(false, 8))
             .collect();
         let errs = corrupted_inputs(&locked, &key, 8);
         assert_eq!(errs, vec![0xF0]);
@@ -117,6 +117,9 @@ mod tests {
     fn rejects_keyed_module() {
         let orig = adder_fu(4);
         let locked = lock_anti_sat(&orig).expect("lockable");
-        assert_eq!(lock_anti_sat(locked.netlist()), Err(LockError::AlreadyKeyed));
+        assert_eq!(
+            lock_anti_sat(locked.netlist()),
+            Err(LockError::AlreadyKeyed)
+        );
     }
 }

@@ -36,11 +36,17 @@ impl fmt::Display for LockError {
         match self {
             LockError::AlreadyKeyed => write!(f, "module already contains key inputs"),
             LockError::TooManyInputs { inputs, max } => {
-                write!(f, "module has {inputs} inputs; locking supports at most {max}")
+                write!(
+                    f,
+                    "module has {inputs} inputs; locking supports at most {max}"
+                )
             }
             LockError::EmptyConfiguration => write!(f, "locking configuration is empty"),
             LockError::PatternOutOfRange { pattern, inputs } => {
-                write!(f, "minterm {pattern:#x} does not fit in {inputs} input bits")
+                write!(
+                    f,
+                    "minterm {pattern:#x} does not fit in {inputs} input bits"
+                )
             }
             LockError::DuplicateMinterm { pattern } => {
                 write!(f, "minterm {pattern:#x} appears twice in the protected set")

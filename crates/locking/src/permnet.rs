@@ -25,10 +25,7 @@ use crate::{LockError, LockedNetlist};
 /// * [`LockError::AlreadyKeyed`] if `original` has key inputs,
 /// * [`LockError::EmptyConfiguration`] if `stages` is zero,
 /// * [`LockError::NoInternalWires`] if the module has fewer than 2 inputs.
-pub fn lock_permutation(
-    original: &Netlist,
-    stages: usize,
-) -> Result<LockedNetlist, LockError> {
+pub fn lock_permutation(original: &Netlist, stages: usize) -> Result<LockedNetlist, LockError> {
     if original.num_keys() != 0 {
         return Err(LockError::AlreadyKeyed);
     }
@@ -104,7 +101,10 @@ mod tests {
         let mut wrong = locked.correct_key().to_vec();
         wrong[0] = true; // swap input bits 0 and 1 (a0 <-> a1)
         let rate = error_rate(&locked, &wrong, 8);
-        assert!(rate > 0.2, "permutation corruption unexpectedly low: {rate}");
+        assert!(
+            rate > 0.2,
+            "permutation corruption unexpectedly low: {rate}"
+        );
     }
 
     #[test]
@@ -118,7 +118,10 @@ mod tests {
         let a = one_in.add_input();
         let b = one_in.not(a);
         one_in.mark_output(b);
-        assert_eq!(lock_permutation(&one_in, 1), Err(LockError::NoInternalWires));
+        assert_eq!(
+            lock_permutation(&one_in, 1),
+            Err(LockError::NoInternalWires)
+        );
     }
 
     #[test]

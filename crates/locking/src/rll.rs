@@ -21,7 +21,11 @@ use crate::{splitmix64, LockError, LockedNetlist};
 /// * [`LockError::AlreadyKeyed`] if `original` has key inputs,
 /// * [`LockError::EmptyConfiguration`] if `key_bits` is zero,
 /// * [`LockError::NoInternalWires`] if the module has no logic gates.
-pub fn lock_rll(original: &Netlist, key_bits: usize, seed: u64) -> Result<LockedNetlist, LockError> {
+pub fn lock_rll(
+    original: &Netlist,
+    key_bits: usize,
+    seed: u64,
+) -> Result<LockedNetlist, LockError> {
     if original.num_keys() != 0 {
         return Err(LockError::AlreadyKeyed);
     }
@@ -31,7 +35,12 @@ pub fn lock_rll(original: &Netlist, key_bits: usize, seed: u64) -> Result<Locked
     // Candidate wires: outputs of real logic gates.
     let candidates: Vec<usize> = original
         .iter_gates()
-        .filter(|(_, g)| matches!(g, Gate::And(..) | Gate::Or(..) | Gate::Xor(..) | Gate::Not(_)))
+        .filter(|(_, g)| {
+            matches!(
+                g,
+                Gate::And(..) | Gate::Or(..) | Gate::Xor(..) | Gate::Not(_)
+            )
+        })
         .map(|(s, _)| s.index())
         .collect();
     if candidates.is_empty() {

@@ -63,11 +63,7 @@ fn hamming_equals(nl: &mut Netlist, x: &[Signal], y: &[Signal], h: u32) -> Signa
 /// * [`LockError::TooManyInputs`] for more than 63 inputs,
 /// * [`LockError::PatternOutOfRange`] if `secret` does not fit,
 /// * [`LockError::EmptyConfiguration`] if `h > num_inputs` (empty shell).
-pub fn lock_sfll_hd(
-    original: &Netlist,
-    secret: u64,
-    h: u32,
-) -> Result<LockedNetlist, LockError> {
+pub fn lock_sfll_hd(original: &Netlist, secret: u64, h: u32) -> Result<LockedNetlist, LockError> {
     if original.num_keys() != 0 {
         return Err(LockError::AlreadyKeyed);
     }
@@ -113,7 +109,12 @@ pub fn lock_sfll_hd(
     }
 
     let correct_key: Vec<bool> = (0..n).map(|i| (secret >> i) & 1 == 1).collect();
-    Ok(LockedNetlist::new(nl, original.clone(), correct_key, "sfll-hd"))
+    Ok(LockedNetlist::new(
+        nl,
+        original.clone(),
+        correct_key,
+        "sfll-hd",
+    ))
 }
 
 #[cfg(test)]
@@ -138,11 +139,7 @@ mod tests {
         let orig = adder_fu(3);
         for h in 0..=3u32 {
             let locked = lock_sfll_hd(&orig, 0b101100, h).expect("lockable");
-            assert_eq!(
-                error_rate(&locked, locked.correct_key(), 6),
-                0.0,
-                "h = {h}"
-            );
+            assert_eq!(error_rate(&locked, locked.correct_key(), 6), 0.0, "h = {h}");
         }
     }
 
@@ -202,7 +199,10 @@ mod tests {
                 inputs: 6
             })
         );
-        assert_eq!(lock_sfll_hd(&orig, 0, 7), Err(LockError::EmptyConfiguration));
+        assert_eq!(
+            lock_sfll_hd(&orig, 0, 7),
+            Err(LockError::EmptyConfiguration)
+        );
         let locked = lock_sfll_hd(&orig, 0, 1).expect("lockable");
         assert_eq!(
             lock_sfll_hd(locked.netlist(), 0, 1),

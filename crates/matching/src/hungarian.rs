@@ -271,7 +271,7 @@ mod tests {
     fn assignment_is_a_permutation() {
         let w = WeightMatrix::from_fn(5, 5, |r, c| Some(((r * 3 + c * 5) % 7) as i64));
         let m = max_weight_matching(&w).expect("feasible");
-        let mut seen = vec![false; 5];
+        let mut seen = [false; 5];
         for &c in &m.row_to_col {
             assert!(!seen[c], "column used twice");
             seen[c] = true;

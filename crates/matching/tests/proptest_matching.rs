@@ -14,7 +14,10 @@ fn matrix_strategy(
         .prop_flat_map(move |(r, c)| {
             let cols = c.max(r); // keep feasible shape: cols >= rows
             let cells = proptest::collection::vec(
-                (-100i64..=100, proptest::bool::weighted(if forbid { 0.15 } else { 0.0 })),
+                (
+                    -100i64..=100,
+                    proptest::bool::weighted(if forbid { 0.15 } else { 0.0 }),
+                ),
                 r * cols,
             );
             (Just(r), Just(cols), cells)

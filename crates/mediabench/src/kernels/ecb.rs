@@ -25,11 +25,7 @@ pub(crate) fn build() -> Dfg {
             let rotl = d.op(OpKind::Shl, xored.into(), ValueRef::Const(3));
             let rotr = d.op(OpKind::Shr, xored.into(), ValueRef::Const(5));
             let rot = d.op(OpKind::Or, rotl.into(), rotr.into());
-            let mixed = d.op(
-                OpKind::Add,
-                rot.into(),
-                state[(i + 1) % state.len()],
-            );
+            let mixed = d.op(OpKind::Add, rot.into(), state[(i + 1) % state.len()]);
             next.push(ValueRef::Op(mixed));
         }
         state = next;

@@ -34,9 +34,7 @@ pub(crate) fn workload(frames: usize, seed: u64) -> Trace {
     let stream: Vec<u64> = (0..total)
         .map(|t| audio_sample(&mut rng, t as u64))
         .collect();
-    (0..frames)
-        .map(|f| stream[f..f + 8].to_vec())
-        .collect()
+    (0..frames).map(|f| stream[f..f + 8].to_vec()).collect()
 }
 
 #[cfg(test)]

@@ -66,7 +66,9 @@ pub fn synthetic_benchmark(params: &SkewParams, frames: usize, seed: u64) -> Ben
     }
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let hot: Vec<u64> = (0..params.lanes).map(|i| (37 * i as u64 + 5) % 256).collect();
+    let hot: Vec<u64> = (0..params.lanes)
+        .map(|i| (37 * i as u64 + 5) % 256)
+        .collect();
     let trace: Trace = (0..frames)
         .map(|_| {
             (0..params.lanes)

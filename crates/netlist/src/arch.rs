@@ -52,7 +52,11 @@ pub fn carry_lookahead_adder(nl: &mut Netlist, a: &[Signal], b: &[Signal]) -> Bu
 /// adders, final carry-propagate stage; returns the low `width` bits
 /// (wrapping), like [`crate::builders::array_multiplier`].
 pub fn wallace_multiplier(nl: &mut Netlist, a: &[Signal], b: &[Signal]) -> Bus {
-    assert_eq!(a.len(), b.len(), "multiplier operands must have equal width");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "multiplier operands must have equal width"
+    );
     assert!(!a.is_empty(), "multiplier width must be positive");
     let w = a.len();
     // Column-wise partial-product bits (truncated to w columns).

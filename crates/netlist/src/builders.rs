@@ -36,7 +36,11 @@ pub fn ripple_carry_adder(nl: &mut Netlist, a: &[Signal], b: &[Signal]) -> Bus {
 
 /// Two's-complement subtractor (`a - b`, wrapping): `a + !b + 1`.
 pub fn ripple_carry_subtractor(nl: &mut Netlist, a: &[Signal], b: &[Signal]) -> Bus {
-    assert_eq!(a.len(), b.len(), "subtractor operands must have equal width");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "subtractor operands must have equal width"
+    );
     assert!(!a.is_empty(), "subtractor width must be positive");
     let mut carry = nl.lit_true();
     let mut out = Vec::with_capacity(a.len());
@@ -52,7 +56,11 @@ pub fn ripple_carry_subtractor(nl: &mut Netlist, a: &[Signal], b: &[Signal]) -> 
 /// Shift-and-add array multiplier; returns the low `width` bits of `a * b`
 /// (wrapping), matching the HLS `Mul` semantics.
 pub fn array_multiplier(nl: &mut Netlist, a: &[Signal], b: &[Signal]) -> Bus {
-    assert_eq!(a.len(), b.len(), "multiplier operands must have equal width");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "multiplier operands must have equal width"
+    );
     assert!(!a.is_empty(), "multiplier width must be positive");
     let w = a.len();
     let zero = nl.lit_false();
@@ -87,7 +95,11 @@ pub fn equals_const(nl: &mut Netlist, bus: &[Signal], value: u64) -> Signal {
 
 /// Equality of two buses.
 pub fn equals(nl: &mut Netlist, a: &[Signal], b: &[Signal]) -> Signal {
-    assert_eq!(a.len(), b.len(), "comparator operands must have equal width");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "comparator operands must have equal width"
+    );
     assert!(!a.is_empty(), "comparator width must be positive");
     let mut acc: Option<Signal> = None;
     for i in 0..a.len() {
@@ -277,7 +289,9 @@ mod tests {
             nl.mark_output(s);
         }
         // flip=0 passes through; flip=1 inverts.
-        let pass = nl.eval(&[true, false, true, false, false], &[]).expect("ok");
+        let pass = nl
+            .eval(&[true, false, true, false, false], &[])
+            .expect("ok");
         assert_eq!(pass, vec![true, false, true, false]);
         let inv = nl.eval(&[true, false, true, false, true], &[]).expect("ok");
         assert_eq!(inv, vec![false, true, false, true]);
@@ -295,7 +309,9 @@ mod tests {
         }
         let hi = nl.eval(&[true, true, false, false, true], &[]).expect("ok");
         assert_eq!(hi, vec![true, false]);
-        let lo = nl.eval(&[false, true, false, false, true], &[]).expect("ok");
+        let lo = nl
+            .eval(&[false, true, false, false, true], &[])
+            .expect("ok");
         assert_eq!(lo, vec![false, true]);
     }
 

@@ -41,7 +41,10 @@ impl Cnf {
         let lits = lits.into();
         for &l in &lits {
             assert!(l != 0, "literal 0 is invalid");
-            assert!(l.unsigned_abs() <= self.num_vars, "literal {l} out of range");
+            assert!(
+                l.unsigned_abs() <= self.num_vars,
+                "literal {l} out of range"
+            );
         }
         self.clauses.push(lits);
     }

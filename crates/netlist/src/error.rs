@@ -32,13 +32,22 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::InputArityMismatch { expected, got } => {
-                write!(f, "netlist has {expected} inputs but {got} values were supplied")
+                write!(
+                    f,
+                    "netlist has {expected} inputs but {got} values were supplied"
+                )
             }
             NetlistError::KeyArityMismatch { expected, got } => {
-                write!(f, "netlist has {expected} key bits but {got} values were supplied")
+                write!(
+                    f,
+                    "netlist has {expected} key bits but {got} values were supplied"
+                )
             }
             NetlistError::WordWidthMismatch { inputs, width } => {
-                write!(f, "{inputs} inputs cannot be grouped into {width}-bit words")
+                write!(
+                    f,
+                    "{inputs} inputs cannot be grouped into {width}-bit words"
+                )
             }
         }
     }

@@ -172,9 +172,7 @@ impl Netlist {
     pub fn gate_count(&self) -> usize {
         self.gates
             .iter()
-            .filter(|g| {
-                !matches!(g, Gate::Input(_) | Gate::Key(_) | Gate::False)
-            })
+            .filter(|g| !matches!(g, Gate::Input(_) | Gate::Key(_) | Gate::False))
             .count()
     }
 
@@ -200,7 +198,10 @@ impl Netlist {
                 );
             }
             Gate::Not(a) => {
-                assert!(a.index() < self.gates.len(), "gate references future signal");
+                assert!(
+                    a.index() < self.gates.len(),
+                    "gate references future signal"
+                );
             }
             _ => {}
         }
@@ -341,7 +342,10 @@ mod tests {
         let m = nl.mux(s, t, f);
         nl.mark_output(m);
         assert_eq!(nl.eval(&[true, true, false], &[]).expect("ok"), vec![true]);
-        assert_eq!(nl.eval(&[false, true, false], &[]).expect("ok"), vec![false]);
+        assert_eq!(
+            nl.eval(&[false, true, false], &[]).expect("ok"),
+            vec![false]
+        );
         assert_eq!(nl.eval(&[false, false, true], &[]).expect("ok"), vec![true]);
     }
 
@@ -375,11 +379,17 @@ mod tests {
         nl.mark_output(a);
         assert!(matches!(
             nl.eval(&[], &[]),
-            Err(NetlistError::InputArityMismatch { expected: 1, got: 0 })
+            Err(NetlistError::InputArityMismatch {
+                expected: 1,
+                got: 0
+            })
         ));
         assert!(matches!(
             nl.eval(&[true], &[true]),
-            Err(NetlistError::KeyArityMismatch { expected: 0, got: 1 })
+            Err(NetlistError::KeyArityMismatch {
+                expected: 0,
+                got: 1
+            })
         ));
     }
 

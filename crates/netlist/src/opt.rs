@@ -21,10 +21,10 @@ pub struct OptimizeOutcome {
     pub gates_after: usize,
 }
 
-/// Canonical key for structural hashing. Commutative gates sort their
-/// operands.
+/// Canonical gate shape for structural hashing. Commutative gates sort
+/// their operands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Key {
+enum Shape {
     Input(usize),
     Key(usize),
     And(u32, u32),
@@ -71,12 +71,12 @@ fn optimize_once(netlist: &Netlist) -> Netlist {
 
     // value-number of each new signal (we reuse the signal id itself) and
     // a map from canonical keys to existing signals.
-    let mut hash: HashMap<Key, Signal> = HashMap::new();
+    let mut hash: HashMap<Shape, Signal> = HashMap::new();
     for (i, &s) in inputs.iter().enumerate() {
-        hash.insert(Key::Input(i), s);
+        hash.insert(Shape::Input(i), s);
     }
     for (i, &s) in keys.iter().enumerate() {
-        hash.insert(Key::Key(i), s);
+        hash.insert(Shape::Key(i), s);
     }
 
     // Classification of a new signal: constant or general.
@@ -116,7 +116,7 @@ fn optimize_once(netlist: &Netlist) -> Netlist {
                         if let Gate::Not(inner) = out.gate(a) {
                             inner
                         } else {
-                            let key = Key::Not(a.index() as u32);
+                            let key = Shape::Not(a.index() as u32);
                             *hash.entry(key).or_insert_with(|| out.not(a))
                         }
                     }
@@ -128,20 +128,22 @@ fn optimize_once(netlist: &Netlist) -> Netlist {
                     know.get(&a).copied().unwrap_or(Knowledge::Other),
                     know.get(&b).copied().unwrap_or(Knowledge::Other),
                 );
-                let mk_false = |out: &mut Netlist,
-                                cf: &mut Option<Signal>,
-                                know: &mut HashMap<Signal, Knowledge>| {
-                    let s = *cf.get_or_insert_with(|| out.lit_false());
-                    know.insert(s, Knowledge::Zero);
-                    s
-                };
-                let mk_true = |out: &mut Netlist,
-                               ct: &mut Option<Signal>,
-                               know: &mut HashMap<Signal, Knowledge>| {
-                    let s = *ct.get_or_insert_with(|| out.lit_true());
-                    know.insert(s, Knowledge::One);
-                    s
-                };
+                let mk_false =
+                    |out: &mut Netlist,
+                     cf: &mut Option<Signal>,
+                     know: &mut HashMap<Signal, Knowledge>| {
+                        let s = *cf.get_or_insert_with(|| out.lit_false());
+                        know.insert(s, Knowledge::Zero);
+                        s
+                    };
+                let mk_true =
+                    |out: &mut Netlist,
+                     ct: &mut Option<Signal>,
+                     know: &mut HashMap<Signal, Knowledge>| {
+                        let s = *ct.get_or_insert_with(|| out.lit_true());
+                        know.insert(s, Knowledge::One);
+                        s
+                    };
                 match gate {
                     Gate::And(..) => match (ka, kb) {
                         (Knowledge::Zero, _) | (_, Knowledge::Zero) => {
@@ -152,7 +154,7 @@ fn optimize_once(netlist: &Netlist) -> Netlist {
                         _ if a == b => a,
                         _ => {
                             let (x, y) = if a <= b { (a, b) } else { (b, a) };
-                            let key = Key::And(x.index() as u32, y.index() as u32);
+                            let key = Shape::And(x.index() as u32, y.index() as u32);
                             *hash.entry(key).or_insert_with(|| out.and(x, y))
                         }
                     },
@@ -165,7 +167,7 @@ fn optimize_once(netlist: &Netlist) -> Netlist {
                         _ if a == b => a,
                         _ => {
                             let (x, y) = if a <= b { (a, b) } else { (b, a) };
-                            let key = Key::Or(x.index() as u32, y.index() as u32);
+                            let key = Shape::Or(x.index() as u32, y.index() as u32);
                             *hash.entry(key).or_insert_with(|| out.or(x, y))
                         }
                     },
@@ -173,17 +175,17 @@ fn optimize_once(netlist: &Netlist) -> Netlist {
                         (Knowledge::Zero, _) => b,
                         (_, Knowledge::Zero) => a,
                         (Knowledge::One, _) => {
-                            let key = Key::Not(b.index() as u32);
+                            let key = Shape::Not(b.index() as u32);
                             *hash.entry(key).or_insert_with(|| out.not(b))
                         }
                         (_, Knowledge::One) => {
-                            let key = Key::Not(a.index() as u32);
+                            let key = Shape::Not(a.index() as u32);
                             *hash.entry(key).or_insert_with(|| out.not(a))
                         }
                         _ if a == b => mk_false(&mut out, &mut const_false, &mut know),
                         _ => {
                             let (x, y) = if a <= b { (a, b) } else { (b, a) };
-                            let key = Key::Xor(x.index() as u32, y.index() as u32);
+                            let key = Shape::Xor(x.index() as u32, y.index() as u32);
                             *hash.entry(key).or_insert_with(|| out.xor(x, y))
                         }
                     },
@@ -267,7 +269,9 @@ mod tests {
         let mut x = 0x1234_5678u64;
         for _ in 0..samples {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let ins: Vec<bool> = (0..a.num_inputs()).map(|i| (x >> (i % 60)) & 1 == 1).collect();
+            let ins: Vec<bool> = (0..a.num_inputs())
+                .map(|i| (x >> (i % 60)) & 1 == 1)
+                .collect();
             let ks: Vec<bool> = (0..a.num_keys())
                 .map(|i| (x >> ((i + 13) % 60)) & 1 == 1)
                 .collect();

@@ -36,7 +36,10 @@ impl std::fmt::Display for ParseDimacsError {
                 write!(f, "input ended inside an unterminated clause")
             }
             ParseDimacsError::LiteralOutOfRange { literal, declared } => {
-                write!(f, "literal {literal} exceeds declared variable count {declared}")
+                write!(
+                    f,
+                    "literal {literal} exceeds declared variable count {declared}"
+                )
             }
         }
     }
@@ -161,8 +164,7 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_skipped() {
-        let (nv, clauses) =
-            parse_dimacs("c hello\n\nc world\np cnf 1 1\n1 0\n").expect("parses");
+        let (nv, clauses) = parse_dimacs("c hello\n\nc world\np cnf 1 1\n1 0\n").expect("parses");
         assert_eq!((nv, clauses.len()), (1, 1));
     }
 
@@ -178,7 +180,10 @@ mod tests {
             parse_dimacs("1 x 0\n"),
             Err(ParseDimacsError::BadLiteral { .. })
         ));
-        assert_eq!(parse_dimacs("1 2\n"), Err(ParseDimacsError::UnterminatedClause));
+        assert_eq!(
+            parse_dimacs("1 2\n"),
+            Err(ParseDimacsError::UnterminatedClause)
+        );
         assert!(matches!(
             parse_dimacs("p cnf 1 1\n2 0\n"),
             Err(ParseDimacsError::LiteralOutOfRange { .. })

@@ -408,9 +408,9 @@ impl Solver {
     fn literal_redundant(&self, l: Lit) -> bool {
         match self.reason[l.var() as usize] {
             None => false,
-            Some(cref) => self.clauses[cref as usize].lits[1..].iter().all(|&q| {
-                self.seen[q.var() as usize] || self.level[q.var() as usize] == 0
-            }),
+            Some(cref) => self.clauses[cref as usize].lits[1..]
+                .iter()
+                .all(|&q| self.seen[q.var() as usize] || self.level[q.var() as usize] == 0),
         }
     }
 
@@ -535,8 +535,7 @@ impl Solver {
                 if conflicts_this_solve >= conflicts_until_restart {
                     restart_count += 1;
                     self.stats.restarts += 1;
-                    conflicts_until_restart =
-                        conflicts_this_solve + luby(restart_count + 1) * 100;
+                    conflicts_until_restart = conflicts_this_solve + luby(restart_count + 1) * 100;
                     self.cancel_until(0);
                 }
                 if self.stats.learnt_clauses as f64 > self.max_learnts {
@@ -702,19 +701,16 @@ mod tests {
     /// Pigeonhole principle PHP(n+1, n) is a classic hard UNSAT family.
     fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
         let mut s = Solver::new();
-        let mut var = vec![vec![0i32; holes]; pigeons];
-        for p in 0..pigeons {
-            for h in 0..holes {
-                var[p][h] = s.new_var();
-            }
+        let var: Vec<Vec<i32>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &var {
+            s.add_clause(row);
         }
-        for p in 0..pigeons {
-            s.add_clause(&var[p]);
-        }
-        for h in 0..holes {
-            for p1 in 0..pigeons {
-                for p2 in (p1 + 1)..pigeons {
-                    s.add_clause(&[-var[p1][h], -var[p2][h]]);
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                for (a, b) in var[p1].iter().zip(&var[p2]) {
+                    s.add_clause(&[-a, -b]);
                 }
             }
         }
@@ -798,7 +794,9 @@ mod tests {
         // Deterministic LCG-generated instances cross-checked by brute force.
         let mut seed = 0x2026_0705u64;
         let mut rand = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for inst in 0..40 {

@@ -23,10 +23,13 @@ fn brute_force_sat(nvars: usize, clauses: &[Vec<i32>]) -> bool {
     false
 }
 
-fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
+fn cnf_strategy(
+    max_vars: usize,
+    max_clauses: usize,
+) -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
     (2..=max_vars).prop_flat_map(move |nv| {
-        let lit = (1..=nv as i32, proptest::bool::ANY)
-            .prop_map(|(v, neg)| if neg { -v } else { v });
+        let lit =
+            (1..=nv as i32, proptest::bool::ANY).prop_map(|(v, neg)| if neg { -v } else { v });
         let clause = proptest::collection::vec(lit, 1..=3);
         proptest::collection::vec(clause, 1..=max_clauses).prop_map(move |cs| (nv, cs))
     })

@@ -28,8 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Your own workload: narrowband signal, so re/im hover near +-16.
     let trace: Trace = (0..500u64)
         .map(|t| {
-            let re = 16 + ((t * 7) % 5) as u64;
-            let im = 240 + ((t * 13) % 3) as u64; // small negative in 2s compl.
+            let re = 16 + (t * 7) % 5;
+            let im = 240 + (t * 13) % 3; // small negative in 2s compl.
             vec![re, im]
         })
         .collect();
@@ -39,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = OccurrenceProfile::from_trace(&dfg, &trace)?;
 
     // Co-design a single locked multiplier with 2 locked inputs.
-    let candidates =
-        profile.top_candidates_among(&dfg.ops_of_class(FuClass::Multiplier), 8);
+    let candidates = profile.top_candidates_among(&dfg.ops_of_class(FuClass::Multiplier), 8);
     let design = codesign_heuristic(
         &dfg,
         &schedule,

@@ -34,10 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "locked FUs", "inputs/FU", "co-design E", "area E", "power E", "vs area", "vs power"
     );
 
-    let candidates = profile.top_candidates_among(
-        &bench.dfg.ops_of_class(FuClass::Multiplier),
-        10,
-    );
+    let candidates = profile.top_candidates_among(&bench.dfg.ops_of_class(FuClass::Multiplier), 10);
     for locked_fus in 1..=3usize {
         let fus: Vec<FuId> = (0..locked_fus)
             .map(|i| FuId::new(FuClass::Multiplier, i))
@@ -70,7 +67,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Overhead of the strongest configuration vs the baselines (Fig. 6 view).
     let fus: Vec<FuId> = (0..3).map(|i| FuId::new(FuClass::Multiplier, i)).collect();
     let best = codesign_heuristic(
-        &bench.dfg, &schedule, &alloc, &profile, &fus, 3, &candidates)?;
+        &bench.dfg,
+        &schedule,
+        &alloc,
+        &profile,
+        &fus,
+        3,
+        &candidates,
+    )?;
     let regs_sec = metrics::register_count(&bench.dfg, &schedule, &best.binding, &alloc);
     let regs_area = metrics::register_count(&bench.dfg, &schedule, &area, &alloc);
     let sw_sec = metrics::switching(&schedule, &best.binding, &alloc, &switching).rate;

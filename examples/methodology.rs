@@ -16,8 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schedule = schedule_list(&bench.dfg, &alloc)?;
     let profile = OccurrenceProfile::from_trace(&bench.dfg, &bench.trace)?;
 
-    let candidates =
-        profile.top_candidates_among(&bench.dfg.ops_of_class(FuClass::Multiplier), 10);
+    let candidates = profile.top_candidates_among(&bench.dfg.ops_of_class(FuClass::Multiplier), 10);
     let fus = vec![
         FuId::new(FuClass::Multiplier, 0),
         FuId::new(FuClass::Multiplier, 1),
@@ -35,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         print!("{label} (≥{min_errors} errors, λ ≥ {min_lambda:.0e}): ");
         match design_lock(
-            &bench.dfg, &schedule, &alloc, &profile, &fus, &candidates, &goals)
-        {
+            &bench.dfg,
+            &schedule,
+            &alloc,
+            &profile,
+            &fus,
+            &candidates,
+            &goals,
+        ) {
             Ok(out) => {
                 println!(
                     "{} inputs/FU -> {} errors, λ ≈ {:.2e}{}",

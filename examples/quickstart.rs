@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A FIR filter kernel with a synthetic "typical workload" trace.
     let bench = Kernel::Fir.benchmark(300, 42);
     let (adds, muls) = bench.dfg.op_mix();
-    println!("kernel {}: {adds} adder-class ops, {muls} multiplies", bench.dfg.name());
+    println!(
+        "kernel {}: {adds} adder-class ops, {muls} multiplies",
+        bench.dfg.name()
+    );
 
     // HLS front end: schedule onto 3 adders + 3 multipliers, profile the
     // workload to get the K matrix (minterm occurrences per operation).
@@ -40,7 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Problem 2: co-design chooses the best 2 of the 10 candidates.
     let codesign = codesign_heuristic(
-        &bench.dfg, &schedule, &alloc, &profile, &[locked_fu], 2, &candidates)?;
+        &bench.dfg,
+        &schedule,
+        &alloc,
+        &profile,
+        &[locked_fu],
+        2,
+        &candidates,
+    )?;
 
     let e = |binding: &Binding, spec: &LockingSpec| {
         expected_application_errors(binding, &profile, spec)
@@ -50,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(identical locking configuration, different binding):");
     println!("  area-aware binding  : {:6}", e(&area, &fixed));
     println!("  power-aware binding : {:6}", e(&power, &fixed));
-    println!("  obfuscation-aware   : {:6}   <- Problem 1 (Sec. IV)", e(&obf, &fixed));
+    println!(
+        "  obfuscation-aware   : {:6}   <- Problem 1 (Sec. IV)",
+        e(&obf, &fixed)
+    );
     println!(
         "  co-design (heuristic): {:6}   <- Problem 2 (Sec. V), inputs chosen too",
         codesign.errors
@@ -61,9 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eps = lockbind::locking::epsilon_for_locked_inputs(4, 2 * bench.dfg.width());
     let lambda = expected_sat_iterations(2 * 2 * bench.dfg.width(), 1, eps);
     println!();
-    println!(
-        "analytic SAT resilience of this configuration (Eqn. 1): ~{lambda:.0} iterations"
-    );
+    println!("analytic SAT resilience of this configuration (Eqn. 1): ~{lambda:.0} iterations");
 
     // Realize the locked multiplier as a gate-level netlist.
     let modules = realize_locked_modules(&codesign.spec, bench.dfg.width())?;

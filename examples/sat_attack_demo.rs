@@ -8,13 +8,17 @@
 //!
 //! Run: `cargo run --release --example sat_attack_demo`
 
-use lockbind::prelude::*;
 use lockbind::locking::corruption::average_wrong_key_error_rate;
+use lockbind::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let width = 3; // 6-bit input space keeps full attacks instant
     let adder = builders::adder_fu(width);
-    println!("target: {}-bit adder FU ({} gates)", width, adder.gate_count());
+    println!(
+        "target: {}-bit adder FU ({} gates)",
+        width,
+        adder.gate_count()
+    );
     println!();
 
     let schemes: Vec<(&str, LockedNetlist)> = vec![

@@ -75,9 +75,9 @@ pub mod prelude {
         ApplicationImpact, DesignGoals, LockingSpec,
     };
     pub use lockbind_hls::{
-        bind_naive, metrics, schedule_alap, schedule_asap, schedule_force_directed,
-        schedule_list, Allocation, Binding, Dfg, FuClass, FuId, Minterm, OccurrenceProfile,
-        OpId, OpKind, Schedule, SwitchingProfile, Trace, ValueRef,
+        bind_naive, metrics, schedule_alap, schedule_asap, schedule_force_directed, schedule_list,
+        Allocation, Binding, Dfg, FuClass, FuId, Minterm, OccurrenceProfile, OpId, OpKind,
+        Schedule, SwitchingProfile, Trace, ValueRef,
     };
     pub use lockbind_locking::{
         expected_sat_iterations, lock_anti_sat, lock_compound, lock_critical_minterms,

@@ -9,7 +9,15 @@
 
 use lockbind::prelude::*;
 
-fn prepared(kernel: Kernel) -> (Dfg, Schedule, Allocation, OccurrenceProfile, SwitchingProfile) {
+fn prepared(
+    kernel: Kernel,
+) -> (
+    Dfg,
+    Schedule,
+    Allocation,
+    OccurrenceProfile,
+    SwitchingProfile,
+) {
     let bench = kernel.benchmark(80, 13);
     let (_, muls) = bench.dfg.op_mix();
     let alloc = Allocation::new(3, if muls > 0 { 3 } else { 0 });
@@ -35,20 +43,32 @@ fn obf_aware_dominates_every_other_binding_for_fixed_specs() {
             let spec = LockingSpec::new(
                 &alloc,
                 vec![
-                    (FuId::new(class, 0), candidates[..2.min(candidates.len())].to_vec()),
+                    (
+                        FuId::new(class, 0),
+                        candidates[..2.min(candidates.len())].to_vec(),
+                    ),
                     (FuId::new(class, 1), candidates[..1].to_vec()),
                 ],
             )
             .expect("valid");
 
-            let obf = bind_obfuscation_aware(&dfg, &schedule, &alloc, &profile, &spec)
-                .expect("feasible");
+            let obf =
+                bind_obfuscation_aware(&dfg, &schedule, &alloc, &profile, &spec).expect("feasible");
             let e_obf = expected_application_errors(&obf, &profile, &spec);
 
             let others: Vec<(&str, Binding)> = vec![
-                ("naive", bind_naive(&dfg, &schedule, &alloc).expect("feasible")),
-                ("random", bind_random(&dfg, &schedule, &alloc, 99).expect("feasible")),
-                ("area", bind_area_aware(&dfg, &schedule, &alloc).expect("feasible")),
+                (
+                    "naive",
+                    bind_naive(&dfg, &schedule, &alloc).expect("feasible"),
+                ),
+                (
+                    "random",
+                    bind_random(&dfg, &schedule, &alloc, 99).expect("feasible"),
+                ),
+                (
+                    "area",
+                    bind_area_aware(&dfg, &schedule, &alloc).expect("feasible"),
+                ),
                 (
                     "power",
                     bind_power_aware(&dfg, &schedule, &alloc, &switching).expect("feasible"),
@@ -67,7 +87,12 @@ fn obf_aware_dominates_every_other_binding_for_fixed_specs() {
 
 #[test]
 fn codesign_dominates_obf_aware_with_any_fixed_choice() {
-    for kernel in [Kernel::Dct, Kernel::Jctrans2, Kernel::Motion3, Kernel::EcbEnc4] {
+    for kernel in [
+        Kernel::Dct,
+        Kernel::Jctrans2,
+        Kernel::Motion3,
+        Kernel::EcbEnc4,
+    ] {
         let (dfg, schedule, alloc, profile, _) = prepared(kernel);
         let class = if kernel == Kernel::EcbEnc4 {
             FuClass::Adder
@@ -80,11 +105,8 @@ fn codesign_dominates_obf_aware_with_any_fixed_choice() {
             .expect("feasible");
         for &c0 in &candidates {
             for &c1 in &candidates {
-                let spec = LockingSpec::new(
-                    &alloc,
-                    vec![(fus[0], vec![c0]), (fus[1], vec![c1])],
-                )
-                .expect("valid");
+                let spec = LockingSpec::new(&alloc, vec![(fus[0], vec![c0]), (fus[1], vec![c1])])
+                    .expect("valid");
                 let obf = bind_obfuscation_aware(&dfg, &schedule, &alloc, &profile, &spec)
                     .expect("feasible");
                 let e = expected_application_errors(&obf, &profile, &spec);
@@ -106,8 +128,7 @@ fn optimal_codesign_beats_heuristic_nowhere_by_much() {
     let mut total_heur = 0.0;
     for kernel in [Kernel::Fir, Kernel::Jdmerge1, Kernel::Noisest2] {
         let (dfg, schedule, alloc, profile, _) = prepared(kernel);
-        let candidates =
-            profile.top_candidates_among(&dfg.ops_of_class(FuClass::Multiplier), 5);
+        let candidates = profile.top_candidates_among(&dfg.ops_of_class(FuClass::Multiplier), 5);
         let fus = [
             FuId::new(FuClass::Multiplier, 0),
             FuId::new(FuClass::Multiplier, 1),

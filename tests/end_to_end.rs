@@ -9,12 +9,7 @@
 use lockbind::locking::corruption::corrupted_inputs;
 use lockbind::prelude::*;
 
-fn replay_error_injections(
-    dfg: &Dfg,
-    binding: &Binding,
-    spec: &LockingSpec,
-    trace: &Trace,
-) -> u64 {
+fn replay_error_injections(dfg: &Dfg, binding: &Binding, spec: &LockingSpec, trace: &Trace) -> u64 {
     let mut injections = 0u64;
     for frame in trace {
         let acts = lockbind::hls::sim::execute_frame(dfg, frame).expect("arity");
@@ -39,7 +34,11 @@ fn cost_function_matches_trace_replay_on_every_kernel() {
         let schedule = schedule_list(&bench.dfg, &alloc).expect("schedulable");
         let profile = OccurrenceProfile::from_trace(&bench.dfg, &bench.trace).expect("profiled");
 
-        let class = if muls > 0 { FuClass::Multiplier } else { FuClass::Adder };
+        let class = if muls > 0 {
+            FuClass::Multiplier
+        } else {
+            FuClass::Adder
+        };
         let candidates = profile.top_candidates_among(&bench.dfg.ops_of_class(class), 5);
         let design = codesign_heuristic(
             &bench.dfg,
@@ -52,7 +51,8 @@ fn cost_function_matches_trace_replay_on_every_kernel() {
         )
         .expect("feasible");
 
-        let replay = replay_error_injections(&bench.dfg, &design.binding, &design.spec, &bench.trace);
+        let replay =
+            replay_error_injections(&bench.dfg, &design.binding, &design.spec, &bench.trace);
         assert_eq!(
             design.errors, replay,
             "{kernel}: Eqn. 2 disagrees with trace replay"
@@ -66,8 +66,7 @@ fn realized_modules_corrupt_exactly_the_locked_minterms() {
     let alloc = Allocation::new(3, 3);
     let schedule = schedule_list(&bench.dfg, &alloc).expect("schedulable");
     let profile = OccurrenceProfile::from_trace(&bench.dfg, &bench.trace).expect("profiled");
-    let candidates =
-        profile.top_candidates_among(&bench.dfg.ops_of_class(FuClass::Multiplier), 6);
+    let candidates = profile.top_candidates_among(&bench.dfg.ops_of_class(FuClass::Multiplier), 6);
     let design = codesign_heuristic(
         &bench.dfg,
         &schedule,
@@ -110,8 +109,7 @@ fn locked_module_behaves_like_fu_on_workload_values() {
     let alloc = Allocation::new(3, 3);
     let schedule = schedule_list(&bench.dfg, &alloc).expect("schedulable");
     let profile = OccurrenceProfile::from_trace(&bench.dfg, &bench.trace).expect("profiled");
-    let candidates =
-        profile.top_candidates_among(&bench.dfg.ops_of_class(FuClass::Multiplier), 4);
+    let candidates = profile.top_candidates_among(&bench.dfg.ops_of_class(FuClass::Multiplier), 4);
     let design = codesign_heuristic(
         &bench.dfg,
         &schedule,

@@ -1,0 +1,127 @@
+//! End-to-end determinism and fault-isolation checks for the execution
+//! engine, run against the real error-ratio experiment grid.
+//!
+//! * The flattened [`ErrorRecord`] sequence must be bit-identical whether
+//!   the grid runs on 1 worker or N workers — the per-cell ChaCha streams
+//!   and the index-ordered result assembly make worker count irrelevant.
+//! * A panicking cell must surface as [`CellResult::Failed`] with the
+//!   panic text, without disturbing any other cell's records.
+
+use lockbind_bench::{collect_error_records, error_grid, ErrorCell, ErrorRecord, ExperimentParams};
+use lockbind_engine::{CellResult, Engine, EngineConfig, Job, JobCtx};
+use lockbind_mediabench::Kernel;
+
+const FRAMES: usize = 40;
+const SEED: u64 = 5;
+
+fn small_params() -> ExperimentParams {
+    ExperimentParams {
+        num_candidates: 4,
+        max_locked_fus: 2,
+        max_locked_inputs: 2,
+        max_assignments: 40,
+        optimal_budget: 100,
+        seed: 7,
+    }
+}
+
+fn quiet_engine(threads: usize) -> Engine {
+    Engine::new(EngineConfig {
+        threads,
+        root_seed: 2021,
+        fail_fast: false,
+        progress: false,
+    })
+}
+
+fn run_grid(threads: usize) -> Vec<ErrorRecord> {
+    let params = small_params();
+    let cells = error_grid(&[Kernel::Fir, Kernel::EcbEnc4], FRAMES, SEED, &params);
+    let engine = quiet_engine(threads);
+    let report = engine.run(&cells);
+    let (records, failures) = collect_error_records(&report.results);
+    assert!(failures.is_empty(), "unexpected failures: {failures:?}");
+    records
+}
+
+#[test]
+fn one_worker_and_many_workers_produce_identical_records() {
+    let serial = run_grid(1);
+    assert!(!serial.is_empty(), "the grid must produce records");
+    for threads in [2, 4, 7] {
+        let parallel = run_grid(threads);
+        // ErrorRecord has no Eq impl (it carries f64 ratios); the derived
+        // Debug form is exact for our purposes — identical runs print
+        // identical bytes, and any numeric drift shows up in the diff.
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{parallel:?}"),
+            "records diverged at {threads} workers"
+        );
+    }
+}
+
+/// A grid cell that either delegates to a real [`ErrorCell`] or detonates,
+/// modelling a kernel whose evaluation panics mid-suite.
+enum MaybeFaulty {
+    Real(ErrorCell),
+    Bomb,
+}
+
+impl Job for MaybeFaulty {
+    type Output = Vec<ErrorRecord>;
+
+    fn label(&self) -> String {
+        match self {
+            MaybeFaulty::Real(cell) => cell.label(),
+            MaybeFaulty::Bomb => "injected/bomb".to_string(),
+        }
+    }
+
+    fn stage(&self) -> &'static str {
+        "error-cell"
+    }
+
+    fn run(&self, ctx: &mut JobCtx<'_>) -> Result<Self::Output, String> {
+        match self {
+            MaybeFaulty::Real(cell) => cell.run(ctx),
+            MaybeFaulty::Bomb => panic!("injected panic: cell evaluation blew up"),
+        }
+    }
+}
+
+#[test]
+fn panicking_cell_fails_without_losing_other_results() {
+    let params = small_params();
+    let clean_cells = error_grid(&[Kernel::Fir], FRAMES, SEED, &params);
+    let clean_report = quiet_engine(1).run(&clean_cells);
+    let (clean_records, clean_failures) = collect_error_records(&clean_report.results);
+    assert!(clean_failures.is_empty(), "baseline run must be clean");
+
+    // Same grid with a bomb planted in the middle.
+    let mut jobs: Vec<MaybeFaulty> = clean_cells.iter().cloned().map(MaybeFaulty::Real).collect();
+    let bomb_index = jobs.len() / 2;
+    jobs.insert(bomb_index, MaybeFaulty::Bomb);
+
+    let report = quiet_engine(4).run(&jobs);
+    assert_eq!(report.results.len(), jobs.len());
+
+    // Exactly the bomb failed, in place, with the panic text preserved.
+    match &report.results[bomb_index] {
+        CellResult::Failed { cell, message } => {
+            assert_eq!(cell, "injected/bomb");
+            assert!(
+                message.contains("injected panic"),
+                "panic text lost: {message}"
+            );
+        }
+        CellResult::Ok { .. } => panic!("the injected bomb must fail"),
+    }
+    assert_eq!(report.metrics.cells_failed, 1);
+    assert_eq!(report.metrics.cells_ok, clean_cells.len());
+
+    // Every real cell still produced its records, identical to the clean run.
+    let (records, failures) = collect_error_records(&report.results);
+    assert_eq!(failures.len(), 1);
+    assert_eq!(format!("{records:?}"), format!("{clean_records:?}"));
+}

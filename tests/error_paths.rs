@@ -61,8 +61,8 @@ fn core_errors_chain_sources() {
     let profile = OccurrenceProfile::from_trace(&d, &trace).expect("profiled");
     // One FU for two concurrent ops: matching error wrapped in CoreError.
     let tight = Allocation::new(1, 0);
-    let err = bind_obfuscation_aware(&d, &sched, &tight, &profile, &LockingSpec::unlocked())
-        .unwrap_err();
+    let err =
+        bind_obfuscation_aware(&d, &sched, &tight, &profile, &LockingSpec::unlocked()).unwrap_err();
     assert!(err.source().is_some(), "CoreError must chain its source");
     assert!(err.to_string().contains("matching"));
 }
@@ -98,8 +98,7 @@ fn methodology_unreachable_target_reports_best_effort() {
     let alloc = Allocation::new(3, 3);
     let sched = schedule_list(&bench.dfg, &alloc).expect("schedulable");
     let profile = OccurrenceProfile::from_trace(&bench.dfg, &bench.trace).expect("profiled");
-    let candidates =
-        profile.top_candidates_among(&bench.dfg.ops_of_class(FuClass::Adder), 5);
+    let candidates = profile.top_candidates_among(&bench.dfg.ops_of_class(FuClass::Adder), 5);
     let goals = DesignGoals {
         min_application_errors: u64::MAX,
         min_sat_iterations: 1.0,
@@ -132,7 +131,6 @@ fn codesign_guard_message_suggests_heuristic() {
         FuId::new(FuClass::Adder, 1),
         FuId::new(FuClass::Adder, 2),
     ];
-    let err = codesign_optimal(&bench.dfg, &sched, &alloc, &profile, &fus, 3, &many)
-        .unwrap_err();
+    let err = codesign_optimal(&bench.dfg, &sched, &alloc, &profile, &fus, 3, &many).unwrap_err();
     assert!(err.to_string().contains("codesign_heuristic"));
 }

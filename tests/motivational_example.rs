@@ -33,7 +33,16 @@ fn fig1_trace() -> Trace {
     let mut frames: Vec<Vec<u64>> = Vec::new();
     for f in 0..20u64 {
         // Default operands (0, f%2+4) produce neither x nor y.
-        let mut frame = vec![0u64, (f % 2) + 4, 0, (f % 2) + 4, 0, (f % 2) + 4, 0, (f % 2) + 4];
+        let mut frame = vec![
+            0u64,
+            (f % 2) + 4,
+            0,
+            (f % 2) + 4,
+            0,
+            (f % 2) + 4,
+            0,
+            (f % 2) + 4,
+        ];
         // OPA: x in frames 0..6, y in frames 6..15.
         if f < 6 {
             frame[0] = 1;
@@ -92,8 +101,8 @@ fn security_oblivious_binding1_injects_6_errors() {
     let fu1 = FuId::new(FuClass::Adder, 0);
     let fu2 = FuId::new(FuClass::Adder, 1);
     // Binding 1 of Fig. 1B: {OPA, OPC} -> FU1, {OPB, OPD} -> FU2.
-    let binding = Binding::from_assignment(&d, &s, &alloc, vec![fu1, fu2, fu1, fu2])
-        .expect("valid binding");
+    let binding =
+        Binding::from_assignment(&d, &s, &alloc, vec![fu1, fu2, fu1, fu2]).expect("valid binding");
     let spec = LockingSpec::new(&alloc, vec![(fu1, vec![x()])]).expect("valid spec");
     assert_eq!(expected_application_errors(&binding, &k, &spec), 6);
     let _ = ops;
@@ -104,8 +113,7 @@ fn obfuscation_aware_selects_binding2_with_16_errors() {
     let (d, s, alloc, k, ops) = setup();
     let fu1 = FuId::new(FuClass::Adder, 0);
     let spec = LockingSpec::new(&alloc, vec![(fu1, vec![x()])]).expect("valid spec");
-    let binding =
-        bind_obfuscation_aware(&d, &s, &alloc, &k, &spec).expect("feasible");
+    let binding = bind_obfuscation_aware(&d, &s, &alloc, &k, &spec).expect("feasible");
     // Binding 2 of Fig. 1B: OPA and OPD on the locked FU.
     assert_eq!(binding.fu(ops[0]), fu1, "OPA on the locked FU");
     assert_eq!(binding.fu(ops[3]), fu1, "OPD on the locked FU");
@@ -116,8 +124,7 @@ fn obfuscation_aware_selects_binding2_with_16_errors() {
 fn codesign_locks_y_for_17_errors() {
     let (d, s, alloc, k, ops) = setup();
     let fu1 = FuId::new(FuClass::Adder, 0);
-    let out = codesign_heuristic(&d, &s, &alloc, &k, &[fu1], 1, &[x(), y()])
-        .expect("feasible");
+    let out = codesign_heuristic(&d, &s, &alloc, &k, &[fu1], 1, &[x(), y()]).expect("feasible");
     assert_eq!(out.errors, 17, "the paper's co-design result");
     assert_eq!(
         out.spec.minterms_of(fu1),
@@ -129,8 +136,7 @@ fn codesign_locks_y_for_17_errors() {
     assert_eq!(out.binding.fu(ops[3]), fu1);
 
     // And the optimal search agrees (2 candidates, 1 FU: trivially small).
-    let opt = codesign_optimal(&d, &s, &alloc, &k, &[fu1], 1, &[x(), y()])
-        .expect("searchable");
+    let opt = codesign_optimal(&d, &s, &alloc, &k, &[fu1], 1, &[x(), y()]).expect("searchable");
     assert_eq!(opt.errors, 17);
 }
 
