@@ -2,6 +2,7 @@
 
 use lockbind_locking::LockedNetlist;
 use lockbind_netlist::cnf::{encode_netlist, Cnf};
+use lockbind_obs as obs;
 use lockbind_sat::{SolveResult, Solver, SolverStats};
 
 use crate::is_functionally_correct;
@@ -69,6 +70,9 @@ pub fn sat_attack(locked: &LockedNetlist, config: &AttackConfig) -> SatAttackOut
     let nl = locked.netlist();
     let n = nl.num_inputs();
     let kb = nl.num_keys();
+    let _span = obs::span!("attack.sat", inputs = n, key_bits = kb);
+    let _timer = obs::timer!("attack.sat");
+    obs::counter!("sat.attacks").inc();
     assert!(n <= 63, "sat attack DIP packing supports at most 63 inputs");
 
     let mut cnf = Cnf::new();
@@ -115,12 +119,15 @@ pub fn sat_attack(locked: &LockedNetlist, config: &AttackConfig) -> SatAttackOut
     let mut last_conflicts = 0u64;
     loop {
         flush(&cnf, &mut solver, &mut pushed);
+        obs::counter!("sat.queries").inc();
         let result = solver.solve_with_assumptions(&[act]);
         let now = solver.stats().conflicts;
         match result {
             SolveResult::Unsat => break,
             SolveResult::Sat => {
                 iterations += 1;
+                obs::counter!("sat.dips").inc();
+                obs::histogram!("sat.conflicts_per_dip").observe(now - last_conflicts);
                 conflicts_per_iteration.push(now - last_conflicts);
                 last_conflicts = now;
                 let dip_bits: Vec<bool> = x.iter().map(|&l| solver.model_value(l)).collect();
@@ -163,6 +170,7 @@ pub fn sat_attack(locked: &LockedNetlist, config: &AttackConfig) -> SatAttackOut
     // No DIP remains: any key consistent with the agreement constraints is
     // functionally correct. Deactivate the miter and extract one.
     flush(&cnf, &mut solver, &mut pushed);
+    obs::counter!("sat.queries").inc();
     let res = solver.solve_with_assumptions(&[-act]);
     debug_assert_eq!(
         res,

@@ -301,6 +301,8 @@ fn switching_baselines(engine: &Engine) -> Result<(), Vec<(String, String)>> {
 
 fn main() {
     let args = EngineArgs::parse("ablation");
+    // One obs session spans all three engine runs of the ablation.
+    let obs = args.obs_session();
     let engine = Engine::new(args.engine_config());
 
     let mut all_failures = Vec::new();
@@ -316,6 +318,10 @@ fn main() {
         all_failures.extend(f);
     }
 
+    if let Err(e) = obs.finish() {
+        eprintln!("ablation: cannot write trace: {e}");
+        std::process::exit(2);
+    }
     if !all_failures.is_empty() {
         eprintln!("[ablation] {} cells FAILED:", all_failures.len());
         for (cell, message) in &all_failures {

@@ -16,6 +16,7 @@ use lockbind_mediabench::Kernel;
 fn main() {
     let args = EngineArgs::parse("fig4");
     let params = ExperimentParams::default();
+    let obs = args.obs_session();
 
     println!("Fig. 4 — increase in application errors of locking (x over baseline)");
     println!(
@@ -91,6 +92,10 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("[fig4] metrics written to {}", path.display());
+    }
+    if let Err(e) = obs.finish() {
+        eprintln!("fig4: cannot write trace: {e}");
+        std::process::exit(2);
     }
     if !failures.is_empty() {
         eprintln!("[fig4] {} cells FAILED:", failures.len());

@@ -15,6 +15,7 @@ use lockbind_mediabench::Kernel;
 fn main() {
     let args = EngineArgs::parse("fig5");
     let params = ExperimentParams::default();
+    let obs = args.obs_session();
 
     println!("Fig. 5 — error increase vs locking configuration (normalized to the");
     println!("same configuration under area/power-aware binding)");
@@ -80,6 +81,10 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("[fig5] metrics written to {}", path.display());
+    }
+    if let Err(e) = obs.finish() {
+        eprintln!("fig5: cannot write trace: {e}");
+        std::process::exit(2);
     }
     if !failures.is_empty() {
         eprintln!("[fig5] {} cells FAILED:", failures.len());

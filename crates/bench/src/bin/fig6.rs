@@ -13,6 +13,7 @@ use lockbind_mediabench::Kernel;
 
 fn main() {
     let args = EngineArgs::parse("fig6");
+    let obs = args.obs_session();
 
     println!("Fig. 6 — design overhead of security-aware binding");
     println!();
@@ -94,6 +95,10 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("[fig6] metrics written to {}", path.display());
+    }
+    if let Err(e) = obs.finish() {
+        eprintln!("fig6: cannot write trace: {e}");
+        std::process::exit(2);
     }
     if !failures.is_empty() {
         eprintln!("[fig6] {} cells FAILED:", failures.len());

@@ -8,24 +8,31 @@
 //! Runs on the execution engine and always writes its run metrics to
 //! `results/BENCH_headline.json` (override the path with `--json`).
 //!
+//! This is the canonical observability entry point: its combined grid also
+//! runs one end-to-end locked-simulation cell per kernel and one SAT-attack
+//! cell per scheme, so `headline --profile --trace trace.json` covers every
+//! pipeline stage (scheduling, binding, matching, locked-sim, sat-attack).
+//!
 //! Usage: `cargo run -p lockbind-bench --release --bin headline --
-//! [FRAMES] [SEED] [--threads N] [--json PATH] [--fail-fast]`
+//! [FRAMES] [SEED] [--threads N] [--json PATH] [--fail-fast]
+//! [--trace PATH] [--profile]`
 
 use std::path::PathBuf;
 
 use lockbind_bench::errors_experiment::geomean;
-use lockbind_bench::{collect_error_records, error_grid, ExperimentParams, SecurityAlgo};
+use lockbind_bench::{collect_headline_records, headline_grid, ExperimentParams, SecurityAlgo};
 use lockbind_engine::{Engine, EngineArgs};
 use lockbind_mediabench::Kernel;
 
 fn main() {
     let args = EngineArgs::parse("headline");
     let params = ExperimentParams::default();
+    let obs = args.obs_session();
 
     let engine = Engine::new(args.engine_config());
-    let cells = error_grid(&Kernel::ALL, args.frames, args.seed, &params);
+    let cells = headline_grid(&Kernel::ALL, args.frames, args.seed, &params);
     let report = engine.run(&cells);
-    let (records, failures) = collect_error_records(&report.results);
+    let (records, impacts, sats, failures) = collect_headline_records(&report.results);
 
     let collect = |algo: SecurityAlgo, vs_area: bool| -> Vec<f64> {
         records
@@ -109,6 +116,24 @@ fn main() {
         );
     }
 
+    println!();
+    println!("end-to-end pipeline checks:");
+    let corrupted = impacts.iter().filter(|i| i.frames_corrupted > 0).count();
+    println!(
+        "  locked-sim : {}/{} kernels corrupted under a wrong key",
+        corrupted,
+        impacts.len()
+    );
+    for s in &sats {
+        println!(
+            "  sat-attack : {:<17} {} key bits, {} DIPs, key {}",
+            s.scheme,
+            s.key_bits,
+            s.iterations,
+            if s.success { "found" } else { "NOT found" }
+        );
+    }
+
     let json_path = args
         .json
         .clone()
@@ -122,6 +147,10 @@ fn main() {
     }
     eprintln!("[headline] {}", report.metrics.summary());
     eprintln!("[headline] metrics written to {}", json_path.display());
+    if let Err(e) = obs.finish() {
+        eprintln!("headline: cannot write trace: {e}");
+        std::process::exit(2);
+    }
     if !failures.is_empty() {
         eprintln!("[headline] {} cells FAILED:", failures.len());
         for (cell, message) in &failures {

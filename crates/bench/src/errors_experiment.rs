@@ -21,6 +21,7 @@ use lockbind_core::{
     codesign_optimal, combinations, expected_application_errors, CoreError, LockingSpec,
 };
 use lockbind_hls::{Binding, FuClass, FuId, Minterm};
+use lockbind_obs as obs;
 
 use crate::PreparedKernel;
 
@@ -323,6 +324,7 @@ fn obf_aware_cell(
 ) -> Result<Vec<ErrorRecord>, CoreError> {
     let combos = combinations(candidates.len(), locked_inputs);
     let assignments = enumerate_assignments(params, fus.len(), combos.len(), locked_inputs);
+    let _span = obs::span!("cell.obf_aware", assignments = assignments.len());
 
     let mut sum_area = 0.0;
     let mut sum_power = 0.0;
@@ -381,6 +383,7 @@ fn codesign_cell(
 ) -> Result<Vec<ErrorRecord>, CoreError> {
     let combos = combinations(candidates.len(), locked_inputs);
     let assignments = enumerate_assignments(params, fus.len(), combos.len(), locked_inputs);
+    let _span = obs::span!("cell.codesign", assignments = assignments.len());
 
     // Baseline error distribution over the enumerated combinations.
     let mut base_area = Vec::with_capacity(assignments.len());

@@ -25,6 +25,7 @@ use lockbind_core::CoreError;
 use lockbind_engine::{ArtifactCache, CacheKey, CellResult, Job, JobCtx};
 use lockbind_hls::FuClass;
 use lockbind_mediabench::Kernel;
+use lockbind_obs as obs;
 
 use crate::errors_experiment::{run_error_cell, ClassContext};
 use crate::overhead::{measure_overhead, OverheadRecord};
@@ -42,7 +43,13 @@ pub fn cached_prepared(
         .push_str(kernel.name())
         .push_usize(frames)
         .push_u64(seed);
-    cache.get_or_insert_with(key, || PreparedKernel::new(kernel, frames, seed))
+    cache.get_or_insert_with(key, || {
+        // The single-flight cache builds each key exactly once, so this span
+        // and the counters inside fire once per (kernel, frames, seed) at
+        // any worker count.
+        let _span = obs::span!("prepare.kernel", kernel = kernel.name(), frames = frames);
+        PreparedKernel::new(kernel, frames, seed)
+    })
 }
 
 type ClassContextResult = Result<Option<ClassContext>, CoreError>;
@@ -64,7 +71,10 @@ pub fn cached_class_context(
         .push_u64(seed)
         .push_str(&format!("{class:?}"))
         .push_usize(num_candidates);
-    cache.get_or_insert_with(key, || ClassContext::build(prepared, class, num_candidates))
+    cache.get_or_insert_with(key, || {
+        let _span = obs::span!("prepare.class_context", kernel = kernel.name());
+        ClassContext::build(prepared, class, num_candidates)
+    })
 }
 
 /// One cell of the error-ratio experiment grid.

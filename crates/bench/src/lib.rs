@@ -19,6 +19,7 @@
 
 pub mod errors_experiment;
 pub mod grid;
+pub mod headline_cells;
 pub mod overhead;
 pub mod prepared;
 pub mod report;
@@ -27,5 +28,9 @@ pub use errors_experiment::{
     run_error_cell, run_error_experiment, ClassContext, ErrorRecord, ExperimentParams, SecurityAlgo,
 };
 pub use grid::{collect_error_records, error_grid, ErrorCell, OverheadCell};
+pub use headline_cells::{
+    collect_headline_records, headline_grid, HeadlineCell, HeadlineOutput, ImpactCell,
+    ImpactRecord, SatCell, SatRecord, SatScheme,
+};
 pub use overhead::{measure_overhead, OverheadRecord};
 pub use prepared::PreparedKernel;

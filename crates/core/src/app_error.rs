@@ -9,6 +9,7 @@
 
 use lockbind_hls::sim::execute_frame;
 use lockbind_hls::{Binding, Dfg, Schedule, Trace};
+use lockbind_obs as obs;
 
 use crate::{CoreError, LockingSpec};
 
@@ -55,6 +56,8 @@ pub fn application_impact(
     spec: &LockingSpec,
     trace: &Trace,
 ) -> Result<ApplicationImpact, CoreError> {
+    let _span = obs::span!("app_impact", frames = trace.len());
+    let _timer = obs::timer!("app_impact");
     let mut total = 0u64;
     let mut affected = 0u64;
     let mut max_per_frame = 0u64;

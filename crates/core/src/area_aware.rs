@@ -4,6 +4,7 @@
 use lockbind_hls::metrics::value_lifetimes;
 use lockbind_hls::{Allocation, Binding, Dfg, FuClass, FuId, Schedule};
 use lockbind_matching::{min_cost_matching, WeightMatrix};
+use lockbind_obs as obs;
 
 use crate::CoreError;
 
@@ -22,6 +23,8 @@ pub fn bind_area_aware(
     schedule: &Schedule,
     alloc: &Allocation,
 ) -> Result<Binding, CoreError> {
+    obs::counter!("bind.area.calls").inc();
+    let _timer = obs::timer!("bind.area");
     let lifetimes = value_lifetimes(dfg, schedule);
     let num_cycles = schedule.num_cycles();
 

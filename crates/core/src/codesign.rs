@@ -8,6 +8,7 @@
 //! assuming the not-yet-fixed FUs are unlocked.
 
 use lockbind_hls::{Allocation, Binding, Dfg, FuId, Minterm, OccurrenceProfile, Schedule};
+use lockbind_obs as obs;
 
 use crate::{
     bind_obfuscation_aware, combinations, expected_application_errors, CoreError, LockingSpec,
@@ -70,6 +71,11 @@ pub fn codesign_optimal(
     inputs_per_fu: usize,
     candidates: &[Minterm],
 ) -> Result<CoDesignOutcome, CoreError> {
+    let _span = obs::span!(
+        "codesign.optimal",
+        locked_fus = locked_fus.len(),
+        candidates = candidates.len()
+    );
     validate(alloc, locked_fus, inputs_per_fu, candidates)?;
     let combos = combinations(candidates.len(), inputs_per_fu);
     let evaluations = (combos.len() as u128)
@@ -95,6 +101,7 @@ pub fn codesign_optimal(
         let spec = LockingSpec::new(alloc, entries)?;
         let binding = bind_obfuscation_aware(dfg, schedule, alloc, profile, &spec)?;
         let errors = expected_application_errors(&binding, profile, &spec);
+        obs::counter!("codesign.combos_evaluated").inc();
         if best.as_ref().is_none_or(|b| errors > b.errors) {
             best = Some(CoDesignOutcome {
                 binding,
@@ -138,6 +145,11 @@ pub fn codesign_heuristic(
     inputs_per_fu: usize,
     candidates: &[Minterm],
 ) -> Result<CoDesignOutcome, CoreError> {
+    let _span = obs::span!(
+        "codesign.heuristic",
+        locked_fus = locked_fus.len(),
+        candidates = candidates.len()
+    );
     validate(alloc, locked_fus, inputs_per_fu, candidates)?;
     let combos = combinations(candidates.len(), inputs_per_fu);
 
@@ -151,6 +163,7 @@ pub fn codesign_heuristic(
             let spec = LockingSpec::new(alloc, entries)?;
             let binding = bind_obfuscation_aware(dfg, schedule, alloc, profile, &spec)?;
             let errors = expected_application_errors(&binding, profile, &spec);
+            obs::counter!("codesign.combos_evaluated").inc();
             if best_combo.as_ref().is_none_or(|(e, _)| errors > *e) {
                 best_combo = Some((errors, ms));
             }

@@ -1,6 +1,7 @@
 //! The objective cost function (Eqn. 2 of the paper).
 
 use lockbind_hls::{Binding, OccurrenceProfile};
+use lockbind_obs as obs;
 
 use crate::LockingSpec;
 
@@ -43,6 +44,10 @@ pub fn expected_application_errors(
     profile: &OccurrenceProfile,
     spec: &LockingSpec,
 ) -> u64 {
+    // Called once per candidate combination in the co-design loops; hot
+    // enough that the timer samples 1/16 calls while the counter stays exact.
+    obs::counter!("app_errors.evals").inc();
+    let _timer = obs::timer_sampled!("app_errors.eval", 4);
     spec.iter()
         .map(|(fu, minterms)| {
             binding

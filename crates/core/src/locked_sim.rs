@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use lockbind_hls::{Binding, Dfg, Frame, FuId, Trace, ValueRef};
 use lockbind_locking::LockedNetlist;
+use lockbind_obs as obs;
 
 use crate::CoreError;
 
@@ -134,6 +135,14 @@ pub fn output_corruption(
     keys: &KeyAssignment,
     trace: &Trace,
 ) -> Result<OutputCorruption, CoreError> {
+    let _span = obs::span!(
+        "locked_sim.output_corruption",
+        frames = trace.len(),
+        modules = modules.len()
+    );
+    let _timer = obs::timer!("locked_sim.output_corruption");
+    obs::counter!("locked_sim.evals").inc();
+    obs::counter!("locked_sim.frames").add(trace.len() as u64);
     let mut frames_corrupted = 0u64;
     let mut words_corrupted = 0u64;
     for frame in trace {

@@ -2,6 +2,7 @@
 
 use lockbind_hls::{Allocation, Binding, Dfg, FuClass, FuId, OccurrenceProfile, Schedule};
 use lockbind_matching::{max_weight_matching, WeightMatrix};
+use lockbind_obs as obs;
 
 use crate::{CoreError, LockingSpec};
 
@@ -32,6 +33,13 @@ pub fn bind_obfuscation_aware(
     profile: &OccurrenceProfile,
     spec: &LockingSpec,
 ) -> Result<Binding, CoreError> {
+    // Called once per candidate combination inside the co-design loops —
+    // hundreds of thousands of times per sweep. That is far too hot for a
+    // span (spans are stage-granularity), so this uses the exact counter +
+    // sampled-timer layer; `cell.obf_aware` / `cell.codesign` spans bracket
+    // the callers.
+    obs::counter!("bind.obf_aware.calls").inc();
+    let _timer = obs::timer_sampled!("bind.obf_aware", 4);
     for fu in spec.locked_fus() {
         if fu.index >= alloc.count(fu.class) {
             return Err(CoreError::UnknownFu { fu: fu.to_string() });

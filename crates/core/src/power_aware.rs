@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use lockbind_hls::{Allocation, Binding, Dfg, FuClass, FuId, OpId, Schedule, SwitchingProfile};
 use lockbind_matching::{min_cost_matching, WeightMatrix};
+use lockbind_obs as obs;
 
 use crate::CoreError;
 
@@ -27,6 +28,8 @@ pub fn bind_power_aware(
     alloc: &Allocation,
     switching: &SwitchingProfile,
 ) -> Result<Binding, CoreError> {
+    obs::counter!("bind.power.calls").inc();
+    let _timer = obs::timer!("bind.power");
     let mut last_on: HashMap<FuId, OpId> = HashMap::new();
     let mut fu_of = vec![FuId::new(FuClass::Adder, 0); dfg.num_ops()];
     for t in 0..schedule.num_cycles() {

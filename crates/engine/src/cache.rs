@@ -1,4 +1,4 @@
-//! Content-keyed in-memory artifact cache.
+//! Content-keyed in-memory artifact cache with single-flight builds.
 //!
 //! Experiment cells repeatedly need the same expensive, locking-independent
 //! artifacts: an HLS-scheduled kernel, its candidate minterm list, the
@@ -12,11 +12,30 @@
 //! `Arc<dyn Any>`; [`ArtifactCache::get_or_insert_with`] downcasts back to
 //! the concrete type and panics on a type mismatch (a programming error:
 //! one namespace must always store one type).
+//!
+//! Builds are **single-flight**: the first thread to miss a key builds it
+//! (without holding the cache lock) while concurrent requesters block on
+//! the pending slot and then share the result. Each key is therefore built
+//! *exactly once* — no duplicated work, and every counter incremented
+//! inside a build fires a deterministic number of times regardless of
+//! worker count, which is what keeps the metrics registry byte-identical
+//! across `--threads` values. If a build panics, the panic propagates to
+//! the builder, waiters retry (typically re-building and re-panicking in
+//! their own cell, preserving per-cell panic isolation), and the failed
+//! slot is removed.
+//!
+//! Hit/miss counters are kept both per-cache (for [`CacheStats`] deltas)
+//! and on the global `lockbind-obs` registry (`cache.hit` / `cache.miss`),
+//! so run metrics and profile output report the same numbers from one
+//! source of truth.
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+use lockbind_obs as obs;
 
 /// An unambiguous byte key identifying one cached artifact.
 ///
@@ -74,11 +93,12 @@ type Erased = Arc<dyn Any + Send + Sync>;
 /// Cache hit/miss counters and the current entry count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups satisfied from the cache.
+    /// Lookups satisfied from the cache (including waits on an in-flight
+    /// build started by another thread).
     pub hits: u64,
     /// Lookups that had to build the artifact.
     pub misses: u64,
-    /// Artifacts currently stored.
+    /// Artifacts currently stored (completed builds).
     pub entries: usize,
 }
 
@@ -94,9 +114,38 @@ impl CacheStats {
     }
 }
 
-/// One hash bucket: entries whose keys share an FNV-1a hash, resolved by
+/// One cache slot: pending while its builder runs, then ready (or failed,
+/// transiently, when the builder panicked).
+#[derive(Debug)]
+enum SlotState {
+    Pending,
+    Ready(Erased),
+    Failed,
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn finish(&self, state: SlotState) {
+        *self.state.lock().expect("cache slot poisoned") = state;
+        self.ready.notify_all();
+    }
+}
+
+/// One hash bucket: slots whose keys share an FNV-1a hash, resolved by
 /// exact key-byte comparison.
-type Bucket = Vec<(Vec<u8>, Erased)>;
+type Bucket = Vec<(Vec<u8>, Arc<Slot>)>;
 
 /// Thread-safe, type-erased artifact cache.
 #[derive(Debug, Default)]
@@ -115,44 +164,79 @@ impl ArtifactCache {
     /// Returns the artifact under `key`, building (and inserting) it with
     /// `build` on a miss.
     ///
-    /// The lock is **not** held while `build` runs, so two threads missing
-    /// the same key concurrently may both build it; the first insert wins
-    /// and the duplicate is discarded. Builds must therefore be
-    /// deterministic functions of the key — which is exactly what makes
+    /// The lock is **not** held while `build` runs; concurrent requesters
+    /// of the same key block until the build completes and then share the
+    /// one artifact (single-flight — see the module docs). Builds must be
+    /// deterministic functions of the key, which is exactly what makes
     /// them cacheable in the first place.
     ///
     /// # Panics
     /// If an artifact was previously stored under the same key with a
-    /// different type.
+    /// different type, or if `build` panics (the panic is propagated).
     pub fn get_or_insert_with<T, F>(&self, key: CacheKey, build: F) -> Arc<T>
     where
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
         let hash = key.fnv1a();
-        if let Some(found) = self.lookup(hash, &key.bytes) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return downcast::<T>(found);
+        let mut build = Some(build);
+        loop {
+            let (slot, is_builder) = {
+                let mut buckets = self.buckets.lock().expect("cache poisoned");
+                let bucket = buckets.entry(hash).or_default();
+                match bucket.iter().find(|(k, _)| *k == key.bytes) {
+                    Some((_, slot)) => (Arc::clone(slot), false),
+                    None => {
+                        let slot = Arc::new(Slot::new());
+                        bucket.push((key.bytes.clone(), Arc::clone(&slot)));
+                        (slot, true)
+                    }
+                }
+            };
+            if is_builder {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::counter!("cache.miss").inc();
+                let build = build.take().expect("a thread builds at most once");
+                match catch_unwind(AssertUnwindSafe(build)) {
+                    Ok(value) => {
+                        let erased: Erased = Arc::new(value);
+                        slot.finish(SlotState::Ready(Arc::clone(&erased)));
+                        return downcast::<T>(erased);
+                    }
+                    Err(payload) => {
+                        // Unblock waiters, drop the slot so later lookups
+                        // rebuild, and let the panic take down this cell.
+                        slot.finish(SlotState::Failed);
+                        {
+                            let mut buckets = self.buckets.lock().expect("cache poisoned");
+                            if let Some(bucket) = buckets.get_mut(&hash) {
+                                bucket.retain(|(_, s)| !Arc::ptr_eq(s, &slot));
+                            }
+                        }
+                        resume_unwind(payload);
+                    }
+                }
+            } else {
+                let mut state = slot.state.lock().expect("cache slot poisoned");
+                loop {
+                    match &*state {
+                        SlotState::Ready(value) => {
+                            let value = Arc::clone(value);
+                            drop(state);
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            obs::counter!("cache.hit").inc();
+                            return downcast::<T>(value);
+                        }
+                        SlotState::Failed => break,
+                        SlotState::Pending => {
+                            state = slot.ready.wait(state).expect("cache slot poisoned");
+                        }
+                    }
+                }
+                // The builder panicked; retry from the top (this thread may
+                // become the new builder).
+            }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let built: Erased = Arc::new(build());
-        let mut buckets = self.buckets.lock().expect("cache poisoned");
-        let bucket = buckets.entry(hash).or_default();
-        // Re-check: another thread may have inserted while we were building.
-        if let Some((_, existing)) = bucket.iter().find(|(k, _)| *k == key.bytes) {
-            return downcast::<T>(Arc::clone(existing));
-        }
-        bucket.push((key.bytes, Arc::clone(&built)));
-        downcast::<T>(built)
-    }
-
-    fn lookup(&self, hash: u64, bytes: &[u8]) -> Option<Erased> {
-        let buckets = self.buckets.lock().expect("cache poisoned");
-        buckets
-            .get(&hash)?
-            .iter()
-            .find(|(k, _)| k == bytes)
-            .map(|(_, v)| Arc::clone(v))
     }
 
     /// Current hit/miss counters and entry count.
@@ -256,14 +340,18 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_lookups_share_one_artifact() {
+    fn concurrent_lookups_build_each_key_exactly_once() {
         let cache = ArtifactCache::new();
+        let builds = AtomicU64::new(0);
         std::thread::scope(|scope| {
             for _ in 0..8 {
                 scope.spawn(|| {
                     for round in 0..64u64 {
                         let key = CacheKey::new("shared").push_u64(round % 4);
-                        let v = cache.get_or_insert_with::<u64, _>(key, || round % 4);
+                        let v = cache.get_or_insert_with::<u64, _>(key, || {
+                            builds.fetch_add(1, Ordering::Relaxed);
+                            round % 4
+                        });
                         assert_eq!(*v, round % 4);
                     }
                 });
@@ -272,5 +360,25 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 4);
         assert_eq!(stats.hits + stats.misses, 8 * 64);
+        assert_eq!(
+            builds.load(Ordering::Relaxed),
+            4,
+            "single-flight: each key builds exactly once"
+        );
+        assert_eq!(stats.misses, 4, "misses equal builds");
+    }
+
+    #[test]
+    fn panicking_build_unblocks_waiters_and_allows_retry() {
+        let cache = ArtifactCache::new();
+        let key = || CacheKey::new("flaky").push_u64(1);
+        let first = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = cache.get_or_insert_with::<u64, _>(key(), || panic!("build exploded"));
+        }));
+        assert!(first.is_err(), "builder sees the panic");
+        // The failed slot was removed: a retry rebuilds and succeeds.
+        let v = cache.get_or_insert_with::<u64, _>(key(), || 7);
+        assert_eq!(*v, 7);
+        assert_eq!(cache.stats().entries, 1);
     }
 }

@@ -4,13 +4,22 @@
 //!
 //! ```text
 //! <bin> [FRAMES] [SEED] [--frames N] [--seed S] [--threads N]
-//!       [--json PATH] [--fail-fast]
+//!       [--json PATH] [--fail-fast] [--trace PATH] [--profile]
 //! ```
 //!
 //! The two positionals predate the engine (`fig4 300 2021`) and remain
 //! supported; flags win when both are given.
+//!
+//! `--trace PATH` writes a chrome://tracing-compatible span trace,
+//! `--profile` prints a per-stage profile table to stderr at exit; both
+//! are serviced by [`EngineArgs::obs_session`] /
+//! [`ObsSession::finish`], which every figure binary calls around its
+//! engine runs.
 
 use std::path::PathBuf;
+use std::time::Instant;
+
+use lockbind_obs as obs;
 
 use crate::pool::EngineConfig;
 
@@ -27,6 +36,10 @@ pub struct EngineArgs {
     pub json: Option<PathBuf>,
     /// Abort the grid on the first failed cell.
     pub fail_fast: bool,
+    /// Where to write the chrome://tracing span trace, if anywhere.
+    pub trace: Option<PathBuf>,
+    /// Print a per-stage profile table at end of run.
+    pub profile: bool,
 }
 
 impl EngineArgs {
@@ -38,6 +51,8 @@ impl EngineArgs {
             threads: 0,
             json: None,
             fail_fast: false,
+            trace: None,
+            profile: false,
         }
     }
 
@@ -56,7 +71,7 @@ impl EngineArgs {
     /// Usage string for `bin`.
     pub fn usage(bin: &str) -> String {
         format!(
-            "usage: {bin} [FRAMES] [SEED] [--frames N] [--seed S] [--threads N] [--json PATH] [--fail-fast]"
+            "usage: {bin} [FRAMES] [SEED] [--frames N] [--seed S] [--threads N] [--json PATH] [--fail-fast] [--trace PATH] [--profile]"
         )
     }
 
@@ -83,6 +98,8 @@ impl EngineArgs {
                 "--threads" => out.threads = parse_num(&value_for("--threads")?, "--threads")?,
                 "--json" => out.json = Some(PathBuf::from(value_for("--json")?)),
                 "--fail-fast" => out.fail_fast = true,
+                "--trace" => out.trace = Some(PathBuf::from(value_for("--trace")?)),
+                "--profile" => out.profile = true,
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -108,6 +125,70 @@ impl EngineArgs {
             progress: true,
         }
     }
+
+    /// Starts an observability session for this invocation: when `--trace`
+    /// or `--profile` was given, enables span collection and timers and
+    /// snapshots the metrics registry. Call **before** creating the engine
+    /// and [`ObsSession::finish`] after the last run; the session may span
+    /// several `Engine::run` calls (e.g. `ablation`).
+    pub fn obs_session(&self) -> ObsSession {
+        let enabled = self.trace.is_some() || self.profile;
+        let collector = if enabled {
+            obs::set_profiling(true);
+            Some(obs::install_collector())
+        } else {
+            None
+        };
+        ObsSession {
+            trace: self.trace.clone(),
+            profile: self.profile,
+            collector,
+            before: obs::Registry::global().snapshot(),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// An in-flight observability session: holds the span collector and the
+/// pre-run registry snapshot backing `--trace` / `--profile`.
+pub struct ObsSession {
+    trace: Option<PathBuf>,
+    profile: bool,
+    collector: Option<std::sync::Arc<obs::CollectingSink>>,
+    before: obs::MetricsSnapshot,
+    started: Instant,
+}
+
+impl ObsSession {
+    /// Finishes the session: writes the chrome trace (if `--trace`) and
+    /// prints the per-stage profile table to stderr (if `--profile`).
+    /// A no-op when neither flag was given.
+    ///
+    /// # Errors
+    /// Propagates trace-file write errors.
+    pub fn finish(self) -> std::io::Result<()> {
+        let Some(collector) = self.collector else {
+            return Ok(());
+        };
+        let spans = collector.drain_sorted();
+        obs::trace::set_sink(None);
+        if let Some(path) = &self.trace {
+            obs::write_chrome_trace(path, &spans)?;
+            eprintln!(
+                "[obs] {} spans written to {} (open in chrome://tracing or ui.perfetto.dev)",
+                spans.len(),
+                path.display()
+            );
+        }
+        if self.profile {
+            let delta = obs::Registry::global().snapshot().delta_from(&self.before);
+            eprintln!(
+                "{}",
+                obs::render_profile(&spans, &delta, self.started.elapsed())
+            );
+        }
+        Ok(())
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, String> {
@@ -132,6 +213,8 @@ mod tests {
         assert_eq!((args.frames, args.seed, args.threads), (300, 2021, 0));
         assert!(args.json.is_none());
         assert!(!args.fail_fast);
+        assert!(args.trace.is_none());
+        assert!(!args.profile);
     }
 
     #[test]
@@ -152,6 +235,9 @@ mod tests {
             "--json",
             "results/run.json",
             "--fail-fast",
+            "--trace",
+            "trace.json",
+            "--profile",
         ])
         .unwrap();
         assert_eq!(args.frames, 100);
@@ -162,6 +248,26 @@ mod tests {
             Some(std::path::Path::new("results/run.json"))
         );
         assert!(args.fail_fast);
+        assert_eq!(
+            args.trace.as_deref(),
+            Some(std::path::Path::new("trace.json"))
+        );
+        assert!(args.profile);
+    }
+
+    #[test]
+    fn trace_flag_requires_a_path() {
+        assert!(parse(&["--trace"])
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn disabled_session_finishes_without_side_effects() {
+        let args = parse(&[]).unwrap();
+        let session = args.obs_session();
+        assert!(!lockbind_obs::tracing_enabled());
+        session.finish().unwrap();
     }
 
     #[test]

@@ -1,166 +1,7 @@
-//! Minimal hand-rolled JSON writer (the environment has no serde).
+//! Hand-rolled JSON writer, re-exported from `lockbind-obs`.
 //!
-//! Only what [`crate::RunMetrics`] and the figure binaries need: building a
-//! tree of [`Json`] values and rendering it as a compact UTF-8 document.
+//! The writer started life here and moved to `lockbind-obs` so the
+//! chrome://tracing exporter can share it; this module keeps the
+//! `lockbind_engine::json::Json` / `lockbind_engine::Json` paths working.
 
-use std::fmt::Write as _;
-
-/// A JSON value tree.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Unsigned integer (rendered without a fraction).
-    UInt(u64),
-    /// Floating-point number; non-finite values render as `null`.
-    Float(f64),
-    /// String (escaped on render).
-    Str(String),
-    /// Array.
-    Array(Vec<Json>),
-    /// Object with insertion-ordered keys.
-    Object(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience object constructor preserving pair order.
-    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
-        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
-    }
-
-    /// Convenience array constructor.
-    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
-        Json::Array(items.into_iter().collect())
-    }
-
-    /// Renders the value as a compact JSON document.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::UInt(v) => {
-                let _ = write!(out, "{v}");
-            }
-            Json::Float(v) => {
-                if v.is_finite() {
-                    let _ = write!(out, "{v}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Array(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Object(pairs) => {
-                out.push('{');
-                for (i, (key, value)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    write_escaped(out, key);
-                    out.push(':');
-                    value.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(s: String) -> Json {
-        Json::Str(s)
-    }
-}
-
-impl From<u64> for Json {
-    fn from(v: u64) -> Json {
-        Json::UInt(v)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(v: usize) -> Json {
-        Json::UInt(v as u64)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(v: f64) -> Json {
-        Json::Float(v)
-    }
-}
-
-impl From<bool> for Json {
-    fn from(v: bool) -> Json {
-        Json::Bool(v)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_nested_document() {
-        let doc = Json::obj([
-            ("name", Json::from("fig4")),
-            ("cells", Json::from(12usize)),
-            ("rate", Json::from(0.5f64)),
-            ("ok", Json::from(true)),
-            ("tags", Json::arr([Json::from("a"), Json::Null])),
-        ]);
-        assert_eq!(
-            doc.render(),
-            r#"{"name":"fig4","cells":12,"rate":0.5,"ok":true,"tags":["a",null]}"#
-        );
-    }
-
-    #[test]
-    fn escapes_strings_and_nulls_non_finite() {
-        assert_eq!(Json::from("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
-        assert_eq!(Json::from("\u{1}").render(), "\"\\u0001\"");
-        assert_eq!(Json::Float(f64::NAN).render(), "null");
-        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
-    }
-}
+pub use lockbind_obs::json::Json;

@@ -16,7 +16,11 @@
 //!   run (opt out with fail-fast).
 //! * **Observability** — per-cell and per-stage wall time, cells/sec, cache
 //!   hit rate, and a live progress line; exportable as hand-rolled JSON
-//!   ([`RunMetrics::to_json`]).
+//!   ([`RunMetrics::to_json`]). Each cell additionally runs inside a
+//!   `lockbind-obs` span/cell scope, and the shared CLI's `--trace` /
+//!   `--profile` flags ([`EngineArgs::obs_session`]) export a
+//!   chrome://tracing trace and a per-stage profile table for any figure
+//!   binary.
 //!
 //! The engine is experiment-agnostic: anything implementing [`Job`] can be
 //! scheduled. The concrete cell types live in `lockbind-bench`.
@@ -31,7 +35,7 @@ pub mod metrics;
 pub mod pool;
 
 pub use cache::{ArtifactCache, CacheKey, CacheStats};
-pub use cli::EngineArgs;
+pub use cli::{EngineArgs, ObsSession};
 pub use json::Json;
-pub use metrics::{CellTiming, RunMetrics, StageMetrics};
+pub use metrics::{CellTiming, RunMetrics, StageMetrics, METRICS_SCHEMA_VERSION};
 pub use pool::{CellResult, Engine, EngineConfig, Job, JobCtx, RunReport};

@@ -1,10 +1,22 @@
 //! Run metrics: wall time, throughput, per-stage/per-cell timing, cache
-//! effectiveness — plus a hand-rolled JSON export.
+//! effectiveness, and the observability-registry delta — plus a
+//! hand-rolled JSON export.
+//!
+//! The JSON schema is versioned (`schema_version`). Version 2 added
+//! `cells_skipped` (fail-fast skips, previously lumped into
+//! `cells_failed`) and the `obs` object carrying the per-run counter /
+//! gauge / histogram / timer aggregates from the `lockbind-obs` registry;
+//! all version-1 fields are unchanged.
 
 use std::time::Duration;
 
+use lockbind_obs::MetricsSnapshot;
+
 use crate::cache::CacheStats;
 use crate::json::Json;
+
+/// JSON schema version written by [`RunMetrics::to_json`].
+pub const METRICS_SCHEMA_VERSION: u64 = 2;
 
 impl CacheStats {
     /// The stats accumulated *since* `earlier` (the cache is shared across
@@ -51,8 +63,10 @@ pub struct RunMetrics {
     pub cells_total: usize,
     /// Cells that completed.
     pub cells_ok: usize,
-    /// Cells that failed (error, panic, or fail-fast skip).
+    /// Cells that failed (error or panic); excludes fail-fast skips.
     pub cells_failed: usize,
+    /// Cells never started because fail-fast aborted the run.
+    pub cells_skipped: usize,
     /// End-to-end wall time of the run.
     pub wall: Duration,
     /// Executed cells per wall-clock second.
@@ -63,6 +77,9 @@ pub struct RunMetrics {
     pub stages: Vec<StageMetrics>,
     /// Per-cell timings, in cell order (executed cells only).
     pub cells: Vec<CellTiming>,
+    /// Observability-registry activity during this run (counters, gauges,
+    /// histograms, timers).
+    pub obs: MetricsSnapshot,
 }
 
 impl RunMetrics {
@@ -72,10 +89,12 @@ impl RunMetrics {
         root_seed: u64,
         cells_total: usize,
         cells_ok: usize,
+        cells_skipped: usize,
         wall: Duration,
         cache: CacheStats,
         stage_acc: Vec<(&'static str, usize, Duration)>,
         cells: Vec<CellTiming>,
+        obs: MetricsSnapshot,
     ) -> Self {
         let executed = cells.len();
         let cells_per_sec = if wall.as_secs_f64() > 0.0 {
@@ -88,7 +107,8 @@ impl RunMetrics {
             root_seed,
             cells_total,
             cells_ok,
-            cells_failed: cells_total - cells_ok,
+            cells_failed: cells_total - cells_ok - cells_skipped,
+            cells_skipped,
             wall,
             cells_per_sec,
             cache,
@@ -101,13 +121,19 @@ impl RunMetrics {
                 })
                 .collect(),
             cells,
+            obs,
         }
     }
 
     /// A one-line human summary.
     pub fn summary(&self) -> String {
+        let skipped = if self.cells_skipped > 0 {
+            format!(", {} skipped", self.cells_skipped)
+        } else {
+            String::new()
+        };
         format!(
-            "{} cells ({} ok, {} failed) in {:.2}s on {} threads | {:.1} cells/s | cache {}h/{}m ({:.0}% hit)",
+            "{} cells ({} ok, {} failed{skipped}) in {:.2}s on {} threads | {:.1} cells/s | cache {}h/{}m ({:.0}% hit)",
             self.cells_total,
             self.cells_ok,
             self.cells_failed,
@@ -120,14 +146,17 @@ impl RunMetrics {
         )
     }
 
-    /// The full metrics tree as JSON.
+    /// The full metrics tree as JSON (schema version
+    /// [`METRICS_SCHEMA_VERSION`]).
     pub fn to_json(&self) -> Json {
         Json::obj([
+            ("schema_version", Json::from(METRICS_SCHEMA_VERSION)),
             ("threads", Json::from(self.threads)),
             ("root_seed", Json::from(self.root_seed)),
             ("cells_total", Json::from(self.cells_total)),
             ("cells_ok", Json::from(self.cells_ok)),
             ("cells_failed", Json::from(self.cells_failed)),
+            ("cells_skipped", Json::from(self.cells_skipped)),
             ("wall_seconds", Json::from(self.wall.as_secs_f64())),
             ("cells_per_sec", Json::from(self.cells_per_sec)),
             (
@@ -159,6 +188,7 @@ impl RunMetrics {
                     ])
                 })),
             ),
+            ("obs", self.obs.to_json()),
         ])
     }
 
@@ -182,11 +212,14 @@ mod tests {
 
     #[test]
     fn summary_and_json_cover_counters() {
+        let mut obs = MetricsSnapshot::default();
+        obs.counters.insert("matching.solves".to_string(), 123);
         let metrics = RunMetrics::new(
             4,
             2021,
             10,
             9,
+            0,
             Duration::from_millis(500),
             CacheStats {
                 hits: 30,
@@ -199,16 +232,43 @@ mod tests {
                 stage: "error-cell".to_string(),
                 wall: Duration::from_millis(45),
             }],
+            obs,
         );
         assert_eq!(metrics.cells_failed, 1);
+        assert_eq!(metrics.cells_skipped, 0);
         assert!((metrics.cells_per_sec - 2.0).abs() < 1e-9);
         let summary = metrics.summary();
         assert!(summary.contains("9 ok"), "{summary}");
         assert!(summary.contains("75% hit"), "{summary}");
+        assert!(!summary.contains("skipped"), "{summary}");
         let json = metrics.to_json().render();
+        assert!(json.contains("\"schema_version\":2"));
         assert!(json.contains("\"root_seed\":2021"));
         assert!(json.contains("\"hit_rate\":0.75"));
         assert!(json.contains("\"stage\":\"error-cell\""));
+        assert!(json.contains("\"matching.solves\":123"));
+    }
+
+    #[test]
+    fn skipped_cells_are_split_out_of_failures() {
+        let metrics = RunMetrics::new(
+            2,
+            7,
+            10,
+            4,
+            5,
+            Duration::from_millis(100),
+            CacheStats::default(),
+            Vec::new(),
+            Vec::new(),
+            MetricsSnapshot::default(),
+        );
+        assert_eq!(metrics.cells_failed, 1, "skips are not failures");
+        assert_eq!(metrics.cells_skipped, 5);
+        let summary = metrics.summary();
+        assert!(summary.contains("1 failed, 5 skipped"), "{summary}");
+        let json = metrics.to_json().render();
+        assert!(json.contains("\"cells_skipped\":5"), "{json}");
     }
 
     #[test]

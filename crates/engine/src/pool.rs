@@ -10,7 +10,18 @@
 //! Each job body runs under [`std::panic::catch_unwind`]; a panic or an
 //! `Err` return becomes [`CellResult::Failed`] for that cell only. With
 //! [`EngineConfig::fail_fast`] the pool instead stops claiming new cells
-//! after the first failure and marks the unstarted remainder as skipped.
+//! after the first failure and marks the unstarted remainder as skipped —
+//! skips are counted separately from failures (`cells_skipped`, plus the
+//! `cells.skipped` registry counter and an `engine.fail_fast_abort`
+//! instant event), so an aborted sweep is distinguishable from a short one.
+//!
+//! Each cell executes inside an `lockbind-obs` [`CellScope`] and a span
+//! named by its [`Job::stage`], tagged with the cell index and worker id;
+//! traces therefore merge deterministically by cell order at any worker
+//! count. The run metrics include the observability-registry delta for the
+//! run.
+//!
+//! [`CellScope`]: lockbind_obs::CellScope
 
 use std::io::IsTerminal;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -18,6 +29,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use lockbind_obs as obs;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
@@ -208,6 +220,7 @@ impl Engine {
         let threads = self.cfg.effective_threads().min(jobs.len().max(1));
         let show_progress = self.cfg.progress && std::io::stderr().is_terminal();
         let cache_before = self.cache.stats();
+        let obs_before = obs::Registry::global().snapshot();
 
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
@@ -217,8 +230,10 @@ impl Engine {
 
         let started = Instant::now();
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
+            for worker in 0..threads {
+                let (next, done, failed, abort) = (&next, &done, &failed, &abort);
+                let (collected, cache, cfg) = (&collected, &self.cache, &self.cfg);
+                scope.spawn(move || loop {
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
@@ -229,9 +244,13 @@ impl Engine {
                     let job = &jobs[index];
                     let cell = job.label();
                     let stage = job.stage();
-                    let mut ctx = JobCtx::new(index, self.cfg.root_seed, &self.cache);
+                    let mut ctx = JobCtx::new(index, cfg.root_seed, cache);
                     let cell_start = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| job.run(&mut ctx)));
+                    let outcome = {
+                        let _cell_scope = obs::CellScope::enter(index as u64, worker as u64);
+                        let _span = obs::span!(stage, cell = cell.as_str(), worker = worker);
+                        catch_unwind(AssertUnwindSafe(|| job.run(&mut ctx)))
+                    };
                     let wall = cell_start.elapsed();
                     let result = match outcome {
                         Ok(Ok(output)) => CellResult::Ok { cell, output },
@@ -243,7 +262,7 @@ impl Engine {
                     };
                     if matches!(result, CellResult::Failed { .. }) {
                         failed.fetch_add(1, Ordering::Relaxed);
-                        if self.cfg.fail_fast {
+                        if cfg.fail_fast {
                             abort.store(true, Ordering::Relaxed);
                         }
                     }
@@ -289,16 +308,26 @@ impl Engine {
             }
             slots[index] = Some(result);
         }
+        let mut skipped = 0usize;
         let results: Vec<CellResult<J::Output>> = slots
             .into_iter()
             .enumerate()
             .map(|(index, slot)| {
-                slot.unwrap_or_else(|| CellResult::Failed {
-                    cell: jobs[index].label(),
-                    message: "skipped: fail-fast after an earlier failure".to_string(),
+                slot.unwrap_or_else(|| {
+                    skipped += 1;
+                    CellResult::Failed {
+                        cell: jobs[index].label(),
+                        message: "skipped: fail-fast after an earlier failure".to_string(),
+                    }
                 })
             })
             .collect();
+        if skipped > 0 {
+            obs::counter!("cells.skipped").add(skipped as u64);
+            obs::trace::instant("engine.fail_fast_abort", || {
+                vec![("skipped", obs::ArgValue::from(skipped))]
+            });
+        }
 
         let cells_ok = results
             .iter()
@@ -309,10 +338,12 @@ impl Engine {
             self.cfg.root_seed,
             results.len(),
             cells_ok,
+            skipped,
             wall,
             self.cache.stats().delta_from(cache_before),
             stage_acc,
             timings,
+            obs::Registry::global().snapshot().delta_from(&obs_before),
         );
         RunReport { results, metrics }
     }
@@ -446,6 +477,14 @@ mod tests {
         assert!(report.failures().any(|(_, m)| m.contains("injected panic")));
         assert!(report.failures().any(|(_, m)| m.contains("fail-fast")));
         assert!(report.metrics.cells_ok < 64);
+        // Skips are accounted separately from real failures: with one
+        // worker, cells 0..3 ran (3 failed), everything after was skipped.
+        assert_eq!(report.metrics.cells_failed, 1);
+        assert_eq!(report.metrics.cells_skipped, 60);
+        assert_eq!(
+            report.metrics.cells_ok + report.metrics.cells_failed + report.metrics.cells_skipped,
+            64
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use lockbind_obs as obs;
+
 use crate::dfg::{Dfg, OpId};
 use crate::value::{FuClass, FuId};
 use crate::{Allocation, HlsError, Schedule};
@@ -128,6 +130,8 @@ impl fmt::Display for Binding {
 /// [`HlsError::InsufficientResources`] if some cycle has more concurrent
 /// operations of a class than allocated units.
 pub fn bind_naive(dfg: &Dfg, schedule: &Schedule, alloc: &Allocation) -> Result<Binding, HlsError> {
+    obs::counter!("hls.bind_naive.calls").inc();
+    let _timer = obs::timer!("hls.bind_naive");
     let mut fu_of = vec![FuId::new(FuClass::Adder, 0); dfg.num_ops()];
     for t in 0..schedule.num_cycles() {
         for class in FuClass::ALL {

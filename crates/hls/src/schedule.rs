@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use lockbind_obs as obs;
+
 use crate::dfg::{Dfg, OpId};
 use crate::value::FuClass;
 use crate::{Allocation, HlsError};
@@ -109,6 +111,8 @@ impl Schedule {
 /// assert_eq!(sched.cycle(m), 1);
 /// ```
 pub fn schedule_asap(dfg: &Dfg) -> Schedule {
+    let _span = obs::span!("hls.schedule.asap", ops = dfg.num_ops());
+    obs::counter!("hls.schedules").inc();
     let mut cycle_of = vec![0u32; dfg.num_ops()];
     for (id, _) in dfg.iter_ops() {
         let c = dfg
@@ -132,6 +136,8 @@ pub fn schedule_asap(dfg: &Dfg) -> Schedule {
 /// Panics if `latency` is smaller than the critical path length (the ASAP
 /// schedule depth).
 pub fn schedule_alap(dfg: &Dfg, latency: u32) -> Schedule {
+    let _span = obs::span!("hls.schedule.alap", ops = dfg.num_ops(), latency = latency);
+    obs::counter!("hls.schedules").inc();
     let asap = schedule_asap(dfg);
     assert!(
         latency >= asap.num_cycles(),
@@ -166,6 +172,8 @@ pub fn schedule_alap(dfg: &Dfg, latency: u32) -> Schedule {
 /// [`HlsError::InsufficientResources`] if some class has zero allocated units
 /// but the DFG contains operations of that class.
 pub fn schedule_list(dfg: &Dfg, alloc: &Allocation) -> Result<Schedule, HlsError> {
+    let _span = obs::span!("hls.schedule.list", ops = dfg.num_ops());
+    obs::counter!("hls.schedules").inc();
     for class in FuClass::ALL {
         if alloc.count(class) == 0 && !dfg.ops_of_class(class).is_empty() {
             return Err(HlsError::InsufficientResources {

@@ -1,6 +1,7 @@
 use std::fmt;
 
 use lockbind_netlist::Netlist;
+use lockbind_obs as obs;
 
 /// A locked combinational module: the keyed netlist, its correct key, and a
 /// record of which scheme produced it.
@@ -25,6 +26,9 @@ impl LockedNetlist {
         debug_assert_eq!(locked.num_keys(), correct_key.len());
         debug_assert_eq!(locked.num_inputs(), oracle.num_inputs());
         debug_assert_eq!(locked.num_outputs(), oracle.num_outputs());
+        // Every scheme constructor funnels through here, so this single
+        // counter covers all locked-module realizations.
+        obs::counter!("locking.netlists_built").inc();
         LockedNetlist {
             locked,
             oracle,

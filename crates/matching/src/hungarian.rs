@@ -6,6 +6,8 @@
 //! edges are modelled as a large-but-finite cost so that infeasibility can be
 //! detected exactly afterwards.
 
+use lockbind_obs as obs;
+
 use crate::{Matching, MatchingError, WeightMatrix};
 
 /// Finds a complete matching of rows into columns with **minimum** total
@@ -43,6 +45,10 @@ pub fn max_weight_matching(weights: &WeightMatrix) -> Result<Matching, MatchingE
 }
 
 fn solve(weights: &WeightMatrix, maximize: bool) -> Result<Matching, MatchingError> {
+    // This is the hottest function in the workspace (millions of calls per
+    // sweep): counters are always-on atomics, the timer samples 1/16 calls.
+    obs::counter!("matching.solves").inc();
+    let _timer = obs::timer_sampled!("matching.solve", 4);
     let n = weights.rows();
     let m = weights.cols();
     if n == 0 {
@@ -94,12 +100,14 @@ fn solve(weights: &WeightMatrix, maximize: bool) -> Result<Matching, MatchingErr
     let mut p = vec![0usize; m + 1];
     let mut way = vec![0usize; m + 1];
 
+    let mut augment_steps = 0u64;
     for i in 1..=n {
         p[0] = i;
         let mut j0 = 0usize;
         let mut minv = vec![INF; m + 1];
         let mut used = vec![false; m + 1];
         loop {
+            augment_steps += 1;
             used[j0] = true;
             let i0 = p[j0];
             let mut delta = INF;
@@ -141,6 +149,9 @@ fn solve(weights: &WeightMatrix, maximize: bool) -> Result<Matching, MatchingErr
             }
         }
     }
+
+    obs::counter!("matching.augment_paths").add(n as u64);
+    obs::counter!("matching.augment_steps").add(augment_steps);
 
     let mut row_to_col = vec![usize::MAX; n];
     for j in 1..=m {

@@ -1,0 +1,139 @@
+//! chrome://tracing / Perfetto exporter.
+//!
+//! Writes the [Trace Event Format] JSON: one complete event (`"ph":"X"`)
+//! per span, instant events as `"ph":"i"`, and metadata rows naming the
+//! process and per-cell tracks. Spans are laid out with one *track per
+//! experiment cell* (`tid` = cell index + 1; `tid` 0 is the driver), not
+//! per OS thread — so the rendered trace is structurally identical at any
+//! `--threads` value, and the worker that happened to run a cell is an
+//! argument rather than a track.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::io;
+use std::path::Path;
+
+use crate::json::Json;
+use crate::trace::SpanRecord;
+
+fn tid(span: &SpanRecord) -> u64 {
+    span.cell.map_or(0, |c| c + 1)
+}
+
+/// Builds the trace document for `spans` (pre-sort with
+/// [`crate::CollectingSink::drain_sorted`] for a stable event order).
+pub fn chrome_trace(spans: &[SpanRecord]) -> Json {
+    let mut events = Vec::with_capacity(spans.len() + 8);
+    events.push(Json::obj([
+        ("name", Json::from("process_name")),
+        ("ph", Json::from("M")),
+        ("pid", Json::from(1u64)),
+        ("tid", Json::from(0u64)),
+        ("args", Json::obj([("name", Json::from("lockbind"))])),
+    ]));
+    let mut tids: Vec<u64> = spans.iter().map(tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for t in tids {
+        let label = if t == 0 {
+            "driver".to_string()
+        } else {
+            format!("cell {}", t - 1)
+        };
+        events.push(Json::obj([
+            ("name", Json::from("thread_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(1u64)),
+            ("tid", Json::from(t)),
+            ("args", Json::obj([("name", Json::from(label))])),
+        ]));
+    }
+    for span in spans {
+        let mut args: Vec<(String, Json)> = Vec::with_capacity(span.args.len() + 1);
+        if let Some(worker) = span.worker {
+            args.push(("worker".to_string(), Json::from(worker)));
+        }
+        for (key, value) in &span.args {
+            args.push((key.to_string(), value.to_json()));
+        }
+        let mut event = vec![
+            ("name".to_string(), Json::from(span.name)),
+            ("cat".to_string(), Json::from("lockbind")),
+            (
+                "ph".to_string(),
+                Json::from(if span.instant { "i" } else { "X" }),
+            ),
+            ("ts".to_string(), Json::from(span.start_ns as f64 / 1000.0)),
+            ("pid".to_string(), Json::from(1u64)),
+            ("tid".to_string(), Json::from(tid(span))),
+        ];
+        if span.instant {
+            event.push(("s".to_string(), Json::from("t")));
+        } else {
+            event.push(("dur".to_string(), Json::from(span.dur_ns as f64 / 1000.0)));
+        }
+        if !args.is_empty() {
+            event.push(("args".to_string(), Json::Object(args)));
+        }
+        events.push(Json::Object(event));
+    }
+    Json::obj([
+        ("traceEvents", Json::Array(events)),
+        ("displayTimeUnit", Json::from("ms")),
+    ])
+}
+
+/// Renders and writes the trace to `path`, creating parent directories.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_chrome_trace(path: &Path, spans: &[SpanRecord]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, chrome_trace(spans).render() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ArgValue;
+
+    fn span(name: &'static str, cell: Option<u64>, instant: bool) -> SpanRecord {
+        SpanRecord {
+            name,
+            args: vec![("k", ArgValue::from(3u64))],
+            cell,
+            worker: cell.map(|_| 0),
+            seq: 0,
+            depth: 0,
+            start_ns: 1_500,
+            dur_ns: 2_000,
+            instant,
+        }
+    }
+
+    #[test]
+    fn events_carry_cell_tracks_and_microsecond_times() {
+        let doc = chrome_trace(&[span("work", Some(4), false), span("mark", None, true)]);
+        let text = doc.render();
+        assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+        // Complete event on the cell's track, µs timestamps.
+        assert!(text.contains("\"name\":\"work\""), "{text}");
+        assert!(text.contains("\"ph\":\"X\""), "{text}");
+        assert!(text.contains("\"ts\":1.5"), "{text}");
+        assert!(text.contains("\"dur\":2"), "{text}");
+        assert!(text.contains("\"tid\":5"), "{text}");
+        // Instant event on the driver track.
+        assert!(text.contains("\"ph\":\"i\""), "{text}");
+        assert!(text.contains("\"s\":\"t\""), "{text}");
+        // Track metadata names the cell.
+        assert!(text.contains("\"name\":\"cell 4\""), "{text}");
+        assert!(text.contains("\"name\":\"driver\""), "{text}");
+        // Span args and worker tag survive.
+        assert!(text.contains("\"worker\":0"), "{text}");
+        assert!(text.contains("\"k\":3"), "{text}");
+    }
+}

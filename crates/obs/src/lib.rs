@@ -1,0 +1,144 @@
+//! Observability for the lockbind workspace: structured tracing, a global
+//! metrics registry, and exporters — hand-rolled, zero dependencies (the
+//! build environment has no registry access, like `compat/`).
+//!
+//! Three layers, by cost:
+//!
+//! * **Counters / gauges / histograms** ([`registry`]) — always on. A
+//!   relaxed atomic add on a handle cached in a `OnceLock`, cheap enough
+//!   for release builds and innermost loops (`matching.augment_paths`,
+//!   `sat.queries`, `codesign.combos_evaluated`, `cache.{hit,miss}`).
+//! * **Timers** ([`timing`]) — accumulating per-function wall clocks,
+//!   optionally sampling 1-in-2^k calls on hot leaves. Gated behind
+//!   [`set_profiling`]; a no-op load when off.
+//! * **Spans** ([`trace`]) — RAII guards with thread-local nesting, cell
+//!   tagging, and monotonic timestamps, delivered to a pluggable sink.
+//!   Enabled by installing a sink; a no-op load when off.
+//!
+//! Exporters: [`chrome::write_chrome_trace`] writes a
+//! chrome://tracing-compatible `trace.json`, [`profile::render_profile`]
+//! prints a per-stage text table. The engine's `--trace` / `--profile`
+//! flags wire both into every figure binary.
+//!
+//! # Naming conventions
+//!
+//! Dotted lowercase paths, `subsystem.quantity`: `matching.solves`,
+//! `sat.queries`, `bind.obf`, `codesign.combos_evaluated`, `cache.hit`.
+//! Spans use the same scheme (`codesign.heuristic`, `attack.sat`); engine
+//! cell spans are named by their [`Job::stage`] string.
+//!
+//! Metrics must record **deterministic work counts** — quantities that are
+//! identical at any worker count — never durations or scheduling facts.
+//! Wall time belongs in timers and spans, which are excluded from
+//! [`MetricsSnapshot::render_deterministic`].
+//!
+//! [`Job::stage`]: https://docs.rs/lockbind-engine
+//!
+//! # Example
+//!
+//! ```
+//! use lockbind_obs as obs;
+//!
+//! let collector = obs::trace::install_collector();
+//! obs::set_profiling(true);
+//!
+//! {
+//!     let _span = obs::span!("bind_cycle", cycle = 3u64);
+//!     obs::counter!("matching.solves").inc();
+//! }
+//!
+//! let spans = collector.drain_sorted();
+//! assert_eq!(spans[0].name, "bind_cycle");
+//! assert!(obs::Registry::global().snapshot().counters["matching.solves"] >= 1);
+//! obs::trace::set_sink(None);
+//! obs::set_profiling(false);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod profile;
+pub mod registry;
+pub mod timing;
+pub mod trace;
+
+pub use chrome::{chrome_trace, write_chrome_trace};
+pub use json::Json;
+pub use profile::render_profile;
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, DEFAULT_BUCKETS,
+};
+pub use timing::{profiling_enabled, set_profiling, Timer, TimerGuard, TimerStats};
+pub use trace::{
+    install_collector, tracing_enabled, ArgValue, CellScope, CollectingSink, SpanGuard, SpanRecord,
+    SpanSink,
+};
+
+/// Resolves (once) and returns a `&'static` [`Counter`] from the global
+/// registry: `obs::counter!("sat.queries").inc()`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::Registry::global().counter($name))
+    }};
+}
+
+/// Resolves (once) and returns a `&'static` [`Gauge`] from the global
+/// registry: `obs::gauge!("cache.entries").set(n)`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::Registry::global().gauge($name))
+    }};
+}
+
+/// Resolves (once) and returns a `&'static` [`Histogram`] (default
+/// buckets) from the global registry:
+/// `obs::histogram!("sat.conflicts_per_dip").observe(v)`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::Registry::global().histogram($name))
+    }};
+}
+
+/// Starts a timed call on the named global timer, returning the RAII
+/// guard: `let _t = obs::timer!("hls.schedule.list");`.
+#[macro_export]
+macro_rules! timer {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Timer> = ::std::sync::OnceLock::new();
+        HANDLE
+            .get_or_init(|| $crate::Registry::global().timer($name))
+            .start()
+    }};
+}
+
+/// Like [`timer!`], but wall-clocks only every `2^LOG2`-th call — for hot
+/// leaves: `let _t = obs::timer_sampled!("matching.solve", 4);`.
+#[macro_export]
+macro_rules! timer_sampled {
+    ($name:expr, $log2:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Timer> = ::std::sync::OnceLock::new();
+        HANDLE
+            .get_or_init(|| $crate::Registry::global().timer_sampled($name, $log2))
+            .start()
+    }};
+}
+
+/// Opens a span, returning the RAII guard:
+/// `let _s = obs::span!("bind_cycle", cycle = c);`. Argument expressions
+/// are evaluated only when tracing is enabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        $crate::trace::SpanGuard::enter($name, || {
+            ::std::vec![$((stringify!($key), $crate::trace::ArgValue::from($val))),*]
+        })
+    };
+}

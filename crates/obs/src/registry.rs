@@ -1,0 +1,516 @@
+//! Global metrics registry: counters, gauges, fixed-bucket histograms, and
+//! accumulating timers.
+//!
+//! Counters, gauges, and histograms are **always on**: recording is a
+//! relaxed atomic add on a pre-resolved handle (see the [`counter!`],
+//! [`gauge!`], and [`histogram!`] macros, which cache the registry lookup in
+//! a `OnceLock`), cheap enough to leave enabled in release builds. Timers
+//! are wall-clock samplers and are gated behind the profiling flag
+//! ([`crate::timing::set_profiling`]).
+//!
+//! Determinism contract: every counter/gauge/histogram in the workspace
+//! records *work counts* (matchings solved, SAT queries issued, combos
+//! enumerated), never scheduling- or time-dependent quantities. Together
+//! with the engine's single-flight artifact cache this makes
+//! [`MetricsSnapshot::render_deterministic`] byte-identical across worker
+//! counts.
+//!
+//! [`counter!`]: crate::counter
+//! [`gauge!`]: crate::gauge
+//! [`histogram!`]: crate::histogram
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::Json;
+use crate::timing::{Timer, TimerStats};
+
+/// Default histogram bucket upper bounds: powers of four from 1 to ~4M,
+/// plus an implicit overflow bucket. Wide enough for iteration counts
+/// (SAT conflicts, augmenting-path steps) without tuning per metric.
+pub const DEFAULT_BUCKETS: &[u64] = &[
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+];
+
+/// A monotonically increasing counter (relaxed atomic).
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge (relaxed atomic).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Strictly increasing upper bounds; `counts` has one extra overflow slot.
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+}
+
+/// A fixed-bucket histogram: `observe(v)` lands in the first bucket whose
+/// upper bound is `>= v`, or the overflow bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.inner.bounds.partition_point(|&b| v > b);
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bucket upper bounds (exclusive of the overflow bucket).
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+
+    /// Per-bucket counts, overflow last.
+    pub fn counts(&self) -> Vec<u64> {
+        self.inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+}
+
+/// A named collection of metrics. Most code uses [`Registry::global`] via
+/// the [`counter!`]/[`gauge!`]/[`histogram!`]/[`timer!`] macros; tests can
+/// build private registries.
+///
+/// [`counter!`]: crate::counter
+/// [`gauge!`]: crate::gauge
+/// [`histogram!`]: crate::histogram
+/// [`timer!`]: crate::timer
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    timers: Mutex<BTreeMap<String, Timer>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Returns (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (registering on first use) the histogram `name` with
+    /// [`DEFAULT_BUCKETS`].
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, DEFAULT_BUCKETS)
+    }
+
+    /// Returns (registering on first use) the histogram `name`; `bounds`
+    /// applies only on first registration.
+    pub fn histogram_with(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.histograms
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .clone()
+    }
+
+    /// Returns (registering on first use) the timer `name`, timing every
+    /// call when profiling is enabled.
+    pub fn timer(&self, name: &str) -> Timer {
+        self.timer_sampled(name, 0)
+    }
+
+    /// Returns (registering on first use) the timer `name`, wall-clocking
+    /// only every `2^sample_log2`-th call (for hot leaves where two
+    /// `Instant::now` reads per call would be measurable); `sample_log2`
+    /// applies only on first registration.
+    pub fn timer_sampled(&self, name: &str, sample_log2: u32) -> Timer {
+        self.timers
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Timer::new(sample_log2))
+            .clone()
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        HistogramSnapshot {
+                            bounds: h.bounds().to_vec(),
+                            counts: h.counts(),
+                        },
+                    )
+                })
+                .collect(),
+            timers: self
+                .timers
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(name, t)| (name.clone(), t.stats()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts, overflow last.
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], or (via [`delta_from`]) the
+/// activity between two snapshots.
+///
+/// [`delta_from`]: MetricsSnapshot::delta_from
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram buckets by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Timer accumulators by name.
+    pub timers: BTreeMap<String, TimerStats>,
+}
+
+impl MetricsSnapshot {
+    /// The activity accumulated *since* `earlier` (the registry is
+    /// process-global, so per-run metrics subtract the pre-run snapshot).
+    /// Metrics with no activity in the window are dropped; gauges keep
+    /// their latest value.
+    pub fn delta_from(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(name, &v)| {
+                let d = v.saturating_sub(earlier.counters.get(name).copied().unwrap_or(0));
+                (d > 0).then(|| (name.clone(), d))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|(name, h)| {
+                let counts: Vec<u64> = match earlier.histograms.get(name) {
+                    Some(prev) if prev.bounds == h.bounds => h
+                        .counts
+                        .iter()
+                        .zip(&prev.counts)
+                        .map(|(now, was)| now.saturating_sub(*was))
+                        .collect(),
+                    _ => h.counts.clone(),
+                };
+                (counts.iter().any(|&c| c > 0)).then(|| {
+                    (
+                        name.clone(),
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            counts,
+                        },
+                    )
+                })
+            })
+            .collect();
+        let timers = self
+            .timers
+            .iter()
+            .filter_map(|(name, t)| {
+                let d = t.delta_from(earlier.timers.get(name).copied().unwrap_or_default());
+                (d.calls > 0).then(|| (name.clone(), d))
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            timers,
+        }
+    }
+
+    /// `true` when the snapshot records no activity at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.timers.is_empty()
+    }
+
+    /// A canonical text rendering of every **work count** in the snapshot:
+    /// counters, gauges, histogram buckets, and timer *call* counts —
+    /// never nanoseconds. Byte-identical across worker counts for a
+    /// deterministic workload; this is what the determinism tests compare.
+    pub fn render_deterministic(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge {name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+            out.push_str(&format!("histogram {name} [{}]\n", counts.join(",")));
+        }
+        for (name, t) in &self.timers {
+            out.push_str(&format!("timer {name} calls={}\n", t.calls));
+        }
+        out
+    }
+
+    /// The snapshot as a JSON tree (includes timing data).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::from(v))),
+                ),
+            ),
+            (
+                "gauges",
+                Json::obj(self.gauges.iter().map(|(k, &v)| (k.clone(), Json::from(v)))),
+            ),
+            (
+                "histograms",
+                Json::obj(self.histograms.iter().map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Json::obj([
+                            ("bounds", Json::arr(h.bounds.iter().map(|&b| Json::from(b)))),
+                            ("counts", Json::arr(h.counts.iter().map(|&c| Json::from(c)))),
+                        ]),
+                    )
+                })),
+            ),
+            (
+                "timers",
+                Json::obj(self.timers.iter().map(|(k, t)| {
+                    (
+                        k.clone(),
+                        Json::obj([
+                            ("calls", Json::from(t.calls)),
+                            ("sampled", Json::from(t.sampled)),
+                            ("sampled_ns", Json::from(t.sampled_ns)),
+                            ("est_total_ns", Json::from(t.estimated_total_ns())),
+                        ]),
+                    )
+                })),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("x.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("x.count").get(), 5, "same name, same counter");
+        reg.gauge("x.level").set(42);
+        assert_eq!(reg.gauge("x.level").get(), 42);
+    }
+
+    #[test]
+    fn histogram_buckets_observations_at_bounds() {
+        let reg = Registry::new();
+        let h = reg.histogram_with("h", &[1, 4, 16]);
+        // v <= bound lands in that bucket; bound-exact values stay inclusive.
+        for v in [0, 1] {
+            h.observe(v);
+        }
+        for v in [2, 3, 4] {
+            h.observe(v);
+        }
+        for v in [5, 16] {
+            h.observe(v);
+        }
+        for v in [17, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), vec![2, 3, 2, 2]);
+        assert_eq!(h.count(), 9);
+    }
+
+    #[test]
+    fn histogram_bounds_stick_on_first_registration() {
+        let reg = Registry::new();
+        let a = reg.histogram_with("h", &[10, 20]);
+        let b = reg.histogram_with("h", &[1, 2, 3]);
+        assert_eq!(a.bounds(), b.bounds());
+        a.observe(15);
+        assert_eq!(b.counts(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        let reg = Registry::new();
+        let _ = reg.histogram_with("bad", &[4, 4]);
+    }
+
+    #[test]
+    fn snapshot_delta_drops_idle_metrics() {
+        let reg = Registry::new();
+        reg.counter("a").add(10);
+        reg.counter("idle").add(3);
+        reg.histogram_with("h", &[8]).observe(2);
+        let before = reg.snapshot();
+        reg.counter("a").add(7);
+        reg.counter("new").inc();
+        reg.histogram_with("h", &[8]).observe(100);
+        reg.gauge("g").set(5);
+        let delta = reg.snapshot().delta_from(&before);
+        assert_eq!(delta.counters.get("a"), Some(&7));
+        assert_eq!(delta.counters.get("new"), Some(&1));
+        assert!(!delta.counters.contains_key("idle"));
+        assert_eq!(delta.histograms["h"].counts, vec![0, 1]);
+        assert_eq!(delta.gauges.get("g"), Some(&5));
+    }
+
+    #[test]
+    fn deterministic_render_is_sorted_and_time_free() {
+        let reg = Registry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").add(2);
+        reg.histogram_with("h", &[1]).observe(9);
+        let text = reg.snapshot().render_deterministic();
+        assert_eq!(
+            text,
+            "counter a.first 2\ncounter z.last 1\nhistogram h [0,1]\n"
+        );
+        assert!(!text.contains("ns"), "no wall-time data in canonical form");
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let reg = Registry::new();
+        reg.counter("c").add(3);
+        reg.gauge("g").set(1);
+        reg.histogram_with("h", &[2]).observe(1);
+        let json = reg.snapshot().to_json().render();
+        assert!(json.contains("\"c\":3"), "{json}");
+        assert!(json.contains("\"bounds\":[2]"), "{json}");
+        assert!(json.contains("\"timers\":{}"), "{json}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Accumulating wall-clock timers for hot leaf functions.
+//!
+//! A [`Timer`] counts every call and wall-clocks either every call or a
+//! `1/2^k` sample of them (for leaves hot enough that two `Instant::now`
+//! reads per call would themselves show up in a profile). The total is
+//! estimated by scaling the sampled time by the call count; the profile
+//! table marks such rows as estimates.
+//!
+//! Timers are **off by default**: until [`set_profiling`] enables them,
+//! [`Timer::start`] is a single relaxed atomic load and the guard drop is
+//! free. Call counts are therefore comparable across runs only when both
+//! runs have the same profiling state.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Globally enables or disables timers.
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::SeqCst);
+}
+
+/// Whether timers are currently recording.
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+#[derive(Debug)]
+pub(crate) struct TimerInner {
+    calls: AtomicU64,
+    sampled: AtomicU64,
+    sampled_ns: AtomicU64,
+    sample_mask: u64,
+}
+
+/// An accumulating timer; obtain via [`crate::Registry::timer`] or the
+/// [`timer!`](crate::timer) / [`timer_sampled!`](crate::timer_sampled)
+/// macros.
+#[derive(Clone, Debug)]
+pub struct Timer {
+    inner: Arc<TimerInner>,
+}
+
+impl Timer {
+    pub(crate) fn new(sample_log2: u32) -> Self {
+        Timer {
+            inner: Arc::new(TimerInner {
+                calls: AtomicU64::new(0),
+                sampled: AtomicU64::new(0),
+                sampled_ns: AtomicU64::new(0),
+                sample_mask: (1u64 << sample_log2.min(63)) - 1,
+            }),
+        }
+    }
+
+    /// Starts one timed call; the returned guard records on drop. A no-op
+    /// unless profiling is enabled.
+    pub fn start(&self) -> TimerGuard<'_> {
+        if !profiling_enabled() {
+            return TimerGuard { open: None };
+        }
+        let n = self.inner.calls.fetch_add(1, Ordering::Relaxed);
+        let open = (n & self.inner.sample_mask == 0).then(|| (&*self.inner, Instant::now()));
+        TimerGuard { open }
+    }
+
+    /// Current accumulators.
+    pub fn stats(&self) -> TimerStats {
+        TimerStats {
+            calls: self.inner.calls.load(Ordering::Relaxed),
+            sampled: self.inner.sampled.load(Ordering::Relaxed),
+            sampled_ns: self.inner.sampled_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII guard for one timed call.
+#[must_use = "the timer records when the guard drops"]
+pub struct TimerGuard<'a> {
+    open: Option<(&'a TimerInner, Instant)>,
+}
+
+impl Drop for TimerGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((inner, started)) = self.open.take() {
+            inner.sampled.fetch_add(1, Ordering::Relaxed);
+            inner
+                .sampled_ns
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of one timer's accumulators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimerStats {
+    /// Calls counted (every call while profiling is on).
+    pub calls: u64,
+    /// Calls that were wall-clocked.
+    pub sampled: u64,
+    /// Wall time of the sampled calls.
+    pub sampled_ns: u64,
+}
+
+impl TimerStats {
+    /// Estimated total wall time: sampled time scaled to all calls. Exact
+    /// when every call was sampled.
+    pub fn estimated_total_ns(&self) -> u64 {
+        if self.sampled == 0 {
+            0
+        } else {
+            (self.sampled_ns as f64 * self.calls as f64 / self.sampled as f64) as u64
+        }
+    }
+
+    /// Whether the estimate extrapolates from a sample.
+    pub fn is_sampled(&self) -> bool {
+        self.sampled < self.calls
+    }
+
+    /// The accumulation since `earlier`.
+    pub fn delta_from(&self, earlier: TimerStats) -> TimerStats {
+        TimerStats {
+            calls: self.calls.saturating_sub(earlier.calls),
+            sampled: self.sampled.saturating_sub(earlier.sampled),
+            sampled_ns: self.sampled_ns.saturating_sub(earlier.sampled_ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The profiling flag is process-global; these tests toggle it, so they
+    /// must not interleave.
+    static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_timer_records_nothing() {
+        let _serial = FLAG_LOCK.lock().unwrap();
+        set_profiling(false);
+        let t = Timer::new(0);
+        for _ in 0..10 {
+            let _g = t.start();
+        }
+        assert_eq!(t.stats(), TimerStats::default());
+    }
+
+    #[test]
+    fn sampling_times_every_2k_th_call() {
+        let _serial = FLAG_LOCK.lock().unwrap();
+        set_profiling(true);
+        let t = Timer::new(2); // sample every 4th call
+        for _ in 0..9 {
+            let _g = t.start();
+        }
+        set_profiling(false);
+        let stats = t.stats();
+        assert_eq!(stats.calls, 9);
+        assert_eq!(stats.sampled, 3, "calls 0, 4, 8 are sampled");
+        assert!(stats.is_sampled());
+        // The estimate scales sampled time by calls/sampled.
+        let est = stats.estimated_total_ns();
+        assert_eq!(est, (stats.sampled_ns as f64 * 3.0) as u64);
+    }
+
+    #[test]
+    fn unsampled_timer_estimate_is_exact_sum() {
+        let _serial = FLAG_LOCK.lock().unwrap();
+        set_profiling(true);
+        let t = Timer::new(0);
+        for _ in 0..5 {
+            let _g = t.start();
+        }
+        set_profiling(false);
+        let stats = t.stats();
+        assert_eq!((stats.calls, stats.sampled), (5, 5));
+        assert!(!stats.is_sampled());
+        assert_eq!(stats.estimated_total_ns(), stats.sampled_ns);
+    }
+}
