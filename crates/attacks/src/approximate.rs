@@ -94,7 +94,9 @@ pub fn approximate_sat_attack(
     while iterations < dip_budget {
         flush(&cnf, &mut solver, &mut pushed);
         match solver.solve_with_assumptions(&[act]) {
-            SolveResult::Unsat => break,
+            // No budget or interrupt token is installed here, but treat
+            // either answer like an exhausted budget: stop refining.
+            SolveResult::Unsat | SolveResult::BudgetExhausted | SolveResult::Interrupted => break,
             SolveResult::Sat => {
                 iterations += 1;
                 let bits: Vec<bool> = x.iter().map(|&l| solver.model_value(l)).collect();

@@ -33,5 +33,7 @@ mod verify;
 
 pub use approximate::{approximate_sat_attack, ApproximateOutcome};
 pub use random_query::{random_query_attack, RandomQueryOutcome};
-pub use sat_attack::{sat_attack, AttackConfig, SatAttackOutcome};
+pub use sat_attack::{
+    sat_attack, sat_attack_with_cancel, AttackConfig, AttackStop, SatAttackOutcome,
+};
 pub use verify::is_functionally_correct;

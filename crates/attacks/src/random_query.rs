@@ -56,11 +56,15 @@ pub fn random_query_attack(locked: &LockedNetlist, queries: u64, seed: u64) -> R
         solver.add_clause(cl);
     }
     match solver.solve() {
-        SolveResult::Unsat => RandomQueryOutcome {
-            key: vec![false; kb],
-            queries,
-            success: false,
-        },
+        // No budget or interrupt is installed; a non-Sat answer of any
+        // flavour means no usable key.
+        SolveResult::Unsat | SolveResult::BudgetExhausted | SolveResult::Interrupted => {
+            RandomQueryOutcome {
+                key: vec![false; kb],
+                queries,
+                success: false,
+            }
+        }
         SolveResult::Sat => {
             let key: Vec<bool> = k.iter().map(|&l| solver.model_value(l)).collect();
             let success = is_functionally_correct(locked, &key);

@@ -3,6 +3,7 @@
 use lockbind_locking::LockedNetlist;
 use lockbind_netlist::cnf::{encode_netlist, Cnf};
 use lockbind_obs as obs;
+use lockbind_resil::CancelToken;
 use lockbind_sat::{SolveResult, Solver, SolverStats};
 
 use crate::is_functionally_correct;
@@ -15,6 +16,11 @@ pub struct AttackConfig {
     pub max_iterations: u64,
     /// Verify the extracted key exhaustively against the oracle.
     pub verify: bool,
+    /// Per-solve conflict budget forwarded to the CDCL solver; `None` is
+    /// unlimited. A query that exhausts it ends the attack with
+    /// [`AttackStop::BudgetExhausted`] — distinguishable from a genuine
+    /// UNSAT "no DIP remains" answer.
+    pub conflict_budget: Option<u64>,
 }
 
 impl Default for AttackConfig {
@@ -22,8 +28,23 @@ impl Default for AttackConfig {
         AttackConfig {
             max_iterations: 200_000,
             verify: true,
+            conflict_budget: None,
         }
     }
+}
+
+/// Why a [`sat_attack`] run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackStop {
+    /// The DIP loop ran dry and a key was extracted (check
+    /// [`SatAttackOutcome::success`] for whether it verified).
+    Completed,
+    /// [`AttackConfig::max_iterations`] was reached.
+    IterationCap,
+    /// A solver query ran out of its [`AttackConfig::conflict_budget`].
+    BudgetExhausted,
+    /// The cancel token passed to [`sat_attack_with_cancel`] fired.
+    Interrupted,
 }
 
 /// Outcome of a [`sat_attack`] run.
@@ -36,9 +57,12 @@ pub struct SatAttackOutcome {
     /// The distinguishing input patterns found, packed LSB-first.
     pub dips: Vec<u64>,
     /// `true` if the attack terminated with a (verified, if configured)
-    /// functionally-correct key; `false` if the iteration cap was hit or
-    /// verification failed.
+    /// functionally-correct key; `false` if the iteration cap was hit,
+    /// the attack was stopped early, or verification failed.
     pub success: bool,
+    /// Why the attack ended (completion, iteration cap, conflict budget,
+    /// or cooperative interrupt).
+    pub stop: AttackStop,
     /// Cumulative statistics of the underlying CDCL solver.
     pub solver_stats: SolverStats,
     /// Solver conflicts spent in each DIP search — the per-iteration
@@ -67,6 +91,21 @@ impl SatAttackOutcome {
 /// # Panics
 /// Panics if the module has more than 63 inputs (DIP packing limit).
 pub fn sat_attack(locked: &LockedNetlist, config: &AttackConfig) -> SatAttackOutcome {
+    sat_attack_with_cancel(locked, config, &CancelToken::new())
+}
+
+/// [`sat_attack`] with a cooperative cancel token: the token is installed
+/// into the CDCL solver (interrupting even a single pathological DIP
+/// search) and checked between DIP iterations. A fired token ends the
+/// attack with [`AttackStop::Interrupted`] and `success = false`.
+///
+/// # Panics
+/// Panics if the module has more than 63 inputs (DIP packing limit).
+pub fn sat_attack_with_cancel(
+    locked: &LockedNetlist,
+    config: &AttackConfig,
+    cancel: &CancelToken,
+) -> SatAttackOutcome {
     let nl = locked.netlist();
     let n = nl.num_inputs();
     let kb = nl.num_keys();
@@ -77,6 +116,8 @@ pub fn sat_attack(locked: &LockedNetlist, config: &AttackConfig) -> SatAttackOut
 
     let mut cnf = Cnf::new();
     let mut solver = Solver::new();
+    solver.set_conflict_budget(config.conflict_budget);
+    solver.set_interrupt(Some(cancel.clone()));
     let mut pushed = 0usize;
 
     let x = cnf.new_vars(n);
@@ -113,17 +154,67 @@ pub fn sat_attack(locked: &LockedNetlist, config: &AttackConfig) -> SatAttackOut
         *pushed = cnf.clauses().len();
     };
 
+    // Early-stop outcome: no key was extracted, so report the zero key and
+    // the reason the attack could not finish.
+    let aborted = |stop: AttackStop,
+                   iterations: u64,
+                   dips: Vec<u64>,
+                   conflicts_per_iteration: Vec<u64>,
+                   solver: &Solver| {
+        match stop {
+            AttackStop::BudgetExhausted => obs::counter!("sat.budget_exhausted").inc(),
+            AttackStop::Interrupted => obs::counter!("sat.interrupted").inc(),
+            _ => obs::counter!("sat.iteration_capped").inc(),
+        }
+        SatAttackOutcome {
+            key: vec![false; kb],
+            iterations,
+            dips,
+            success: false,
+            stop,
+            solver_stats: solver.stats(),
+            conflicts_per_iteration,
+        }
+    };
+
     let mut iterations = 0u64;
     let mut dips = Vec::new();
     let mut conflicts_per_iteration = Vec::new();
     let mut last_conflicts = 0u64;
     loop {
+        if cancel.is_cancelled() {
+            return aborted(
+                AttackStop::Interrupted,
+                iterations,
+                dips,
+                conflicts_per_iteration,
+                &solver,
+            );
+        }
         flush(&cnf, &mut solver, &mut pushed);
         obs::counter!("sat.queries").inc();
         let result = solver.solve_with_assumptions(&[act]);
         let now = solver.stats().conflicts;
         match result {
             SolveResult::Unsat => break,
+            SolveResult::BudgetExhausted => {
+                return aborted(
+                    AttackStop::BudgetExhausted,
+                    iterations,
+                    dips,
+                    conflicts_per_iteration,
+                    &solver,
+                );
+            }
+            SolveResult::Interrupted => {
+                return aborted(
+                    AttackStop::Interrupted,
+                    iterations,
+                    dips,
+                    conflicts_per_iteration,
+                    &solver,
+                );
+            }
             SolveResult::Sat => {
                 iterations += 1;
                 obs::counter!("sat.dips").inc();
@@ -154,14 +245,13 @@ pub fn sat_attack(locked: &LockedNetlist, config: &AttackConfig) -> SatAttackOut
                 }
 
                 if iterations >= config.max_iterations {
-                    return SatAttackOutcome {
-                        key: vec![false; kb],
+                    return aborted(
+                        AttackStop::IterationCap,
                         iterations,
                         dips,
-                        success: false,
-                        solver_stats: solver.stats(),
                         conflicts_per_iteration,
-                    };
+                        &solver,
+                    );
                 }
             }
         }
@@ -171,13 +261,30 @@ pub fn sat_attack(locked: &LockedNetlist, config: &AttackConfig) -> SatAttackOut
     // functionally correct. Deactivate the miter and extract one.
     flush(&cnf, &mut solver, &mut pushed);
     obs::counter!("sat.queries").inc();
-    let res = solver.solve_with_assumptions(&[-act]);
-    debug_assert_eq!(
-        res,
-        SolveResult::Sat,
-        "the correct key always satisfies the agreement constraints"
-    );
-    let key: Vec<bool> = k1.iter().map(|&l| solver.model_value(l)).collect();
+    let key: Vec<bool> = match solver.solve_with_assumptions(&[-act]) {
+        SolveResult::Sat => k1.iter().map(|&l| solver.model_value(l)).collect(),
+        SolveResult::Interrupted => {
+            return aborted(
+                AttackStop::Interrupted,
+                iterations,
+                dips,
+                conflicts_per_iteration,
+                &solver,
+            );
+        }
+        SolveResult::BudgetExhausted => {
+            return aborted(
+                AttackStop::BudgetExhausted,
+                iterations,
+                dips,
+                conflicts_per_iteration,
+                &solver,
+            );
+        }
+        SolveResult::Unsat => {
+            unreachable!("the correct key always satisfies the agreement constraints")
+        }
+    };
     let success = if config.verify {
         is_functionally_correct(locked, &key)
     } else {
@@ -188,6 +295,7 @@ pub fn sat_attack(locked: &LockedNetlist, config: &AttackConfig) -> SatAttackOut
         iterations,
         dips,
         success,
+        stop: AttackStop::Completed,
         solver_stats: solver.stats(),
         conflicts_per_iteration,
     }
@@ -274,12 +382,68 @@ mod tests {
             &locked,
             &AttackConfig {
                 max_iterations: 3,
-                verify: true,
+                ..AttackConfig::default()
             },
         );
         assert!(!out.success);
+        assert_eq!(out.stop, AttackStop::IterationCap);
         assert_eq!(out.iterations, 3);
         assert_eq!(out.dips.len(), 3);
+    }
+
+    #[test]
+    fn conflict_budget_stops_the_attack_without_claiming_proof() {
+        // Anti-SAT on a wider adder needs plenty of conflicts; a 1-conflict
+        // budget must end the attack as BudgetExhausted, never as a
+        // "completed" run with a bogus key.
+        let locked = lock_anti_sat(&adder_fu(4)).expect("lockable");
+        let out = sat_attack(
+            &locked,
+            &AttackConfig {
+                conflict_budget: Some(1),
+                ..AttackConfig::default()
+            },
+        );
+        assert!(!out.success);
+        assert_eq!(out.stop, AttackStop::BudgetExhausted);
+    }
+
+    #[test]
+    fn successful_attack_reports_completed() {
+        let locked = lock_rll(&adder_fu(4), 6, 11).expect("lockable");
+        let out = sat_attack(&locked, &AttackConfig::default());
+        assert!(out.success);
+        assert_eq!(out.stop, AttackStop::Completed);
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_the_attack() {
+        use lockbind_resil::CancelToken;
+        let locked = lock_anti_sat(&adder_fu(4)).expect("lockable");
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = sat_attack_with_cancel(&locked, &AttackConfig::default(), &cancel);
+        assert!(!out.success);
+        assert_eq!(out.stop, AttackStop::Interrupted);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn deadline_token_interrupts_a_hard_attack() {
+        use lockbind_resil::CancelToken;
+        use std::time::{Duration, Instant};
+        // A 5-bit anti-SAT attack needs ~2^10 DIPs — effectively unbounded
+        // at test scale; a 50ms deadline must cut it short promptly.
+        let locked = lock_anti_sat(&adder_fu(5)).expect("lockable");
+        let cancel = CancelToken::with_deadline(Duration::from_millis(50));
+        let started = Instant::now();
+        let out = sat_attack_with_cancel(&locked, &AttackConfig::default(), &cancel);
+        assert_eq!(out.stop, AttackStop::Interrupted);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "interrupt took {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

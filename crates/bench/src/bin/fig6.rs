@@ -41,6 +41,10 @@ fn main() {
                 failures.push((cell.clone(), message.clone()));
                 continue;
             }
+            CellResult::TimedOut { cell, message } => {
+                failures.push((cell.clone(), format!("timed out: {message}")));
+                continue;
+            }
         };
         let get = |algo: SecurityAlgo| -> (f64, f64) {
             records

@@ -1,0 +1,323 @@
+//! Checkpoint codecs for the grid cell outputs.
+//!
+//! The engine's sweep checkpoint ([`lockbind_engine::checkpoint`]) stores
+//! each completed cell as one opaque payload string; these helpers give the
+//! bench cell types a lossless text encoding. Records are separated by the
+//! ASCII record separator (`\x1e`), fields by the unit separator (`\x1f`) —
+//! neither appears in kernel names or algorithm labels. Floats round-trip
+//! through Rust's shortest-repr `{:?}` formatting, so a decoded record is
+//! bit-identical to the encoded one and a resumed sweep reproduces the
+//! uninterrupted run byte for byte.
+
+use lockbind_hls::FuClass;
+
+use crate::headline_cells::{HeadlineOutput, ImpactRecord, SatRecord, SatScheme};
+use crate::{ErrorRecord, OverheadRecord, SecurityAlgo};
+
+const RECORD_SEP: char = '\x1e';
+const FIELD_SEP: char = '\x1f';
+
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+fn parse_f64(text: &str) -> Option<f64> {
+    text.parse().ok()
+}
+
+fn fmt_class(class: FuClass) -> String {
+    format!("{class:?}")
+}
+
+fn parse_class(text: &str) -> Option<FuClass> {
+    match text {
+        "Adder" => Some(FuClass::Adder),
+        "Multiplier" => Some(FuClass::Multiplier),
+        _ => None,
+    }
+}
+
+fn parse_algo(text: &str) -> Option<SecurityAlgo> {
+    [
+        SecurityAlgo::ObfAware,
+        SecurityAlgo::CoDesignHeuristic,
+        SecurityAlgo::CoDesignOptimal,
+    ]
+    .into_iter()
+    .find(|algo| algo.label() == text)
+}
+
+fn parse_scheme_label(text: &str) -> Option<&'static str> {
+    SatScheme::ALL
+        .into_iter()
+        .map(SatScheme::label)
+        .find(|label| *label == text)
+}
+
+fn join_records<T>(records: &[T], encode: impl Fn(&T) -> String) -> String {
+    records
+        .iter()
+        .map(encode)
+        .collect::<Vec<_>>()
+        .join(&RECORD_SEP.to_string())
+}
+
+fn split_records(payload: &str) -> Vec<&str> {
+    if payload.is_empty() {
+        Vec::new()
+    } else {
+        payload.split(RECORD_SEP).collect()
+    }
+}
+
+/// Encodes error-ratio records for the checkpoint.
+pub fn encode_error_records(records: &[ErrorRecord]) -> String {
+    join_records(records, |r| {
+        [
+            r.kernel.clone(),
+            fmt_class(r.class),
+            r.locked_fus.to_string(),
+            r.locked_inputs.to_string(),
+            r.algo.label().to_string(),
+            fmt_f64(r.vs_area),
+            fmt_f64(r.vs_power),
+            fmt_f64(r.mean_errors),
+            r.samples.to_string(),
+        ]
+        .join(&FIELD_SEP.to_string())
+    })
+}
+
+/// Decodes [`encode_error_records`] output; `None` on any malformed field.
+pub fn decode_error_records(payload: &str) -> Option<Vec<ErrorRecord>> {
+    split_records(payload)
+        .into_iter()
+        .map(|record| {
+            let fields: Vec<&str> = record.split(FIELD_SEP).collect();
+            let [kernel, class, locked_fus, locked_inputs, algo, vs_area, vs_power, mean_errors, samples] =
+                fields[..]
+            else {
+                return None;
+            };
+            Some(ErrorRecord {
+                kernel: kernel.to_string(),
+                class: parse_class(class)?,
+                locked_fus: locked_fus.parse().ok()?,
+                locked_inputs: locked_inputs.parse().ok()?,
+                algo: parse_algo(algo)?,
+                vs_area: parse_f64(vs_area)?,
+                vs_power: parse_f64(vs_power)?,
+                mean_errors: parse_f64(mean_errors)?,
+                samples: samples.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Encodes overhead records for the checkpoint.
+pub fn encode_overhead_records(records: &[OverheadRecord]) -> String {
+    join_records(records, |r| {
+        [
+            r.kernel.clone(),
+            r.algo.label().to_string(),
+            fmt_f64(r.register_increase),
+            fmt_f64(r.switching_increase),
+            r.area_registers.to_string(),
+            fmt_f64(r.power_switching),
+        ]
+        .join(&FIELD_SEP.to_string())
+    })
+}
+
+/// Decodes [`encode_overhead_records`] output.
+pub fn decode_overhead_records(payload: &str) -> Option<Vec<OverheadRecord>> {
+    split_records(payload)
+        .into_iter()
+        .map(|record| {
+            let fields: Vec<&str> = record.split(FIELD_SEP).collect();
+            let [kernel, algo, register_increase, switching_increase, area_registers, power_switching] =
+                fields[..]
+            else {
+                return None;
+            };
+            Some(OverheadRecord {
+                kernel: kernel.to_string(),
+                algo: parse_algo(algo)?,
+                register_increase: parse_f64(register_increase)?,
+                switching_increase: parse_f64(switching_increase)?,
+                area_registers: area_registers.parse().ok()?,
+                power_switching: parse_f64(power_switching)?,
+            })
+        })
+        .collect()
+}
+
+fn encode_impact(r: &ImpactRecord) -> String {
+    [
+        r.kernel.clone(),
+        fmt_f64(r.frame_rate),
+        r.frames_corrupted.to_string(),
+        r.frames_total.to_string(),
+    ]
+    .join(&FIELD_SEP.to_string())
+}
+
+fn decode_impact(payload: &str) -> Option<ImpactRecord> {
+    let fields: Vec<&str> = payload.split(FIELD_SEP).collect();
+    let [kernel, frame_rate, frames_corrupted, frames_total] = fields[..] else {
+        return None;
+    };
+    Some(ImpactRecord {
+        kernel: kernel.to_string(),
+        frame_rate: parse_f64(frame_rate)?,
+        frames_corrupted: frames_corrupted.parse().ok()?,
+        frames_total: frames_total.parse().ok()?,
+    })
+}
+
+fn encode_sat(r: &SatRecord) -> String {
+    [
+        r.scheme.to_string(),
+        r.key_bits.to_string(),
+        r.iterations.to_string(),
+        r.success.to_string(),
+    ]
+    .join(&FIELD_SEP.to_string())
+}
+
+fn decode_sat(payload: &str) -> Option<SatRecord> {
+    let fields: Vec<&str> = payload.split(FIELD_SEP).collect();
+    let [scheme, key_bits, iterations, success] = fields[..] else {
+        return None;
+    };
+    Some(SatRecord {
+        scheme: parse_scheme_label(scheme)?,
+        key_bits: key_bits.parse().ok()?,
+        iterations: iterations.parse().ok()?,
+        success: success.parse().ok()?,
+    })
+}
+
+/// Encodes a combined-grid output, tagged with its variant.
+pub fn encode_headline_output(output: &HeadlineOutput) -> String {
+    match output {
+        HeadlineOutput::Error(records) => {
+            format!("error{RECORD_SEP}{}", encode_error_records(records))
+        }
+        HeadlineOutput::Impact(record) => format!("impact{RECORD_SEP}{}", encode_impact(record)),
+        HeadlineOutput::Sat(record) => format!("sat{RECORD_SEP}{}", encode_sat(record)),
+    }
+}
+
+/// Decodes [`encode_headline_output`] output.
+pub fn decode_headline_output(payload: &str) -> Option<HeadlineOutput> {
+    let (tag, rest) = match payload.split_once(RECORD_SEP) {
+        Some((tag, rest)) => (tag, rest),
+        None => (payload, ""),
+    };
+    match tag {
+        "error" => Some(HeadlineOutput::Error(decode_error_records(rest)?)),
+        "impact" => Some(HeadlineOutput::Impact(decode_impact(rest)?)),
+        "sat" => Some(HeadlineOutput::Sat(decode_sat(rest)?)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_error_records() -> Vec<ErrorRecord> {
+        vec![
+            ErrorRecord {
+                kernel: "fir".to_string(),
+                class: FuClass::Adder,
+                locked_fus: 2,
+                locked_inputs: 3,
+                algo: SecurityAlgo::ObfAware,
+                vs_area: 1.5000000000000002,
+                vs_power: 2.25,
+                mean_errors: 0.1,
+                samples: 40,
+            },
+            ErrorRecord {
+                kernel: "jdmerge1".to_string(),
+                class: FuClass::Multiplier,
+                locked_fus: 1,
+                locked_inputs: 1,
+                algo: SecurityAlgo::CoDesignOptimal,
+                vs_area: f64::MAX,
+                vs_power: 1e-308,
+                mean_errors: 3.0,
+                samples: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn error_records_round_trip_bit_exactly() {
+        let records = sample_error_records();
+        let decoded = decode_error_records(&encode_error_records(&records)).expect("decodes");
+        assert_eq!(decoded.len(), records.len());
+        for (d, r) in decoded.iter().zip(&records) {
+            assert_eq!(format!("{d:?}"), format!("{r:?}"));
+            assert_eq!(d.vs_area.to_bits(), r.vs_area.to_bits());
+            assert_eq!(d.vs_power.to_bits(), r.vs_power.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_record_lists_round_trip() {
+        assert!(decode_error_records(&encode_error_records(&[]))
+            .expect("empty list")
+            .is_empty());
+        assert!(decode_overhead_records(&encode_overhead_records(&[]))
+            .expect("empty list")
+            .is_empty());
+    }
+
+    #[test]
+    fn overhead_records_round_trip() {
+        let records = vec![OverheadRecord {
+            kernel: "motion2".to_string(),
+            algo: SecurityAlgo::CoDesignHeuristic,
+            register_increase: 0.07142857142857142,
+            switching_increase: -0.003,
+            area_registers: 14,
+            power_switching: 2.75,
+        }];
+        let decoded = decode_overhead_records(&encode_overhead_records(&records)).expect("decodes");
+        assert_eq!(format!("{decoded:?}"), format!("{records:?}"));
+    }
+
+    #[test]
+    fn headline_outputs_round_trip_all_variants() {
+        let outputs = [
+            HeadlineOutput::Error(sample_error_records()),
+            HeadlineOutput::Error(Vec::new()),
+            HeadlineOutput::Impact(ImpactRecord {
+                kernel: "fir".to_string(),
+                frame_rate: 0.125,
+                frames_corrupted: 5,
+                frames_total: 40,
+            }),
+            HeadlineOutput::Sat(SatRecord {
+                scheme: SatScheme::AntiSat.label(),
+                key_bits: 6,
+                iterations: 9,
+                success: true,
+            }),
+        ];
+        for output in &outputs {
+            let decoded = decode_headline_output(&encode_headline_output(output)).expect("decodes");
+            assert_eq!(format!("{decoded:?}"), format!("{output:?}"));
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_mangled() {
+        assert!(decode_error_records("not a record").is_none());
+        assert!(decode_headline_output("mystery\x1epayload").is_none());
+        assert!(decode_sat("rll\x1fnot-a-number\x1f3\x1ftrue").is_none());
+    }
+}

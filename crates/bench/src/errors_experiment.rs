@@ -17,11 +17,13 @@
 //!   combinations (the paper does not state its convention).
 
 use lockbind_core::{
-    bind_area_aware, bind_obfuscation_aware, bind_power_aware, codesign_heuristic,
-    codesign_optimal, combinations, expected_application_errors, CoreError, LockingSpec,
+    bind_area_aware, bind_obfuscation_aware, bind_power_aware, codesign_heuristic_cancellable,
+    codesign_optimal_cancellable, combinations, expected_application_errors, CoreError,
+    LockingSpec,
 };
 use lockbind_hls::{Binding, FuClass, FuId, Minterm};
 use lockbind_obs as obs;
+use lockbind_resil::CancelToken;
 
 use crate::PreparedKernel;
 
@@ -184,6 +186,32 @@ pub fn run_error_cell(
     locked_fus: usize,
     locked_inputs: usize,
 ) -> Result<Vec<ErrorRecord>, CoreError> {
+    run_error_cell_cancellable(
+        prepared,
+        ctx,
+        params,
+        locked_fus,
+        locked_inputs,
+        &CancelToken::new(),
+    )
+}
+
+/// [`run_error_cell`] with cooperative cancellation: the token is polled
+/// once per combination assignment and per co-design search step, so a cell
+/// whose deadline fires stops within one assignment's worth of work instead
+/// of running to completion.
+///
+/// # Errors
+/// Returns [`CoreError::Interrupted`] when `cancel` fires mid-cell, in
+/// addition to the errors of [`run_error_cell`].
+pub fn run_error_cell_cancellable(
+    prepared: &PreparedKernel,
+    ctx: &ClassContext,
+    params: &ExperimentParams,
+    locked_fus: usize,
+    locked_inputs: usize,
+    cancel: &CancelToken,
+) -> Result<Vec<ErrorRecord>, CoreError> {
     let max_fus = params.max_locked_fus.min(prepared.alloc.count(ctx.class));
     let max_inputs = params.max_locked_inputs.min(ctx.candidates.len());
     if locked_fus == 0 || locked_fus > max_fus || locked_inputs == 0 || locked_inputs > max_inputs {
@@ -199,6 +227,7 @@ pub fn run_error_cell(
         &ctx.candidates,
         &ctx.area,
         &ctx.power,
+        cancel,
     )?;
     records.extend(codesign_cell(
         prepared,
@@ -209,6 +238,7 @@ pub fn run_error_cell(
         &ctx.candidates,
         &ctx.area,
         &ctx.power,
+        cancel,
     )?);
     Ok(records)
 }
@@ -321,6 +351,7 @@ fn obf_aware_cell(
     candidates: &[Minterm],
     area: &Binding,
     power: &Binding,
+    cancel: &CancelToken,
 ) -> Result<Vec<ErrorRecord>, CoreError> {
     let combos = combinations(candidates.len(), locked_inputs);
     let assignments = enumerate_assignments(params, fus.len(), combos.len(), locked_inputs);
@@ -331,6 +362,11 @@ fn obf_aware_cell(
     let mut sum_err = 0.0;
     let n = assignments.len();
     for assign in &assignments {
+        if cancel.is_cancelled() {
+            return Err(CoreError::Interrupted {
+                stage: "bench.obf_aware",
+            });
+        }
         let spec = spec_for(prepared, fus, &combos, candidates, assign)?;
         let obf = bind_obfuscation_aware(
             &prepared.dfg,
@@ -380,6 +416,7 @@ fn codesign_cell(
     candidates: &[Minterm],
     area: &Binding,
     power: &Binding,
+    cancel: &CancelToken,
 ) -> Result<Vec<ErrorRecord>, CoreError> {
     let combos = combinations(candidates.len(), locked_inputs);
     let assignments = enumerate_assignments(params, fus.len(), combos.len(), locked_inputs);
@@ -389,6 +426,11 @@ fn codesign_cell(
     let mut base_area = Vec::with_capacity(assignments.len());
     let mut base_power = Vec::with_capacity(assignments.len());
     for assign in &assignments {
+        if cancel.is_cancelled() {
+            return Err(CoreError::Interrupted {
+                stage: "bench.codesign",
+            });
+        }
         let spec = spec_for(prepared, fus, &combos, candidates, assign)?;
         base_area.push(expected_application_errors(area, &prepared.profile, &spec));
         base_power.push(expected_application_errors(power, &prepared.profile, &spec));
@@ -398,7 +440,7 @@ fn codesign_cell(
     };
 
     let mut out = Vec::new();
-    let heur = codesign_heuristic(
+    let heur = codesign_heuristic_cancellable(
         &prepared.dfg,
         &prepared.schedule,
         &prepared.alloc,
@@ -406,6 +448,7 @@ fn codesign_cell(
         fus,
         locked_inputs,
         candidates,
+        cancel,
     )?;
     out.push(ErrorRecord {
         kernel: prepared.name.clone(),
@@ -423,7 +466,7 @@ fn codesign_cell(
         .checked_pow(fus.len() as u32)
         .unwrap_or(u128::MAX);
     if evaluations <= params.optimal_budget {
-        let opt = codesign_optimal(
+        let opt = codesign_optimal_cancellable(
             &prepared.dfg,
             &prepared.schedule,
             &prepared.alloc,
@@ -431,6 +474,7 @@ fn codesign_cell(
             fus,
             locked_inputs,
             candidates,
+            cancel,
         )?;
         out.push(ErrorRecord {
             kernel: prepared.name.clone(),
@@ -529,6 +573,21 @@ mod tests {
                 heur.mean_errors
             );
         }
+    }
+
+    #[test]
+    fn pre_cancelled_token_interrupts_a_cell() {
+        let p = PreparedKernel::new(Kernel::Fir, 80, 5);
+        let ctx = ClassContext::build(&p, FuClass::Adder, 4)
+            .expect("builds")
+            .expect("fir has adders");
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = run_error_cell_cancellable(&p, &ctx, &small_params(), 1, 1, &cancel).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Interrupted { .. }),
+            "expected Interrupted, got {err:?}"
+        );
     }
 
     #[test]

@@ -27,7 +27,8 @@ use lockbind_hls::FuClass;
 use lockbind_mediabench::Kernel;
 use lockbind_obs as obs;
 
-use crate::errors_experiment::{run_error_cell, ClassContext};
+use crate::codec;
+use crate::errors_experiment::{run_error_cell_cancellable, ClassContext};
 use crate::overhead::{measure_overhead, OverheadRecord};
 use crate::{ErrorRecord, ExperimentParams, PreparedKernel};
 
@@ -127,15 +128,24 @@ impl Job for ErrorCell {
         match class_ctx.as_ref() {
             Err(e) => Err(format!("class context: {e}")),
             Ok(None) => Ok(Vec::new()),
-            Ok(Some(cc)) => run_error_cell(
+            Ok(Some(cc)) => run_error_cell_cancellable(
                 &prepared,
                 cc,
                 &self.params,
                 self.locked_fus,
                 self.locked_inputs,
+                &ctx.cancel,
             )
             .map_err(|e| e.to_string()),
         }
+    }
+
+    fn encode_output(&self, output: &Self::Output) -> Option<String> {
+        Some(codec::encode_error_records(output))
+    }
+
+    fn decode_output(&self, payload: &str) -> Option<Self::Output> {
+        codec::decode_error_records(payload)
     }
 }
 
@@ -183,6 +193,9 @@ pub fn collect_error_records(
             CellResult::Failed { cell, message } => {
                 failures.push((cell.clone(), message.clone()));
             }
+            CellResult::TimedOut { cell, message } => {
+                failures.push((cell.clone(), format!("timed out: {message}")));
+            }
         }
     }
     (records, failures)
@@ -216,6 +229,14 @@ impl Job for OverheadCell {
         let prepared = cached_prepared(ctx.cache, self.kernel, self.frames, self.seed);
         measure_overhead(&prepared, self.num_candidates).map_err(|e| e.to_string())
     }
+
+    fn encode_output(&self, output: &Self::Output) -> Option<String> {
+        Some(codec::encode_overhead_records(output))
+    }
+
+    fn decode_output(&self, payload: &str) -> Option<Self::Output> {
+        codec::decode_overhead_records(payload)
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +261,7 @@ mod tests {
             root_seed: 5,
             fail_fast: false,
             progress: false,
+            ..EngineConfig::default()
         })
     }
 
@@ -282,6 +304,22 @@ mod tests {
         let stats = engine.cache().stats();
         assert!(stats.hits > 0, "cells must reuse cached artifacts");
         assert!(stats.entries <= 3, "1 kernel + at most 2 class contexts");
+    }
+
+    #[test]
+    fn error_cell_outputs_round_trip_through_the_checkpoint_codec() {
+        let params = small_params();
+        let frames = 40;
+        let seed = 5;
+        let cells = error_grid(&[Kernel::Fir], frames, seed, &params);
+        let engine = quiet_engine(1);
+        let report = engine.run(&cells);
+        for (cell, result) in cells.iter().zip(&report.results) {
+            let output = result.output().expect("cell ok");
+            let payload = cell.encode_output(output).expect("encodes");
+            let decoded = cell.decode_output(&payload).expect("decodes");
+            assert_eq!(format!("{decoded:?}"), format!("{output:?}"));
+        }
     }
 
     #[test]

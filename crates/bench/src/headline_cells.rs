@@ -10,9 +10,9 @@
 //! (stage `sat-attack`) and wraps all three in one [`HeadlineCell`] job
 //! type so a single engine run covers the full pipeline.
 
-use lockbind_attacks::{sat_attack, AttackConfig};
+use lockbind_attacks::{sat_attack_with_cancel, AttackConfig, AttackStop};
 use lockbind_core::locked_sim::{output_corruption, wrong_keys};
-use lockbind_core::{codesign_heuristic, realize_locked_modules};
+use lockbind_core::{codesign_heuristic_cancellable, realize_locked_modules};
 use lockbind_engine::{CellResult, Job, JobCtx};
 use lockbind_hls::{FuClass, FuId};
 use lockbind_locking::{
@@ -70,7 +70,7 @@ impl Job for ImpactCell {
             FuClass::Adder
         };
         let candidates = prepared.candidates(class, 8);
-        let design = codesign_heuristic(
+        let design = codesign_heuristic_cancellable(
             &prepared.dfg,
             &prepared.schedule,
             &prepared.alloc,
@@ -78,6 +78,7 @@ impl Job for ImpactCell {
             &[FuId::new(class, 0)],
             2.min(candidates.len()),
             &candidates,
+            &ctx.cancel,
         )
         .map_err(|e| e.to_string())?;
         let modules = realize_locked_modules(&design.spec, prepared.dfg.width())
@@ -177,9 +178,17 @@ impl Job for SatCell {
         "sat-attack"
     }
 
-    fn run(&self, _ctx: &mut JobCtx<'_>) -> Result<Self::Output, String> {
+    fn run(&self, ctx: &mut JobCtx<'_>) -> Result<Self::Output, String> {
         let locked = self.scheme.lock(self.width).map_err(|e| e.to_string())?;
-        let out = sat_attack(&locked, &AttackConfig::default());
+        let out = sat_attack_with_cancel(&locked, &AttackConfig::default(), &ctx.cancel);
+        if out.stop == AttackStop::Interrupted {
+            // Surface the interruption as a cell error so the engine can
+            // classify it (deadline fired → `CellResult::TimedOut`).
+            return Err(format!(
+                "sat attack interrupted after {} iterations",
+                out.iterations
+            ));
+        }
         Ok(SatRecord {
             scheme: self.scheme.label(),
             key_bits: locked.key_bits(),
@@ -237,6 +246,14 @@ impl Job for HeadlineCell {
             HeadlineCell::Sat(c) => c.run(ctx).map(HeadlineOutput::Sat),
         }
     }
+
+    fn encode_output(&self, output: &Self::Output) -> Option<String> {
+        Some(crate::codec::encode_headline_output(output))
+    }
+
+    fn decode_output(&self, payload: &str) -> Option<Self::Output> {
+        crate::codec::decode_headline_output(payload)
+    }
 }
 
 /// Builds the combined headline grid: the full error-ratio grid, one
@@ -292,6 +309,9 @@ pub fn collect_headline_records(results: &[CellResult<HeadlineOutput>]) -> Headl
             CellResult::Failed { cell, message } => {
                 failures.push((cell.clone(), message.clone()));
             }
+            CellResult::TimedOut { cell, message } => {
+                failures.push((cell.clone(), format!("timed out: {message}")));
+            }
         }
     }
     (errors, impacts, sats, failures)
@@ -329,6 +349,7 @@ mod tests {
             root_seed: 5,
             fail_fast: false,
             progress: false,
+            ..EngineConfig::default()
         });
         let cells = headline_grid(&[Kernel::Fir], 40, 5, &small_params());
         let report = engine.run(&cells);

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod errors_experiment;
 pub mod grid;
 pub mod headline_cells;
@@ -25,7 +26,8 @@ pub mod prepared;
 pub mod report;
 
 pub use errors_experiment::{
-    run_error_cell, run_error_experiment, ClassContext, ErrorRecord, ExperimentParams, SecurityAlgo,
+    run_error_cell, run_error_cell_cancellable, run_error_experiment, ClassContext, ErrorRecord,
+    ExperimentParams, SecurityAlgo,
 };
 pub use grid::{collect_error_records, error_grid, ErrorCell, OverheadCell};
 pub use headline_cells::{

@@ -9,6 +9,7 @@
 
 use lockbind_hls::{Allocation, Binding, Dfg, FuId, Minterm, OccurrenceProfile, Schedule};
 use lockbind_obs as obs;
+use lockbind_resil::CancelToken;
 
 use crate::{
     bind_obfuscation_aware, combinations, expected_application_errors, CoreError, LockingSpec,
@@ -71,6 +72,36 @@ pub fn codesign_optimal(
     inputs_per_fu: usize,
     candidates: &[Minterm],
 ) -> Result<CoDesignOutcome, CoreError> {
+    codesign_optimal_cancellable(
+        dfg,
+        schedule,
+        alloc,
+        profile,
+        locked_fus,
+        inputs_per_fu,
+        candidates,
+        &CancelToken::new(),
+    )
+}
+
+/// [`codesign_optimal`] with a cooperative cancel token, polled once per
+/// evaluated combination assignment (each evaluation is a full binding
+/// solve, so the poll is effectively free).
+///
+/// # Errors
+/// Everything [`codesign_optimal`] can return, plus
+/// [`CoreError::Interrupted`] when the token fires mid-search.
+#[allow(clippy::too_many_arguments)]
+pub fn codesign_optimal_cancellable(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    alloc: &Allocation,
+    profile: &OccurrenceProfile,
+    locked_fus: &[FuId],
+    inputs_per_fu: usize,
+    candidates: &[Minterm],
+    cancel: &CancelToken,
+) -> Result<CoDesignOutcome, CoreError> {
     let _span = obs::span!(
         "codesign.optimal",
         locked_fus = locked_fus.len(),
@@ -93,6 +124,11 @@ pub fn codesign_optimal(
     let mut counter = vec![0usize; l];
     let mut best: Option<CoDesignOutcome> = None;
     loop {
+        if cancel.is_cancelled() {
+            return Err(CoreError::Interrupted {
+                stage: "codesign.optimal",
+            });
+        }
         let entries: Vec<(FuId, Vec<Minterm>)> = locked_fus
             .iter()
             .zip(&counter)
@@ -145,6 +181,35 @@ pub fn codesign_heuristic(
     inputs_per_fu: usize,
     candidates: &[Minterm],
 ) -> Result<CoDesignOutcome, CoreError> {
+    codesign_heuristic_cancellable(
+        dfg,
+        schedule,
+        alloc,
+        profile,
+        locked_fus,
+        inputs_per_fu,
+        candidates,
+        &CancelToken::new(),
+    )
+}
+
+/// [`codesign_heuristic`] with a cooperative cancel token, polled once per
+/// evaluated candidate combination.
+///
+/// # Errors
+/// Everything [`codesign_heuristic`] can return, plus
+/// [`CoreError::Interrupted`] when the token fires mid-search.
+#[allow(clippy::too_many_arguments)]
+pub fn codesign_heuristic_cancellable(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    alloc: &Allocation,
+    profile: &OccurrenceProfile,
+    locked_fus: &[FuId],
+    inputs_per_fu: usize,
+    candidates: &[Minterm],
+    cancel: &CancelToken,
+) -> Result<CoDesignOutcome, CoreError> {
     let _span = obs::span!(
         "codesign.heuristic",
         locked_fus = locked_fus.len(),
@@ -157,6 +222,11 @@ pub fn codesign_heuristic(
     for &fu in locked_fus {
         let mut best_combo: Option<(u64, Vec<Minterm>)> = None;
         for combo in &combos {
+            if cancel.is_cancelled() {
+                return Err(CoreError::Interrupted {
+                    stage: "codesign.heuristic",
+                });
+            }
             let ms: Vec<Minterm> = combo.iter().map(|&i| candidates[i]).collect();
             let mut entries = fixed.clone();
             entries.push((fu, ms.clone()));
@@ -196,6 +266,48 @@ mod tests {
         let adder_ops = b.dfg.ops_of_class(FuClass::Adder);
         let candidates = profile.top_candidates_among(&adder_ops, 6);
         (b.dfg, sched, alloc, profile, candidates)
+    }
+
+    #[test]
+    fn pre_cancelled_token_interrupts_both_searches() {
+        let (dfg, sched, alloc, profile, candidates) = setup(Kernel::Fir);
+        let fus = [FuId::new(FuClass::Adder, 0)];
+        let token = CancelToken::new();
+        token.cancel();
+        let opt = codesign_optimal_cancellable(
+            &dfg,
+            &sched,
+            &alloc,
+            &profile,
+            &fus,
+            2,
+            &candidates,
+            &token,
+        )
+        .unwrap_err();
+        assert_eq!(
+            opt,
+            CoreError::Interrupted {
+                stage: "codesign.optimal"
+            }
+        );
+        let heu = codesign_heuristic_cancellable(
+            &dfg,
+            &sched,
+            &alloc,
+            &profile,
+            &fus,
+            2,
+            &candidates,
+            &token,
+        )
+        .unwrap_err();
+        assert_eq!(
+            heu,
+            CoreError::Interrupted {
+                stage: "codesign.heuristic"
+            }
+        );
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub enum CoreError {
         /// Requested target.
         target: u64,
     },
+    /// A cancellable search observed its cancel token mid-enumeration
+    /// (deadline or explicit cancel) and unwound without an answer.
+    Interrupted {
+        /// Which enumeration was interrupted.
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -72,6 +78,9 @@ impl fmt::Display for CoreError {
                 f,
                 "application-error target {target} unreachable (best achievable {best})"
             ),
+            CoreError::Interrupted { stage } => {
+                write!(f, "interrupted during {stage} (cancel token fired)")
+            }
         }
     }
 }

@@ -7,6 +7,7 @@
 //! [`crate::bind_obfuscation_aware`] — the two must always agree.
 
 use lockbind_hls::{Allocation, Binding, Dfg, FuClass, FuId, OccurrenceProfile, Schedule};
+use lockbind_resil::CancelToken;
 
 use crate::{CoreError, LockingSpec};
 
@@ -28,6 +29,23 @@ pub fn bind_exhaustive(
     profile: &OccurrenceProfile,
     spec: &LockingSpec,
 ) -> Result<Binding, CoreError> {
+    bind_exhaustive_cancellable(dfg, schedule, alloc, profile, spec, &CancelToken::new())
+}
+
+/// [`bind_exhaustive`] with a cooperative cancel token, polled once per
+/// (cycle, FU class) enumeration.
+///
+/// # Errors
+/// Everything [`bind_exhaustive`] can return, plus
+/// [`CoreError::Interrupted`] when the token fires mid-search.
+pub fn bind_exhaustive_cancellable(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    alloc: &Allocation,
+    profile: &OccurrenceProfile,
+    spec: &LockingSpec,
+    cancel: &CancelToken,
+) -> Result<Binding, CoreError> {
     for fu in spec.locked_fus() {
         if fu.index >= alloc.count(fu.class) {
             return Err(CoreError::UnknownFu { fu: fu.to_string() });
@@ -39,6 +57,11 @@ pub fn bind_exhaustive(
             let ops = schedule.class_ops_in_cycle(dfg, class, t);
             if ops.is_empty() {
                 continue;
+            }
+            if cancel.is_cancelled() {
+                return Err(CoreError::Interrupted {
+                    stage: "bind.exhaustive",
+                });
             }
             if ops.len() > MAX_OPS_PER_CYCLE {
                 return Err(CoreError::SearchSpaceTooLarge {
@@ -154,6 +177,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pre_cancelled_token_interrupts_the_search() {
+        let b = Kernel::Fir.benchmark(60, 3);
+        let alloc = Allocation::new(3, 3);
+        let schedule = schedule_list(&b.dfg, &alloc).expect("schedulable");
+        let profile = OccurrenceProfile::from_trace(&b.dfg, &b.trace).expect("profiled");
+        let token = lockbind_resil::CancelToken::new();
+        token.cancel();
+        let err = bind_exhaustive_cancellable(
+            &b.dfg,
+            &schedule,
+            &alloc,
+            &profile,
+            &LockingSpec::unlocked(),
+            &token,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::Interrupted {
+                stage: "bind.exhaustive"
+            }
+        );
     }
 
     #[test]

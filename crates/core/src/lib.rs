@@ -64,11 +64,14 @@ mod spec;
 
 pub use app_error::{application_impact, ApplicationImpact};
 pub use area_aware::bind_area_aware;
-pub use codesign::{codesign_heuristic, codesign_optimal, CoDesignOutcome};
+pub use codesign::{
+    codesign_heuristic, codesign_heuristic_cancellable, codesign_optimal,
+    codesign_optimal_cancellable, CoDesignOutcome,
+};
 pub use combinations::combinations;
 pub use cost::expected_application_errors;
 pub use error::CoreError;
-pub use exhaustive::bind_exhaustive;
+pub use exhaustive::{bind_exhaustive, bind_exhaustive_cancellable};
 pub use methodology::{design_lock, DesignGoals, MethodologyOutcome};
 pub use obf_aware::bind_obfuscation_aware;
 pub use pipeline::{minterm_to_pattern, realize_locked_modules, LockedDesign};

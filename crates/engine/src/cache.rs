@@ -369,6 +369,39 @@ mod tests {
     }
 
     #[test]
+    fn permanently_failing_build_is_attempted_at_most_once_per_requester() {
+        // A build that always fails must not be spin-retried: each
+        // requesting thread attempts it at most once (the `Option`-taken
+        // builder enforces this structurally) and sees the panic itself.
+        let cache = ArtifactCache::new();
+        let builds = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..7 {
+                scope.spawn(|| {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let _ = cache.get_or_insert_with::<u64, _>(
+                            CacheKey::new("doomed").push_u64(1),
+                            || {
+                                builds.fetch_add(1, Ordering::Relaxed);
+                                panic!("permanent build failure");
+                            },
+                        );
+                    }));
+                    assert!(result.is_err(), "every requester observes the failure");
+                });
+            }
+        });
+        let builds = builds.load(Ordering::Relaxed);
+        assert!(
+            (1..=7).contains(&builds),
+            "at most one build per requester, got {builds}"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, builds, "each failed build counts one miss");
+        assert_eq!(stats.entries, 0, "failed slots are not retained");
+    }
+
+    #[test]
     fn panicking_build_unblocks_waiters_and_allows_retry() {
         let cache = ArtifactCache::new();
         let key = || CacheKey::new("flaky").push_u64(1);

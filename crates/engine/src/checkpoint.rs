@@ -1,0 +1,316 @@
+//! Sweep checkpoint/resume: a JSON-lines file of completed cells.
+//!
+//! The file starts with a header line binding the checkpoint to a specific
+//! grid — a [`fingerprint`] over the root seed, the cell count, and every
+//! cell label — followed by one line per completed cell carrying the
+//! job-encoded output payload. Appends are flushed per cell, so a run
+//! killed mid-sweep leaves a loadable prefix; resuming with a file whose
+//! fingerprint does not match the submitted grid is rejected (the caller
+//! falls back to a full run).
+//!
+//! Only cells whose job implements [`crate::Job::encode_output`] are
+//! written; everything else simply re-runs on resume — correct (the engine
+//! is deterministic) if not maximally fast.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+use lockbind_obs::json::Json;
+
+/// Checkpoint file schema version (the `"schema"` header field).
+pub const CHECKPOINT_SCHEMA: u64 = 1;
+
+/// Content fingerprint of a grid: FNV-1a over the root seed, the cell
+/// count, and every length-prefixed cell label. Two grids resume-compatible
+/// iff their fingerprints match.
+pub fn fingerprint(root_seed: u64, labels: &[String]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    eat(&root_seed.to_le_bytes());
+    eat(&(labels.len() as u64).to_le_bytes());
+    for label in labels {
+        eat(&(label.len() as u64).to_le_bytes());
+        eat(label.as_bytes());
+    }
+    hash
+}
+
+/// One completed-cell record loaded from a checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointEntry {
+    /// Cell index in the submitted job slice.
+    pub cell: usize,
+    /// Job-encoded output payload.
+    pub payload: String,
+}
+
+/// Loads the completed-cell records of a checkpoint file.
+///
+/// # Errors
+/// Returns a human-readable message when the file cannot be read, the
+/// header is malformed, or its fingerprint does not match `expected` —
+/// callers are expected to warn and fall back to a full run.
+pub fn load(path: &Path, expected: u64) -> Result<Vec<CheckpointEntry>, String> {
+    let file =
+        File::open(path).map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+    let mut lines = BufReader::new(file).lines();
+    let header = match lines.next() {
+        Some(Ok(line)) => line,
+        Some(Err(e)) => return Err(format!("cannot read checkpoint header: {e}")),
+        None => return Err("checkpoint file is empty".to_string()),
+    };
+    let found = field_u64(&header, "fingerprint")
+        .ok_or_else(|| "checkpoint header has no fingerprint".to_string())?;
+    if found != expected {
+        return Err(format!(
+            "checkpoint fingerprint {found:#018x} does not match this grid ({expected:#018x}); \
+             was it written by a different sweep?"
+        ));
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        let line = line.map_err(|e| format!("cannot read checkpoint line: {e}"))?;
+        if line.trim().is_empty() {
+            continue; // torn final line from a killed writer
+        }
+        let (Some(cell), Some(payload)) = (field_u64(&line, "cell"), field_str(&line, "payload"))
+        else {
+            continue; // torn/partial line: ignore, the cell just re-runs
+        };
+        entries.push(CheckpointEntry {
+            cell: cell as usize,
+            payload,
+        });
+    }
+    Ok(entries)
+}
+
+/// Append-mode checkpoint writer shared across worker threads; every
+/// [`append`](Self::append) is flushed so a kill loses at most the line
+/// being written.
+#[derive(Debug)]
+pub(crate) struct CheckpointWriter {
+    out: Mutex<BufWriter<File>>,
+    appended: bool,
+}
+
+impl CheckpointWriter {
+    /// Opens `path` for checkpointing a grid with the given identity.
+    /// When `resuming` and the file already holds a matching header, new
+    /// cells are appended after the existing ones; otherwise the file is
+    /// recreated with a fresh header.
+    pub(crate) fn open(
+        path: &Path,
+        fingerprint: u64,
+        root_seed: u64,
+        cells: usize,
+        resuming: bool,
+    ) -> std::io::Result<Self> {
+        let append = resuming
+            && std::fs::read_to_string(path)
+                .ok()
+                .and_then(|text| field_u64(text.lines().next().unwrap_or(""), "fingerprint"))
+                .is_some_and(|found| found == fingerprint);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(append)
+            .write(true)
+            .truncate(!append)
+            .open(path)?;
+        let mut out = BufWriter::new(file);
+        if !append {
+            writeln!(
+                out,
+                "{}",
+                Json::obj([
+                    ("schema", Json::from(CHECKPOINT_SCHEMA)),
+                    ("fingerprint", Json::from(fingerprint)),
+                    ("root_seed", Json::from(root_seed)),
+                    ("cells", Json::from(cells)),
+                ])
+                .render()
+            )?;
+            out.flush()?;
+        }
+        Ok(CheckpointWriter {
+            out: Mutex::new(out),
+            appended: append,
+        })
+    }
+
+    /// `true` when the writer continued an existing matching file rather
+    /// than starting a fresh one.
+    pub(crate) fn appended(&self) -> bool {
+        self.appended
+    }
+
+    /// Appends one completed cell and flushes.
+    pub(crate) fn append(&self, cell: usize, label: &str, payload: &str) -> std::io::Result<()> {
+        let line = Json::obj([
+            ("cell", Json::from(cell)),
+            ("label", Json::from(label)),
+            ("payload", Json::from(payload)),
+        ])
+        .render();
+        let mut out = self.out.lock().expect("checkpoint writer poisoned");
+        writeln!(out, "{line}")?;
+        out.flush()
+    }
+}
+
+/// Extracts `"key":<u64>` from a single-line JSON object written by this
+/// module (numbers are never quoted in our writer).
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extracts and unescapes `"key":"..."` from a single-line JSON object
+/// written by this module.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lockbind-ckpt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join("checkpoint.jsonl")
+    }
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("cell/{i}")).collect()
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_seed_count_and_labels() {
+        let base = fingerprint(1, &labels(3));
+        assert_eq!(base, fingerprint(1, &labels(3)), "deterministic");
+        assert_ne!(base, fingerprint(2, &labels(3)), "seed");
+        assert_ne!(base, fingerprint(1, &labels(4)), "count");
+        let mut renamed = labels(3);
+        renamed[1] = "cell/renamed".to_string();
+        assert_ne!(base, fingerprint(1, &renamed), "labels");
+        // Length prefixes keep label boundaries unambiguous.
+        assert_ne!(
+            fingerprint(0, &["ab".to_string(), "c".to_string()]),
+            fingerprint(0, &["a".to_string(), "bc".to_string()]),
+        );
+    }
+
+    #[test]
+    fn round_trips_entries_with_awkward_payloads() {
+        let path = temp_path("roundtrip");
+        let fp = fingerprint(7, &labels(4));
+        let writer = CheckpointWriter::open(&path, fp, 7, 4, false).expect("open");
+        writer.append(0, "cell/0", "plain").expect("append");
+        writer
+            .append(2, "cell/2", "a\x1fb\x1ec \"quoted\" \\slash\nnewline\tté")
+            .expect("append");
+        drop(writer);
+        let entries = load(&path, fp).expect("load");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[0],
+            CheckpointEntry {
+                cell: 0,
+                payload: "plain".to_string()
+            }
+        );
+        assert_eq!(entries[1].cell, 2);
+        assert_eq!(
+            entries[1].payload,
+            "a\x1fb\x1ec \"quoted\" \\slash\nnewline\tté"
+        );
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let path = temp_path("mismatch");
+        let fp = fingerprint(7, &labels(4));
+        let writer = CheckpointWriter::open(&path, fp, 7, 4, false).expect("open");
+        writer.append(0, "cell/0", "x").expect("append");
+        drop(writer);
+        let err = load(&path, fp ^ 1).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn torn_final_line_is_ignored() {
+        let path = temp_path("torn");
+        let fp = fingerprint(1, &labels(3));
+        let writer = CheckpointWriter::open(&path, fp, 1, 3, false).expect("open");
+        writer.append(0, "cell/0", "ok").expect("append");
+        drop(writer);
+        // Simulate a kill mid-write: truncated trailing record.
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("{\"cell\":1,\"label\":\"cell/1\",\"payl");
+        std::fs::write(&path, text).expect("write");
+        let entries = load(&path, fp).expect("load");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].cell, 0);
+    }
+
+    #[test]
+    fn resuming_appends_after_a_matching_header() {
+        let path = temp_path("resume-append");
+        let fp = fingerprint(3, &labels(5));
+        let writer = CheckpointWriter::open(&path, fp, 3, 5, false).expect("open");
+        writer.append(0, "cell/0", "first").expect("append");
+        drop(writer);
+        let writer = CheckpointWriter::open(&path, fp, 3, 5, true).expect("reopen");
+        writer.append(1, "cell/1", "second").expect("append");
+        drop(writer);
+        let entries = load(&path, fp).expect("load");
+        assert_eq!(entries.len(), 2);
+        // A non-resuming reopen starts the file over.
+        let writer = CheckpointWriter::open(&path, fp, 3, 5, false).expect("truncate");
+        drop(writer);
+        assert!(load(&path, fp).expect("load").is_empty());
+    }
+}

@@ -5,6 +5,8 @@
 //! ```text
 //! <bin> [FRAMES] [SEED] [--frames N] [--seed S] [--threads N]
 //!       [--json PATH] [--fail-fast] [--trace PATH] [--profile]
+//!       [--cell-timeout SECS] [--retries N] [--retry-backoff-ms MS]
+//!       [--checkpoint PATH] [--resume PATH]
 //! ```
 //!
 //! The two positionals predate the engine (`fig4 300 2021`) and remain
@@ -15,16 +17,26 @@
 //! are serviced by [`EngineArgs::obs_session`] /
 //! [`ObsSession::finish`], which every figure binary calls around its
 //! engine runs.
+//!
+//! The resilience knobs map onto [`EngineConfig`]: `--cell-timeout` sets
+//! the per-attempt deadline, `--retries`/`--retry-backoff-ms` the retry
+//! policy, and `--checkpoint`/`--resume` the sweep checkpoint paths.
+//! A deterministic fault plan can additionally be injected through the
+//! `LOCKBIND_FAULTS` environment variable (see
+//! [`FaultPlan::parse`](lockbind_resil::FaultPlan::parse) for the spec
+//! grammar); it is read by [`EngineArgs::parse`] only, so programmatic
+//! parsing stays environment-free.
 
-use std::path::PathBuf;
-use std::time::Instant;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use lockbind_obs as obs;
+use lockbind_resil::{FaultPlan, RetryPolicy};
 
 use crate::pool::EngineConfig;
 
 /// Parsed engine-binary arguments.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineArgs {
     /// Profiling frames per kernel.
     pub frames: usize,
@@ -40,6 +52,19 @@ pub struct EngineArgs {
     pub trace: Option<PathBuf>,
     /// Print a per-stage profile table at end of run.
     pub profile: bool,
+    /// Per-attempt cell deadline; `None` = no deadline.
+    pub cell_timeout: Option<Duration>,
+    /// Retry attempts for erroring/panicking cells.
+    pub retries: u32,
+    /// Base backoff between retry attempts, in milliseconds (doubles per
+    /// attempt, capped by the policy).
+    pub retry_backoff_ms: u64,
+    /// Where to append the sweep checkpoint, if anywhere.
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint to resume completed cells from, if anywhere.
+    pub resume: Option<PathBuf>,
+    /// Fault-injection plan from `LOCKBIND_FAULTS`, if set.
+    pub faults: Option<FaultPlan>,
 }
 
 impl EngineArgs {
@@ -53,12 +78,28 @@ impl EngineArgs {
             fail_fast: false,
             trace: None,
             profile: false,
+            cell_timeout: None,
+            retries: 0,
+            retry_backoff_ms: 100,
+            checkpoint: None,
+            resume: None,
+            faults: None,
         }
     }
 
-    /// Parses `std::env::args`, exiting with usage on a parse error.
+    /// Parses `std::env::args` plus the `LOCKBIND_FAULTS` environment
+    /// variable and validates filesystem paths, exiting with usage on any
+    /// error.
     pub fn parse(bin: &str) -> Self {
-        match Self::parse_from(std::env::args().skip(1), Self::paper_defaults()) {
+        let parsed = Self::parse_from(std::env::args().skip(1), Self::paper_defaults()).and_then(
+            |mut args| {
+                args.validate_paths()?;
+                args.faults = FaultPlan::from_env(args.seed)
+                    .map_err(|e| format!("{}: {e}", FaultPlan::ENV_VAR))?;
+                Ok(args)
+            },
+        );
+        match parsed {
             Ok(args) => args,
             Err(message) => {
                 eprintln!("{bin}: {message}");
@@ -71,7 +112,7 @@ impl EngineArgs {
     /// Usage string for `bin`.
     pub fn usage(bin: &str) -> String {
         format!(
-            "usage: {bin} [FRAMES] [SEED] [--frames N] [--seed S] [--threads N] [--json PATH] [--fail-fast] [--trace PATH] [--profile]"
+            "usage: {bin} [FRAMES] [SEED] [--frames N] [--seed S] [--threads N] [--json PATH] [--fail-fast] [--trace PATH] [--profile] [--cell-timeout SECS] [--retries N] [--retry-backoff-ms MS] [--checkpoint PATH] [--resume PATH]"
         )
     }
 
@@ -94,19 +135,43 @@ impl EngineArgs {
             };
             match arg.as_str() {
                 "--frames" => out.frames = parse_num(&value_for("--frames")?, "--frames")?,
-                "--seed" => out.seed = parse_num(&value_for("--seed")?, "--seed")?,
-                "--threads" => out.threads = parse_num(&value_for("--threads")?, "--threads")?,
+                "--seed" => out.seed = parse_seed(&value_for("--seed")?, "--seed")?,
+                "--threads" => {
+                    out.threads = parse_num(&value_for("--threads")?, "--threads")?;
+                    if out.threads == 0 {
+                        return Err(
+                            "--threads: must be at least 1 (omit the flag to auto-detect)"
+                                .to_string(),
+                        );
+                    }
+                }
                 "--json" => out.json = Some(PathBuf::from(value_for("--json")?)),
                 "--fail-fast" => out.fail_fast = true,
                 "--trace" => out.trace = Some(PathBuf::from(value_for("--trace")?)),
                 "--profile" => out.profile = true,
+                "--cell-timeout" => {
+                    let secs: f64 = parse_num(&value_for("--cell-timeout")?, "--cell-timeout")?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(format!(
+                            "--cell-timeout: must be a positive number of seconds, got {secs}"
+                        ));
+                    }
+                    out.cell_timeout = Some(Duration::from_secs_f64(secs));
+                }
+                "--retries" => out.retries = parse_num(&value_for("--retries")?, "--retries")?,
+                "--retry-backoff-ms" => {
+                    out.retry_backoff_ms =
+                        parse_num(&value_for("--retry-backoff-ms")?, "--retry-backoff-ms")?;
+                }
+                "--checkpoint" => out.checkpoint = Some(PathBuf::from(value_for("--checkpoint")?)),
+                "--resume" => out.resume = Some(PathBuf::from(value_for("--resume")?)),
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
                 positional => {
                     match positionals {
                         0 => out.frames = parse_num(positional, "FRAMES")?,
-                        1 => out.seed = parse_num(positional, "SEED")?,
+                        1 => out.seed = parse_seed(positional, "SEED")?,
                         _ => return Err(format!("unexpected argument {positional}")),
                     }
                     positionals += 1;
@@ -116,6 +181,29 @@ impl EngineArgs {
         Ok(out)
     }
 
+    /// Checks every path argument against the filesystem: output paths
+    /// (`--json`, `--trace`, `--checkpoint`) must be creatable/writable
+    /// and `--resume` must name an existing readable file.
+    ///
+    /// # Errors
+    /// A human-readable message naming the offending flag and path.
+    pub fn validate_paths(&self) -> Result<(), String> {
+        for (flag, path) in [
+            ("--json", &self.json),
+            ("--trace", &self.trace),
+            ("--checkpoint", &self.checkpoint),
+        ] {
+            if let Some(path) = path {
+                probe_writable(flag, path)?;
+            }
+        }
+        if let Some(path) = &self.resume {
+            std::fs::File::open(path)
+                .map_err(|e| format!("--resume: cannot read checkpoint {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+
     /// The [`EngineConfig`] these arguments describe.
     pub fn engine_config(&self) -> EngineConfig {
         EngineConfig {
@@ -123,6 +211,11 @@ impl EngineArgs {
             root_seed: self.seed,
             fail_fast: self.fail_fast,
             progress: true,
+            cell_timeout: self.cell_timeout,
+            retry: RetryPolicy::new(self.retries, Duration::from_millis(self.retry_backoff_ms)),
+            faults: self.faults.clone(),
+            checkpoint: self.checkpoint.clone(),
+            resume: self.resume.clone(),
         }
     }
 
@@ -194,6 +287,40 @@ impl ObsSession {
 fn parse_num<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, String> {
     text.parse()
         .map_err(|_| format!("{what}: invalid number {text:?}"))
+}
+
+/// Like [`parse_num`] for seeds, with a dedicated message for negative
+/// input (`--seed -1` otherwise reads as a cryptic "invalid number").
+fn parse_seed(text: &str, what: &str) -> Result<u64, String> {
+    if text.starts_with('-') {
+        return Err(format!(
+            "{what}: seeds are non-negative 64-bit integers, got {text:?}"
+        ));
+    }
+    parse_num(text, what)
+}
+
+/// Probes that `path` is writable by creating parent directories and
+/// opening the file for append (existing contents untouched). A fresh
+/// probe file is removed again.
+fn probe_writable(flag: &str, path: &Path) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                format!("{flag}: cannot create directory {}: {e}", parent.display())
+            })?;
+        }
+    }
+    let existed = path.exists();
+    std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(path)
+        .map_err(|e| format!("{flag}: cannot write {}: {e}", path.display()))?;
+    if !existed {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -277,5 +404,110 @@ mod tests {
             .contains("requires a value"));
         assert!(parse(&["--bogus"]).unwrap_err().contains("unknown flag"));
         assert!(parse(&["abc"]).unwrap_err().contains("invalid number"));
+    }
+
+    #[test]
+    fn zero_threads_is_rejected_with_guidance() {
+        let err = parse(&["--threads", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(err.contains("auto-detect"), "{err}");
+    }
+
+    #[test]
+    fn negative_seed_gets_a_dedicated_message() {
+        for args in [&["--seed", "-3"][..], &["300", "-3"][..]] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains("non-negative"), "{err}");
+        }
+        assert!(parse(&["--seed", "xyz"])
+            .unwrap_err()
+            .contains("invalid number"));
+    }
+
+    #[test]
+    fn resilience_flags_parse_into_the_engine_config() {
+        let args = parse(&[
+            "--cell-timeout",
+            "2.5",
+            "--retries",
+            "3",
+            "--retry-backoff-ms",
+            "10",
+            "--checkpoint",
+            "results/sweep.jsonl",
+            "--resume",
+            "results/sweep.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(args.cell_timeout, Some(Duration::from_millis(2500)));
+        assert_eq!(args.retries, 3);
+        let cfg = args.engine_config();
+        assert_eq!(cfg.cell_timeout, Some(Duration::from_millis(2500)));
+        assert_eq!(cfg.retry.max_retries, 3);
+        assert_eq!(cfg.retry.base_backoff, Duration::from_millis(10));
+        assert_eq!(
+            cfg.checkpoint.as_deref(),
+            Some(Path::new("results/sweep.jsonl"))
+        );
+        assert_eq!(
+            cfg.resume.as_deref(),
+            Some(Path::new("results/sweep.jsonl"))
+        );
+        assert!(cfg.faults.is_none());
+    }
+
+    #[test]
+    fn cell_timeout_must_be_positive() {
+        for bad in ["0", "-1", "nan"] {
+            let err = parse(&["--cell-timeout", bad]).unwrap_err();
+            assert!(err.contains("--cell-timeout"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn validate_paths_rejects_unwritable_and_missing() {
+        let dir = std::env::temp_dir().join(format!("lockbind-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+
+        // Writable output path passes and leaves no probe litter behind.
+        let mut args = parse(&[]).unwrap();
+        args.json = Some(dir.join("out/metrics.json"));
+        args.validate_paths().expect("writable");
+        assert!(!dir.join("out/metrics.json").exists());
+
+        // An output path whose parent is a *file* cannot be created.
+        std::fs::write(dir.join("blocker"), "x").expect("write");
+        let mut args = parse(&[]).unwrap();
+        args.trace = Some(dir.join("blocker/trace.json"));
+        let err = args.validate_paths().unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+
+        // --resume must point at an existing file.
+        let mut args = parse(&[]).unwrap();
+        args.resume = Some(dir.join("no-such-checkpoint.jsonl"));
+        let err = args.validate_paths().unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let usage = EngineArgs::usage("fig4");
+        for flag in [
+            "--frames",
+            "--seed",
+            "--threads",
+            "--json",
+            "--fail-fast",
+            "--trace",
+            "--profile",
+            "--cell-timeout",
+            "--retries",
+            "--retry-backoff-ms",
+            "--checkpoint",
+            "--resume",
+        ] {
+            assert!(usage.contains(flag), "usage is missing {flag}: {usage}");
+        }
     }
 }

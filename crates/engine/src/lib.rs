@@ -22,6 +22,13 @@
 //!   chrome://tracing trace and a per-stage profile table for any figure
 //!   binary.
 //!
+//! * **Resilience** — opt-in per-cell deadlines backed by cooperative
+//!   [`CancelToken`](lockbind_resil::CancelToken)s ([`JobCtx::cancel`]),
+//!   deterministic retry-with-backoff (attempt-indexed RNG streams), sweep
+//!   checkpoint/resume (fingerprinted JSON-lines, [`checkpoint`]), and a
+//!   seed-driven fault-injection plan
+//!   ([`FaultPlan`](lockbind_resil::FaultPlan)) to drill all of the above.
+//!
 //! The engine is experiment-agnostic: anything implementing [`Job`] can be
 //! scheduled. The concrete cell types live in `lockbind-bench`.
 
@@ -29,12 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod cli;
 pub mod json;
 pub mod metrics;
 pub mod pool;
 
 pub use cache::{ArtifactCache, CacheKey, CacheStats};
+pub use checkpoint::{CheckpointEntry, CHECKPOINT_SCHEMA};
 pub use cli::{EngineArgs, ObsSession};
 pub use json::Json;
 pub use metrics::{CellTiming, RunMetrics, StageMetrics, METRICS_SCHEMA_VERSION};

@@ -5,8 +5,11 @@
 //! The JSON schema is versioned (`schema_version`). Version 2 added
 //! `cells_skipped` (fail-fast skips, previously lumped into
 //! `cells_failed`) and the `obs` object carrying the per-run counter /
-//! gauge / histogram / timer aggregates from the `lockbind-obs` registry;
-//! all version-1 fields are unchanged.
+//! gauge / histogram / timer aggregates from the `lockbind-obs` registry.
+//! Version 3 added the resilience counters `cells_timed_out` (deadline
+//! cancellations, split out of `cells_failed`), `cells_retried` (total
+//! retry attempts spent), and `cells_resumed` (cells spliced in from a
+//! checkpoint); all earlier fields are unchanged.
 
 use std::time::Duration;
 
@@ -16,7 +19,7 @@ use crate::cache::CacheStats;
 use crate::json::Json;
 
 /// JSON schema version written by [`RunMetrics::to_json`].
-pub const METRICS_SCHEMA_VERSION: u64 = 2;
+pub const METRICS_SCHEMA_VERSION: u64 = 3;
 
 impl CacheStats {
     /// The stats accumulated *since* `earlier` (the cache is shared across
@@ -63,10 +66,17 @@ pub struct RunMetrics {
     pub cells_total: usize,
     /// Cells that completed.
     pub cells_ok: usize,
-    /// Cells that failed (error or panic); excludes fail-fast skips.
+    /// Cells that failed (error or panic); excludes fail-fast skips and
+    /// deadline timeouts.
     pub cells_failed: usize,
     /// Cells never started because fail-fast aborted the run.
     pub cells_skipped: usize,
+    /// Cells cancelled by the per-cell deadline.
+    pub cells_timed_out: usize,
+    /// Total retry attempts spent across all cells.
+    pub cells_retried: usize,
+    /// Cells restored from a resume checkpoint instead of executed.
+    pub cells_resumed: usize,
     /// End-to-end wall time of the run.
     pub wall: Duration,
     /// Executed cells per wall-clock second.
@@ -90,6 +100,9 @@ impl RunMetrics {
         cells_total: usize,
         cells_ok: usize,
         cells_skipped: usize,
+        cells_timed_out: usize,
+        cells_retried: usize,
+        cells_resumed: usize,
         wall: Duration,
         cache: CacheStats,
         stage_acc: Vec<(&'static str, usize, Duration)>,
@@ -107,8 +120,11 @@ impl RunMetrics {
             root_seed,
             cells_total,
             cells_ok,
-            cells_failed: cells_total - cells_ok - cells_skipped,
+            cells_failed: cells_total - cells_ok - cells_skipped - cells_timed_out,
             cells_skipped,
+            cells_timed_out,
+            cells_retried,
+            cells_resumed,
             wall,
             cells_per_sec,
             cache,
@@ -132,8 +148,18 @@ impl RunMetrics {
         } else {
             String::new()
         };
+        let timed_out = if self.cells_timed_out > 0 {
+            format!(", {} timed out", self.cells_timed_out)
+        } else {
+            String::new()
+        };
+        let resumed = if self.cells_resumed > 0 {
+            format!(", {} resumed", self.cells_resumed)
+        } else {
+            String::new()
+        };
         format!(
-            "{} cells ({} ok, {} failed{skipped}) in {:.2}s on {} threads | {:.1} cells/s | cache {}h/{}m ({:.0}% hit)",
+            "{} cells ({} ok, {} failed{skipped}{timed_out}{resumed}) in {:.2}s on {} threads | {:.1} cells/s | cache {}h/{}m ({:.0}% hit)",
             self.cells_total,
             self.cells_ok,
             self.cells_failed,
@@ -157,6 +183,9 @@ impl RunMetrics {
             ("cells_ok", Json::from(self.cells_ok)),
             ("cells_failed", Json::from(self.cells_failed)),
             ("cells_skipped", Json::from(self.cells_skipped)),
+            ("cells_timed_out", Json::from(self.cells_timed_out)),
+            ("cells_retried", Json::from(self.cells_retried)),
+            ("cells_resumed", Json::from(self.cells_resumed)),
             ("wall_seconds", Json::from(self.wall.as_secs_f64())),
             ("cells_per_sec", Json::from(self.cells_per_sec)),
             (
@@ -220,6 +249,9 @@ mod tests {
             10,
             9,
             0,
+            0,
+            0,
+            0,
             Duration::from_millis(500),
             CacheStats {
                 hits: 30,
@@ -242,7 +274,7 @@ mod tests {
         assert!(summary.contains("75% hit"), "{summary}");
         assert!(!summary.contains("skipped"), "{summary}");
         let json = metrics.to_json().render();
-        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"schema_version\":3"));
         assert!(json.contains("\"root_seed\":2021"));
         assert!(json.contains("\"hit_rate\":0.75"));
         assert!(json.contains("\"stage\":\"error-cell\""));
@@ -257,6 +289,9 @@ mod tests {
             10,
             4,
             5,
+            0,
+            0,
+            0,
             Duration::from_millis(100),
             CacheStats::default(),
             Vec::new(),

@@ -1,11 +1,12 @@
-//! Deterministic worker pool with panic isolation.
+//! Deterministic worker pool with panic isolation, cell deadlines, retry,
+//! and checkpoint/resume.
 //!
 //! Jobs are claimed from a shared atomic index and their results stored back
 //! by job index, so the *assignment* of jobs to threads is racy but the
 //! *output* is not: the result vector is always in job order, and each job's
-//! RNG depends only on `(root_seed, job_index)` — never on which worker ran
-//! it or when. Running with 1 thread and with N threads therefore produces
-//! bit-identical results.
+//! RNG depends only on `(root_seed, job_index, attempt)` — never on which
+//! worker ran it or when. Running with 1 thread and with N threads therefore
+//! produces bit-identical results.
 //!
 //! Each job body runs under [`std::panic::catch_unwind`]; a panic or an
 //! `Err` return becomes [`CellResult::Failed`] for that cell only. With
@@ -14,6 +15,32 @@
 //! skips are counted separately from failures (`cells_skipped`, plus the
 //! `cells.skipped` registry counter and an `engine.fail_fast_abort`
 //! instant event), so an aborted sweep is distinguishable from a short one.
+//!
+//! Resilience knobs, all off by default:
+//!
+//! * **Cell deadlines** ([`EngineConfig::cell_timeout`]) — every attempt
+//!   gets a fresh [`CancelToken`] with the configured deadline, exposed as
+//!   [`JobCtx::cancel`]. Cancel-aware jobs (the SAT solver's conflict loop,
+//!   the co-design enumerations) unwind cooperatively; the cell becomes
+//!   [`CellResult::TimedOut`] without poisoning its neighbours. Timeouts
+//!   are not retried — a deterministic job that hit its deadline once will
+//!   hit it again.
+//! * **Retry with backoff** ([`EngineConfig::retry`]) — an erroring or
+//!   panicking cell is re-attempted up to `max_retries` times with
+//!   exponential backoff. Each attempt reseeds deterministically
+//!   (ChaCha stream `index + (attempt << 32)`), so attempt 0 reproduces
+//!   the retry-free run bit for bit and a transient fault's recovery value
+//!   is the same at any worker count.
+//! * **Checkpoint/resume** ([`EngineConfig::checkpoint`] /
+//!   [`EngineConfig::resume`]) — completed cells whose job implements
+//!   [`Job::encode_output`] are appended (flushed per cell) to a JSON-lines
+//!   file fingerprinted against the grid; resuming splices them back in job
+//!   order and only runs the remainder. See [`crate::checkpoint`].
+//! * **Fault injection** ([`EngineConfig::faults`]) — a deterministic
+//!   [`FaultPlan`] lets tests inject panics, errors, delays, and hangs at
+//!   the engine boundary (plus [`FaultKind::CacheBuild`] surfaced via
+//!   [`JobCtx::fault`] for cooperating jobs) to prove the knobs above
+//!   compose.
 //!
 //! Each cell executes inside an `lockbind-obs` [`CellScope`] and a span
 //! named by its [`Job::stage`], tagged with the cell index and worker id;
@@ -25,15 +52,18 @@
 
 use std::io::IsTerminal;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use lockbind_obs as obs;
+use lockbind_resil::{CancelToken, FaultKind, FaultPlan, RetryPolicy};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 
 use crate::cache::ArtifactCache;
+use crate::checkpoint::{self, CheckpointWriter};
 use crate::metrics::{CellTiming, RunMetrics};
 
 /// One schedulable experiment cell.
@@ -55,35 +85,74 @@ pub trait Job: Send + Sync {
     }
 
     /// Runs the cell. `Err` (and panics, caught by the pool) become
-    /// [`CellResult::Failed`].
+    /// [`CellResult::Failed`]. Long-running bodies should poll
+    /// [`JobCtx::cancel`] (or hand it to cancel-aware callees) so cell
+    /// deadlines terminate them cooperatively.
     fn run(&self, ctx: &mut JobCtx<'_>) -> Result<Self::Output, String>;
+
+    /// Serializes a completed output for the sweep checkpoint. `None`
+    /// (the default) opts this job out of checkpointing — it simply
+    /// re-runs on resume.
+    fn encode_output(&self, _output: &Self::Output) -> Option<String> {
+        None
+    }
+
+    /// Parses a payload previously written by
+    /// [`encode_output`](Self::encode_output). `None` discards the
+    /// checkpoint entry and re-runs the cell.
+    fn decode_output(&self, _payload: &str) -> Option<Self::Output> {
+        None
+    }
 }
 
 /// Per-cell execution context handed to [`Job::run`].
 pub struct JobCtx<'a> {
     /// Index of this cell in the submitted job slice.
     pub index: usize,
+    /// Which attempt this is (0 = first run, 1 = first retry, ...).
+    pub attempt: u32,
     /// Per-cell seed: the first output of this cell's ChaCha stream. Use it
     /// to seed experiment-local generators that must not depend on worker
     /// count or scheduling order.
     pub seed: u64,
     /// Per-cell RNG: ChaCha12 seeded from the root seed with
-    /// `stream = index`, positioned after the [`seed`](Self::seed) draw.
+    /// `stream = index + (attempt << 32)`, positioned after the
+    /// [`seed`](Self::seed) draw. Attempt 0 reproduces the retry-free
+    /// stream exactly.
     pub rng: ChaCha12Rng,
     /// Shared artifact cache.
     pub cache: &'a ArtifactCache,
+    /// Cancel token for this attempt; fires at the configured cell
+    /// deadline (or never, when no deadline is set). Cancel-aware job
+    /// bodies poll it or pass it down to cancellable callees.
+    pub cancel: CancelToken,
+    /// Fault the engine's [`FaultPlan`] selected for this attempt, if any.
+    /// Panic/error/delay/hang faults are applied by the engine before the
+    /// job body runs; [`FaultKind::CacheBuild`] is left here for
+    /// cooperating jobs to feed into their cache builders.
+    pub fault: Option<FaultKind>,
 }
 
 impl<'a> JobCtx<'a> {
-    fn new(index: usize, root_seed: u64, cache: &'a ArtifactCache) -> Self {
+    fn new(
+        index: usize,
+        attempt: u32,
+        root_seed: u64,
+        cache: &'a ArtifactCache,
+        cancel: CancelToken,
+        fault: Option<FaultKind>,
+    ) -> Self {
         let mut rng = ChaCha12Rng::seed_from_u64(root_seed);
-        rng.set_stream(index as u64);
+        rng.set_stream(index as u64 + (u64::from(attempt) << 32));
         let seed = rng.next_u64();
         JobCtx {
             index,
+            attempt,
             seed,
             rng,
             cache,
+            cancel,
+            fault,
         }
     }
 }
@@ -105,6 +174,15 @@ pub enum CellResult<T> {
         /// Error or panic message.
         message: String,
     },
+    /// The cell's deadline fired before it finished; the attempt was
+    /// cancelled cooperatively. Counted separately from failures and
+    /// never retried.
+    TimedOut {
+        /// Cell label.
+        cell: String,
+        /// What the interrupted attempt reported.
+        message: String,
+    },
 }
 
 impl<T> CellResult<T> {
@@ -112,15 +190,23 @@ impl<T> CellResult<T> {
     pub fn output(&self) -> Option<&T> {
         match self {
             CellResult::Ok { output, .. } => Some(output),
-            CellResult::Failed { .. } => None,
+            _ => None,
         }
     }
 
-    /// The `(cell, message)` pair, if the cell failed.
+    /// The `(cell, message)` pair, if the cell failed (timeouts excluded).
     pub fn failure(&self) -> Option<(&str, &str)> {
         match self {
-            CellResult::Ok { .. } => None,
             CellResult::Failed { cell, message } => Some((cell, message)),
+            _ => None,
+        }
+    }
+
+    /// The `(cell, message)` pair, if the cell hit its deadline.
+    pub fn timeout(&self) -> Option<(&str, &str)> {
+        match self {
+            CellResult::TimedOut { cell, message } => Some((cell, message)),
+            _ => None,
         }
     }
 }
@@ -137,6 +223,18 @@ pub struct EngineConfig {
     /// Emit a live `done/total` progress line to stderr (suppressed when
     /// stderr is not a terminal).
     pub progress: bool,
+    /// Per-attempt cell deadline; `None` disables deadlines.
+    pub cell_timeout: Option<Duration>,
+    /// Retry policy for erroring/panicking cells (timeouts are never
+    /// retried). [`RetryPolicy::none`] disables retries.
+    pub retry: RetryPolicy,
+    /// Deterministic fault-injection plan, for tests and fault drills.
+    pub faults: Option<FaultPlan>,
+    /// Where to append completed cells as a resumable checkpoint.
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint file to resume from; fingerprint-mismatching files are
+    /// ignored with a warning (the run proceeds from scratch).
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -146,6 +244,11 @@ impl Default for EngineConfig {
             root_seed: 0,
             fail_fast: false,
             progress: true,
+            cell_timeout: None,
+            retry: RetryPolicy::none(),
+            faults: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -182,10 +285,15 @@ impl<T> RunReport<T> {
     pub fn failures(&self) -> impl Iterator<Item = (&str, &str)> {
         self.results.iter().filter_map(CellResult::failure)
     }
+
+    /// Iterates over `(cell, message)` pairs of timed-out cells.
+    pub fn timeouts(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.results.iter().filter_map(CellResult::timeout)
+    }
 }
 
 /// A completed cell as the workers hand it back: job index, result, stage
-/// name, and wall time.
+/// name, and wall time (across all attempts).
 type Finished<T> = (usize, CellResult<T>, &'static str, Duration);
 
 /// The experiment-execution engine: a config plus a shared artifact cache
@@ -217,53 +325,121 @@ impl Engine {
 
     /// Runs every job and returns in-order results plus run metrics.
     pub fn run<J: Job>(&self, jobs: &[J]) -> RunReport<J::Output> {
-        let threads = self.cfg.effective_threads().min(jobs.len().max(1));
         let show_progress = self.cfg.progress && std::io::stderr().is_terminal();
         let cache_before = self.cache.stats();
         let obs_before = obs::Registry::global().snapshot();
 
+        // Checkpoint identity and resume splicing happen before any worker
+        // starts: resumed cells never enter the claimable set.
+        let labels: Vec<String> = jobs.iter().map(Job::label).collect();
+        let grid_fp = checkpoint::fingerprint(self.cfg.root_seed, &labels);
+        let mut resumed: Vec<Option<J::Output>> = (0..jobs.len()).map(|_| None).collect();
+        let mut cells_resumed = 0usize;
+        if let Some(path) = &self.cfg.resume {
+            match checkpoint::load(path, grid_fp) {
+                Ok(entries) => {
+                    for entry in entries {
+                        let Some(slot) = resumed.get_mut(entry.cell) else {
+                            continue;
+                        };
+                        if slot.is_none() {
+                            if let Some(output) = jobs[entry.cell].decode_output(&entry.payload) {
+                                *slot = Some(output);
+                                cells_resumed += 1;
+                            }
+                        }
+                    }
+                }
+                Err(message) => {
+                    eprintln!("[engine] ignoring resume checkpoint: {message}");
+                }
+            }
+        }
+        if cells_resumed > 0 {
+            obs::counter!("cells.resumed").add(cells_resumed as u64);
+        }
+        let writer = self.cfg.checkpoint.as_ref().and_then(|path| {
+            let resuming = self.cfg.resume.as_deref() == Some(path.as_path());
+            match CheckpointWriter::open(path, grid_fp, self.cfg.root_seed, jobs.len(), resuming) {
+                Ok(writer) => Some(writer),
+                Err(e) => {
+                    eprintln!(
+                        "[engine] checkpointing disabled: cannot open {}: {e}",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
+        if let Some(writer) = &writer {
+            // A fresh checkpoint file must still be complete: re-encode
+            // cells spliced in from a *different* resume file.
+            if !writer.appended() {
+                for (index, output) in resumed.iter().enumerate() {
+                    if let Some(output) = output {
+                        if let Some(payload) = jobs[index].encode_output(output) {
+                            let _ = writer.append(index, &labels[index], &payload);
+                        }
+                    }
+                }
+            }
+        }
+
+        let pending: Vec<usize> = (0..jobs.len()).filter(|&i| resumed[i].is_none()).collect();
+        let threads = self.cfg.effective_threads().min(pending.len().max(1));
+
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let failed = AtomicUsize::new(0);
+        let retried = AtomicUsize::new(0);
+        let timed_out = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
-        let collected: Mutex<Vec<Finished<J::Output>>> = Mutex::new(Vec::with_capacity(jobs.len()));
+        let collected: Mutex<Vec<Finished<J::Output>>> =
+            Mutex::new(Vec::with_capacity(pending.len()));
 
         let started = Instant::now();
         std::thread::scope(|scope| {
             for worker in 0..threads {
                 let (next, done, failed, abort) = (&next, &done, &failed, &abort);
+                let (retried, timed_out) = (&retried, &timed_out);
                 let (collected, cache, cfg) = (&collected, &self.cache, &self.cfg);
+                let (pending, labels, writer) = (&pending, &labels, writer.as_ref());
                 scope.spawn(move || loop {
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= jobs.len() {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&index) = pending.get(slot) else {
                         break;
-                    }
+                    };
                     let job = &jobs[index];
-                    let cell = job.label();
+                    let cell = labels[index].as_str();
                     let stage = job.stage();
-                    let mut ctx = JobCtx::new(index, cfg.root_seed, cache);
                     let cell_start = Instant::now();
-                    let outcome = {
-                        let _cell_scope = obs::CellScope::enter(index as u64, worker as u64);
-                        let _span = obs::span!(stage, cell = cell.as_str(), worker = worker);
-                        catch_unwind(AssertUnwindSafe(|| job.run(&mut ctx)))
-                    };
+                    let result = run_cell(job, index, cell, worker, cache, cfg, retried);
                     let wall = cell_start.elapsed();
-                    let result = match outcome {
-                        Ok(Ok(output)) => CellResult::Ok { cell, output },
-                        Ok(Err(message)) => CellResult::Failed { cell, message },
-                        Err(payload) => CellResult::Failed {
-                            cell,
-                            message: panic_message(payload.as_ref()),
-                        },
-                    };
-                    if matches!(result, CellResult::Failed { .. }) {
-                        failed.fetch_add(1, Ordering::Relaxed);
-                        if cfg.fail_fast {
-                            abort.store(true, Ordering::Relaxed);
+                    match &result {
+                        CellResult::Ok { output, .. } => {
+                            if let (Some(writer), Some(payload)) =
+                                (writer, job.encode_output(output))
+                            {
+                                if let Err(e) = writer.append(index, cell, &payload) {
+                                    eprintln!("[engine] checkpoint append failed: {e}");
+                                }
+                            }
+                        }
+                        CellResult::TimedOut { .. } => {
+                            timed_out.fetch_add(1, Ordering::Relaxed);
+                            obs::counter!("cells.timed_out").inc();
+                            if cfg.fail_fast {
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        CellResult::Failed { .. } => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            if cfg.fail_fast {
+                                abort.store(true, Ordering::Relaxed);
+                            }
                         }
                     }
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -274,7 +450,7 @@ impl Engine {
                     if show_progress {
                         eprint!(
                             "\r[engine] {finished}/{} cells | {} failed ",
-                            jobs.len(),
+                            pending.len(),
                             failed.load(Ordering::Relaxed)
                         );
                     }
@@ -286,16 +462,26 @@ impl Engine {
             eprintln!();
         }
 
-        // Reassemble in job order; fail-fast leaves unclaimed cells, which
-        // surface as explicit skips rather than silently missing rows.
-        let mut slots: Vec<Option<CellResult<J::Output>>> = (0..jobs.len()).map(|_| None).collect();
-        let mut timings = Vec::with_capacity(jobs.len());
+        // Reassemble in job order: resumed cells first, then the workers'
+        // results; fail-fast leaves unclaimed cells, which surface as
+        // explicit skips rather than silently missing rows.
+        let mut slots: Vec<Option<CellResult<J::Output>>> = resumed
+            .into_iter()
+            .enumerate()
+            .map(|(index, output)| {
+                output.map(|output| CellResult::Ok {
+                    cell: labels[index].clone(),
+                    output,
+                })
+            })
+            .collect();
+        let mut timings = Vec::with_capacity(pending.len());
         let mut stage_acc: Vec<(&'static str, usize, Duration)> = Vec::new();
         let mut collected = collected.into_inner().expect("result sink poisoned");
         collected.sort_by_key(|(index, ..)| *index);
         for (index, result, stage, cell_wall) in collected {
             timings.push(CellTiming {
-                cell: cell_label(&result),
+                cell: labels[index].clone(),
                 stage: stage.to_string(),
                 wall: cell_wall,
             });
@@ -316,7 +502,7 @@ impl Engine {
                 slot.unwrap_or_else(|| {
                     skipped += 1;
                     CellResult::Failed {
-                        cell: jobs[index].label(),
+                        cell: labels[index].clone(),
                         message: "skipped: fail-fast after an earlier failure".to_string(),
                     }
                 })
@@ -339,6 +525,9 @@ impl Engine {
             results.len(),
             cells_ok,
             skipped,
+            timed_out.load(Ordering::Relaxed),
+            retried.load(Ordering::Relaxed),
+            cells_resumed,
             wall,
             self.cache.stats().delta_from(cache_before),
             stage_acc,
@@ -349,9 +538,98 @@ impl Engine {
     }
 }
 
-fn cell_label<T>(result: &CellResult<T>) -> String {
-    match result {
-        CellResult::Ok { cell, .. } | CellResult::Failed { cell, .. } => cell.clone(),
+/// Runs one cell to a final [`CellResult`]: attempt loop with fault
+/// injection, deadline classification, and retry-with-backoff.
+fn run_cell<J: Job>(
+    job: &J,
+    index: usize,
+    cell: &str,
+    worker: usize,
+    cache: &ArtifactCache,
+    cfg: &EngineConfig,
+    retried: &AtomicUsize,
+) -> CellResult<J::Output> {
+    let mut attempt = 0u32;
+    loop {
+        let cancel = match cfg.cell_timeout {
+            Some(limit) => CancelToken::with_deadline(limit),
+            None => CancelToken::new(),
+        };
+        let fault = cfg
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.action_for(index, attempt));
+        let mut ctx = JobCtx::new(index, attempt, cfg.root_seed, cache, cancel.clone(), fault);
+        let outcome = {
+            let _cell_scope = obs::CellScope::enter(index as u64, worker as u64);
+            let _span = obs::span!(job.stage(), cell = cell, worker = worker);
+            catch_unwind(AssertUnwindSafe(|| {
+                apply_fault(&mut ctx)?;
+                job.run(&mut ctx)
+            }))
+        };
+        let message = match outcome {
+            Ok(Ok(output)) => {
+                return CellResult::Ok {
+                    cell: cell.to_string(),
+                    output,
+                }
+            }
+            Ok(Err(message)) => message,
+            Err(payload) => panic_message(payload.as_ref()),
+        };
+        // A fired deadline means the error/panic is (directly or not) the
+        // cooperative unwind — classify as a timeout and do not retry: the
+        // job is deterministic, the next attempt would time out too.
+        if cancel.deadline_exceeded() {
+            return CellResult::TimedOut {
+                cell: cell.to_string(),
+                message: format!(
+                    "deadline {:?} exceeded on attempt {attempt}: {message}",
+                    cfg.cell_timeout.unwrap_or_default()
+                ),
+            };
+        }
+        if attempt >= cfg.retry.max_retries {
+            return CellResult::Failed {
+                cell: cell.to_string(),
+                message,
+            };
+        }
+        retried.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("cells.retried").inc();
+        std::thread::sleep(cfg.retry.backoff_for(attempt));
+        attempt += 1;
+    }
+}
+
+/// Applies the attempt's injected fault, if any. Panics, errors, delays,
+/// and hangs are enacted here; [`FaultKind::CacheBuild`] is left on the
+/// context for cooperating jobs.
+fn apply_fault(ctx: &mut JobCtx<'_>) -> Result<(), String> {
+    let (index, attempt) = (ctx.index, ctx.attempt);
+    match &ctx.fault {
+        None | Some(FaultKind::CacheBuild) => Ok(()),
+        Some(FaultKind::Error) => Err(format!(
+            "injected fault: error (cell {index}, attempt {attempt})"
+        )),
+        Some(FaultKind::Panic) => {
+            panic!("injected fault: panic (cell {index}, attempt {attempt})")
+        }
+        Some(FaultKind::Delay(pause)) => {
+            std::thread::sleep(*pause);
+            Ok(())
+        }
+        Some(FaultKind::Hang) => loop {
+            // Simulates a stuck cell that still polls its cancel token —
+            // only a cell deadline (or external cancel) gets us out.
+            if ctx.cancel.is_cancelled() {
+                return Err(format!(
+                    "injected fault: hang cancelled (cell {index}, attempt {attempt})"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        },
     }
 }
 
@@ -368,6 +646,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lockbind_resil::FaultRule;
 
     /// A toy job whose output depends on its RNG — detects any seed-stream
     /// coupling between cells.
@@ -385,6 +664,15 @@ mod tests {
         fn run(&self, ctx: &mut JobCtx<'_>) -> Result<Self::Output, String> {
             Ok((ctx.seed, ctx.rng.next_u64()))
         }
+
+        fn encode_output(&self, output: &Self::Output) -> Option<String> {
+            Some(format!("{} {}", output.0, output.1))
+        }
+
+        fn decode_output(&self, payload: &str) -> Option<Self::Output> {
+            let (a, b) = payload.split_once(' ')?;
+            Some((a.parse().ok()?, b.parse().ok()?))
+        }
     }
 
     fn run_with_threads(threads: usize) -> Vec<CellResult<(u64, u64)>> {
@@ -392,8 +680,8 @@ mod tests {
         let engine = Engine::new(EngineConfig {
             threads,
             root_seed: 0x0DAC_2021,
-            fail_fast: false,
             progress: false,
+            ..EngineConfig::default()
         });
         engine.run(&jobs).results
     }
@@ -508,5 +796,315 @@ mod tests {
         let json = m.to_json().render();
         assert!(json.contains("\"cells_total\":6"));
         assert!(json.contains("\"cache\""));
+    }
+
+    /// Hangs forever on the chosen cell unless the cancel token fires.
+    struct HangingJob {
+        id: usize,
+        hang_on: usize,
+    }
+
+    impl Job for HangingJob {
+        type Output = usize;
+
+        fn label(&self) -> String {
+            format!("hang-{}", self.id)
+        }
+
+        fn run(&self, ctx: &mut JobCtx<'_>) -> Result<usize, String> {
+            if self.id == self.hang_on {
+                loop {
+                    if ctx.cancel.is_cancelled() {
+                        return Err("cancelled while hung".to_string());
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            Ok(self.id)
+        }
+    }
+
+    #[test]
+    fn deadline_turns_a_hung_cell_into_timed_out() {
+        let jobs: Vec<HangingJob> = (0..6).map(|id| HangingJob { id, hang_on: 2 }).collect();
+        let engine = Engine::new(EngineConfig {
+            threads: 3,
+            progress: false,
+            cell_timeout: Some(Duration::from_millis(50)),
+            ..EngineConfig::default()
+        });
+        let started = Instant::now();
+        let report = engine.run(&jobs);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "the hung cell must be bounded by the deadline"
+        );
+        let timeouts: Vec<(&str, &str)> = report.timeouts().collect();
+        assert_eq!(timeouts.len(), 1);
+        assert_eq!(timeouts[0].0, "hang-2");
+        assert!(timeouts[0].1.contains("deadline"), "{}", timeouts[0].1);
+        // The hang poisoned nothing else.
+        assert_eq!(report.metrics.cells_ok, 5);
+        assert_eq!(report.metrics.cells_failed, 0);
+        assert_eq!(report.metrics.cells_timed_out, 1);
+    }
+
+    /// Fails deterministically on the first N attempts of one cell, then
+    /// succeeds — exercises retry without any wall-clock dependence.
+    struct FlakyJob {
+        id: usize,
+        flaky_cell: usize,
+        fail_attempts: u32,
+    }
+
+    impl Job for FlakyJob {
+        type Output = (u64, u32);
+
+        fn label(&self) -> String {
+            format!("flaky-{}", self.id)
+        }
+
+        fn run(&self, ctx: &mut JobCtx<'_>) -> Result<Self::Output, String> {
+            if self.id == self.flaky_cell && ctx.attempt < self.fail_attempts {
+                return Err(format!("transient failure on attempt {}", ctx.attempt));
+            }
+            Ok((ctx.seed, ctx.attempt))
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_deterministically() {
+        let run = |threads: usize| {
+            let jobs: Vec<FlakyJob> = (0..8)
+                .map(|id| FlakyJob {
+                    id,
+                    flaky_cell: 4,
+                    fail_attempts: 2,
+                })
+                .collect();
+            let engine = Engine::new(EngineConfig {
+                threads,
+                root_seed: 99,
+                progress: false,
+                retry: RetryPolicy::new(3, Duration::from_millis(1)),
+                ..EngineConfig::default()
+            });
+            engine.run(&jobs)
+        };
+        let serial = run(1);
+        assert_eq!(serial.metrics.cells_ok, 8);
+        assert_eq!(serial.metrics.cells_retried, 2);
+        let (seed, attempt) = serial.results[4].output().expect("recovered");
+        assert_eq!(*attempt, 2, "succeeded on the second retry");
+        // The retry attempt reseeds its own ChaCha stream.
+        let (seed0, _) = serial.results[0].output().expect("ok");
+        assert_ne!(seed, seed0);
+        for threads in [4, 7] {
+            assert_eq!(run(threads).results, serial.results, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn retries_exhausted_fail_the_cell() {
+        let jobs = vec![FlakyJob {
+            id: 0,
+            flaky_cell: 0,
+            fail_attempts: 10,
+        }];
+        let engine = Engine::new(EngineConfig {
+            threads: 1,
+            progress: false,
+            retry: RetryPolicy::new(2, Duration::from_millis(1)),
+            ..EngineConfig::default()
+        });
+        let report = engine.run(&jobs);
+        assert_eq!(report.metrics.cells_failed, 1);
+        assert_eq!(report.metrics.cells_retried, 2);
+        let (_, message) = report.failures().next().expect("failed");
+        assert!(message.contains("attempt 2"), "{message}");
+    }
+
+    #[test]
+    fn injected_faults_are_deterministic_and_retryable() {
+        // max_attempt = 1: the fault fires on attempt 0 only, so one
+        // retry always cures it.
+        let faults =
+            FaultPlan::new(11).rule(FaultRule::at_cells(FaultKind::Error, vec![1, 3]).transient(1));
+        let run = |threads: usize| {
+            let jobs: Vec<RngJob> = (0..6).map(|id| RngJob { id }).collect();
+            let engine = Engine::new(EngineConfig {
+                threads,
+                root_seed: 5,
+                progress: false,
+                retry: RetryPolicy::new(1, Duration::from_millis(1)),
+                faults: Some(faults.clone()),
+                ..EngineConfig::default()
+            });
+            engine.run(&jobs)
+        };
+        let serial = run(1);
+        assert_eq!(serial.metrics.cells_ok, 6, "transient faults recover");
+        assert_eq!(serial.metrics.cells_retried, 2);
+        for threads in [4, 7] {
+            assert_eq!(run(threads).results, serial.results, "threads = {threads}");
+        }
+    }
+
+    /// Requests `key = id % 3` from the shared cache; a
+    /// [`FaultKind::CacheBuild`] fault makes this cell's build panic.
+    struct CacheJob {
+        id: usize,
+    }
+
+    impl Job for CacheJob {
+        type Output = u64;
+
+        fn label(&self) -> String {
+            format!("cache-{}", self.id)
+        }
+
+        fn run(&self, ctx: &mut JobCtx<'_>) -> Result<u64, String> {
+            let poisoned = matches!(ctx.fault, Some(FaultKind::CacheBuild));
+            let key = crate::cache::CacheKey::new("shared").push_u64((self.id % 3) as u64);
+            let value = ctx.cache.get_or_insert_with::<u64, _>(key, || {
+                if poisoned {
+                    panic!("injected cache-build failure");
+                }
+                (self.id % 3) as u64 * 100
+            });
+            Ok(*value)
+        }
+    }
+
+    #[test]
+    fn cache_build_failures_keep_counters_deterministic() {
+        // Cells 0/3/6/9 all request key 0 and each injects a build
+        // failure, so key 0 never materializes: every requester builds
+        // exactly once (4 misses), fails its own cell, and leaves the
+        // other keys untouched. Single-flight makes the counters exact at
+        // any worker count.
+        let faults =
+            FaultPlan::new(0).rule(FaultRule::at_cells(FaultKind::CacheBuild, vec![0, 3, 6, 9]));
+        let run = |threads: usize| {
+            let jobs: Vec<CacheJob> = (0..12).map(|id| CacheJob { id }).collect();
+            let engine = Engine::new(EngineConfig {
+                threads,
+                root_seed: 1,
+                progress: false,
+                faults: Some(faults.clone()),
+                ..EngineConfig::default()
+            });
+            engine.run(&jobs)
+        };
+        let serial = run(1);
+        assert_eq!(serial.metrics.cells_ok, 8);
+        assert_eq!(serial.metrics.cells_failed, 4);
+        assert_eq!(
+            (serial.metrics.cache.misses, serial.metrics.cache.hits),
+            (6, 6),
+            "4 failed builds of key 0 + 1 build each of keys 1 and 2; the rest hit"
+        );
+        assert_eq!(serial.metrics.cache.entries, 2, "key 0 never materializes");
+        for threads in [4, 7] {
+            let report = run(threads);
+            assert_eq!(report.results, serial.results, "threads = {threads}");
+            assert_eq!(
+                (report.metrics.cache.misses, report.metrics.cache.hits),
+                (6, 6),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    fn temp_checkpoint(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lockbind-pool-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join("sweep.jsonl")
+    }
+
+    #[test]
+    fn checkpoint_then_resume_reproduces_the_full_run() {
+        let jobs: Vec<RngJob> = (0..12).map(|id| RngJob { id }).collect();
+        let path = temp_checkpoint("resume");
+
+        let full = Engine::new(EngineConfig {
+            threads: 1,
+            root_seed: 7,
+            progress: false,
+            ..EngineConfig::default()
+        })
+        .run(&jobs);
+
+        // A checkpointed run, then truncate the file to simulate a kill
+        // after 5 cells, then resume.
+        Engine::new(EngineConfig {
+            threads: 1,
+            root_seed: 7,
+            progress: false,
+            checkpoint: Some(path.clone()),
+            ..EngineConfig::default()
+        })
+        .run(&jobs);
+        let text = std::fs::read_to_string(&path).expect("checkpoint");
+        let truncated: Vec<&str> = text.lines().take(6).collect(); // header + 5 cells
+        std::fs::write(&path, truncated.join("\n") + "\n").expect("truncate");
+
+        let resumed = Engine::new(EngineConfig {
+            threads: 1,
+            root_seed: 7,
+            progress: false,
+            checkpoint: Some(path.clone()),
+            resume: Some(path.clone()),
+            ..EngineConfig::default()
+        })
+        .run(&jobs);
+        assert_eq!(resumed.metrics.cells_resumed, 5);
+        assert_eq!(resumed.metrics.cells_ok, 12);
+        assert_eq!(
+            format!("{:?}", resumed.results),
+            format!("{:?}", full.results),
+            "resumed results must be bit-identical to the uninterrupted run"
+        );
+        // The completed checkpoint now covers every cell and resumes to a
+        // fully-skipped run.
+        let again = Engine::new(EngineConfig {
+            threads: 4,
+            root_seed: 7,
+            progress: false,
+            resume: Some(path),
+            ..EngineConfig::default()
+        })
+        .run(&jobs);
+        assert_eq!(again.metrics.cells_resumed, 12);
+        assert_eq!(
+            format!("{:?}", again.results),
+            format!("{:?}", full.results)
+        );
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_ignored() {
+        let jobs: Vec<RngJob> = (0..4).map(|id| RngJob { id }).collect();
+        let path = temp_checkpoint("mismatch");
+        Engine::new(EngineConfig {
+            threads: 1,
+            root_seed: 1,
+            progress: false,
+            checkpoint: Some(path.clone()),
+            ..EngineConfig::default()
+        })
+        .run(&jobs);
+        // Different root seed → different fingerprint → full re-run.
+        let report = Engine::new(EngineConfig {
+            threads: 1,
+            root_seed: 2,
+            progress: false,
+            resume: Some(path),
+            ..EngineConfig::default()
+        })
+        .run(&jobs);
+        assert_eq!(report.metrics.cells_resumed, 0);
+        assert_eq!(report.metrics.cells_ok, 4);
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use lockbind_resil::CancelToken;
+
 use crate::heap::VarHeap;
 use crate::luby::luby;
 
@@ -47,6 +49,15 @@ pub enum SolveResult {
     Sat,
     /// The formula is unsatisfiable (under the given assumptions, if any).
     Unsat,
+    /// The conflict budget ([`Solver::set_conflict_budget`]) ran out before
+    /// the solve reached an answer. **Not** a proof of unsatisfiability:
+    /// the formula's status is unknown. The solver state stays valid; the
+    /// learnt clauses are kept and a re-solve resumes from them.
+    BudgetExhausted,
+    /// The interrupt token ([`Solver::set_interrupt`]) fired mid-solve —
+    /// either an explicit cancel or a deadline expiry. The formula's status
+    /// is unknown; the solver state stays valid for a later re-solve.
+    Interrupted,
 }
 
 /// Aggregate solver statistics, reset never (cumulative per solver).
@@ -88,6 +99,7 @@ pub struct Solver {
     stats: SolverStats,
     max_learnts: f64,
     conflict_budget: Option<u64>,
+    interrupt: Option<CancelToken>,
 }
 
 impl Default for Solver {
@@ -97,6 +109,12 @@ impl Default for Solver {
 }
 
 impl Solver {
+    /// How many conflicts/decisions pass between interrupt-token polls.
+    /// Small enough that a deadline stops a pathological solve within
+    /// milliseconds, large enough that the clock read never shows up in a
+    /// profile.
+    pub const INTERRUPT_POLL_OPS: u32 = 128;
+
     /// Creates an empty solver.
     pub fn new() -> Self {
         Solver {
@@ -118,6 +136,7 @@ impl Solver {
             stats: SolverStats::default(),
             max_learnts: 1000.0,
             conflict_budget: None,
+            interrupt: None,
         }
     }
 
@@ -154,12 +173,27 @@ impl Solver {
         self.stats
     }
 
-    /// Limits the next `solve` call to approximately `conflicts` conflicts;
-    /// `None` removes the limit. When the budget is exhausted the solve
-    /// returns `Unsat`... no — it panics? Neither: see [`Solver::solve_limited`].
-    #[doc(hidden)]
+    /// Limits each subsequent solve call to approximately `conflicts`
+    /// conflicts; `None` removes the limit. When the budget runs out the
+    /// solve returns [`SolveResult::BudgetExhausted`] — explicitly *not*
+    /// `Unsat`, so callers can tell a proven-secure instance from one the
+    /// solver merely gave up on.
     pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
         self.conflict_budget = conflicts;
+    }
+
+    /// Installs (or clears) a cooperative-interrupt token. The solve loop
+    /// polls it every [`Solver::INTERRUPT_POLL_OPS`] conflicts/decisions
+    /// and returns [`SolveResult::Interrupted`] once it fires. The token is
+    /// shared: cancelling any clone interrupts the solver.
+    pub fn set_interrupt(&mut self, token: Option<CancelToken>) {
+        self.interrupt = token;
+    }
+
+    fn interrupt_fired(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
     }
 
     /// Adds a clause of DIMACS literals, growing the variable space if
@@ -496,6 +530,9 @@ impl Solver {
         if self.unsat {
             return SolveResult::Unsat;
         }
+        if self.interrupt_fired() {
+            return SolveResult::Interrupted;
+        }
         self.cancel_until(0);
         if self.propagate().is_some() {
             self.unsat = true;
@@ -507,8 +544,17 @@ impl Solver {
         let mut restart_count = 0u64;
         let mut conflicts_until_restart = luby(1) * 100;
         let mut conflicts_this_solve = 0u64;
+        let mut ops_since_poll = 0u32;
 
         loop {
+            ops_since_poll += 1;
+            if ops_since_poll >= Self::INTERRUPT_POLL_OPS {
+                ops_since_poll = 0;
+                if self.interrupt_fired() {
+                    self.cancel_until(0);
+                    return SolveResult::Interrupted;
+                }
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_this_solve += 1;
@@ -544,10 +590,8 @@ impl Solver {
                 }
                 if let Some(budget) = self.conflict_budget {
                     if conflicts_this_solve > budget {
-                        // Budget exhausted: treat as Unsat-under-budget. The
-                        // attack harness uses budgets only as a safety net.
                         self.cancel_until(0);
-                        return SolveResult::Unsat;
+                        return SolveResult::BudgetExhausted;
                     }
                 }
             } else {
@@ -857,5 +901,65 @@ mod tests {
     fn zero_literal_rejected() {
         let mut s = Solver::new();
         s.add_clause(&[0]);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_not_unsat() {
+        // PHP(7, 6) needs far more than 10 conflicts; the budgeted solve
+        // must report BudgetExhausted, and lifting the budget must still
+        // reach the true Unsat answer from the kept learnt clauses.
+        let mut s = pigeonhole(7, 6);
+        s.set_conflict_budget(Some(10));
+        assert_eq!(s.solve(), SolveResult::BudgetExhausted);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn budget_large_enough_does_not_trigger() {
+        let mut s = pigeonhole(4, 4);
+        s.set_conflict_budget(Some(1_000_000));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pre_cancelled_token_interrupts_immediately() {
+        let mut s = pigeonhole(7, 6);
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_interrupt(Some(token));
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        // Clearing the token resumes normal solving on intact state.
+        s.set_interrupt(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn deadline_token_interrupts_a_long_solve() {
+        // PHP(9, 8) takes well over 50ms; the deadline must cut it short.
+        let mut s = pigeonhole(9, 8);
+        s.set_interrupt(Some(CancelToken::with_deadline(
+            std::time::Duration::from_millis(50),
+        )));
+        let started = std::time::Instant::now();
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "interrupt took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn cancel_from_another_thread_interrupts() {
+        let mut s = pigeonhole(9, 8);
+        let token = CancelToken::new();
+        s.set_interrupt(Some(token.clone()));
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            token.cancel();
+        });
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        canceller.join().unwrap();
     }
 }

@@ -16,6 +16,7 @@ fn run_grid(threads: usize) -> String {
         root_seed: 2021,
         fail_fast: false,
         progress: false,
+        ..EngineConfig::default()
     });
     let params = ExperimentParams {
         num_candidates: 4,

@@ -1,0 +1,220 @@
+//! End-to-end resilience checks for the execution engine, run against the
+//! real combined headline grid: cell deadlines, retry-with-backoff under
+//! injected faults, and checkpoint/resume — all composing with each other
+//! and with the bench cells' cooperative cancellation.
+
+use std::time::{Duration, Instant};
+
+use lockbind_bench::{collect_headline_records, headline_grid, ExperimentParams, HeadlineCell};
+use lockbind_engine::{checkpoint, CellResult, Engine, EngineConfig, Job, RunReport};
+use lockbind_mediabench::Kernel;
+use lockbind_resil::{FaultKind, FaultPlan, FaultRule, RetryPolicy};
+
+const FRAMES: usize = 40;
+const SEED: u64 = 5;
+const ROOT_SEED: u64 = 2021;
+
+fn small_params() -> ExperimentParams {
+    ExperimentParams {
+        num_candidates: 4,
+        max_locked_fus: 1,
+        max_locked_inputs: 1,
+        max_assignments: 20,
+        optimal_budget: 50,
+        seed: 7,
+    }
+}
+
+fn grid() -> Vec<HeadlineCell> {
+    headline_grid(&[Kernel::Fir], FRAMES, SEED, &small_params())
+}
+
+fn engine(threads: usize, cfg: EngineConfig) -> Engine {
+    Engine::new(EngineConfig {
+        threads,
+        root_seed: ROOT_SEED,
+        progress: false,
+        ..cfg
+    })
+}
+
+fn records_digest(report: &RunReport<<HeadlineCell as Job>::Output>) -> String {
+    let (errors, impacts, sats, failures) = collect_headline_records(&report.results);
+    assert!(failures.is_empty(), "unexpected failures: {failures:?}");
+    format!("{errors:?}\n{impacts:?}\n{sats:?}")
+}
+
+#[test]
+fn hung_cell_times_out_without_poisoning_the_grid() {
+    let cells = grid();
+    let hang_cell = cells.len() / 2;
+    // Generous deadline: real cells finish in milliseconds even on a loaded
+    // machine (the workspace test suite runs in parallel), so only the
+    // injected hang can plausibly exceed it.
+    let timeout = Duration::from_secs(2);
+    let eng = engine(
+        3,
+        EngineConfig {
+            fail_fast: false,
+            cell_timeout: Some(timeout),
+            faults: Some(
+                FaultPlan::new(0).rule(FaultRule::at_cells(FaultKind::Hang, vec![hang_cell])),
+            ),
+            ..EngineConfig::default()
+        },
+    );
+    let started = Instant::now();
+    let report = eng.run(&cells);
+    let elapsed = started.elapsed();
+
+    match &report.results[hang_cell] {
+        CellResult::TimedOut { cell, message } => {
+            assert_eq!(*cell, cells[hang_cell].label());
+            assert!(message.contains("deadline"), "message: {message}");
+        }
+        other => panic!("hung cell must time out, got {other:?}"),
+    }
+    // The hang is cooperative (it polls the deadline token), so the cell
+    // terminates promptly — well before a whole extra timeout has passed
+    // beyond the unavoidable grid work.
+    assert!(
+        elapsed < timeout * 10,
+        "grid took {elapsed:?}, hang not interrupted"
+    );
+    assert_eq!(report.metrics.cells_timed_out, 1);
+    assert_eq!(report.metrics.cells_failed, 0);
+    assert_eq!(report.metrics.cells_ok, cells.len() - 1);
+    // Every other cell produced its records.
+    for (i, result) in report.results.iter().enumerate() {
+        if i != hang_cell {
+            assert!(result.output().is_some(), "cell {i} lost its output");
+        }
+    }
+}
+
+#[test]
+fn injected_transient_faults_are_healed_by_retries_at_any_worker_count() {
+    let cells = grid();
+    let clean = engine(1, EngineConfig::default()).run(&cells);
+    let clean_digest = records_digest(&clean);
+
+    for threads in [1, 4] {
+        // Every third cell errors on its first attempt; one retry cures it.
+        let faults = FaultPlan::new(9).rule(
+            FaultRule::at_cells(FaultKind::Error, (0..cells.len()).step_by(3).collect())
+                .transient(1),
+        );
+        let eng = engine(
+            threads,
+            EngineConfig {
+                retry: RetryPolicy::new(2, Duration::from_millis(1)),
+                faults: Some(faults),
+                ..EngineConfig::default()
+            },
+        );
+        let report = eng.run(&cells);
+        assert_eq!(
+            records_digest(&report),
+            clean_digest,
+            "retried run diverged at {threads} workers"
+        );
+        assert_eq!(report.metrics.cells_retried, cells.len().div_ceil(3));
+        assert_eq!(report.metrics.cells_failed, 0);
+    }
+}
+
+#[test]
+fn interrupted_sweep_resumes_to_identical_records() {
+    let dir = std::env::temp_dir().join(format!("lockbind-resil-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt = dir.join("sweep.jsonl");
+
+    let cells = grid();
+    let uninterrupted = engine(1, EngineConfig::default()).run(&cells);
+    let want = records_digest(&uninterrupted);
+
+    // Full checkpointed run, then simulate a kill by truncating the file to
+    // its header plus the first few completed cells.
+    let full = engine(
+        1,
+        EngineConfig {
+            checkpoint: Some(ckpt.clone()),
+            ..EngineConfig::default()
+        },
+    )
+    .run(&cells);
+    assert_eq!(records_digest(&full), want);
+    let text = std::fs::read_to_string(&ckpt).expect("checkpoint written");
+    let keep: Vec<&str> = text.lines().take(1 + cells.len() / 2).collect();
+    std::fs::write(&ckpt, keep.join("\n") + "\n").expect("truncate");
+
+    // Resume: completed cells are spliced in, the rest re-run, and the final
+    // records are byte-identical to the uninterrupted sweep.
+    let resumed = engine(
+        4,
+        EngineConfig {
+            checkpoint: Some(ckpt.clone()),
+            resume: Some(ckpt.clone()),
+            ..EngineConfig::default()
+        },
+    )
+    .run(&cells);
+    assert_eq!(records_digest(&resumed), want);
+    assert_eq!(resumed.metrics.cells_resumed, cells.len() / 2);
+    // Resumed cells are spliced in as Ok results, so they count toward
+    // `cells_ok` too.
+    assert_eq!(resumed.metrics.cells_ok, cells.len());
+
+    // The resumed run's checkpoint is complete: resuming from it again
+    // replays every cell from the file.
+    let labels: Vec<String> = cells.iter().map(|c| c.label()).collect();
+    let entries = checkpoint::load(&ckpt, checkpoint::fingerprint(ROOT_SEED, &labels))
+        .expect("final checkpoint loads");
+    assert_eq!(entries.len(), cells.len());
+
+    let replayed = engine(
+        2,
+        EngineConfig {
+            resume: Some(ckpt.clone()),
+            ..EngineConfig::default()
+        },
+    )
+    .run(&cells);
+    assert_eq!(records_digest(&replayed), want);
+    assert_eq!(replayed.metrics.cells_resumed, cells.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_checkpoint_is_rejected_and_the_sweep_runs_fresh() {
+    let dir = std::env::temp_dir().join(format!("lockbind-resil-fp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt = dir.join("sweep.jsonl");
+
+    let cells = grid();
+    // Checkpoint written under a different root seed → different fingerprint.
+    let other = Engine::new(EngineConfig {
+        threads: 1,
+        root_seed: ROOT_SEED + 1,
+        progress: false,
+        checkpoint: Some(ckpt.clone()),
+        ..EngineConfig::default()
+    });
+    other.run(&cells);
+
+    let report = engine(
+        1,
+        EngineConfig {
+            resume: Some(ckpt.clone()),
+            ..EngineConfig::default()
+        },
+    )
+    .run(&cells);
+    assert_eq!(report.metrics.cells_resumed, 0, "foreign checkpoint used");
+    assert_eq!(report.metrics.cells_ok, cells.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
