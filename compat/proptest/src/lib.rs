@@ -13,6 +13,9 @@
 //!   immediately. Seeds are derived deterministically from the test name,
 //!   so failures reproduce across runs.
 //! * **No persistence.** `.proptest-regressions` files are ignored.
+//!
+//! Like upstream, the `PROPTEST_CASES` environment variable overrides the
+//! configured case count (used by CI to scale suites up).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,13 +66,14 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::ProptestConfig = $cfg;
+                let __cases = __cfg.resolved_cases();
                 let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
                 let __strategies = ( $($strat,)+ );
                 let mut __passed: u32 = 0;
                 let mut __attempts: u32 = 0;
-                while __passed < __cfg.cases {
+                while __passed < __cases {
                     __attempts += 1;
-                    if __attempts > __cfg.cases.saturating_mul(20) {
+                    if __attempts > __cases.saturating_mul(20) {
                         // Too many prop_assume rejections; accept the cases
                         // that did run rather than spinning forever.
                         break;

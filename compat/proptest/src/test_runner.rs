@@ -16,6 +16,22 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count to actually run: the `PROPTEST_CASES` environment
+    /// variable when set to a positive integer (matching upstream proptest's
+    /// env override, so CI can scale suites up without code changes),
+    /// otherwise the configured count.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .trim()
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
 }
 
 impl Default for ProptestConfig {

@@ -84,6 +84,27 @@ impl SatAttackOutcome {
     }
 }
 
+/// Publishes a finished attack's cumulative solver statistics into the
+/// global metrics registry: hot-path counters (propagations, watcher
+/// visits, blocker hits), clause-database maintenance (reduces, GC runs),
+/// and the learnt-clause glue histogram (one bucket per LBD value, the
+/// last collecting glue ≥ 8). Called once per attack — each attack owns a
+/// fresh solver, so the cumulative stats are exactly this attack's work.
+fn record_solver_metrics(stats: &SolverStats) {
+    obs::counter!("sat.solver.conflicts").add(stats.conflicts);
+    obs::counter!("sat.solver.propagations").add(stats.propagations);
+    obs::counter!("sat.solver.watcher_visits").add(stats.watcher_visits);
+    obs::counter!("sat.solver.blocker_hits").add(stats.blocker_hits);
+    obs::counter!("sat.solver.reduces").add(stats.reduces);
+    obs::counter!("sat.solver.gc_runs").add(stats.gc_runs);
+    let glue_hist = obs::histogram!("sat.glue", &[1, 2, 3, 4, 5, 6, 7]);
+    for (i, &count) in stats.glue_hist.iter().enumerate() {
+        if count > 0 {
+            glue_hist.observe_n(i as u64 + 1, count);
+        }
+    }
+}
+
 /// Runs the SAT attack against a locked module, using its retained original
 /// netlist as the activated-chip oracle (the standard threat model: the
 /// attacker owns one unlocked chip plus the locked GDSII).
@@ -166,6 +187,7 @@ pub fn sat_attack_with_cancel(
             AttackStop::Interrupted => obs::counter!("sat.interrupted").inc(),
             _ => obs::counter!("sat.iteration_capped").inc(),
         }
+        record_solver_metrics(&solver.stats());
         SatAttackOutcome {
             key: vec![false; kb],
             iterations,
@@ -290,6 +312,7 @@ pub fn sat_attack_with_cancel(
     } else {
         true
     };
+    record_solver_metrics(&solver.stats());
     SatAttackOutcome {
         key,
         iterations,
@@ -470,6 +493,39 @@ mod tests {
             total_b >= total_a,
             "4-stage network should cost at least as many conflicts ({total_b} vs {total_a})"
         );
+    }
+
+    #[test]
+    fn attack_publishes_solver_metrics_to_the_registry() {
+        // The registry is process-global and other tests in this binary
+        // also run attacks concurrently, so assert deltas are *at least*
+        // this attack's contribution rather than exactly it.
+        let before = obs::Registry::global().snapshot();
+        let locked = lock_rll(&adder_fu(4), 6, 11).expect("lockable");
+        let out = sat_attack(&locked, &AttackConfig::default());
+        assert!(out.success);
+        let after = obs::Registry::global().snapshot();
+
+        let delta = |name: &str| {
+            after.counters.get(name).copied().unwrap_or(0)
+                - before.counters.get(name).copied().unwrap_or(0)
+        };
+        let st = out.solver_stats;
+        assert!(delta("sat.solver.conflicts") >= st.conflicts);
+        assert!(delta("sat.solver.propagations") >= st.propagations);
+        assert!(delta("sat.solver.watcher_visits") >= st.watcher_visits);
+        assert!(delta("sat.solver.blocker_hits") >= st.blocker_hits);
+        assert!(st.propagations > 0, "attack should have propagated");
+
+        let glue_total = |snap: &obs::MetricsSnapshot| {
+            snap.histograms
+                .get("sat.glue")
+                .map(|h| h.counts.iter().sum::<u64>())
+                .unwrap_or(0)
+        };
+        let learnt_total: u64 = st.glue_hist.iter().sum();
+        assert!(learnt_total > 0, "attack should have learnt clauses");
+        assert!(glue_total(&after) - glue_total(&before) >= learnt_total);
     }
 
     #[test]

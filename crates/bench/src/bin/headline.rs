@@ -126,10 +126,13 @@ fn main() {
     );
     for s in &sats {
         println!(
-            "  sat-attack : {:<17} {} key bits, {} DIPs, key {}",
+            "  sat-attack : {:<17} {} key bits, {} DIPs, {} conflicts, {} props, {} GCs, key {}",
             s.scheme,
             s.key_bits,
             s.iterations,
+            s.conflicts,
+            s.propagations,
+            s.gc_runs,
             if s.success { "found" } else { "NOT found" }
         );
     }

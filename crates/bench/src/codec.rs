@@ -181,13 +181,17 @@ fn encode_sat(r: &SatRecord) -> String {
         r.key_bits.to_string(),
         r.iterations.to_string(),
         r.success.to_string(),
+        r.conflicts.to_string(),
+        r.propagations.to_string(),
+        r.gc_runs.to_string(),
     ]
     .join(&FIELD_SEP.to_string())
 }
 
 fn decode_sat(payload: &str) -> Option<SatRecord> {
     let fields: Vec<&str> = payload.split(FIELD_SEP).collect();
-    let [scheme, key_bits, iterations, success] = fields[..] else {
+    let [scheme, key_bits, iterations, success, conflicts, propagations, gc_runs] = fields[..]
+    else {
         return None;
     };
     Some(SatRecord {
@@ -195,6 +199,9 @@ fn decode_sat(payload: &str) -> Option<SatRecord> {
         key_bits: key_bits.parse().ok()?,
         iterations: iterations.parse().ok()?,
         success: success.parse().ok()?,
+        conflicts: conflicts.parse().ok()?,
+        propagations: propagations.parse().ok()?,
+        gc_runs: gc_runs.parse().ok()?,
     })
 }
 
@@ -306,6 +313,9 @@ mod tests {
                 key_bits: 6,
                 iterations: 9,
                 success: true,
+                conflicts: 120,
+                propagations: 4_903_114,
+                gc_runs: 2,
             }),
         ];
         for output in &outputs {

@@ -165,6 +165,12 @@ pub struct SatRecord {
     pub iterations: u64,
     /// Whether a functionally-correct key was extracted.
     pub success: bool,
+    /// CDCL conflicts across the whole attack.
+    pub conflicts: u64,
+    /// CDCL propagations across the whole attack.
+    pub propagations: u64,
+    /// Clause-arena garbage collections the solver performed.
+    pub gc_runs: u64,
 }
 
 impl Job for SatCell {
@@ -194,6 +200,9 @@ impl Job for SatCell {
             key_bits: locked.key_bits(),
             iterations: out.iterations,
             success: out.success,
+            conflicts: out.solver_stats.conflicts,
+            propagations: out.solver_stats.propagations,
+            gc_runs: out.solver_stats.gc_runs,
         })
     }
 }

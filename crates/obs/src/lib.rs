@@ -99,11 +99,18 @@ macro_rules! gauge {
 /// Resolves (once) and returns a `&'static` [`Histogram`] (default
 /// buckets) from the global registry:
 /// `obs::histogram!("sat.conflicts_per_dip").observe(v)`.
+///
+/// The two-argument form registers explicit bucket bounds (applied on
+/// first registration only): `obs::histogram!("sat.glue", &[1, 2, 3])`.
 #[macro_export]
 macro_rules! histogram {
     ($name:expr) => {{
         static HANDLE: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
         HANDLE.get_or_init(|| $crate::Registry::global().histogram($name))
+    }};
+    ($name:expr, $bounds:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::Registry::global().histogram_with($name, $bounds))
     }};
 }
 

@@ -104,8 +104,15 @@ impl Histogram {
 
     /// Records one observation.
     pub fn observe(&self, v: u64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Records `n` observations of the same value in one atomic add (bulk
+    /// import of externally aggregated histograms, e.g. per-solver glue
+    /// distributions merged after an attack).
+    pub fn observe_n(&self, v: u64, n: u64) {
         let idx = self.inner.bounds.partition_point(|&b| v > b);
-        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.counts[idx].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Bucket upper bounds (exclusive of the overflow bucket).

@@ -17,6 +17,17 @@ pub enum ParseDimacsError {
     },
     /// A clause was not terminated with `0` before end of input.
     UnterminatedClause,
+    /// A problem line was present but malformed (anything other than
+    /// exactly `p cnf <vars> <clauses>` with unsigned integer counts).
+    BadHeader {
+        /// 1-based line number of the malformed problem line.
+        line: usize,
+    },
+    /// More than one problem line.
+    DuplicateHeader {
+        /// 1-based line number of the second problem line.
+        line: usize,
+    },
     /// A literal references a variable beyond the header's declaration.
     LiteralOutOfRange {
         /// The offending literal.
@@ -35,6 +46,15 @@ impl std::fmt::Display for ParseDimacsError {
             ParseDimacsError::UnterminatedClause => {
                 write!(f, "input ended inside an unterminated clause")
             }
+            ParseDimacsError::BadHeader { line } => {
+                write!(
+                    f,
+                    "malformed problem line on line {line} (expected `p cnf <vars> <clauses>`)"
+                )
+            }
+            ParseDimacsError::DuplicateHeader { line } => {
+                write!(f, "second problem line on line {line}")
+            }
             ParseDimacsError::LiteralOutOfRange { literal, declared } => {
                 write!(
                     f,
@@ -48,8 +68,9 @@ impl std::fmt::Display for ParseDimacsError {
 impl std::error::Error for ParseDimacsError {}
 
 /// Parses DIMACS CNF text into clauses, returning `(num_vars, clauses)`.
-/// Comment lines (`c ...`) and the problem line (`p cnf ...`) are honoured;
-/// a missing problem line is tolerated (variables inferred).
+/// Comment lines (`c ...`) are skipped; a problem line must be exactly
+/// `p cnf <vars> <clauses>` (a malformed one is rejected, not ignored). A
+/// missing problem line is tolerated (variables inferred).
 ///
 /// # Errors
 /// See [`ParseDimacsError`].
@@ -73,11 +94,20 @@ pub fn parse_dimacs(text: &str) -> Result<(u32, Vec<Vec<i32>>), ParseDimacsError
             continue;
         }
         if line.starts_with('p') {
-            // "p cnf <vars> <clauses>"
-            let mut it = line.split_whitespace().skip(2);
-            if let Some(v) = it.next().and_then(|t| t.parse::<u32>().ok()) {
-                declared = Some(v);
+            // Strictly "p cnf <vars> <clauses>": a present-but-mangled
+            // header is rejected rather than silently ignored, since the
+            // declared variable count gates the out-of-range check.
+            if declared.is_some() {
+                return Err(ParseDimacsError::DuplicateHeader { line: lineno + 1 });
             }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let ["p", "cnf", vars, nclauses] = fields[..] else {
+                return Err(ParseDimacsError::BadHeader { line: lineno + 1 });
+            };
+            let (Ok(v), Ok(_)) = (vars.parse::<u32>(), nclauses.parse::<u32>()) else {
+                return Err(ParseDimacsError::BadHeader { line: lineno + 1 });
+            };
+            declared = Some(v);
             continue;
         }
         for token in line.split_whitespace() {
@@ -191,8 +221,98 @@ mod tests {
     }
 
     #[test]
+    fn malformed_headers_rejected() {
+        for text in [
+            "p\n1 0\n",              // bare p
+            "p cnf\n1 0\n",          // missing counts
+            "p cnf 2\n1 0\n",        // missing clause count
+            "p cnf 2 2 7\n1 0\n",    // trailing field
+            "p dnf 2 2\n1 0\n",      // wrong format tag
+            "p cnf two 2\n1 0\n",    // non-numeric vars
+            "p cnf 2 -1\n1 0\n",     // negative clause count
+            "p cnf -2 1\n1 0\n",     // negative var count
+            "p cnf 2 2.5\n1 0\n",    // fractional count
+            "p cnf 99999999999 1\n", // overflows u32
+        ] {
+            assert!(
+                matches!(parse_dimacs(text), Err(ParseDimacsError::BadHeader { .. })),
+                "accepted malformed header in {text:?}"
+            );
+        }
+        assert!(matches!(
+            parse_dimacs("p cnf 2 1\np cnf 2 1\n1 0\n"),
+            Err(ParseDimacsError::DuplicateHeader { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn bad_header_reports_line_number() {
+        assert_eq!(
+            parse_dimacs("c preamble\nc more\np cnf oops 1\n"),
+            Err(ParseDimacsError::BadHeader { line: 3 })
+        );
+    }
+
+    #[test]
+    fn zero_terminates_mid_line_and_trailing_literals_must_close() {
+        // A 0 mid-line ends the clause there; literals after it open a new
+        // clause which must itself be terminated before end of input.
+        let (_, clauses) = parse_dimacs("1 2 0 -1 0\n").expect("parses");
+        assert_eq!(clauses, vec![vec![1, 2], vec![-1]]);
+        assert_eq!(
+            parse_dimacs("1 2 0 -1\n"),
+            Err(ParseDimacsError::UnterminatedClause)
+        );
+    }
+
+    #[test]
+    fn out_of_range_literal_reports_both_sides() {
+        assert_eq!(
+            parse_dimacs("p cnf 3 1\n-4 0\n"),
+            Err(ParseDimacsError::LiteralOutOfRange {
+                literal: -4,
+                declared: 3
+            })
+        );
+    }
+
+    #[test]
     fn clause_spanning_lines_is_accepted() {
         let (_, clauses) = parse_dimacs("1 2\n3 0\n").expect("parses");
         assert_eq!(clauses, vec![vec![1, 2, 3]]);
+    }
+
+    mod roundtrip_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn cnf_strategy() -> impl Strategy<Value = (u32, Vec<Vec<i32>>)> {
+            (1u32..=12).prop_flat_map(|nv| {
+                let lit = (1..=nv as i32, proptest::bool::ANY)
+                    .prop_map(|(v, neg)| if neg { -v } else { v });
+                let clause = proptest::collection::vec(lit, 1..=5);
+                proptest::collection::vec(clause, 0..=20).prop_map(move |cs| (nv, cs))
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn parse_print_parse_is_a_fixpoint((nv, clauses) in cnf_strategy()) {
+                // print → parse recovers the exact clause list…
+                let text = to_dimacs(nv, &clauses);
+                let (nv2, parsed) = match parse_dimacs(&text) {
+                    Ok(v) => v,
+                    Err(e) => return Err(proptest::test_runner::TestCaseError::Fail(
+                        format!("to_dimacs output failed to parse: {e}"),
+                    )),
+                };
+                prop_assert_eq!(nv2, nv);
+                prop_assert_eq!(&parsed, &clauses);
+                // …and printing the parse is byte-identical (fixpoint).
+                prop_assert_eq!(to_dimacs(nv2, &parsed), text);
+            }
+        }
     }
 }

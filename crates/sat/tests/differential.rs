@@ -1,0 +1,207 @@
+//! Differential solver suite: the modernized CDCL solver (blockers, glue
+//! tiers, arena GC) cross-checked against brute-force truth-table
+//! enumeration and against a reduction-disabled reference solver, on random
+//! CNFs up to 12 variables — plain, under random assumption sets, and
+//! across incremental `add_clause`/re-solve sequences with forced database
+//! reductions and garbage collections in between.
+//!
+//! CI runs this file with `PROPTEST_CASES=512`; the local default is 256
+//! cases per property (the acceptance floor for this suite).
+
+use lockbind_sat::{SolveResult, Solver};
+use proptest::prelude::*;
+
+/// Truth-table SAT decision for CNFs of up to 63 variables.
+fn brute_force_sat(nvars: usize, clauses: &[Vec<i32>]) -> bool {
+    brute_force_model(nvars, clauses).is_some()
+}
+
+/// First satisfying assignment in lexicographic order, if any.
+fn brute_force_model(nvars: usize, clauses: &[Vec<i32>]) -> Option<u64> {
+    'outer: for m in 0..(1u64 << nvars) {
+        for cl in clauses {
+            let ok = cl.iter().any(|&l| {
+                let bit = (m >> (l.unsigned_abs() - 1)) & 1 == 1;
+                if l > 0 {
+                    bit
+                } else {
+                    !bit
+                }
+            });
+            if !ok {
+                continue 'outer;
+            }
+        }
+        return Some(m);
+    }
+    None
+}
+
+fn cnf_strategy(
+    max_vars: usize,
+    max_clauses: usize,
+) -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
+    (2..=max_vars).prop_flat_map(move |nv| {
+        let lit =
+            (1..=nv as i32, proptest::bool::ANY).prop_map(|(v, neg)| if neg { -v } else { v });
+        let clause = proptest::collection::vec(lit, 1..=4);
+        proptest::collection::vec(clause, 1..=max_clauses).prop_map(move |cs| (nv, cs))
+    })
+}
+
+fn build_solver(nv: usize, clauses: &[Vec<i32>]) -> Solver {
+    let mut s = Solver::new();
+    s.reserve_vars(nv as u32);
+    for cl in clauses {
+        s.add_clause(cl);
+    }
+    s
+}
+
+/// Asserts the solver's model satisfies every clause (only meaningful right
+/// after a `Sat` verdict).
+fn assert_model_valid(s: &Solver, clauses: &[Vec<i32>]) -> Result<(), TestCaseErrorWrapper> {
+    for cl in clauses {
+        if !cl.iter().any(|&l| s.model_value(l)) {
+            return Err(TestCaseErrorWrapper(format!("model violates {cl:?}")));
+        }
+    }
+    Ok(())
+}
+
+/// Local helper error so model checks compose with `prop_assert!`.
+struct TestCaseErrorWrapper(String);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn verdicts_match_brute_force((nv, clauses) in cnf_strategy(12, 60)) {
+        let mut s = build_solver(nv, &clauses);
+        let expect = brute_force_sat(nv, &clauses);
+        let got = s.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, expect, "CDCL disagrees with truth table");
+        if got {
+            if let Err(TestCaseErrorWrapper(msg)) = assert_model_valid(&s, &clauses) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+    }
+
+    #[test]
+    fn verdicts_match_under_random_assumptions(
+        (nv, clauses) in cnf_strategy(12, 50),
+        pattern in any::<u32>(),
+        count in 0usize..=4,
+    ) {
+        // Random assumption set over the first `count` variables; the CDCL
+        // verdict under assumptions must equal brute force on the formula
+        // with the assumptions added as unit clauses.
+        let assumptions: Vec<i32> = (1..=nv.min(count) as i32)
+            .enumerate()
+            .map(|(i, v)| if (pattern >> i) & 1 == 1 { v } else { -v })
+            .collect();
+        let mut s = build_solver(nv, &clauses);
+        let got = s.solve_with_assumptions(&assumptions) == SolveResult::Sat;
+
+        let mut strengthened: Vec<Vec<i32>> = clauses.clone();
+        strengthened.extend(assumptions.iter().map(|&a| vec![a]));
+        let expect = brute_force_sat(nv, &strengthened);
+        prop_assert_eq!(got, expect, "assumption verdict disagrees with truth table");
+        if got {
+            // The model must satisfy the formula AND the assumptions.
+            if let Err(TestCaseErrorWrapper(msg)) = assert_model_valid(&s, &strengthened) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+        // The solver state must survive for assumption-free re-solving.
+        prop_assert_eq!(
+            s.solve() == SolveResult::Sat,
+            brute_force_sat(nv, &clauses),
+            "post-assumption re-solve disagrees"
+        );
+    }
+
+    #[test]
+    fn incremental_batches_match_brute_force(
+        (nv, clauses) in cnf_strategy(12, 60),
+        cut_a in any::<u32>(),
+        cut_b in any::<u32>(),
+    ) {
+        // Feed the formula in three batches, re-solving after each; every
+        // intermediate verdict must match brute force on the prefix, and a
+        // forced reduction + GC between batches must not change anything.
+        let mut cuts = [
+            cut_a as usize % (clauses.len() + 1),
+            cut_b as usize % (clauses.len() + 1),
+        ];
+        cuts.sort_unstable();
+        let batches = [&clauses[..cuts[0]], &clauses[cuts[0]..cuts[1]], &clauses[cuts[1]..]];
+
+        let mut s = Solver::new();
+        s.reserve_vars(nv as u32);
+        let mut fed: Vec<Vec<i32>> = Vec::new();
+        for batch in batches {
+            for cl in batch {
+                s.add_clause(cl);
+                fed.push(cl.clone());
+            }
+            let got = s.solve() == SolveResult::Sat;
+            prop_assert_eq!(
+                got,
+                brute_force_sat(nv, &fed),
+                "incremental prefix verdict disagrees after {} clauses",
+                fed.len()
+            );
+            // Stress the clause database between solves: force a reduction
+            // and an arena compaction, then check internal invariants.
+            s.reduce_learnts_now();
+            s.collect_garbage_now();
+            s.check_integrity();
+        }
+    }
+
+    #[test]
+    fn gc_solver_matches_reference_solver((nv, clauses) in cnf_strategy(12, 60)) {
+        // The production solver (reductions + GC enabled) must return the
+        // same verdict as a keep-everything reference on the same formula.
+        let mut prod = build_solver(nv, &clauses);
+        prod.reduce_learnts_now();
+        prod.collect_garbage_now();
+        let r_prod = prod.solve();
+
+        let mut reference = Solver::new();
+        reference.set_db_reduction(false);
+        reference.reserve_vars(nv as u32);
+        for cl in &clauses {
+            reference.add_clause(cl);
+        }
+        let r_ref = reference.solve();
+        prop_assert_eq!(r_prod, r_ref, "GC-enabled verdict differs from GC-free");
+    }
+
+    #[test]
+    fn models_are_replayable((nv, clauses) in cnf_strategy(10, 40)) {
+        // On Sat, re-asserting the returned model as assumptions must stay
+        // Sat (the model really is a model, through the solver's own API).
+        let mut s = build_solver(nv, &clauses);
+        if s.solve() == SolveResult::Sat {
+            let model: Vec<i32> = (1..=nv as i32)
+                .map(|v| if s.model_value(v) { v } else { -v })
+                .collect();
+            prop_assert_eq!(
+                s.solve_with_assumptions(&model),
+                SolveResult::Sat,
+                "solver rejects its own model"
+            );
+        }
+    }
+}
+
+/// Brute-force model search sanity check (the oracle itself must be right).
+#[test]
+fn brute_force_oracle_sanity() {
+    assert!(brute_force_sat(2, &[vec![1, 2]]));
+    assert!(!brute_force_sat(1, &[vec![1], vec![-1]]));
+    assert_eq!(brute_force_model(2, &[vec![-1], vec![2]]), Some(0b10));
+}
