@@ -1,0 +1,143 @@
+//! Check-aware cell support: lint final artifacts with the
+//! `lockbind-check` pass suite.
+//!
+//! Cells cannot afford to lint every candidate assignment inside their hot
+//! loops (a sweep evaluates hundreds of thousands of bindings), so when the
+//! engine's `--check` mode is on each cell lints one *final* artifact: the
+//! representative locked binding of an error cell, the co-designed lock of
+//! an impact cell, or the locked netlist of a SAT cell. Failures surface as
+//! cell errors carrying [`lockbind_check::CHECK_FAILURE_PREFIX`], which the
+//! engine classifies into `cells_check_failed` and per-`LBxxxx`-code counts
+//! in the run metrics.
+
+use lockbind_check::{check_artifact, Artifact, Report};
+use lockbind_core::{bind_obfuscation_aware_certified, LockingSpec};
+use lockbind_hls::{Binding, Minterm};
+use lockbind_netlist::Netlist;
+
+use crate::PreparedKernel;
+
+/// Lints a locked binding end to end: re-derives the certified
+/// obfuscation-aware binding for `spec` (exporting fresh dual potentials),
+/// then runs the full pass suite over the artifact — DFG, schedule,
+/// allocation, binding, occurrence profile, locking spec, candidate list,
+/// and the certificate.
+///
+/// When `binding` is `Some`, the *cell's* binding is linted against the
+/// re-derived certificate: the certificate-assignment pass (`LB0406`) then
+/// proves the cell's binding *is* the certified Eqn. 3 optimum, not merely
+/// that some optimum exists. With `None`, the re-derived binding itself is
+/// linted (used where the cell never materializes a single binding, e.g.
+/// error cells that sweep many assignments).
+///
+/// # Errors
+/// Returns the check failure message (prefixed with
+/// [`lockbind_check::CHECK_FAILURE_PREFIX`]) when any error-severity
+/// diagnostic fires, or a rebind error message if the certified solve
+/// itself fails.
+pub fn lint_locked_binding(
+    prepared: &PreparedKernel,
+    binding: Option<&Binding>,
+    spec: &LockingSpec,
+    candidates: &[Minterm],
+) -> Result<(), String> {
+    let (rebound, certificate) = bind_obfuscation_aware_certified(
+        &prepared.dfg,
+        &prepared.schedule,
+        &prepared.alloc,
+        &prepared.profile,
+        spec,
+    )
+    .map_err(|e| format!("check rebind: {e}"))?;
+    let binding = binding.unwrap_or(&rebound);
+    let artifact = Artifact::new()
+        .with_dfg(&prepared.dfg)
+        .with_schedule(&prepared.schedule)
+        .with_alloc(&prepared.alloc)
+        .with_binding(binding)
+        .with_profile(&prepared.profile)
+        .with_spec(spec)
+        .with_candidates(candidates)
+        .with_certificate(&certificate);
+    finish(check_artifact(&artifact))
+}
+
+/// Lints a locked netlist with the netlist-sanity pass (`LB06xx`):
+/// acyclicity, output validity, no dead key inputs.
+///
+/// # Errors
+/// Returns the prefixed check failure message when the netlist is rejected.
+pub fn lint_netlist(netlist: &Netlist) -> Result<(), String> {
+    finish(check_artifact(&Artifact::new().with_netlist(netlist)))
+}
+
+fn finish(report: Report) -> Result<(), String> {
+    match report.failure_message() {
+        Some(message) => Err(message),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockbind_hls::{FuClass, FuId};
+    use lockbind_mediabench::Kernel;
+    use lockbind_netlist::builders::adder_fu;
+
+    #[test]
+    fn certified_binding_lints_clean() {
+        let p = PreparedKernel::new(Kernel::Fir, 40, 5);
+        let candidates = p.candidates(FuClass::Adder, 4);
+        let spec = LockingSpec::new(
+            &p.alloc,
+            vec![(FuId::new(FuClass::Adder, 0), candidates[..2].to_vec())],
+        )
+        .expect("valid spec");
+        lint_locked_binding(&p, None, &spec, &candidates).expect("clean");
+    }
+
+    #[test]
+    fn foreign_binding_is_rejected_with_lb0406() {
+        let p = PreparedKernel::new(Kernel::Fir, 40, 5);
+        let candidates = p.candidates(FuClass::Adder, 4);
+        let spec = LockingSpec::new(
+            &p.alloc,
+            vec![(FuId::new(FuClass::Adder, 0), candidates[..2].to_vec())],
+        )
+        .expect("valid spec");
+        // Swap two same-cycle, same-class ops of the certified optimum:
+        // the result is still a legal binding, but its assignment no longer
+        // matches the certificate's matching, so LB0406 must fire.
+        let (obf, _) =
+            bind_obfuscation_aware_certified(&p.dfg, &p.schedule, &p.alloc, &p.profile, &spec)
+                .expect("binds");
+        let mut fu_of = obf.as_slice().to_vec();
+        let (a, b) = p
+            .dfg
+            .op_ids()
+            .flat_map(|a| p.dfg.op_ids().map(move |b| (a, b)))
+            .find(|&(a, b)| {
+                a != b
+                    && p.schedule.cycle(a) == p.schedule.cycle(b)
+                    && fu_of[a.index()].class == fu_of[b.index()].class
+                    && fu_of[a.index()] != fu_of[b.index()]
+            })
+            .expect("fir has two concurrent same-class ops on distinct FUs");
+        fu_of.swap(a.index(), b.index());
+        let swapped = lockbind_hls::Binding::from_assignment(&p.dfg, &p.schedule, &p.alloc, fu_of)
+            .expect("swap preserves legality");
+        let err = lint_locked_binding(&p, Some(&swapped), &spec, &candidates)
+            .expect_err("swapped binding is not the certified optimum");
+        assert!(
+            err.starts_with(lockbind_check::CHECK_FAILURE_PREFIX),
+            "{err}"
+        );
+        assert!(err.contains("LB0406"), "{err}");
+    }
+
+    #[test]
+    fn locked_adder_netlist_lints_clean() {
+        lint_netlist(&adder_fu(4)).expect("plain adder FU is sane");
+    }
+}

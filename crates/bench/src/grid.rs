@@ -21,9 +21,9 @@
 
 use std::sync::Arc;
 
-use lockbind_core::CoreError;
+use lockbind_core::{CoreError, LockingSpec};
 use lockbind_engine::{ArtifactCache, CacheKey, CellResult, Job, JobCtx};
-use lockbind_hls::FuClass;
+use lockbind_hls::{FuClass, FuId};
 use lockbind_mediabench::Kernel;
 use lockbind_obs as obs;
 
@@ -128,15 +128,35 @@ impl Job for ErrorCell {
         match class_ctx.as_ref() {
             Err(e) => Err(format!("class context: {e}")),
             Ok(None) => Ok(Vec::new()),
-            Ok(Some(cc)) => run_error_cell_cancellable(
-                &prepared,
-                cc,
-                &self.params,
-                self.locked_fus,
-                self.locked_inputs,
-                &ctx.cancel,
-            )
-            .map_err(|e| e.to_string()),
+            Ok(Some(cc)) => {
+                let records = run_error_cell_cancellable(
+                    &prepared,
+                    cc,
+                    &self.params,
+                    self.locked_fus,
+                    self.locked_inputs,
+                    &ctx.cancel,
+                )
+                .map_err(|e| e.to_string())?;
+                // `--check` mode: lint the cell's *representative* locked
+                // artifact (first combination assignment — the per-sweep
+                // bindings are far too many to lint individually). An
+                // infeasible configuration produced no records and has no
+                // representative.
+                if ctx.check && !records.is_empty() {
+                    let fus: Vec<FuId> = (0..self.locked_fus)
+                        .map(|i| FuId::new(self.class, i))
+                        .collect();
+                    let minterms = cc.candidates[..self.locked_inputs].to_vec();
+                    let spec = LockingSpec::new(
+                        &prepared.alloc,
+                        fus.into_iter().map(|fu| (fu, minterms.clone())).collect(),
+                    )
+                    .map_err(|e| format!("check spec: {e}"))?;
+                    crate::check::lint_locked_binding(&prepared, None, &spec, &cc.candidates)?;
+                }
+                Ok(records)
+            }
         }
     }
 
@@ -320,6 +340,24 @@ mod tests {
             let decoded = cell.decode_output(&payload).expect("decodes");
             assert_eq!(format!("{decoded:?}"), format!("{output:?}"));
         }
+    }
+
+    #[test]
+    fn error_grid_lints_clean_under_check_mode() {
+        let params = small_params();
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            root_seed: 5,
+            fail_fast: false,
+            progress: false,
+            check: true,
+            ..EngineConfig::default()
+        });
+        let report = engine.run(&error_grid(&[Kernel::Fir], 40, 5, &params));
+        let (_, failures) = collect_error_records(&report.results);
+        assert!(failures.is_empty(), "failures: {failures:?}");
+        assert_eq!(report.metrics.cells_check_failed, 0);
+        assert!(report.metrics.check_codes.is_empty());
     }
 
     #[test]

@@ -81,6 +81,17 @@ impl Job for ImpactCell {
             &ctx.cancel,
         )
         .map_err(|e| e.to_string())?;
+        // `--check` mode: lint the co-designed lock end to end — the
+        // certificate-assignment pass proves `design.binding` is the
+        // certified Eqn. 3 optimum for `design.spec`.
+        if ctx.check {
+            crate::check::lint_locked_binding(
+                &prepared,
+                Some(&design.binding),
+                &design.spec,
+                &candidates,
+            )?;
+        }
         let modules = realize_locked_modules(&design.spec, prepared.dfg.width())
             .map_err(|e| e.to_string())?;
         let keys = wrong_keys(&modules, 1);
@@ -186,6 +197,10 @@ impl Job for SatCell {
 
     fn run(&self, ctx: &mut JobCtx<'_>) -> Result<Self::Output, String> {
         let locked = self.scheme.lock(self.width).map_err(|e| e.to_string())?;
+        // `--check` mode: lint the locked gate graph before attacking it.
+        if ctx.check {
+            crate::check::lint_netlist(locked.netlist())?;
+        }
         let out = sat_attack_with_cancel(&locked, &AttackConfig::default(), &ctx.cancel);
         if out.stop == AttackStop::Interrupted {
             // Surface the interruption as a cell error so the engine can
@@ -358,6 +373,7 @@ mod tests {
             root_seed: 5,
             fail_fast: false,
             progress: false,
+            check: true,
             ..EngineConfig::default()
         });
         let cells = headline_grid(&[Kernel::Fir], 40, 5, &small_params());

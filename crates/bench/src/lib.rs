@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod codec;
 pub mod errors_experiment;
 pub mod grid;
@@ -25,6 +26,7 @@ pub mod overhead;
 pub mod prepared;
 pub mod report;
 
+pub use check::{lint_locked_binding, lint_netlist};
 pub use errors_experiment::{
     run_error_cell, run_error_cell_cancellable, run_error_experiment, ClassContext, ErrorRecord,
     ExperimentParams, SecurityAlgo,

@@ -1,0 +1,104 @@
+//! The artifact bundle the checker operates on.
+
+use lockbind_core::{BindingCertificate, LockingSpec};
+use lockbind_hls::{Allocation, Binding, Dfg, Minterm, OccurrenceProfile, Schedule};
+use lockbind_netlist::Netlist;
+
+/// Everything a check run may look at, borrowed from the caller.
+///
+/// Every field is optional: a pass runs only when the artifacts it needs are
+/// present, so the same pass manager lints anything from a bare DFG to a
+/// fully bound, locked, and certified design. Build with the `with_*`
+/// methods:
+///
+/// ```ignore
+/// let report = check_artifact(
+///     &Artifact::new()
+///         .with_dfg(&dfg)
+///         .with_schedule(&schedule)
+///         .with_alloc(&alloc)
+///         .with_binding(&binding),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Artifact<'a> {
+    /// The data-flow graph.
+    pub dfg: Option<&'a Dfg>,
+    /// The cycle assignment.
+    pub schedule: Option<&'a Schedule>,
+    /// The FU allocation.
+    pub alloc: Option<&'a Allocation>,
+    /// The operation → FU binding.
+    pub binding: Option<&'a Binding>,
+    /// The occurrence profile (`K` matrix) the Eqn. 3 weights derive from.
+    pub profile: Option<&'a OccurrenceProfile>,
+    /// The locking configuration.
+    pub spec: Option<&'a LockingSpec>,
+    /// The candidate minterm list `C` the locked inputs must be drawn from.
+    pub candidates: Option<&'a [Minterm]>,
+    /// Per-cycle dual certificates from the obfuscation-aware binder.
+    pub certificate: Option<&'a BindingCertificate>,
+    /// A locked gate-level netlist.
+    pub netlist: Option<&'a Netlist>,
+}
+
+impl<'a> Artifact<'a> {
+    /// An empty bundle (every pass skips).
+    pub fn new() -> Self {
+        Artifact::default()
+    }
+
+    /// Attaches the data-flow graph.
+    pub fn with_dfg(mut self, dfg: &'a Dfg) -> Self {
+        self.dfg = Some(dfg);
+        self
+    }
+
+    /// Attaches the schedule.
+    pub fn with_schedule(mut self, schedule: &'a Schedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Attaches the allocation.
+    pub fn with_alloc(mut self, alloc: &'a Allocation) -> Self {
+        self.alloc = Some(alloc);
+        self
+    }
+
+    /// Attaches the binding.
+    pub fn with_binding(mut self, binding: &'a Binding) -> Self {
+        self.binding = Some(binding);
+        self
+    }
+
+    /// Attaches the occurrence profile.
+    pub fn with_profile(mut self, profile: &'a OccurrenceProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Attaches the locking spec.
+    pub fn with_spec(mut self, spec: &'a LockingSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Attaches the candidate minterm list `C`.
+    pub fn with_candidates(mut self, candidates: &'a [Minterm]) -> Self {
+        self.candidates = Some(candidates);
+        self
+    }
+
+    /// Attaches the binding certificate.
+    pub fn with_certificate(mut self, certificate: &'a BindingCertificate) -> Self {
+        self.certificate = Some(certificate);
+        self
+    }
+
+    /// Attaches a locked netlist.
+    pub fn with_netlist(mut self, netlist: &'a Netlist) -> Self {
+        self.netlist = Some(netlist);
+        self
+    }
+}

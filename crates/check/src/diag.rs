@@ -1,0 +1,486 @@
+//! The structured diagnostics model: stable codes, severities, artifact
+//! spans, and the [`Report`] collecting what a check run found.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use lockbind_hls::{FuId, Minterm};
+
+/// Stable diagnostic codes. The numeric ranges group by pass:
+///
+/// * `LB01xx` — DFG well-formedness,
+/// * `LB02xx` — schedule legality,
+/// * `LB03xx` — binding legality,
+/// * `LB04xx` — matching-optimality certificates,
+/// * `LB05xx` — locking-config validity,
+/// * `LB06xx` — netlist sanity.
+///
+/// Codes are append-only: a released code never changes meaning, so goldens
+/// and CI greps stay valid across versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// `LB0101`: an operand references an operation id outside the DFG.
+    DanglingOpRef,
+    /// `LB0102`: the DFG's dependence relation has a cycle (an operand
+    /// references an op at or after its consumer in append order).
+    DfgCycle,
+    /// `LB0103`: a width inconsistency — operand width outside `1..=31` or
+    /// a constant operand that does not fit the operand width.
+    WidthMismatch,
+    /// `LB0104`: an operand references a primary input outside the DFG.
+    DanglingInputRef,
+    /// `LB0105`: a declared output references an operation outside the DFG.
+    BadOutputRef,
+    /// `LB0201`: the schedule does not cover the DFG's operations.
+    ScheduleLength,
+    /// `LB0202`: a dependence edge does not respect cycle order.
+    DependenceViolation,
+    /// `LB0203`: a cycle uses more FUs of a class than are allocated.
+    ResourceOveruse,
+    /// `LB0301`: the binding does not cover the DFG's operations.
+    BindingLength,
+    /// `LB0302`: an operation is bound to an FU of the wrong class.
+    ClassMismatch,
+    /// `LB0303`: an operation is bound to an FU outside the allocation.
+    FuOutOfRange,
+    /// `LB0304`: two same-cycle operations share an FU.
+    CycleConflict,
+    /// `LB0401`: a non-empty `(cycle, class)` subproblem carries no
+    /// matching certificate.
+    CertMissing,
+    /// `LB0402`: a certificate's shape (ops/FUs/assignment/potentials)
+    /// disagrees with the subproblem it claims to certify.
+    CertShape,
+    /// `LB0403`: certificate potentials violate dual feasibility.
+    CertDualInfeasible,
+    /// `LB0404`: a column potential violates the `v ≤ 0` sign condition.
+    CertSignViolation,
+    /// `LB0405`: nonzero duality gap — the matching is not proven optimal.
+    CertDualityGap,
+    /// `LB0406`: the certified assignment disagrees with the binding.
+    CertAssignmentMismatch,
+    /// `LB0407`: a certificate's total disagrees with the Eqn. 3 weights.
+    CertTotalMismatch,
+    /// `LB0501`: the locking spec references an FU outside the allocation.
+    LockUnknownFu,
+    /// `LB0502`: the locking spec lists an FU more than once.
+    LockDuplicateFu,
+    /// `LB0503`: a locked minterm does not fit the FU input space
+    /// (`raw >= 2^(2*width)`), so it can never occur — a vacuous lock.
+    MintermWidthOverflow,
+    /// `LB0504`: a locked minterm is not drawn from the candidate list `C`.
+    MintermNotInCandidates,
+    /// `LB0505`: a locked FU's minterm set is empty or contains duplicates.
+    DegenerateMintermSet,
+    /// `LB0506`: key size / error rate fall outside the Eqn. 1 budget model.
+    BudgetInconsistent,
+    /// `LB0601`: a gate's operand references a later gate — a combinational
+    /// cycle.
+    CombinationalCycle,
+    /// `LB0602`: a net drives nothing and is not an output (dead logic).
+    FloatingNet,
+    /// `LB0603`: a key input reaches no gate, so the key bit is inert.
+    DeadKeyInput,
+}
+
+impl Code {
+    /// Every code, in `LBxxxx` order (used by renderers and docs).
+    pub const ALL: [Code; 28] = [
+        Code::DanglingOpRef,
+        Code::DfgCycle,
+        Code::WidthMismatch,
+        Code::DanglingInputRef,
+        Code::BadOutputRef,
+        Code::ScheduleLength,
+        Code::DependenceViolation,
+        Code::ResourceOveruse,
+        Code::BindingLength,
+        Code::ClassMismatch,
+        Code::FuOutOfRange,
+        Code::CycleConflict,
+        Code::CertMissing,
+        Code::CertShape,
+        Code::CertDualInfeasible,
+        Code::CertSignViolation,
+        Code::CertDualityGap,
+        Code::CertAssignmentMismatch,
+        Code::CertTotalMismatch,
+        Code::LockUnknownFu,
+        Code::LockDuplicateFu,
+        Code::MintermWidthOverflow,
+        Code::MintermNotInCandidates,
+        Code::DegenerateMintermSet,
+        Code::BudgetInconsistent,
+        Code::CombinationalCycle,
+        Code::FloatingNet,
+        Code::DeadKeyInput,
+    ];
+
+    /// The stable `LBxxxx` string for this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::DanglingOpRef => "LB0101",
+            Code::DfgCycle => "LB0102",
+            Code::WidthMismatch => "LB0103",
+            Code::DanglingInputRef => "LB0104",
+            Code::BadOutputRef => "LB0105",
+            Code::ScheduleLength => "LB0201",
+            Code::DependenceViolation => "LB0202",
+            Code::ResourceOveruse => "LB0203",
+            Code::BindingLength => "LB0301",
+            Code::ClassMismatch => "LB0302",
+            Code::FuOutOfRange => "LB0303",
+            Code::CycleConflict => "LB0304",
+            Code::CertMissing => "LB0401",
+            Code::CertShape => "LB0402",
+            Code::CertDualInfeasible => "LB0403",
+            Code::CertSignViolation => "LB0404",
+            Code::CertDualityGap => "LB0405",
+            Code::CertAssignmentMismatch => "LB0406",
+            Code::CertTotalMismatch => "LB0407",
+            Code::LockUnknownFu => "LB0501",
+            Code::LockDuplicateFu => "LB0502",
+            Code::MintermWidthOverflow => "LB0503",
+            Code::MintermNotInCandidates => "LB0504",
+            Code::DegenerateMintermSet => "LB0505",
+            Code::BudgetInconsistent => "LB0506",
+            Code::CombinationalCycle => "LB0601",
+            Code::FloatingNet => "LB0602",
+            Code::DeadKeyInput => "LB0603",
+        }
+    }
+
+    /// The default severity this code is reported at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::DegenerateMintermSet | Code::BudgetInconsistent | Code::FloatingNet => {
+                Severity::Warning
+            }
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How bad a diagnostic is. Only `Error` diagnostics fail a check run;
+/// warnings flag suspicious-but-legal artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not invalid; does not fail the run.
+    Warning,
+    /// A broken invariant; fails the run.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label for rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which artifact element a diagnostic points at — the checker's analogue of
+/// a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Span {
+    /// The artifact as a whole.
+    Artifact,
+    /// A DFG operation, by op index.
+    Op(usize),
+    /// A dependence edge between two op indices.
+    Edge {
+        /// Producer op index.
+        from: usize,
+        /// Consumer op index.
+        to: usize,
+    },
+    /// A primary-input reference, by input index.
+    Input(usize),
+    /// A clock cycle.
+    Cycle(u32),
+    /// A `(cycle, class-FU)` assignment subproblem.
+    CycleFu(u32, FuId),
+    /// A functional unit.
+    Fu(FuId),
+    /// A locked minterm on an FU.
+    MintermOn(FuId, Minterm),
+    /// A netlist net, by gate index.
+    Net(usize),
+    /// A netlist key input, by key index.
+    KeyInput(usize),
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Artifact => write!(f, "artifact"),
+            Span::Op(i) => write!(f, "op{i}"),
+            Span::Edge { from, to } => write!(f, "op{from}->op{to}"),
+            Span::Input(i) => write!(f, "in{i}"),
+            Span::Cycle(t) => write!(f, "cycle{t}"),
+            Span::CycleFu(t, fu) => write!(f, "cycle{t}/{fu}"),
+            Span::Fu(fu) => write!(f, "{fu}"),
+            Span::MintermOn(fu, m) => write!(f, "{fu}/{m}"),
+            Span::Net(i) => write!(f, "n{i}"),
+            Span::KeyInput(i) => write!(f, "key{i}"),
+        }
+    }
+}
+
+/// One finding: a stable code, its severity, the artifact element it names,
+/// and a human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable `LBxxxx` code.
+    pub code: Code,
+    /// Severity (defaults to [`Code::severity`]).
+    pub severity: Severity,
+    /// The artifact element at fault.
+    pub span: Span,
+    /// Explanation of the violated invariant.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic at the code's default severity.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.span, self.message
+        )
+    }
+}
+
+/// Everything a check run found, in pass order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Records a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// All findings, in the order the passes produced them.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Warning`-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// `true` when the run produced no `Error`-severity findings (warnings
+    /// are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Findings per stable code, sorted by code.
+    pub fn counts_by_code(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for d in &self.diagnostics {
+            *counts.entry(d.code.as_str()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// One-line-per-finding human rendering; `"clean"` when empty.
+    pub fn render_human(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return String::from("clean\n");
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)\n",
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering (an object with a `diagnostics`
+    /// array plus error/warning totals).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"span\":\"{}\",\"message\":\"{}\"}}",
+                d.code,
+                d.severity,
+                escape_json(&d.span.to_string()),
+                escape_json(&d.message)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"errors\":{},\"warnings\":{}}}",
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+
+    /// The engine-facing failure string, or `None` if the run is clean.
+    ///
+    /// The format is stable: the [`crate::CHECK_FAILURE_PREFIX`] prefix
+    /// followed by `[LBxxxx]`-tagged messages, which the engine parses to
+    /// produce per-code run metrics.
+    pub fn failure_message(&self) -> Option<String> {
+        if self.is_clean() {
+            return None;
+        }
+        let errors: Vec<&Diagnostic> = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        let mut parts: Vec<String> = errors
+            .iter()
+            .take(3)
+            .map(|d| format!("[{}] {}: {}", d.code, d.span, d.message))
+            .collect();
+        if errors.len() > 3 {
+            parts.push(format!("(+{} more)", errors.len() - 3));
+        }
+        Some(format!(
+            "{}{}",
+            crate::CHECK_FAILURE_PREFIX,
+            parts.join("; ")
+        ))
+    }
+}
+
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lockbind_hls::FuClass;
+
+    #[test]
+    fn codes_are_unique_and_ordered() {
+        let strings: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        let mut sorted = strings.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(strings, sorted, "codes must be unique and in LB order");
+    }
+
+    #[test]
+    fn report_counts_and_cleanliness() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        r.push(Diagnostic::new(
+            Code::BudgetInconsistent,
+            Span::Fu(FuId::new(FuClass::Adder, 0)),
+            "eps out of range",
+        ));
+        assert!(r.is_clean(), "warnings alone stay clean");
+        r.push(Diagnostic::new(
+            Code::CycleConflict,
+            Span::Cycle(3),
+            "clash",
+        ));
+        assert!(!r.is_clean());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.counts_by_code()["LB0304"], 1);
+    }
+
+    #[test]
+    fn failure_message_lists_codes_and_truncates() {
+        let mut r = Report::new();
+        assert_eq!(r.failure_message(), None);
+        for i in 0..5 {
+            r.push(Diagnostic::new(
+                Code::CycleConflict,
+                Span::Cycle(i),
+                format!("conflict {i}"),
+            ));
+        }
+        let msg = r.failure_message().expect("errors present");
+        assert!(msg.starts_with(crate::CHECK_FAILURE_PREFIX));
+        assert!(msg.contains("[LB0304]"));
+        assert!(msg.contains("(+2 more)"));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Code::WidthMismatch,
+            Span::Op(0),
+            "bad \"quote\"",
+        ));
+        let json = r.render_json();
+        assert!(json.contains("\\\"quote\\\""));
+        assert!(json.contains("\"errors\":1"));
+    }
+
+    #[test]
+    fn human_rendering_is_clean_when_empty() {
+        assert_eq!(Report::new().render_human(), "clean\n");
+    }
+}

@@ -1,0 +1,236 @@
+//! Mutation-based property tests for the pass suite: build a *valid*
+//! artifact from a real MediaBench kernel, apply exactly one mutation from
+//! a known class, and assert the checker reports the expected `LBxxxx`
+//! diagnostic. The dual direction — unmutated artifacts lint clean — is the
+//! first property.
+//!
+//! CI runs this file with `PROPTEST_CASES=256`; the local default is 64.
+
+use lockbind_check::{check_artifact, Artifact, Report};
+use lockbind_core::{bind_obfuscation_aware_certified, BindingCertificate, LockingSpec};
+use lockbind_hls::{
+    schedule_list, Allocation, Binding, Dfg, FuClass, FuId, Minterm, OccurrenceProfile, OpId,
+    Schedule,
+};
+use lockbind_mediabench::Kernel;
+use proptest::prelude::*;
+
+const FRAMES: usize = 16;
+
+/// A fully valid artifact bundle for one suite kernel: the certified
+/// obfuscation-aware binding of a standard locking configuration.
+struct Fixture {
+    dfg: Dfg,
+    schedule: Schedule,
+    alloc: Allocation,
+    profile: OccurrenceProfile,
+    candidates: Vec<Minterm>,
+    spec: LockingSpec,
+    binding: Binding,
+    certificate: BindingCertificate,
+}
+
+impl Fixture {
+    fn new(kernel_index: usize, seed: u64) -> Fixture {
+        let kernel = Kernel::ALL[kernel_index % Kernel::ALL.len()];
+        let bench = kernel.benchmark(FRAMES, seed);
+        let (_, muls) = bench.dfg.op_mix();
+        let alloc = Allocation::new(3, if muls > 0 { 3 } else { 0 });
+        let schedule = schedule_list(&bench.dfg, &alloc).expect("suite kernels fit 3+3 FUs");
+        let profile =
+            OccurrenceProfile::from_trace(&bench.dfg, &bench.trace).expect("arity matches");
+        let candidates = profile.top_candidates_among(&bench.dfg.ops_of_class(FuClass::Adder), 6);
+        let spec = LockingSpec::new(
+            &alloc,
+            vec![(
+                FuId::new(FuClass::Adder, 0),
+                candidates[..2.min(candidates.len())].to_vec(),
+            )],
+        )
+        .expect("valid spec");
+        let (binding, certificate) =
+            bind_obfuscation_aware_certified(&bench.dfg, &schedule, &alloc, &profile, &spec)
+                .expect("suite kernels bind");
+        Fixture {
+            dfg: bench.dfg,
+            schedule,
+            alloc,
+            profile,
+            candidates,
+            spec,
+            binding,
+            certificate,
+        }
+    }
+
+    /// The complete artifact (certificate included) over this fixture's
+    /// fields, with optional overrides applied by the caller.
+    fn artifact(&self) -> Artifact<'_> {
+        Artifact::new()
+            .with_dfg(&self.dfg)
+            .with_schedule(&self.schedule)
+            .with_alloc(&self.alloc)
+            .with_binding(&self.binding)
+            .with_profile(&self.profile)
+            .with_spec(&self.spec)
+            .with_candidates(&self.candidates)
+            .with_certificate(&self.certificate)
+    }
+
+    /// All `(a, b)` op pairs whose swap preserves binding legality but
+    /// deviates from the certified matching: same cycle, same class,
+    /// distinct FUs.
+    fn swappable_pairs(&self) -> Vec<(OpId, OpId)> {
+        let ids: Vec<OpId> = self.dfg.op_ids().collect();
+        let mut pairs = Vec::new();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                if self.schedule.cycle(a) == self.schedule.cycle(b)
+                    && self.binding.fu(a).class == self.binding.fu(b).class
+                    && self.binding.fu(a) != self.binding.fu(b)
+                {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+fn has_code(report: &Report, code: &str) -> bool {
+    report.counts_by_code().contains_key(code)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Baseline: valid certified artifacts produce an empty report.
+    #[test]
+    fn valid_artifacts_lint_clean(k in 0usize..11, seed in 0u64..32) {
+        let f = Fixture::new(k, seed);
+        let report = check_artifact(&f.artifact());
+        prop_assert!(
+            report.diagnostics().is_empty(),
+            "expected clean, got:\n{}",
+            report.render_human()
+        );
+    }
+
+    /// Mutation: swap two same-cycle bindings. The binding stays legal but
+    /// no longer matches the certificate's proven-optimal assignment.
+    #[test]
+    fn swapped_cycle_bindings_trip_lb0406(k in 0usize..11, seed in 0u64..32, pick in any::<u64>()) {
+        let f = Fixture::new(k, seed);
+        let pairs = f.swappable_pairs();
+        prop_assume!(!pairs.is_empty());
+        let (a, b) = pairs[(pick % pairs.len() as u64) as usize];
+        let mut fu_of = f.binding.as_slice().to_vec();
+        fu_of.swap(a.index(), b.index());
+        let swapped = Binding::from_assignment_unchecked(fu_of);
+        let report = check_artifact(&f.artifact().with_binding(&swapped));
+        prop_assert!(has_code(&report, "LB0406"), "{}", report.render_human());
+        prop_assert!(!report.is_clean());
+    }
+
+    /// Mutation: re-schedule a consumer into its producer's cycle. The
+    /// dependence edge now points sideways in time.
+    #[test]
+    fn violated_dependence_trips_lb0202(k in 0usize..11, seed in 0u64..32, pick in any::<u64>()) {
+        let f = Fixture::new(k, seed);
+        let victims: Vec<OpId> = f
+            .dfg
+            .op_ids()
+            .filter(|&id| !f.dfg.predecessors(id).is_empty())
+            .collect();
+        prop_assume!(!victims.is_empty());
+        let victim = victims[(pick % victims.len() as u64) as usize];
+        let pred = f.dfg.predecessors(victim)[0];
+        let mut cycles = f.schedule.cycles().to_vec();
+        cycles[victim.index()] = cycles[pred.index()];
+        let broken = Schedule::from_cycles_unchecked(cycles);
+        let report = check_artifact(
+            &Artifact::new()
+                .with_dfg(&f.dfg)
+                .with_schedule(&broken)
+                .with_alloc(&f.alloc),
+        );
+        prop_assert!(has_code(&report, "LB0202"), "{}", report.render_human());
+    }
+
+    /// Mutation: re-point a locked minterm at a value outside the candidate
+    /// list `C` (still width-valid, so only the provenance check fires).
+    #[test]
+    fn foreign_minterm_trips_lb0504(k in 0usize..11, seed in 0u64..32) {
+        let f = Fixture::new(k, seed);
+        let foreign = (0u64..)
+            .map(Minterm::from_raw)
+            .find(|m| !f.candidates.contains(m))
+            .expect("some small raw value is not a candidate");
+        let spec = LockingSpec::new(
+            &f.alloc,
+            vec![(FuId::new(FuClass::Adder, 0), vec![foreign])],
+        )
+        .expect("width-valid minterm is accepted by the spec constructor");
+        let report = check_artifact(
+            &Artifact::new()
+                .with_dfg(&f.dfg)
+                .with_alloc(&f.alloc)
+                .with_spec(&spec)
+                .with_candidates(&f.candidates),
+        );
+        prop_assert!(has_code(&report, "LB0504"), "{}", report.render_human());
+    }
+
+    /// Mutation: lock a minterm wider than the FU's input space.
+    #[test]
+    fn overwide_minterm_trips_lb0503(k in 0usize..11, seed in 0u64..32, extra in 0u64..4) {
+        let f = Fixture::new(k, seed);
+        let bits = 2 * f.dfg.width();
+        prop_assume!(bits < 63);
+        let overwide = Minterm::from_raw((1u64 << bits) + extra);
+        let spec = LockingSpec::new(
+            &f.alloc,
+            vec![(FuId::new(FuClass::Adder, 0), vec![overwide])],
+        )
+        .expect("spec constructor does not know the DFG width");
+        let report = check_artifact(
+            &Artifact::new()
+                .with_dfg(&f.dfg)
+                .with_alloc(&f.alloc)
+                .with_spec(&spec),
+        );
+        prop_assert!(has_code(&report, "LB0503"), "{}", report.render_human());
+    }
+
+    /// Mutation: raise one row potential. The matched edge of that row was
+    /// tight (complementary slackness), so the duals go infeasible.
+    #[test]
+    fn raised_dual_potential_trips_lb0403(k in 0usize..11, seed in 0u64..32, pick in any::<u64>()) {
+        let f = Fixture::new(k, seed);
+        prop_assume!(!f.certificate.cycles.is_empty());
+        let mut cert = f.certificate.clone();
+        let ci = (pick % cert.cycles.len() as u64) as usize;
+        let rows = cert.cycles[ci].certificate.u.len();
+        prop_assume!(rows > 0);
+        let r = ((pick >> 32) % rows as u64) as usize;
+        cert.cycles[ci].certificate.u[r] += 1;
+        let report = check_artifact(&f.artifact().with_certificate(&cert));
+        prop_assert!(has_code(&report, "LB0403"), "{}", report.render_human());
+    }
+
+    /// Mutation: lower one row potential. The duals stay feasible but the
+    /// dual objective no longer meets the primal cost — a duality gap.
+    #[test]
+    fn lowered_dual_potential_trips_lb0405(k in 0usize..11, seed in 0u64..32, pick in any::<u64>()) {
+        let f = Fixture::new(k, seed);
+        prop_assume!(!f.certificate.cycles.is_empty());
+        let mut cert = f.certificate.clone();
+        let ci = (pick % cert.cycles.len() as u64) as usize;
+        let rows = cert.cycles[ci].certificate.u.len();
+        prop_assume!(rows > 0);
+        let r = ((pick >> 32) % rows as u64) as usize;
+        cert.cycles[ci].certificate.u[r] -= 1;
+        let report = check_artifact(&f.artifact().with_certificate(&cert));
+        prop_assert!(has_code(&report, "LB0405"), "{}", report.render_human());
+    }
+}

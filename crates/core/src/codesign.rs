@@ -31,6 +31,7 @@ pub struct CoDesignOutcome {
 }
 
 fn validate(
+    dfg: &Dfg,
     alloc: &Allocation,
     locked_fus: &[FuId],
     inputs_per_fu: usize,
@@ -49,6 +50,19 @@ fn validate(
             candidates: candidates.len(),
             requested: inputs_per_fu,
         });
+    }
+    // A minterm packs two `width`-bit operands into `2*width` bits. A wider
+    // candidate can never occur on the target FU's inputs, so accepting it
+    // would silently lock nothing (zero weight everywhere) — reject up
+    // front instead of producing a vacuous lock.
+    let width = dfg.width();
+    for c in candidates {
+        if c.raw() >> (2 * width) != 0 {
+            return Err(CoreError::MintermWidthMismatch {
+                minterm: c.raw(),
+                width,
+            });
+        }
     }
     Ok(())
 }
@@ -107,7 +121,7 @@ pub fn codesign_optimal_cancellable(
         locked_fus = locked_fus.len(),
         candidates = candidates.len()
     );
-    validate(alloc, locked_fus, inputs_per_fu, candidates)?;
+    validate(dfg, alloc, locked_fus, inputs_per_fu, candidates)?;
     let combos = combinations(candidates.len(), inputs_per_fu);
     let evaluations = (combos.len() as u128)
         .checked_pow(locked_fus.len() as u32)
@@ -215,7 +229,7 @@ pub fn codesign_heuristic_cancellable(
         locked_fus = locked_fus.len(),
         candidates = candidates.len()
     );
-    validate(alloc, locked_fus, inputs_per_fu, candidates)?;
+    validate(dfg, alloc, locked_fus, inputs_per_fu, candidates)?;
     let combos = combinations(candidates.len(), inputs_per_fu);
 
     let mut fixed: Vec<(FuId, Vec<Minterm>)> = Vec::new();
@@ -355,6 +369,26 @@ mod tests {
                 bind_obfuscation_aware(&dfg, &sched, &alloc, &profile, &spec).expect("feasible");
             let e = expected_application_errors(&bind, &profile, &spec);
             assert!(e <= heu.errors);
+        }
+    }
+
+    #[test]
+    fn rejects_overwide_minterm_candidates() {
+        // Regression: the heuristic used to accept candidates wider than the
+        // kernel's 2*width-bit FU input space; they can never occur on any
+        // FU's inputs, so every weight is zero and the "lock" is vacuous.
+        let (dfg, sched, alloc, profile, mut candidates) = setup(Kernel::Fir);
+        assert_eq!(dfg.width(), 8);
+        candidates.push(Minterm::pack(0x2a0, 0x11, 12)); // raw needs 22 bits > 16
+        let fus = [FuId::new(FuClass::Adder, 0)];
+        for result in [
+            codesign_heuristic(&dfg, &sched, &alloc, &profile, &fus, 1, &candidates),
+            codesign_optimal(&dfg, &sched, &alloc, &profile, &fus, 1, &candidates),
+        ] {
+            assert!(matches!(
+                result,
+                Err(CoreError::MintermWidthMismatch { width: 8, .. })
+            ));
         }
     }
 

@@ -24,6 +24,15 @@ pub enum CoreError {
         /// Display form of the offending FU.
         fu: String,
     },
+    /// A locked-minterm candidate's packed width exceeds the input space of
+    /// the FU it would lock (`raw >= 2^(2*width)`), so it could never occur
+    /// on that FU's inputs.
+    MintermWidthMismatch {
+        /// Raw packed value of the offending minterm.
+        minterm: u64,
+        /// Operand width (bits) of the target FU / DFG.
+        width: u32,
+    },
     /// A co-design call asked for more locked inputs per FU than there are
     /// candidates.
     NotEnoughCandidates {
@@ -63,6 +72,11 @@ impl fmt::Display for CoreError {
             CoreError::Lock(e) => write!(f, "locking error: {e}"),
             CoreError::UnknownFu { fu } => write!(f, "locking spec references unallocated {fu}"),
             CoreError::DuplicateFu { fu } => write!(f, "locking spec lists {fu} twice"),
+            CoreError::MintermWidthMismatch { minterm, width } => write!(
+                f,
+                "locked-minterm candidate {minterm:#x} does not fit the {width}-bit FU input space (needs < 2^{})",
+                2 * width
+            ),
             CoreError::NotEnoughCandidates {
                 candidates,
                 requested,

@@ -73,7 +73,10 @@ pub use cost::expected_application_errors;
 pub use error::CoreError;
 pub use exhaustive::{bind_exhaustive, bind_exhaustive_cancellable};
 pub use methodology::{design_lock, DesignGoals, MethodologyOutcome};
-pub use obf_aware::bind_obfuscation_aware;
+pub use obf_aware::{
+    bind_obfuscation_aware, bind_obfuscation_aware_certified, obf_weight_matrix,
+    BindingCertificate, CycleCert,
+};
 pub use pipeline::{minterm_to_pattern, realize_locked_modules, LockedDesign};
 pub use power_aware::bind_power_aware;
 pub use random_binding::bind_random;

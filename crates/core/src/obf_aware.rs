@@ -1,10 +1,67 @@
 //! Problem 1: obfuscation-aware binding (Sec. IV of the paper).
 
-use lockbind_hls::{Allocation, Binding, Dfg, FuClass, FuId, OccurrenceProfile, Schedule};
-use lockbind_matching::{max_weight_matching, WeightMatrix};
+use lockbind_hls::{Allocation, Binding, Dfg, FuClass, FuId, OccurrenceProfile, OpId, Schedule};
+use lockbind_matching::{
+    max_weight_matching, max_weight_matching_certified, verify_dual_certificate, DualCertificate,
+    Matching, WeightMatrix,
+};
 use lockbind_obs as obs;
 
 use crate::{CoreError, LockingSpec};
+
+/// The Eqn. 3 weight matrix for one clock cycle: rows are the concurrent
+/// operations `ops`, columns the class FUs `fus`, and entry `(i, j)` is
+/// `Σ_{m ∈ M_j} K[m, i]` (zero for unlocked FUs).
+///
+/// Shared between the binding algorithms and `lockbind-check`'s
+/// matching-optimality pass, which must rebuild the *identical* matrix to
+/// verify a dual certificate against it.
+pub fn obf_weight_matrix(
+    ops: &[OpId],
+    fus: &[FuId],
+    profile: &OccurrenceProfile,
+    spec: &LockingSpec,
+) -> WeightMatrix {
+    WeightMatrix::from_fn(ops.len(), fus.len(), |r, c| {
+        let w = spec
+            .minterms_of(fus[c])
+            .map(|ms| profile.count_sum(ops[r], ms))
+            .unwrap_or(0);
+        Some(i64::try_from(w).unwrap_or(i64::MAX / 8))
+    })
+}
+
+/// The certified matching of one `(cycle, class)` assignment subproblem:
+/// which ops met which FUs, the solver's assignment, and the LP dual
+/// potentials proving it optimal for the Eqn. 3 weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleCert {
+    /// The clock cycle this matching covers.
+    pub cycle: u32,
+    /// The FU class bound in this subproblem.
+    pub class: FuClass,
+    /// Row order of the weight matrix: concurrent ops of `class` in `cycle`.
+    pub ops: Vec<OpId>,
+    /// Column order of the weight matrix: the allocated FUs of `class`.
+    pub fus: Vec<FuId>,
+    /// The solver's assignment (row index → column index) and total weight.
+    pub matching: Matching,
+    /// Dual potentials certifying the assignment is max-weight (Thm. 2).
+    pub certificate: DualCertificate,
+}
+
+/// Per-cycle dual certificates for a full obfuscation-aware binding — one
+/// [`CycleCert`] per non-empty `(cycle, class)` subproblem, in solve order.
+///
+/// Because cycles are independent (Thm. 2 separability), verifying every
+/// per-cycle certificate proves the whole binding achieves the Eqn. 3
+/// global max-weight optimum.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BindingCertificate {
+    /// One entry per non-empty `(cycle, class)` subproblem, in `(cycle,
+    /// class)` order.
+    pub cycles: Vec<CycleCert>,
+}
 
 /// Binds every operation to an FU so that the expected application errors of
 /// the given locking configuration (Eqn. 2) are maximized.
@@ -56,13 +113,7 @@ pub fn bind_obfuscation_aware(
             let fus: Vec<FuId> = (0..alloc.count(class))
                 .map(|i| FuId::new(class, i))
                 .collect();
-            let weights = WeightMatrix::from_fn(ops.len(), fus.len(), |r, c| {
-                let w = spec
-                    .minterms_of(fus[c])
-                    .map(|ms| profile.count_sum(ops[r], ms))
-                    .unwrap_or(0);
-                Some(i64::try_from(w).unwrap_or(i64::MAX / 8))
-            });
+            let weights = obf_weight_matrix(&ops, &fus, profile, spec);
             let matching = max_weight_matching(&weights)?;
             for (r, &c) in matching.row_to_col.iter().enumerate() {
                 fu_of[ops[r].index()] = fus[c];
@@ -70,6 +121,68 @@ pub fn bind_obfuscation_aware(
         }
     }
     Ok(Binding::from_assignment(dfg, schedule, alloc, fu_of)?)
+}
+
+/// [`bind_obfuscation_aware`], additionally returning per-cycle dual
+/// certificates that prove each matching achieved the Eqn. 3 max-weight
+/// optimum (see [`BindingCertificate`]).
+///
+/// Produces the *identical* binding to [`bind_obfuscation_aware`] (the
+/// certified solver is the same solve; it only also exports its final
+/// potentials). In debug builds every certificate is verified on the spot;
+/// release builds leave verification to `lockbind-check`.
+///
+/// # Errors
+///
+/// Same conditions as [`bind_obfuscation_aware`].
+pub fn bind_obfuscation_aware_certified(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    alloc: &Allocation,
+    profile: &OccurrenceProfile,
+    spec: &LockingSpec,
+) -> Result<(Binding, BindingCertificate), CoreError> {
+    obs::counter!("bind.obf_aware.certified_calls").inc();
+    let _timer = obs::timer_sampled!("bind.obf_aware.certified", 4);
+    for fu in spec.locked_fus() {
+        if fu.index >= alloc.count(fu.class) {
+            return Err(CoreError::UnknownFu { fu: fu.to_string() });
+        }
+    }
+
+    let mut fu_of = vec![FuId::new(FuClass::Adder, 0); dfg.num_ops()];
+    let mut cycles = Vec::new();
+    for t in 0..schedule.num_cycles() {
+        for class in FuClass::ALL {
+            let ops = schedule.class_ops_in_cycle(dfg, class, t);
+            if ops.is_empty() {
+                continue;
+            }
+            let fus: Vec<FuId> = (0..alloc.count(class))
+                .map(|i| FuId::new(class, i))
+                .collect();
+            let weights = obf_weight_matrix(&ops, &fus, profile, spec);
+            let certified = max_weight_matching_certified(&weights)?;
+            debug_assert!(
+                verify_dual_certificate(&weights, &certified.matching, &certified.certificate)
+                    .is_ok(),
+                "solver emitted an unverifiable certificate (cycle {t}, class {class})"
+            );
+            for (r, &c) in certified.matching.row_to_col.iter().enumerate() {
+                fu_of[ops[r].index()] = fus[c];
+            }
+            cycles.push(CycleCert {
+                cycle: t,
+                class,
+                ops,
+                fus,
+                matching: certified.matching,
+                certificate: certified.certificate,
+            });
+        }
+    }
+    let binding = Binding::from_assignment(dfg, schedule, alloc, fu_of)?;
+    Ok((binding, BindingCertificate { cycles }))
 }
 
 #[cfg(test)]
@@ -217,6 +330,26 @@ mod tests {
             }
         }
         assert_eq!(best_obf, best, "matching must equal exhaustive optimum");
+    }
+
+    #[test]
+    fn certified_binding_matches_uncertified_and_verifies() {
+        let (d, sched, alloc, profile, spec) = fig2();
+        let plain = bind_obfuscation_aware(&d, &sched, &alloc, &profile, &spec).expect("feasible");
+        let (bind, cert) = bind_obfuscation_aware_certified(&d, &sched, &alloc, &profile, &spec)
+            .expect("feasible");
+        assert_eq!(plain, bind);
+        // One non-empty (cycle, class) subproblem per cycle (adders only).
+        assert_eq!(cert.cycles.len(), 2);
+        for cc in &cert.cycles {
+            let weights = obf_weight_matrix(&cc.ops, &cc.fus, &profile, &spec);
+            verify_dual_certificate(&weights, &cc.matching, &cc.certificate)
+                .expect("per-cycle certificate verifies");
+            // The certificate's assignment is the binding's.
+            for (r, &c) in cc.matching.row_to_col.iter().enumerate() {
+                assert_eq!(bind.fu(cc.ops[r]), cc.fus[c]);
+            }
+        }
     }
 
     #[test]

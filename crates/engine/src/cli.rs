@@ -6,7 +6,7 @@
 //! <bin> [FRAMES] [SEED] [--frames N] [--seed S] [--threads N]
 //!       [--json PATH] [--fail-fast] [--trace PATH] [--profile]
 //!       [--cell-timeout SECS] [--retries N] [--retry-backoff-ms MS]
-//!       [--checkpoint PATH] [--resume PATH]
+//!       [--checkpoint PATH] [--resume PATH] [--check] [--no-check]
 //! ```
 //!
 //! The two positionals predate the engine (`fig4 300 2021`) and remain
@@ -65,6 +65,10 @@ pub struct EngineArgs {
     pub resume: Option<PathBuf>,
     /// Fault-injection plan from `LOCKBIND_FAULTS`, if set.
     pub faults: Option<FaultPlan>,
+    /// Run the `lockbind-check` pass suite over every cell's artifacts
+    /// (`--check` / `--no-check`). Defaults to on in debug builds, off in
+    /// release builds.
+    pub check: bool,
 }
 
 impl EngineArgs {
@@ -84,6 +88,7 @@ impl EngineArgs {
             checkpoint: None,
             resume: None,
             faults: None,
+            check: cfg!(debug_assertions),
         }
     }
 
@@ -112,7 +117,7 @@ impl EngineArgs {
     /// Usage string for `bin`.
     pub fn usage(bin: &str) -> String {
         format!(
-            "usage: {bin} [FRAMES] [SEED] [--frames N] [--seed S] [--threads N] [--json PATH] [--fail-fast] [--trace PATH] [--profile] [--cell-timeout SECS] [--retries N] [--retry-backoff-ms MS] [--checkpoint PATH] [--resume PATH]"
+            "usage: {bin} [FRAMES] [SEED] [--frames N] [--seed S] [--threads N] [--json PATH] [--fail-fast] [--trace PATH] [--profile] [--cell-timeout SECS] [--retries N] [--retry-backoff-ms MS] [--checkpoint PATH] [--resume PATH] [--check] [--no-check]"
         )
     }
 
@@ -165,6 +170,8 @@ impl EngineArgs {
                 }
                 "--checkpoint" => out.checkpoint = Some(PathBuf::from(value_for("--checkpoint")?)),
                 "--resume" => out.resume = Some(PathBuf::from(value_for("--resume")?)),
+                "--check" => out.check = true,
+                "--no-check" => out.check = false,
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -216,6 +223,7 @@ impl EngineArgs {
             faults: self.faults.clone(),
             checkpoint: self.checkpoint.clone(),
             resume: self.resume.clone(),
+            check: self.check,
         }
     }
 
@@ -342,6 +350,25 @@ mod tests {
         assert!(!args.fail_fast);
         assert!(args.trace.is_none());
         assert!(!args.profile);
+        assert_eq!(
+            args.check,
+            cfg!(debug_assertions),
+            "checks default on in debug builds only"
+        );
+    }
+
+    #[test]
+    fn check_flags_toggle_both_ways() {
+        assert!(parse(&["--check"]).unwrap().check);
+        assert!(!parse(&["--no-check"]).unwrap().check);
+        // Last one wins, like any boolean toggle pair.
+        assert!(parse(&["--no-check", "--check"]).unwrap().check);
+        assert!(
+            !parse(&["--check", "--no-check"])
+                .unwrap()
+                .engine_config()
+                .check
+        );
     }
 
     #[test]
@@ -506,6 +533,8 @@ mod tests {
             "--retry-backoff-ms",
             "--checkpoint",
             "--resume",
+            "--check",
+            "--no-check",
         ] {
             assert!(usage.contains(flag), "usage is missing {flag}: {usage}");
         }

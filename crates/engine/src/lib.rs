@@ -22,6 +22,11 @@
 //!   chrome://tracing trace and a per-stage profile table for any figure
 //!   binary.
 //!
+//! * **Artifact checking** — the shared CLI's `--check` / `--no-check`
+//!   flags (on by default in debug builds) ask check-aware jobs to lint
+//!   their final artifacts with `lockbind-check`; rejected cells fail with
+//!   a [`CHECK_FAILURE_PREFIX`]-prefixed message and are broken out in the
+//!   run metrics (`cells_check_failed`, per-`LBxxxx`-code counts).
 //! * **Resilience** — opt-in per-cell deadlines backed by cooperative
 //!   [`CancelToken`](lockbind_resil::CancelToken)s ([`JobCtx::cancel`]),
 //!   deterministic retry-with-backoff (attempt-indexed RNG streams), sweep
@@ -47,4 +52,4 @@ pub use checkpoint::{CheckpointEntry, CHECKPOINT_SCHEMA};
 pub use cli::{EngineArgs, ObsSession};
 pub use json::Json;
 pub use metrics::{CellTiming, RunMetrics, StageMetrics, METRICS_SCHEMA_VERSION};
-pub use pool::{CellResult, Engine, EngineConfig, Job, JobCtx, RunReport};
+pub use pool::{CellResult, Engine, EngineConfig, Job, JobCtx, RunReport, CHECK_FAILURE_PREFIX};

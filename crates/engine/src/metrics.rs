@@ -10,6 +10,11 @@
 //! cancellations, split out of `cells_failed`), `cells_retried` (total
 //! retry attempts spent), and `cells_resumed` (cells spliced in from a
 //! checkpoint); all earlier fields are unchanged.
+//! Version 4 added the artifact-check fields `cells_check_failed` (failed
+//! cells whose message carries the `lockbind-check` failure prefix — a
+//! subset of `cells_failed`) and the `check_codes` object mapping each
+//! `LBxxxx` diagnostic code to its occurrence count across failure
+//! messages; all earlier fields are unchanged.
 
 use std::time::Duration;
 
@@ -19,7 +24,7 @@ use crate::cache::CacheStats;
 use crate::json::Json;
 
 /// JSON schema version written by [`RunMetrics::to_json`].
-pub const METRICS_SCHEMA_VERSION: u64 = 3;
+pub const METRICS_SCHEMA_VERSION: u64 = 4;
 
 impl CacheStats {
     /// The stats accumulated *since* `earlier` (the cache is shared across
@@ -77,6 +82,13 @@ pub struct RunMetrics {
     pub cells_retried: usize,
     /// Cells restored from a resume checkpoint instead of executed.
     pub cells_resumed: usize,
+    /// Failed cells rejected by the `lockbind-check` pass suite (their
+    /// message starts with the check-failure prefix) — a subset of
+    /// [`cells_failed`](Self::cells_failed).
+    pub cells_check_failed: usize,
+    /// `LBxxxx` diagnostic codes extracted from check-failure messages,
+    /// with occurrence counts, sorted by code.
+    pub check_codes: Vec<(String, usize)>,
     /// End-to-end wall time of the run.
     pub wall: Duration,
     /// Executed cells per wall-clock second.
@@ -103,6 +115,8 @@ impl RunMetrics {
         cells_timed_out: usize,
         cells_retried: usize,
         cells_resumed: usize,
+        cells_check_failed: usize,
+        check_codes: Vec<(String, usize)>,
         wall: Duration,
         cache: CacheStats,
         stage_acc: Vec<(&'static str, usize, Duration)>,
@@ -125,6 +139,8 @@ impl RunMetrics {
             cells_timed_out,
             cells_retried,
             cells_resumed,
+            cells_check_failed,
+            check_codes,
             wall,
             cells_per_sec,
             cache,
@@ -158,8 +174,13 @@ impl RunMetrics {
         } else {
             String::new()
         };
+        let check_failed = if self.cells_check_failed > 0 {
+            format!(", {} check-failed", self.cells_check_failed)
+        } else {
+            String::new()
+        };
         format!(
-            "{} cells ({} ok, {} failed{skipped}{timed_out}{resumed}) in {:.2}s on {} threads | {:.1} cells/s | cache {}h/{}m ({:.0}% hit)",
+            "{} cells ({} ok, {} failed{check_failed}{skipped}{timed_out}{resumed}) in {:.2}s on {} threads | {:.1} cells/s | cache {}h/{}m ({:.0}% hit)",
             self.cells_total,
             self.cells_ok,
             self.cells_failed,
@@ -186,6 +207,15 @@ impl RunMetrics {
             ("cells_timed_out", Json::from(self.cells_timed_out)),
             ("cells_retried", Json::from(self.cells_retried)),
             ("cells_resumed", Json::from(self.cells_resumed)),
+            ("cells_check_failed", Json::from(self.cells_check_failed)),
+            (
+                "check_codes",
+                Json::obj(
+                    self.check_codes
+                        .iter()
+                        .map(|(code, count)| (code.as_str(), Json::from(*count))),
+                ),
+            ),
             ("wall_seconds", Json::from(self.wall.as_secs_f64())),
             ("cells_per_sec", Json::from(self.cells_per_sec)),
             (
@@ -252,6 +282,8 @@ mod tests {
             0,
             0,
             0,
+            1,
+            vec![("LB0304".to_string(), 2)],
             Duration::from_millis(500),
             CacheStats {
                 hits: 30,
@@ -273,8 +305,11 @@ mod tests {
         assert!(summary.contains("9 ok"), "{summary}");
         assert!(summary.contains("75% hit"), "{summary}");
         assert!(!summary.contains("skipped"), "{summary}");
+        assert!(summary.contains("1 check-failed"), "{summary}");
         let json = metrics.to_json().render();
-        assert!(json.contains("\"schema_version\":3"));
+        assert!(json.contains("\"schema_version\":4"));
+        assert!(json.contains("\"cells_check_failed\":1"));
+        assert!(json.contains("\"check_codes\":{\"LB0304\":2}"));
         assert!(json.contains("\"root_seed\":2021"));
         assert!(json.contains("\"hit_rate\":0.75"));
         assert!(json.contains("\"stage\":\"error-cell\""));
@@ -292,6 +327,8 @@ mod tests {
             0,
             0,
             0,
+            0,
+            Vec::new(),
             Duration::from_millis(100),
             CacheStats::default(),
             Vec::new(),

@@ -66,6 +66,14 @@ use crate::cache::ArtifactCache;
 use crate::checkpoint::{self, CheckpointWriter};
 use crate::metrics::{CellTiming, RunMetrics};
 
+/// Message prefix that marks a failed cell as an artifact-check failure.
+///
+/// Matches `lockbind_check::CHECK_FAILURE_PREFIX` (kept as a string literal
+/// so the engine does not depend on the check crate): cells that fail with
+/// this prefix are counted in [`RunMetrics::cells_check_failed`], and every
+/// `[LBxxxx]` code in the message feeds the per-code breakdown.
+pub const CHECK_FAILURE_PREFIX: &str = "check failed: ";
+
 /// One schedulable experiment cell.
 ///
 /// Implementations must be pure up to their [`JobCtx`]: the output may
@@ -131,6 +139,11 @@ pub struct JobCtx<'a> {
     /// job body runs; [`FaultKind::CacheBuild`] is left here for
     /// cooperating jobs to feed into their cache builders.
     pub fault: Option<FaultKind>,
+    /// Whether the run asked for artifact checking
+    /// ([`EngineConfig::check`]). Check-aware jobs lint their final
+    /// artifacts with `lockbind-check` and fail the cell with a
+    /// [`CHECK_FAILURE_PREFIX`]-prefixed message on diagnostics.
+    pub check: bool,
 }
 
 impl<'a> JobCtx<'a> {
@@ -141,6 +154,7 @@ impl<'a> JobCtx<'a> {
         cache: &'a ArtifactCache,
         cancel: CancelToken,
         fault: Option<FaultKind>,
+        check: bool,
     ) -> Self {
         let mut rng = ChaCha12Rng::seed_from_u64(root_seed);
         rng.set_stream(index as u64 + (u64::from(attempt) << 32));
@@ -153,6 +167,7 @@ impl<'a> JobCtx<'a> {
             cache,
             cancel,
             fault,
+            check,
         }
     }
 }
@@ -235,6 +250,11 @@ pub struct EngineConfig {
     /// Checkpoint file to resume from; fingerprint-mismatching files are
     /// ignored with a warning (the run proceeds from scratch).
     pub resume: Option<PathBuf>,
+    /// Ask check-aware jobs to lint their artifacts with `lockbind-check`
+    /// (surfaced as [`JobCtx::check`]). Check failures are ordinary cell
+    /// failures with a [`CHECK_FAILURE_PREFIX`]-prefixed message, counted
+    /// separately in [`RunMetrics::cells_check_failed`].
+    pub check: bool,
 }
 
 impl Default for EngineConfig {
@@ -249,6 +269,7 @@ impl Default for EngineConfig {
             faults: None,
             checkpoint: None,
             resume: None,
+            check: false,
         }
     }
 }
@@ -519,6 +540,28 @@ impl Engine {
             .iter()
             .filter(|r| matches!(r, CellResult::Ok { .. }))
             .count();
+        // Check-failure accounting: failed cells carrying the check prefix
+        // are lint rejections; their [LBxxxx] codes feed the per-code
+        // breakdown. Derived from the in-order results, so the counts are
+        // identical at any worker count.
+        let mut cells_check_failed = 0usize;
+        let mut check_codes: Vec<(String, usize)> = Vec::new();
+        for (_, message) in results.iter().filter_map(CellResult::failure) {
+            let Some(rest) = message.strip_prefix(CHECK_FAILURE_PREFIX) else {
+                continue;
+            };
+            cells_check_failed += 1;
+            for code in check_codes_in(rest) {
+                match check_codes.iter_mut().find(|(c, _)| c.as_str() == code) {
+                    Some((_, count)) => *count += 1,
+                    None => check_codes.push((code.to_string(), 1)),
+                }
+            }
+        }
+        check_codes.sort();
+        if cells_check_failed > 0 {
+            obs::counter!("cells.check_failed").add(cells_check_failed as u64);
+        }
         let metrics = RunMetrics::new(
             threads,
             self.cfg.root_seed,
@@ -528,6 +571,8 @@ impl Engine {
             timed_out.load(Ordering::Relaxed),
             retried.load(Ordering::Relaxed),
             cells_resumed,
+            cells_check_failed,
+            check_codes,
             wall,
             self.cache.stats().delta_from(cache_before),
             stage_acc,
@@ -559,7 +604,15 @@ fn run_cell<J: Job>(
             .faults
             .as_ref()
             .and_then(|plan| plan.action_for(index, attempt));
-        let mut ctx = JobCtx::new(index, attempt, cfg.root_seed, cache, cancel.clone(), fault);
+        let mut ctx = JobCtx::new(
+            index,
+            attempt,
+            cfg.root_seed,
+            cache,
+            cancel.clone(),
+            fault,
+            cfg.check,
+        );
         let outcome = {
             let _cell_scope = obs::CellScope::enter(index as u64, worker as u64);
             let _span = obs::span!(job.stage(), cell = cell, worker = worker);
@@ -631,6 +684,25 @@ fn apply_fault(ctx: &mut JobCtx<'_>) -> Result<(), String> {
             std::thread::sleep(Duration::from_millis(1));
         },
     }
+}
+
+/// Extracts the `LBxxxx` diagnostic codes from a check-failure message
+/// (the `[LB0304] ...; [LB0202] ...` format of a check report's failure
+/// summary). Tolerant of arbitrary surrounding text; non-`LBnnnn` brackets
+/// are ignored.
+fn check_codes_in(message: &str) -> Vec<&str> {
+    let mut codes = Vec::new();
+    let mut rest = message;
+    while let Some(start) = rest.find("[LB") {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find(']') else { break };
+        let code = &rest[..end];
+        if code.len() == 6 && code[2..].bytes().all(|b| b.is_ascii_digit()) {
+            codes.push(code);
+        }
+        rest = &rest[end..];
+    }
+    codes
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -1081,6 +1153,76 @@ mod tests {
             format!("{:?}", again.results),
             format!("{:?}", full.results)
         );
+    }
+
+    /// Fails with a check-style message on selected cells when the run has
+    /// checking enabled — the shape check-aware bench cells produce.
+    struct CheckyJob {
+        id: usize,
+    }
+
+    impl Job for CheckyJob {
+        type Output = usize;
+
+        fn label(&self) -> String {
+            format!("checky-{}", self.id)
+        }
+
+        fn run(&self, ctx: &mut JobCtx<'_>) -> Result<usize, String> {
+            if ctx.check && self.id % 3 == 0 {
+                return Err(format!(
+                    "{CHECK_FAILURE_PREFIX}[LB0304] cycle0/adder0: clash; \
+                     [LB0202] op1->op2: backwards"
+                ));
+            }
+            Ok(self.id)
+        }
+    }
+
+    #[test]
+    fn check_failures_are_classified_and_counted_per_code() {
+        let jobs: Vec<CheckyJob> = (0..7).map(|id| CheckyJob { id }).collect();
+        let run = |check: bool| {
+            Engine::new(EngineConfig {
+                threads: 2,
+                progress: false,
+                check,
+                ..EngineConfig::default()
+            })
+            .run(&jobs)
+        };
+        let unchecked = run(false);
+        assert_eq!(
+            unchecked.metrics.cells_ok, 7,
+            "checks off: everything passes"
+        );
+        assert_eq!(unchecked.metrics.cells_check_failed, 0);
+
+        let checked = run(true);
+        assert_eq!(checked.metrics.cells_ok, 4);
+        assert_eq!(checked.metrics.cells_failed, 3, "cells 0, 3, 6 rejected");
+        assert_eq!(checked.metrics.cells_check_failed, 3);
+        assert_eq!(
+            checked.metrics.check_codes,
+            vec![("LB0202".to_string(), 3), ("LB0304".to_string(), 3)],
+            "per-code counts are sorted and aggregated across cells"
+        );
+        let summary = checked.metrics.summary();
+        assert!(summary.contains("3 check-failed"), "{summary}");
+    }
+
+    #[test]
+    fn check_code_extraction_is_tolerant() {
+        assert_eq!(
+            check_codes_in("[LB0304] x; [LB0304] y (+2 more)"),
+            vec!["LB0304", "LB0304"]
+        );
+        assert_eq!(
+            check_codes_in("prefix [not-a-code] [LB12] [LB0101] tail"),
+            vec!["LB0101"]
+        );
+        assert!(check_codes_in("no codes here").is_empty());
+        assert!(check_codes_in("[LB0101 unterminated").is_empty());
     }
 
     #[test]

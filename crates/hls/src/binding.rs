@@ -70,6 +70,17 @@ impl Binding {
         Ok(Binding { fu_of })
     }
 
+    /// Builds a binding from a raw per-operation FU assignment **without**
+    /// validation.
+    ///
+    /// Intended for round-tripping artifacts from untrusted sources so that
+    /// `lockbind-check` can lint them, and for the checker's own mutation
+    /// tests. Anything built this way should be run through the
+    /// binding-legality pass before use.
+    pub fn from_assignment_unchecked(fu_of: Vec<FuId>) -> Self {
+        Binding { fu_of }
+    }
+
     /// The FU that operation `op` is bound to.
     pub fn fu(&self, op: OpId) -> FuId {
         self.fu_of[op.index()]

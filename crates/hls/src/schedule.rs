@@ -57,9 +57,31 @@ impl Schedule {
         })
     }
 
+    /// Builds a schedule from an explicit cycle assignment **without**
+    /// validating it against any DFG.
+    ///
+    /// Intended for round-tripping artifacts from untrusted sources (e.g.
+    /// checkpoint files) so that `lockbind-check` can lint them, and for the
+    /// checker's own mutation tests. Anything built this way should be run
+    /// through the schedule-legality pass before use.
+    pub fn from_cycles_unchecked(cycle_of: Vec<u32>) -> Self {
+        let num_cycles = cycle_of.iter().max().map_or(0, |&m| m + 1);
+        Schedule {
+            cycle_of,
+            num_cycles,
+        }
+    }
+
     /// The cycle operation `op` executes in (0-based).
     pub fn cycle(&self, op: OpId) -> u32 {
         self.cycle_of[op.index()]
+    }
+
+    /// Raw cycle assignment, op index → cycle. Lets linters inspect a
+    /// schedule without assuming it covers the DFG (a schedule built with
+    /// [`Schedule::from_cycles_unchecked`] may not).
+    pub fn cycles(&self) -> &[u32] {
+        &self.cycle_of
     }
 
     /// Total number of cycles (`s` in the paper).

@@ -1,0 +1,410 @@
+//! Dual-optimality certificates for assignment solutions.
+//!
+//! The Hungarian solver maintains LP dual potentials `u` (rows) and `v`
+//! (columns) throughout its run. For the rectangular assignment LP
+//!
+//! ```text
+//! min Σ c_ij x_ij   s.t.  Σ_j x_ij = 1 ∀i,   Σ_i x_ij ≤ 1 ∀j,   x ≥ 0
+//! ```
+//!
+//! the dual is `max Σ u_i + Σ v_j` subject to `u_i + v_j ≤ c_ij` for every
+//! edge and `v_j ≤ 0` (rows are equality constraints, columns inequalities).
+//! By weak duality any dual-feasible `(u, v)` lower-bounds every complete
+//! matching's cost, so a matching whose cost *equals* `Σ u + Σ v` is provably
+//! optimal — no re-solve needed. [`verify_dual_certificate`] checks exactly
+//! that: shape, dual feasibility on every edge, the column sign condition,
+//! and a zero duality gap, all in `i128` so no verification step can
+//! overflow. Maximization problems are certified in the solver's internal
+//! minimization space (weights negated, forbidden edges at the same
+//! dominating finite cost the solver used).
+
+use lockbind_obs as obs;
+use std::fmt;
+
+use crate::hungarian::dominating_forbidden_cost;
+use crate::{Matching, WeightMatrix};
+
+/// LP dual potentials extracted from a Hungarian solve, certifying that the
+/// accompanying [`Matching`] is optimal for its [`WeightMatrix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualCertificate {
+    /// Row potentials in the solver's internal minimization space.
+    pub u: Vec<i64>,
+    /// Column potentials in the solver's internal minimization space.
+    pub v: Vec<i64>,
+    /// `true` if the solve maximized total weight (weights were negated
+    /// internally); `false` for a min-cost solve.
+    pub maximize: bool,
+}
+
+/// A matching bundled with the dual certificate that proves its optimality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertifiedMatching {
+    /// The optimal assignment.
+    pub matching: Matching,
+    /// Dual potentials certifying optimality.
+    pub certificate: DualCertificate,
+}
+
+/// Why a certificate failed to verify. Each variant maps to one stable
+/// `LB04xx` diagnostic code in `lockbind-check`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificateError {
+    /// Potential/assignment vector lengths disagree with the matrix shape.
+    ShapeMismatch {
+        /// Matrix rows.
+        rows: usize,
+        /// Matrix columns.
+        cols: usize,
+        /// Length of the row-potential vector.
+        u_len: usize,
+        /// Length of the column-potential vector.
+        v_len: usize,
+        /// Length of the assignment vector.
+        assigned: usize,
+    },
+    /// The assignment maps a row to a column index outside the matrix.
+    ColumnOutOfRange {
+        /// Offending row.
+        row: usize,
+        /// Out-of-range column index.
+        col: usize,
+    },
+    /// Two rows are assigned the same column.
+    ColumnReused {
+        /// The column claimed twice.
+        col: usize,
+    },
+    /// A matched edge is forbidden in the weight matrix.
+    ForbiddenEdgeMatched {
+        /// Row of the forbidden edge.
+        row: usize,
+        /// Column of the forbidden edge.
+        col: usize,
+    },
+    /// `u[row] + v[col] > c(row, col)` — the potentials are not dual
+    /// feasible.
+    DualInfeasible {
+        /// Row of the violated constraint.
+        row: usize,
+        /// Column of the violated constraint.
+        col: usize,
+        /// Amount by which the constraint is violated.
+        violation: i128,
+    },
+    /// A column potential is positive, violating `v_j ≤ 0`.
+    ColumnSignViolation {
+        /// Offending column.
+        col: usize,
+        /// The positive potential.
+        potential: i64,
+    },
+    /// Dual objective and primal matching cost differ — the matching is not
+    /// proven optimal.
+    DualityGap {
+        /// Matching cost in the internal minimization space.
+        primal: i128,
+        /// `Σ u + Σ v`.
+        dual: i128,
+    },
+    /// The matching's reported `total` disagrees with the weights it claims
+    /// to sum.
+    TotalMismatch {
+        /// The total stored in the matching.
+        reported: i64,
+        /// The total recomputed from the weight matrix.
+        actual: i64,
+    },
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::ShapeMismatch {
+                rows,
+                cols,
+                u_len,
+                v_len,
+                assigned,
+            } => write!(
+                f,
+                "certificate shape mismatch: matrix {rows}x{cols} but |u|={u_len}, |v|={v_len}, |assignment|={assigned}"
+            ),
+            CertificateError::ColumnOutOfRange { row, col } => {
+                write!(f, "row {row} assigned to out-of-range column {col}")
+            }
+            CertificateError::ColumnReused { col } => {
+                write!(f, "column {col} assigned to more than one row")
+            }
+            CertificateError::ForbiddenEdgeMatched { row, col } => {
+                write!(f, "matched edge ({row}, {col}) is forbidden")
+            }
+            CertificateError::DualInfeasible {
+                row,
+                col,
+                violation,
+            } => write!(
+                f,
+                "dual constraint u[{row}] + v[{col}] <= c violated by {violation}"
+            ),
+            CertificateError::ColumnSignViolation { col, potential } => {
+                write!(f, "column potential v[{col}] = {potential} > 0")
+            }
+            CertificateError::DualityGap { primal, dual } => {
+                write!(f, "duality gap: primal {primal} != dual {dual}")
+            }
+            CertificateError::TotalMismatch { reported, actual } => {
+                write!(
+                    f,
+                    "matching total {reported} disagrees with recomputed {actual}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// Independently verifies that `cert` proves `matching` optimal for
+/// `weights`, without re-running the solver.
+///
+/// Checks, in order: shape agreement, assignment injectivity/range, that no
+/// matched edge is forbidden and the reported total matches the weights,
+/// dual feasibility of every `(row, col)` constraint, the `v_j ≤ 0` sign
+/// condition, and finally a zero duality gap (`Σ u + Σ v` equals the
+/// matching's cost in the internal minimization space). All arithmetic is
+/// performed in `i128`, so verification itself cannot overflow.
+///
+/// # Errors
+///
+/// The first failed check, as a [`CertificateError`].
+pub fn verify_dual_certificate(
+    weights: &WeightMatrix,
+    matching: &Matching,
+    cert: &DualCertificate,
+) -> Result<(), CertificateError> {
+    obs::counter!("matching.cert_checks").inc();
+    let n = weights.rows();
+    let m = weights.cols();
+    if cert.u.len() != n || cert.v.len() != m || matching.row_to_col.len() != n {
+        return Err(CertificateError::ShapeMismatch {
+            rows: n,
+            cols: m,
+            u_len: cert.u.len(),
+            v_len: cert.v.len(),
+            assigned: matching.row_to_col.len(),
+        });
+    }
+
+    let mut used = vec![false; m];
+    for (row, &col) in matching.row_to_col.iter().enumerate() {
+        if col >= m {
+            return Err(CertificateError::ColumnOutOfRange { row, col });
+        }
+        if used[col] {
+            return Err(CertificateError::ColumnReused { col });
+        }
+        used[col] = true;
+    }
+
+    // Internal minimization-space cost, identical to the solver's: negated
+    // weights for maximization, forbidden edges at the same dominating
+    // finite cost (a pure function of the matrix, so it reproduces exactly).
+    let forbidden = i128::from(dominating_forbidden_cost(weights));
+    let cost = |r: usize, c: usize| -> i128 {
+        match weights.get(r, c) {
+            Some(w) => {
+                if cert.maximize {
+                    -i128::from(w)
+                } else {
+                    i128::from(w)
+                }
+            }
+            None => forbidden,
+        }
+    };
+
+    let mut primal: i128 = 0;
+    let mut original_total: i64 = 0;
+    for (row, &col) in matching.row_to_col.iter().enumerate() {
+        match weights.get(row, col) {
+            Some(w) => {
+                original_total = original_total.wrapping_add(w);
+                primal += cost(row, col);
+            }
+            None => return Err(CertificateError::ForbiddenEdgeMatched { row, col }),
+        }
+    }
+    if original_total != matching.total {
+        return Err(CertificateError::TotalMismatch {
+            reported: matching.total,
+            actual: original_total,
+        });
+    }
+
+    for r in 0..n {
+        for c in 0..m {
+            let slack = cost(r, c) - i128::from(cert.u[r]) - i128::from(cert.v[c]);
+            if slack < 0 {
+                return Err(CertificateError::DualInfeasible {
+                    row: r,
+                    col: c,
+                    violation: -slack,
+                });
+            }
+        }
+    }
+    for (col, &p) in cert.v.iter().enumerate() {
+        if p > 0 {
+            return Err(CertificateError::ColumnSignViolation { col, potential: p });
+        }
+    }
+
+    let dual: i128 = cert.u.iter().map(|&x| i128::from(x)).sum::<i128>()
+        + cert.v.iter().map(|&x| i128::from(x)).sum::<i128>();
+    if dual != primal {
+        return Err(CertificateError::DualityGap { primal, dual });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::{max_weight_matching_certified, min_cost_matching_certified};
+
+    fn grid(rows: usize, cols: usize, salt: u64) -> WeightMatrix {
+        WeightMatrix::from_fn(rows, cols, |r, c| {
+            Some(((r as u64 * 31 + c as u64 * 17 + salt * 7) % 23) as i64 - 11)
+        })
+    }
+
+    #[test]
+    fn certified_solve_verifies_on_random_grids() {
+        for salt in 0..40 {
+            for (rows, cols) in [(1, 1), (2, 3), (4, 4), (5, 7), (6, 6)] {
+                let w = grid(rows, cols, salt);
+                let cm = max_weight_matching_certified(&w).expect("feasible");
+                verify_dual_certificate(&w, &cm.matching, &cm.certificate)
+                    .expect("certificate verifies");
+                let cn = min_cost_matching_certified(&w).expect("feasible");
+                verify_dual_certificate(&w, &cn.matching, &cn.certificate)
+                    .expect("min-cost certificate verifies");
+            }
+        }
+    }
+
+    #[test]
+    fn certified_total_matches_uncertified_solver() {
+        let w = grid(5, 6, 3);
+        let plain = crate::max_weight_matching(&w).expect("feasible");
+        let certified = max_weight_matching_certified(&w).expect("feasible");
+        assert_eq!(plain, certified.matching);
+    }
+
+    #[test]
+    fn certificate_verifies_with_forbidden_edges() {
+        let mut w = grid(3, 4, 9);
+        w.forbid(0, 0);
+        w.forbid(1, 2);
+        let cm = max_weight_matching_certified(&w).expect("feasible");
+        verify_dual_certificate(&w, &cm.matching, &cm.certificate).expect("verifies");
+    }
+
+    #[test]
+    fn empty_matching_certifies() {
+        let w = WeightMatrix::zero(0, 4);
+        let cm = max_weight_matching_certified(&w).expect("empty");
+        verify_dual_certificate(&w, &cm.matching, &cm.certificate).expect("verifies");
+    }
+
+    #[test]
+    fn perturbed_row_potential_up_is_infeasible() {
+        let w = grid(4, 5, 1);
+        let mut cm = max_weight_matching_certified(&w).expect("feasible");
+        cm.certificate.u[2] += 1;
+        // The matched edge of row 2 is tight, so raising u breaks it.
+        assert!(matches!(
+            verify_dual_certificate(&w, &cm.matching, &cm.certificate),
+            Err(CertificateError::DualInfeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn perturbed_row_potential_down_opens_gap() {
+        let w = grid(4, 5, 2);
+        let mut cm = max_weight_matching_certified(&w).expect("feasible");
+        cm.certificate.u[0] -= 1;
+        assert!(matches!(
+            verify_dual_certificate(&w, &cm.matching, &cm.certificate),
+            Err(CertificateError::DualityGap { .. })
+        ));
+    }
+
+    #[test]
+    fn suboptimal_assignment_fails_gap_check() {
+        // Distinct weights so any swap strictly loses.
+        let mut w = WeightMatrix::zero(2, 2);
+        w.set(0, 0, 10);
+        w.set(0, 1, 1);
+        w.set(1, 0, 2);
+        w.set(1, 1, 20);
+        let cm = max_weight_matching_certified(&w).expect("feasible");
+        assert_eq!(cm.matching.row_to_col, vec![0, 1]);
+        let swapped = Matching {
+            row_to_col: vec![1, 0],
+            total: 3,
+        };
+        assert!(matches!(
+            verify_dual_certificate(&w, &swapped, &cm.certificate),
+            Err(CertificateError::DualityGap { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_total_is_reported() {
+        let w = grid(3, 3, 5);
+        let mut cm = max_weight_matching_certified(&w).expect("feasible");
+        cm.matching.total += 1;
+        assert!(matches!(
+            verify_dual_certificate(&w, &cm.matching, &cm.certificate),
+            Err(CertificateError::TotalMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_and_range_violations_are_reported() {
+        let w = grid(3, 3, 6);
+        let cm = max_weight_matching_certified(&w).expect("feasible");
+        let mut short = cm.clone();
+        short.certificate.u.pop();
+        assert!(matches!(
+            verify_dual_certificate(&w, &short.matching, &short.certificate),
+            Err(CertificateError::ShapeMismatch { .. })
+        ));
+        let mut out = cm.clone();
+        out.matching.row_to_col[0] = 99;
+        assert!(matches!(
+            verify_dual_certificate(&w, &out.matching, &out.certificate),
+            Err(CertificateError::ColumnOutOfRange { .. })
+        ));
+        let mut dup = cm;
+        dup.matching.row_to_col[0] = dup.matching.row_to_col[1];
+        assert!(matches!(
+            verify_dual_certificate(&w, &dup.matching, &dup.certificate),
+            Err(CertificateError::ColumnReused { .. })
+        ));
+    }
+
+    #[test]
+    fn certificate_errors_render() {
+        let e = CertificateError::DualityGap { primal: 3, dual: 4 };
+        assert!(e.to_string().contains("duality gap"));
+        let e = CertificateError::DualInfeasible {
+            row: 1,
+            col: 2,
+            violation: 5,
+        };
+        assert!(e.to_string().contains("u[1]"));
+    }
+}

@@ -8,6 +8,7 @@
 
 use lockbind_obs as obs;
 
+use crate::certificate::{CertifiedMatching, DualCertificate};
 use crate::{Matching, MatchingError, WeightMatrix};
 
 /// Finds a complete matching of rows into columns with **minimum** total
@@ -31,7 +32,7 @@ use crate::{Matching, MatchingError, WeightMatrix};
 /// # }
 /// ```
 pub fn min_cost_matching(weights: &WeightMatrix) -> Result<Matching, MatchingError> {
-    solve(weights, false)
+    solve(weights, false).map(|(m, _)| m)
 }
 
 /// Finds a complete matching of rows into columns with **maximum** total
@@ -41,10 +42,66 @@ pub fn min_cost_matching(weights: &WeightMatrix) -> Result<Matching, MatchingErr
 ///
 /// Same conditions as [`min_cost_matching`].
 pub fn max_weight_matching(weights: &WeightMatrix) -> Result<Matching, MatchingError> {
-    solve(weights, true)
+    solve(weights, true).map(|(m, _)| m)
 }
 
-fn solve(weights: &WeightMatrix, maximize: bool) -> Result<Matching, MatchingError> {
+/// Like [`max_weight_matching`], but also returns the solver's final dual
+/// potentials as a [`DualCertificate`] proving the assignment optimal
+/// (verifiable offline with
+/// [`verify_dual_certificate`](crate::verify_dual_certificate) — dual
+/// feasibility plus a zero duality gap, no re-solve required).
+///
+/// # Errors
+///
+/// Same conditions as [`min_cost_matching`].
+pub fn max_weight_matching_certified(
+    weights: &WeightMatrix,
+) -> Result<CertifiedMatching, MatchingError> {
+    certified(weights, true)
+}
+
+/// Like [`min_cost_matching`], but also returns a [`DualCertificate`].
+///
+/// # Errors
+///
+/// Same conditions as [`min_cost_matching`].
+pub fn min_cost_matching_certified(
+    weights: &WeightMatrix,
+) -> Result<CertifiedMatching, MatchingError> {
+    certified(weights, false)
+}
+
+fn certified(weights: &WeightMatrix, maximize: bool) -> Result<CertifiedMatching, MatchingError> {
+    obs::counter!("matching.certificates").inc();
+    let (matching, certificate) = solve(weights, maximize)?;
+    Ok(CertifiedMatching {
+        matching,
+        certificate,
+    })
+}
+
+/// The finite cost the solver substitutes for forbidden edges: strictly
+/// dominates any matching made of allowed edges, scaled to the instance so
+/// potentials never overflow. A pure function of the matrix, so certificate
+/// verification reproduces it exactly.
+pub(crate) fn dominating_forbidden_cost(weights: &WeightMatrix) -> i64 {
+    let n = weights.rows();
+    let m = weights.cols();
+    let max_abs = (0..n)
+        .flat_map(|r| (0..m).filter_map(move |c| weights.get(r, c)))
+        .map(i64::abs)
+        .max()
+        .unwrap_or(0);
+    // Cannot overflow: max_abs <= 2^42 and n < 2^20 in any sane instance;
+    // saturating keeps pathological inputs well-defined (still dominating,
+    // still below INF).
+    (max_abs + 1).saturating_mul(2 * n as i64 + 2)
+}
+
+fn solve(
+    weights: &WeightMatrix,
+    maximize: bool,
+) -> Result<(Matching, DualCertificate), MatchingError> {
     // This is the hottest function in the workspace (millions of calls per
     // sweep): counters are always-on atomics, the timer samples 1/16 calls.
     obs::counter!("matching.solves").inc();
@@ -52,10 +109,17 @@ fn solve(weights: &WeightMatrix, maximize: bool) -> Result<Matching, MatchingErr
     let n = weights.rows();
     let m = weights.cols();
     if n == 0 {
-        return Ok(Matching {
-            row_to_col: Vec::new(),
-            total: 0,
-        });
+        return Ok((
+            Matching {
+                row_to_col: Vec::new(),
+                total: 0,
+            },
+            DualCertificate {
+                u: Vec::new(),
+                v: vec![0; m],
+                maximize,
+            },
+        ));
     }
     if m == 0 {
         return Err(MatchingError::NoColumns);
@@ -65,18 +129,9 @@ fn solve(weights: &WeightMatrix, maximize: bool) -> Result<Matching, MatchingErr
     }
 
     // Forbidden edges are modelled as a finite cost strictly dominating any
-    // matching made of allowed edges, scaled to the instance so potentials
-    // never overflow: any single forbidden edge costs more than n of the
-    // largest allowed edges.
-    let max_abs = (0..n)
-        .flat_map(|r| (0..m).filter_map(move |c| weights.get(r, c)))
-        .map(i64::abs)
-        .max()
-        .unwrap_or(0);
-    // Cannot overflow: max_abs <= 2^42 and n < 2^20 in any sane instance;
-    // saturating keeps pathological inputs well-defined (still dominating,
-    // still below INF).
-    let forbidden_cost = (max_abs + 1).saturating_mul(2 * n as i64 + 2);
+    // matching made of allowed edges: any single forbidden edge costs more
+    // than n of the largest allowed edges.
+    let forbidden_cost = dominating_forbidden_cost(weights);
 
     // Reduced cost access: minimization with forbidden edges as huge cost.
     let cost = |r: usize, c: usize| -> i64 {
@@ -168,7 +223,16 @@ fn solve(weights: &WeightMatrix, maximize: bool) -> Result<Matching, MatchingErr
             None => return Err(MatchingError::Infeasible),
         }
     }
-    Ok(Matching { row_to_col, total })
+    // The final potentials are the LP dual certificate: `u[1..=n]` and
+    // `v[1..=m]` are dual feasible with zero gap against the matching
+    // (`u[0]`/`v[0]` belong to the dummy 0-index of the classic
+    // formulation and are dropped).
+    let certificate = DualCertificate {
+        u: u[1..=n].to_vec(),
+        v: v[1..=m].to_vec(),
+        maximize,
+    };
+    Ok((Matching { row_to_col, total }, certificate))
 }
 
 #[cfg(test)]

@@ -14,6 +14,11 @@
 //! * [`max_weight_matching`] / [`min_cost_matching`] — the Hungarian algorithm
 //!   with potentials (Jonker–Volgenant style shortest augmenting paths),
 //!   `O(n^2 m)`, exact,
+//! * [`max_weight_matching_certified`] / [`min_cost_matching_certified`] —
+//!   the same solve, additionally returning the solver's final LP dual
+//!   potentials as a [`DualCertificate`]; [`verify_dual_certificate`] proves
+//!   optimality offline (dual feasibility + zero duality gap) without
+//!   re-running the solver,
 //! * [`brute_force`] — an exponential reference implementation used by the
 //!   test-suite to validate the Hungarian solver on small instances.
 //!
@@ -45,11 +50,18 @@
 #![warn(missing_docs)]
 
 mod brute;
+mod certificate;
 mod error;
 mod hungarian;
 mod matrix;
 
 pub use brute::brute_force;
+pub use certificate::{
+    verify_dual_certificate, CertificateError, CertifiedMatching, DualCertificate,
+};
 pub use error::MatchingError;
-pub use hungarian::{max_weight_matching, min_cost_matching};
+pub use hungarian::{
+    max_weight_matching, max_weight_matching_certified, min_cost_matching,
+    min_cost_matching_certified,
+};
 pub use matrix::{Matching, WeightMatrix};
