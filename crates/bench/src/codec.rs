@@ -10,6 +10,7 @@
 //! uninterrupted run byte for byte.
 
 use lockbind_hls::FuClass;
+use lockbind_obs::json::Json;
 
 use crate::headline_cells::{HeadlineOutput, ImpactRecord, SatRecord, SatScheme};
 use crate::{ErrorRecord, OverheadRecord, SecurityAlgo};
@@ -205,6 +206,48 @@ fn decode_sat(payload: &str) -> Option<SatRecord> {
     })
 }
 
+/// Renders an [`ErrorRecord`] as a JSON object — the response body shape
+/// the serve daemon puts on the wire. Field order is fixed and the labels
+/// match the checkpoint codec (`class` via `FuClass`'s debug name, `algo`
+/// via [`SecurityAlgo::label`]), so wire responses, checkpoints, and
+/// figure tables all agree on vocabulary.
+pub fn error_record_json(r: &ErrorRecord) -> Json {
+    Json::obj([
+        ("kernel", Json::from(r.kernel.as_str())),
+        ("class", Json::from(fmt_class(r.class))),
+        ("locked_fus", Json::from(r.locked_fus)),
+        ("locked_inputs", Json::from(r.locked_inputs)),
+        ("algo", Json::from(r.algo.label())),
+        ("vs_area", Json::from(r.vs_area)),
+        ("vs_power", Json::from(r.vs_power)),
+        ("mean_errors", Json::from(r.mean_errors)),
+        ("samples", Json::from(r.samples)),
+    ])
+}
+
+/// Renders an [`ImpactRecord`] (locked-sim output) as a JSON object.
+pub fn impact_record_json(r: &ImpactRecord) -> Json {
+    Json::obj([
+        ("kernel", Json::from(r.kernel.as_str())),
+        ("frame_rate", Json::from(r.frame_rate)),
+        ("frames_corrupted", Json::from(r.frames_corrupted)),
+        ("frames_total", Json::from(r.frames_total)),
+    ])
+}
+
+/// Renders a [`SatRecord`] (SAT-attack output) as a JSON object.
+pub fn sat_record_json(r: &SatRecord) -> Json {
+    Json::obj([
+        ("scheme", Json::from(r.scheme)),
+        ("key_bits", Json::from(r.key_bits)),
+        ("iterations", Json::from(r.iterations)),
+        ("success", Json::from(r.success)),
+        ("conflicts", Json::from(r.conflicts)),
+        ("propagations", Json::from(r.propagations)),
+        ("gc_runs", Json::from(r.gc_runs)),
+    ])
+}
+
 /// Encodes a combined-grid output, tagged with its variant.
 pub fn encode_headline_output(output: &HeadlineOutput) -> String {
     match output {
@@ -322,6 +365,44 @@ mod tests {
             let decoded = decode_headline_output(&encode_headline_output(output)).expect("decodes");
             assert_eq!(format!("{decoded:?}"), format!("{output:?}"));
         }
+    }
+
+    #[test]
+    fn record_json_renderers_fix_field_order_and_labels() {
+        let error = &sample_error_records()[0];
+        assert_eq!(
+            error_record_json(error).render(),
+            "{\"kernel\":\"fir\",\"class\":\"Adder\",\"locked_fus\":2,\
+             \"locked_inputs\":3,\"algo\":\"obf-aware\",\
+             \"vs_area\":1.5000000000000002,\"vs_power\":2.25,\
+             \"mean_errors\":0.1,\"samples\":40}"
+        );
+        let impact = ImpactRecord {
+            kernel: "fir".to_string(),
+            frame_rate: 0.125,
+            frames_corrupted: 5,
+            frames_total: 40,
+        };
+        assert_eq!(
+            impact_record_json(&impact).render(),
+            "{\"kernel\":\"fir\",\"frame_rate\":0.125,\
+             \"frames_corrupted\":5,\"frames_total\":40}"
+        );
+        let sat = SatRecord {
+            scheme: SatScheme::AntiSat.label(),
+            key_bits: 6,
+            iterations: 9,
+            success: true,
+            conflicts: 120,
+            propagations: 4_903_114,
+            gc_runs: 2,
+        };
+        assert_eq!(
+            sat_record_json(&sat).render(),
+            "{\"scheme\":\"anti-sat\",\"key_bits\":6,\"iterations\":9,\
+             \"success\":true,\"conflicts\":120,\"propagations\":4903114,\
+             \"gc_runs\":2}"
+        );
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! subset of `cells_failed`) and the `check_codes` object mapping each
 //! `LBxxxx` diagnostic code to its occurrence count across failure
 //! messages; all earlier fields are unchanged.
+//! Version 5 added the `serve` object ([`ServeAggregates`]): request
+//! aggregates derived from the `serve.*` counters the `lockbind-serve`
+//! daemon records on the obs registry — all zeros for batch (figure / CLI)
+//! runs; all earlier fields are unchanged.
 
 use std::time::Duration;
 
@@ -24,7 +28,81 @@ use crate::cache::CacheStats;
 use crate::json::Json;
 
 /// JSON schema version written by [`RunMetrics::to_json`].
-pub const METRICS_SCHEMA_VERSION: u64 = 4;
+pub const METRICS_SCHEMA_VERSION: u64 = 5;
+
+/// Request aggregates recorded by the serve daemon on the obs registry,
+/// one counter per terminal response status plus the coalescing count.
+/// Derived from the run's obs delta by [`ServeAggregates::from_obs`], so a
+/// batch run (no daemon) reports all zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeAggregates {
+    /// Requests read off the wire (every kind, before validation).
+    pub requests: u64,
+    /// Requests answered `ok`.
+    pub ok: u64,
+    /// Requests answered `error` (validation or execution failure).
+    pub errors: u64,
+    /// Requests shed by admission control (queue/tenant bounds, drain).
+    pub shed: u64,
+    /// Requests whose deadline fired (queued or executing).
+    pub deadline_exceeded: u64,
+    /// Requests cancelled explicitly mid-flight.
+    pub interrupted: u64,
+    /// Work requests answered from another request's in-flight or cached
+    /// build (response-level single-flight).
+    pub coalesced: u64,
+}
+
+impl ServeAggregates {
+    /// Counter name: requests read off the wire.
+    pub const REQUESTS: &'static str = "serve.requests";
+    /// Counter name: `ok` responses.
+    pub const OK: &'static str = "serve.ok";
+    /// Counter name: `error` responses.
+    pub const ERRORS: &'static str = "serve.error";
+    /// Counter name: `shed` responses.
+    pub const SHED: &'static str = "serve.shed";
+    /// Counter name: `deadline_exceeded` responses.
+    pub const DEADLINE_EXCEEDED: &'static str = "serve.deadline_exceeded";
+    /// Counter name: `interrupted` responses.
+    pub const INTERRUPTED: &'static str = "serve.interrupted";
+    /// Counter name: coalesced work responses.
+    pub const COALESCED: &'static str = "serve.coalesced";
+
+    /// Pulls the `serve.*` aggregates out of an obs snapshot (typically a
+    /// per-run delta). Unknown `serve.*` counters are ignored; missing
+    /// ones read as zero.
+    pub fn from_obs(obs: &MetricsSnapshot) -> Self {
+        let get = |name: &str| obs.counters.get(name).copied().unwrap_or(0);
+        ServeAggregates {
+            requests: get(Self::REQUESTS),
+            ok: get(Self::OK),
+            errors: get(Self::ERRORS),
+            shed: get(Self::SHED),
+            deadline_exceeded: get(Self::DEADLINE_EXCEEDED),
+            interrupted: get(Self::INTERRUPTED),
+            coalesced: get(Self::COALESCED),
+        }
+    }
+
+    /// `true` when no serve activity was recorded (batch runs).
+    pub fn is_empty(&self) -> bool {
+        *self == ServeAggregates::default()
+    }
+
+    /// The aggregates as a JSON object (field order fixed).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::from(self.requests)),
+            ("ok", Json::from(self.ok)),
+            ("error", Json::from(self.errors)),
+            ("shed", Json::from(self.shed)),
+            ("deadline_exceeded", Json::from(self.deadline_exceeded)),
+            ("interrupted", Json::from(self.interrupted)),
+            ("coalesced", Json::from(self.coalesced)),
+        ])
+    }
+}
 
 impl CacheStats {
     /// The stats accumulated *since* `earlier` (the cache is shared across
@@ -102,6 +180,9 @@ pub struct RunMetrics {
     /// Observability-registry activity during this run (counters, gauges,
     /// histograms, timers).
     pub obs: MetricsSnapshot,
+    /// Serve-daemon request aggregates from the run's `serve.*` counters
+    /// (all zeros for batch runs).
+    pub serve: ServeAggregates,
 }
 
 impl RunMetrics {
@@ -129,6 +210,7 @@ impl RunMetrics {
         } else {
             0.0
         };
+        let serve = ServeAggregates::from_obs(&obs);
         RunMetrics {
             threads,
             root_seed,
@@ -154,6 +236,7 @@ impl RunMetrics {
                 .collect(),
             cells,
             obs,
+            serve,
         }
     }
 
@@ -247,6 +330,7 @@ impl RunMetrics {
                     ])
                 })),
             ),
+            ("serve", self.serve.to_json()),
             ("obs", self.obs.to_json()),
         ])
     }
@@ -307,13 +391,51 @@ mod tests {
         assert!(!summary.contains("skipped"), "{summary}");
         assert!(summary.contains("1 check-failed"), "{summary}");
         let json = metrics.to_json().render();
-        assert!(json.contains("\"schema_version\":4"));
+        assert!(json.contains("\"schema_version\":5"));
         assert!(json.contains("\"cells_check_failed\":1"));
         assert!(json.contains("\"check_codes\":{\"LB0304\":2}"));
         assert!(json.contains("\"root_seed\":2021"));
         assert!(json.contains("\"hit_rate\":0.75"));
         assert!(json.contains("\"stage\":\"error-cell\""));
         assert!(json.contains("\"matching.solves\":123"));
+        assert!(
+            json.contains(
+                "\"serve\":{\"requests\":0,\"ok\":0,\"error\":0,\"shed\":0,\
+                 \"deadline_exceeded\":0,\"interrupted\":0,\"coalesced\":0}"
+            ),
+            "batch runs export all-zero serve aggregates: {json}"
+        );
+    }
+
+    #[test]
+    fn serve_aggregates_read_the_serve_namespace() {
+        let mut obs = MetricsSnapshot::default();
+        obs.counters
+            .insert(ServeAggregates::REQUESTS.to_string(), 40);
+        obs.counters.insert(ServeAggregates::OK.to_string(), 30);
+        obs.counters.insert(ServeAggregates::SHED.to_string(), 6);
+        obs.counters
+            .insert(ServeAggregates::DEADLINE_EXCEEDED.to_string(), 2);
+        obs.counters
+            .insert(ServeAggregates::INTERRUPTED.to_string(), 1);
+        obs.counters
+            .insert(ServeAggregates::COALESCED.to_string(), 12);
+        obs.counters.insert("serve.unrelated".to_string(), 99);
+        let agg = ServeAggregates::from_obs(&obs);
+        assert_eq!(agg.requests, 40);
+        assert_eq!(agg.ok, 30);
+        assert_eq!(agg.errors, 0, "missing counters read as zero");
+        assert_eq!(agg.shed, 6);
+        assert_eq!(agg.deadline_exceeded, 2);
+        assert_eq!(agg.interrupted, 1);
+        assert_eq!(agg.coalesced, 12);
+        assert!(!agg.is_empty());
+        assert!(ServeAggregates::default().is_empty());
+        assert_eq!(
+            agg.to_json().render(),
+            "{\"requests\":40,\"ok\":30,\"error\":0,\"shed\":6,\
+             \"deadline_exceeded\":2,\"interrupted\":1,\"coalesced\":12}"
+        );
     }
 
     #[test]

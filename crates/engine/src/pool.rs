@@ -344,6 +344,59 @@ impl Engine {
         &self.cfg
     }
 
+    /// Runs a single job outside a grid sweep, on the caller's thread,
+    /// against the engine's shared artifact cache — the execution path of
+    /// the serve daemon, where each network request is one job.
+    ///
+    /// Unlike [`Engine::run`], the caller supplies the RNG `root_seed` and
+    /// the [`CancelToken`] directly: the daemon derives the seed from the
+    /// request *content* so identical requests replay identical ChaCha
+    /// streams (the job context is always built at `index = 0`,
+    /// `attempt = 0`), and the token carries the request's deadline so a
+    /// fired deadline classifies as [`CellResult::TimedOut`] exactly like
+    /// a sweep cell's `--cell-timeout`. `request` and `worker` only tag
+    /// the cell scope for span capture; they never feed the RNG.
+    ///
+    /// The body runs under `catch_unwind` (panic isolation), with no
+    /// fault injection and no retries — single requests are interactive,
+    /// so transient-failure policy belongs to the caller.
+    pub fn run_one<J: Job>(
+        &self,
+        job: &J,
+        request: u64,
+        worker: u64,
+        root_seed: u64,
+        cancel: CancelToken,
+    ) -> CellResult<J::Output> {
+        let cell = job.label();
+        let mut ctx = JobCtx::new(
+            0,
+            0,
+            root_seed,
+            &self.cache,
+            cancel.clone(),
+            None,
+            self.cfg.check,
+        );
+        let outcome = {
+            let _cell_scope = obs::CellScope::enter(request, worker);
+            let _span = obs::span!(job.stage(), cell = cell.as_str(), request = request);
+            catch_unwind(AssertUnwindSafe(|| job.run(&mut ctx)))
+        };
+        let message = match outcome {
+            Ok(Ok(output)) => return CellResult::Ok { cell, output },
+            Ok(Err(message)) => message,
+            Err(payload) => panic_message(payload.as_ref()),
+        };
+        if cancel.deadline_exceeded() {
+            return CellResult::TimedOut {
+                cell,
+                message: format!("deadline exceeded: {message}"),
+            };
+        }
+        CellResult::Failed { cell, message }
+    }
+
     /// Runs every job and returns in-order results plus run metrics.
     pub fn run<J: Job>(&self, jobs: &[J]) -> RunReport<J::Output> {
         let show_progress = self.cfg.progress && std::io::stderr().is_terminal();
@@ -821,6 +874,58 @@ mod tests {
         }
         assert_eq!(report.metrics.cells_ok, 6);
         assert_eq!(report.metrics.cells_failed, 2);
+    }
+
+    #[test]
+    fn run_one_seeds_from_content_not_request_tags() {
+        let engine = Engine::new(EngineConfig {
+            progress: false,
+            ..EngineConfig::default()
+        });
+        let job = RngJob { id: 0 };
+        let a = engine.run_one(&job, 1, 0, 0xFEED, CancelToken::new());
+        let b = engine.run_one(&job, 99, 7, 0xFEED, CancelToken::new());
+        assert_eq!(a, b, "request/worker tags must not feed the RNG");
+        let c = engine.run_one(&job, 1, 0, 0xFEED + 1, CancelToken::new());
+        assert_ne!(a.output(), c.output(), "the seed must feed the RNG");
+    }
+
+    #[test]
+    fn run_one_isolates_panics_and_classifies_deadlines() {
+        let engine = Engine::new(EngineConfig {
+            progress: false,
+            ..EngineConfig::default()
+        });
+        let panicky = FaultyJob { id: 3 };
+        let result = engine.run_one(&panicky, 0, 0, 1, CancelToken::new());
+        let (cell, message) = result.failure().expect("panic becomes Failed");
+        assert_eq!(cell, "cell-3");
+        assert!(message.contains("injected panic"), "{message}");
+
+        struct Cooperative;
+        impl Job for Cooperative {
+            type Output = ();
+            fn label(&self) -> String {
+                "coop".to_string()
+            }
+            fn run(&self, ctx: &mut JobCtx<'_>) -> Result<(), String> {
+                while !ctx.cancel.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err("interrupted".to_string())
+            }
+        }
+        let expired = CancelToken::with_deadline(Duration::from_millis(5));
+        let result = engine.run_one(&Cooperative, 0, 0, 1, expired);
+        assert!(result.timeout().is_some(), "fired deadline => TimedOut");
+
+        let token = CancelToken::new();
+        token.cancel();
+        let result = engine.run_one(&Cooperative, 0, 0, 1, token);
+        assert!(
+            result.failure().is_some(),
+            "explicit cancel stays a plain failure; the caller maps it via the token reason"
+        );
     }
 
     #[test]

@@ -348,6 +348,20 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Counter values whose name starts with `prefix`, in sorted (BTree)
+    /// order. Subsystem exporters use this to pull out one dotted
+    /// namespace — e.g. the serve daemon's `serve.*` request aggregates —
+    /// without copying the whole snapshot.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(name, _)| name.starts_with(prefix))
+            .map(|(name, &v)| (name.as_str(), v))
+    }
+
     /// `true` when the snapshot records no activity at all.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
@@ -507,6 +521,19 @@ mod tests {
             "counter a.first 2\ncounter z.last 1\nhistogram h [0,1]\n"
         );
         assert!(!text.contains("ns"), "no wall-time data in canonical form");
+    }
+
+    #[test]
+    fn counters_with_prefix_selects_one_namespace() {
+        let reg = Registry::new();
+        reg.counter("serve.ok").add(4);
+        reg.counter("serve.shed").add(1);
+        reg.counter("served_elsewhere").add(9); // prefix, not namespace
+        reg.counter("cache.hit").add(2);
+        let snap = reg.snapshot();
+        let serve: Vec<(&str, u64)> = snap.counters_with_prefix("serve.").collect();
+        assert_eq!(serve, vec![("serve.ok", 4), ("serve.shed", 1)]);
+        assert_eq!(snap.counters_with_prefix("attack.").count(), 0);
     }
 
     #[test]

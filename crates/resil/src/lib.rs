@@ -146,6 +146,23 @@ impl CancelToken {
     pub fn deadline_exceeded(&self) -> bool {
         self.reason() == Some(CancelReason::DeadlineExceeded)
     }
+
+    /// `true` when the token was constructed with a deadline.
+    pub fn has_deadline(&self) -> bool {
+        self.inner.deadline.is_some()
+    }
+
+    /// Time left until the deadline: `None` for deadline-free tokens,
+    /// `Some(ZERO)` once the deadline has passed (or the token fired).
+    /// Queue schedulers use this to skip work whose budget expired while
+    /// it waited, without consuming the token.
+    pub fn remaining(&self) -> Option<Duration> {
+        let deadline = self.inner.deadline?;
+        if self.inner.state.load(Ordering::Relaxed) != LIVE {
+            return Some(Duration::ZERO);
+        }
+        Some(deadline.saturating_duration_since(Instant::now()))
+    }
 }
 
 /// How a transiently failing cell is retried: up to `max_retries` re-runs
@@ -503,6 +520,36 @@ mod tests {
         let t = CancelToken::with_deadline(Duration::from_secs(3600));
         t.cancel();
         assert_eq!(t.reason(), Some(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn remaining_is_none_without_deadline() {
+        let t = CancelToken::new();
+        assert!(!t.has_deadline());
+        assert_eq!(t.remaining(), None);
+        t.cancel();
+        assert_eq!(t.remaining(), None, "cancel does not invent a deadline");
+    }
+
+    #[test]
+    fn remaining_counts_down_and_floors_at_zero() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(t.has_deadline());
+        let left = t.remaining().expect("deadline token has a budget");
+        assert!(left > Duration::from_secs(3500), "fresh budget: {left:?}");
+        let expired = CancelToken::with_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+        // Reading `remaining` must not consume the token: the reason is
+        // still observable as a deadline expiry afterwards.
+        assert!(expired.deadline_exceeded());
+    }
+
+    #[test]
+    fn remaining_is_zero_once_fired() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        t.cancel();
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
     }
 
     #[test]

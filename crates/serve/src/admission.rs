@@ -1,0 +1,299 @@
+//! Admission control: a bounded, tenant-fair work queue.
+//!
+//! The queue sheds load at the door instead of letting it pile up:
+//! admission fails fast with a stable reason ([`ShedReason`]) the
+//! connection layer turns into a `shed` response, so clients learn
+//! immediately that they must back off — the 429 philosophy, not the
+//! infinite-buffer one.
+//!
+//! Three independent bounds apply at admission time:
+//!
+//! * **global depth** — total queued (not yet started) work across all
+//!   tenants ([`ShedReason::QueueFull`]);
+//! * **per-tenant depth** — queued work of the requesting tenant, so one
+//!   aggressive tenant cannot occupy the whole queue
+//!   ([`ShedReason::TenantLimit`]);
+//! * **lifecycle** — a draining server admits nothing new
+//!   ([`ShedReason::Draining`]).
+//!
+//! Dispatch is round-robin across tenants with queued work (FIFO within
+//! a tenant): with `k` active tenants each gets ~`1/k` of the worker
+//! pool regardless of arrival rates. This is deliberately simple fair
+//! queueing — no weights, no virtual time — because requests are coarse
+//! (whole binding problems, not packets).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why admission refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The global queue-depth bound is hit.
+    QueueFull,
+    /// The requesting tenant's queue-depth bound is hit.
+    TenantLimit,
+    /// The queue is closed (server draining).
+    Draining,
+}
+
+/// One tenant's FIFO of queued work items.
+struct TenantQueue<T> {
+    tenant: String,
+    items: VecDeque<T>,
+}
+
+struct QueueState<T> {
+    /// Per-tenant FIFOs, in tenant-arrival order.
+    tenants: Vec<TenantQueue<T>>,
+    /// Round-robin cursor into `tenants`.
+    cursor: usize,
+    /// Total queued items across all tenants.
+    queued: usize,
+    /// Items handed to workers and not yet reported done.
+    in_flight: usize,
+    /// Total items ever admitted.
+    admitted: u64,
+    /// Total items reported done.
+    completed: u64,
+    /// `true` once `close` is called; admission refuses from then on.
+    closed: bool,
+}
+
+/// A bounded multi-tenant work queue with round-robin dispatch.
+pub struct AdmissionQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    idle: Condvar,
+    max_depth: usize,
+    max_per_tenant: usize,
+}
+
+/// Counters for the drain summary and `stats` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items currently queued (admitted, not yet started).
+    pub queued: usize,
+    /// Items currently executing.
+    pub in_flight: usize,
+    /// Total admitted since start.
+    pub admitted: u64,
+    /// Total completed since start.
+    pub completed: u64,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue bounded at `max_depth` total and `max_per_tenant` per
+    /// tenant.
+    pub fn new(max_depth: usize, max_per_tenant: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                tenants: Vec::new(),
+                cursor: 0,
+                queued: 0,
+                in_flight: 0,
+                admitted: 0,
+                completed: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            idle: Condvar::new(),
+            max_depth,
+            max_per_tenant,
+        }
+    }
+
+    /// Admits `item` for `tenant`, or sheds it with a reason. O(#tenants).
+    pub fn admit(&self, tenant: &str, item: T) -> Result<(), ShedReason> {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        if state.closed {
+            return Err(ShedReason::Draining);
+        }
+        if state.queued >= self.max_depth {
+            return Err(ShedReason::QueueFull);
+        }
+        match state.tenants.iter_mut().find(|q| q.tenant == tenant) {
+            Some(queue) => {
+                if queue.items.len() >= self.max_per_tenant {
+                    return Err(ShedReason::TenantLimit);
+                }
+                queue.items.push_back(item);
+            }
+            None => {
+                if self.max_per_tenant == 0 {
+                    return Err(ShedReason::TenantLimit);
+                }
+                state.tenants.push(TenantQueue {
+                    tenant: tenant.to_string(),
+                    items: VecDeque::from([item]),
+                });
+            }
+        }
+        state.queued += 1;
+        state.admitted += 1;
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available (round-robin across tenants, FIFO
+    /// within one) or the queue is closed *and* empty — `None` then, and
+    /// only then, so every admitted item is handed out even mid-drain.
+    pub fn next(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        loop {
+            if state.queued > 0 {
+                let start = state.cursor % state.tenants.len();
+                let mut pick = start;
+                loop {
+                    if !state.tenants[pick].items.is_empty() {
+                        break;
+                    }
+                    pick = (pick + 1) % state.tenants.len();
+                    debug_assert_ne!(pick, start, "queued > 0 but no tenant has items");
+                }
+                let item = state.tenants[pick]
+                    .items
+                    .pop_front()
+                    .expect("picked a non-empty tenant queue");
+                if state.tenants[pick].items.is_empty() {
+                    // Retire the empty tenant so the rotation only visits
+                    // tenants with work; the cursor stays on the slot that
+                    // replaced it, which is the next tenant in order.
+                    state.tenants.remove(pick);
+                    state.cursor = if state.tenants.is_empty() {
+                        0
+                    } else {
+                        pick % state.tenants.len()
+                    };
+                } else {
+                    state.cursor = (pick + 1) % state.tenants.len();
+                }
+                state.queued -= 1;
+                state.in_flight += 1;
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("admission queue poisoned");
+        }
+    }
+
+    /// Reports one dispatched item finished (any status).
+    pub fn task_done(&self) {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        state.in_flight -= 1;
+        state.completed += 1;
+        if state.queued == 0 && state.in_flight == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Closes the queue: subsequent admissions shed with
+    /// [`ShedReason::Draining`]; queued work still drains via [`next`].
+    ///
+    /// [`next`]: AdmissionQueue::next
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        state.closed = true;
+        drop(state);
+        // Wake every blocked worker so it can observe the close.
+        self.ready.notify_all();
+        self.idle.notify_all();
+    }
+
+    /// Blocks until every admitted item has been dispatched *and*
+    /// reported done. Call after [`close`](AdmissionQueue::close).
+    pub fn wait_idle(&self) {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        while state.queued > 0 || state.in_flight > 0 {
+            state = self.idle.wait(state).expect("admission queue poisoned");
+        }
+    }
+
+    /// A snapshot of the queue counters.
+    pub fn stats(&self) -> QueueStats {
+        let state = self.state.lock().expect("admission queue poisoned");
+        QueueStats {
+            queued: state.queued,
+            in_flight: state.in_flight,
+            admitted: state.admitted,
+            completed: state.completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounds_shed_with_distinct_reasons() {
+        let q = AdmissionQueue::new(3, 2);
+        q.admit("a", 1).expect("admits");
+        q.admit("a", 2).expect("admits");
+        assert_eq!(q.admit("a", 3), Err(ShedReason::TenantLimit));
+        q.admit("b", 4).expect("admits");
+        assert_eq!(q.admit("c", 5), Err(ShedReason::QueueFull));
+        q.close();
+        assert_eq!(q.admit("d", 6), Err(ShedReason::Draining));
+        assert_eq!(q.stats().admitted, 3);
+    }
+
+    #[test]
+    fn dispatch_rotates_across_tenants_fifo_within_one() {
+        let q = AdmissionQueue::new(16, 16);
+        q.admit("a", 10).expect("admits");
+        q.admit("a", 11).expect("admits");
+        q.admit("a", 12).expect("admits");
+        q.admit("b", 20).expect("admits");
+        q.admit("c", 30).expect("admits");
+        let order: Vec<i32> = (0..5).map(|_| q.next().expect("has work")).collect();
+        // Round-robin a, b, c, then back to a (b and c retired empty).
+        assert_eq!(order, vec![10, 20, 30, 11, 12]);
+    }
+
+    #[test]
+    fn close_drains_queued_work_then_releases_workers() {
+        let q = Arc::new(AdmissionQueue::new(16, 16));
+        q.admit("a", 1).expect("admits");
+        q.admit("a", 2).expect("admits");
+        q.close();
+        // Both queued items are still handed out after close...
+        assert_eq!(q.next(), Some(1));
+        q.task_done();
+        assert_eq!(q.next(), Some(2));
+        // ...and only then do workers see the end of the queue.
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.next())
+        };
+        q.task_done();
+        assert_eq!(waiter.join().expect("joins"), None);
+        q.wait_idle();
+        let stats = q.stats();
+        assert_eq!((stats.admitted, stats.completed), (2, 2));
+        assert_eq!((stats.queued, stats.in_flight), (0, 0));
+    }
+
+    #[test]
+    fn wait_idle_blocks_until_in_flight_work_finishes() {
+        let q = Arc::new(AdmissionQueue::new(4, 4));
+        q.admit("a", 7).expect("admits");
+        assert_eq!(q.next(), Some(7));
+        q.close();
+        let done = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                q.task_done();
+            })
+        };
+        q.wait_idle();
+        let stats = q.stats();
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.completed, 1);
+        done.join().expect("joins");
+    }
+}

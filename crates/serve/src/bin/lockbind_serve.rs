@@ -1,0 +1,111 @@
+//! The `lockbind-serve` daemon: binding-as-a-service over
+//! length-prefixed JSON on TCP.
+//!
+//! Usage: `lockbind-serve [--addr HOST:PORT] [--workers N]
+//! [--max-depth N] [--max-per-tenant N] [--max-frame BYTES]
+//! [--default-deadline-ms MS] [--debug-kinds]`
+//!
+//! The daemon serves until SIGTERM/SIGINT, then drains: it stops
+//! accepting connections, sheds new work with status `shed` / code
+//! `draining`, finishes every admitted request, and exits 0 only if
+//! nothing admitted was dropped.
+
+use lockbind_serve::server::{start, ServerConfig};
+use lockbind_serve::signal;
+use lockbind_serve::wire::DEFAULT_MAX_FRAME;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lockbind-serve [--addr HOST:PORT] [--workers N] [--max-depth N] \
+         [--max-per-tenant N] [--max-frame BYTES] [--default-deadline-ms MS] [--debug-kinds]\n\
+         \n\
+         --addr HOST:PORT          bind address (default 127.0.0.1:7641; port 0 = ephemeral)\n\
+         --workers N               worker threads, 1..=64 (default 2)\n\
+         --max-depth N             global admission bound, 1..=4096 (default 64)\n\
+         --max-per-tenant N        per-tenant admission bound, 1..=4096 (default 16)\n\
+         --max-frame BYTES         frame payload cap, 64..=16777216 (default {DEFAULT_MAX_FRAME})\n\
+         --default-deadline-ms MS  deadline for requests that set none, 1..=3600000 (default: none)\n\
+         --debug-kinds             enable debug request kinds (sleep)"
+    );
+    std::process::exit(2);
+}
+
+fn bad_arg(message: &str) -> ! {
+    eprintln!("lockbind-serve: {message}");
+    usage();
+}
+
+fn parse_bounded(flag: &str, value: &str, min: u64, max: u64) -> u64 {
+    let parsed: u64 = value
+        .parse()
+        .unwrap_or_else(|_| bad_arg(&format!("{flag}: '{value}' is not a non-negative integer")));
+    if !(min..=max).contains(&parsed) {
+        bad_arg(&format!("{flag}: must be between {min} and {max}"));
+    }
+    parsed
+}
+
+fn main() {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7641".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| bad_arg(&format!("{flag}: missing value")))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value_of("--addr"),
+            "--workers" => {
+                cfg.workers = parse_bounded("--workers", &value_of("--workers"), 1, 64) as usize;
+            }
+            "--max-depth" => {
+                cfg.max_depth =
+                    parse_bounded("--max-depth", &value_of("--max-depth"), 1, 4096) as usize;
+            }
+            "--max-per-tenant" => {
+                cfg.max_per_tenant =
+                    parse_bounded("--max-per-tenant", &value_of("--max-per-tenant"), 1, 4096)
+                        as usize;
+            }
+            "--max-frame" => {
+                cfg.max_frame =
+                    parse_bounded("--max-frame", &value_of("--max-frame"), 64, 1 << 24) as usize;
+            }
+            "--default-deadline-ms" => {
+                cfg.default_deadline_ms = Some(parse_bounded(
+                    "--default-deadline-ms",
+                    &value_of("--default-deadline-ms"),
+                    1,
+                    3_600_000,
+                ));
+            }
+            "--debug-kinds" => cfg.debug_kinds = true,
+            "--help" | "-h" => usage(),
+            other => bad_arg(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    signal::install_handlers();
+    let handle = match start(cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("lockbind-serve: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("[serve] listening on {}", handle.addr());
+
+    while !signal::drain_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("[serve] drain requested, completing admitted work");
+    let summary = handle.drain_and_join();
+    println!(
+        "[serve] drain complete: admitted {}, completed {}, dropped {}",
+        summary.admitted, summary.completed, summary.dropped
+    );
+    std::process::exit(if summary.dropped == 0 { 0 } else { 1 });
+}

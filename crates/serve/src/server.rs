@@ -1,0 +1,708 @@
+//! The daemon: accept loop, connection readers, worker pool, admission,
+//! coalescing, and graceful drain.
+//!
+//! # Thread structure
+//!
+//! * one **accept** thread (non-blocking accept + drain poll);
+//! * one **reader** thread per connection: reads frames, answers admin
+//!   kinds inline, validates work requests, and admits them;
+//! * `workers` **worker** threads: pull admitted requests (tenant-fair),
+//!   execute them on the shared engine, and write responses.
+//!
+//! A connection's [`Responder`] (a mutex around the write half) is
+//! shared by its reader, the workers, and the progress router, so
+//! frames from concurrent requests interleave *between* frames, never
+//! inside one.
+//!
+//! # Coalescing
+//!
+//! Cacheable work routes through the engine's content-keyed,
+//! single-flight [`ArtifactCache`] under the key
+//! [`Work::cache_key`]: concurrent identical requests — same or
+//! different tenants and connections — build the artifact once and all
+//! read the same [`WorkBody`], making their `result` objects
+//! byte-identical. Outcomes that reflect *this request's* fate rather
+//! than the work's value (deadline expiry, explicit cancel) must not be
+//! served to others: the builder escapes the cache via a
+//! [`NotCacheable`] panic payload, which the cache's failed-build path
+//! converts into "waiters retry" — exactly the semantics wanted.
+//!
+//! [`ArtifactCache`]: lockbind_engine::ArtifactCache
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::Duration;
+
+use lockbind_engine::{CellResult, Engine, EngineConfig, ServeAggregates};
+use lockbind_obs::Json;
+use lockbind_resil::CancelToken;
+
+use crate::admission::{AdmissionQueue, ShedReason};
+use crate::jobs::ServeJob;
+use crate::jsonin;
+use crate::progress::{next_request_seq, ProgressRouter};
+use crate::proto::{
+    code, decode_request, extract_id, progress_event, response_error, response_ok, status,
+    RequestKind, Work,
+};
+use crate::wire::{read_frame, write_frame, FrameRead, DEFAULT_MAX_FRAME};
+
+/// Server configuration (defaults match the daemon's CLI defaults).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads executing admitted work.
+    pub workers: usize,
+    /// Global admission bound (queued, not yet started).
+    pub max_depth: usize,
+    /// Per-tenant admission bound.
+    pub max_per_tenant: usize,
+    /// Frame payload cap in bytes.
+    pub max_frame: usize,
+    /// Deadline applied to requests that specify none (`None` = no
+    /// default deadline).
+    pub default_deadline_ms: Option<u64>,
+    /// Enables debug request kinds (`sleep`).
+    pub debug_kinds: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_depth: 64,
+            max_per_tenant: 16,
+            max_frame: DEFAULT_MAX_FRAME,
+            default_deadline_ms: None,
+            debug_kinds: false,
+        }
+    }
+}
+
+/// Cached outcome of one unit of work — the part of a response shared
+/// by every coalesced request.
+#[derive(Debug, Clone)]
+pub enum WorkBody {
+    /// The work succeeded; `result` object.
+    Ok(Json),
+    /// The work failed deterministically (also cached: retrying an
+    /// impossible request gives the same answer).
+    Err(String),
+}
+
+/// Panic payload used to escape the cache build when the outcome must
+/// not be shared (request-specific fate, not work value).
+struct NotCacheable(Escape);
+
+enum Escape {
+    DeadlineExceeded(String),
+    Interrupted(String),
+}
+
+/// Write half of a connection; a mutex serializes whole frames.
+pub struct Responder {
+    stream: Mutex<TcpStream>,
+}
+
+impl Responder {
+    fn new(stream: TcpStream) -> Self {
+        Responder {
+            stream: Mutex::new(stream),
+        }
+    }
+
+    /// Renders and writes one frame; errors are swallowed (the client
+    /// may have gone away — its work still completes for drain
+    /// accounting).
+    fn send(&self, doc: &Json) {
+        let payload = doc.render();
+        let mut stream = self.stream.lock().expect("responder poisoned");
+        let _ = write_frame(&mut *stream, payload.as_bytes());
+    }
+}
+
+/// One admitted work request, queued for a worker.
+struct QueuedRequest {
+    id: u64,
+    tenant: String,
+    progress: bool,
+    work: Work,
+    /// Unique cell id tagging this request's spans.
+    seq: u64,
+    cancel: CancelToken,
+    responder: Arc<Responder>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    engine: Engine,
+    admission: AdmissionQueue<QueuedRequest>,
+    /// Cancel tokens of admitted, unfinished requests, keyed by
+    /// `(tenant, id)` so tenants can only cancel their own work. On a
+    /// duplicate id the newest token wins.
+    inflight: Mutex<HashMap<(String, u64), CancelToken>>,
+    /// Phase 1 of shutdown: stop accepting connections; admission is
+    /// closed separately. Readers keep serving (shedding new work with
+    /// `draining`) so clients learn to back off.
+    draining: AtomicBool,
+    /// Phase 2 of shutdown, raised once every admitted request has
+    /// completed: readers exit at their next poll.
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Increments the named counter. Deliberately not `obs::counter!` —
+    /// that macro caches one static handle per expansion site, which
+    /// would fuse every status onto whichever name arrived first here.
+    fn counter(&self, name: &str) {
+        lockbind_obs::Registry::global().counter(name).inc();
+    }
+}
+
+/// Drain outcome, printed by the daemon on shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Work requests admitted over the server's lifetime.
+    pub admitted: u64,
+    /// Work requests completed (any status).
+    pub completed: u64,
+    /// Admitted-but-never-completed requests; 0 on a graceful drain.
+    pub dropped: u64,
+}
+
+/// A running server; dropping it without draining aborts nothing —
+/// call [`drain_and_join`](ServerHandle::drain_and_join).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    accept: Option<std::thread::JoinHandle<Vec<std::thread::JoinHandle<()>>>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> String {
+        self.local_addr.to_string()
+    }
+
+    /// Stops accepting connections and admitting work; in-flight and
+    /// queued work keeps running, and connected clients keep getting
+    /// responses (new work is shed with `draining`). Idempotent.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+        self.shared.admission.close();
+    }
+
+    /// Drains and joins every thread, returning the final accounting.
+    /// Readers are stopped only after the last admitted request has
+    /// completed and its response has been written, so a graceful drain
+    /// never drops in-flight work.
+    pub fn drain_and_join(mut self) -> DrainSummary {
+        self.begin_drain();
+        let readers = self
+            .accept
+            .take()
+            .map(|accept| accept.join().expect("accept thread panicked"))
+            .unwrap_or_default();
+        // Workers exit once the closed queue is empty; joining them means
+        // every admitted response has been composed *and sent*.
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread panicked");
+        }
+        self.shared.admission.wait_idle();
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        for reader in readers {
+            reader.join().expect("reader thread panicked");
+        }
+        let stats = self.shared.admission.stats();
+        DrainSummary {
+            admitted: stats.admitted,
+            completed: stats.completed,
+            dropped: stats.admitted - stats.completed,
+        }
+    }
+}
+
+/// Suppresses the default panic message for [`NotCacheable`] escapes —
+/// they are control flow, not failures. Installed once per process.
+fn install_quiet_escape_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<NotCacheable>() {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+/// Starts a server.
+///
+/// # Errors
+/// Propagates bind errors.
+pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    install_quiet_escape_hook();
+    // Force the progress router into place before any request runs.
+    let _ = ProgressRouter::global();
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        engine: Engine::new(EngineConfig::default()),
+        admission: AdmissionQueue::new(cfg.max_depth, cfg.max_per_tenant),
+        inflight: Mutex::new(HashMap::new()),
+        draining: AtomicBool::new(false),
+        shutdown: AtomicBool::new(false),
+        cfg,
+    });
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&listener, &shared))
+    };
+    let worker_handles = (0..workers)
+        .map(|worker_id| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared, worker_id as u64))
+        })
+        .collect();
+
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        accept: Some(accept),
+        workers: worker_handles,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<std::thread::JoinHandle<()>> {
+    let mut readers = Vec::new();
+    loop {
+        if shared.draining.load(Ordering::Relaxed) {
+            return readers;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                readers.push(std::thread::spawn(move || connection_loop(stream, &shared)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("[serve] accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    // The read timeout is the drain-poll period: between frames the
+    // reader wakes this often to check the drain flag.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut read_half = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(e) => {
+            eprintln!("[serve] failed to clone connection: {e}");
+            return;
+        }
+    };
+    let responder = Arc::new(Responder::new(stream));
+    loop {
+        let frame = match read_frame(&mut read_half, shared.cfg.max_frame, Some(&shared.shutdown)) {
+            Ok(FrameRead::Frame(payload)) => payload,
+            Ok(FrameRead::Eof | FrameRead::Drained) => return,
+            Ok(FrameRead::TooLarge { declared }) => {
+                shared.counter(ServeAggregates::REQUESTS);
+                shared.counter(ServeAggregates::ERRORS);
+                responder.send(&response_error(
+                    Json::Null,
+                    "?",
+                    status::ERROR,
+                    code::FRAME_TOO_LARGE,
+                    &format!(
+                        "frame declares {declared} bytes; this server caps frames at {} bytes \
+                         (the stream is now out of sync, closing)",
+                        shared.cfg.max_frame
+                    ),
+                ));
+                // The oversize payload was never read: the stream is out
+                // of sync and the only safe continuation is to close.
+                return;
+            }
+            Err(_) => return,
+        };
+        shared.counter(ServeAggregates::REQUESTS);
+        if !handle_frame(&frame, &responder, shared) {
+            return;
+        }
+    }
+}
+
+/// Handles one request frame; `false` closes the connection.
+fn handle_frame(frame: &[u8], responder: &Arc<Responder>, shared: &Arc<Shared>) -> bool {
+    let doc = match jsonin::parse(frame) {
+        Ok(doc) => doc,
+        Err(e) => {
+            let err_code = if e.code == "non_finite" {
+                code::NON_FINITE
+            } else {
+                code::BAD_JSON
+            };
+            shared.counter(ServeAggregates::ERRORS);
+            responder.send(&response_error(
+                Json::Null,
+                "?",
+                status::ERROR,
+                err_code,
+                &e.to_string(),
+            ));
+            return true;
+        }
+    };
+    let envelope = match decode_request(&doc, shared.cfg.debug_kinds) {
+        Ok(envelope) => envelope,
+        Err(e) => {
+            shared.counter(ServeAggregates::ERRORS);
+            responder.send(&response_error(
+                extract_id(&doc),
+                "?",
+                status::ERROR,
+                e.code,
+                &e.message,
+            ));
+            return true;
+        }
+    };
+    let id = envelope.id;
+    match envelope.kind {
+        RequestKind::Ping => {
+            shared.counter(ServeAggregates::OK);
+            responder.send(&response_ok(
+                Json::UInt(id),
+                "ping",
+                Json::obj([("pong", Json::from(true))]),
+            ));
+        }
+        RequestKind::Stats => {
+            shared.counter(ServeAggregates::OK);
+            responder.send(&response_ok(Json::UInt(id), "stats", stats_body(shared)));
+        }
+        RequestKind::Cancel { target_id } => {
+            let token = {
+                let inflight = shared.inflight.lock().expect("inflight poisoned");
+                inflight.get(&(envelope.tenant.clone(), target_id)).cloned()
+            };
+            let found = token.is_some();
+            if let Some(token) = token {
+                token.cancel();
+            }
+            shared.counter(ServeAggregates::OK);
+            responder.send(&response_ok(
+                Json::UInt(id),
+                "cancel",
+                Json::obj([
+                    ("target_id", Json::from(target_id)),
+                    ("found", Json::from(found)),
+                ]),
+            ));
+        }
+        RequestKind::Work(work) => {
+            let kind = work.kind_name();
+            let deadline_ms = envelope.deadline_ms.or(shared.cfg.default_deadline_ms);
+            let cancel = match deadline_ms {
+                Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+                None => CancelToken::new(),
+            };
+            let key = (envelope.tenant.clone(), id);
+            shared
+                .inflight
+                .lock()
+                .expect("inflight poisoned")
+                .insert(key.clone(), cancel.clone());
+            let queued = QueuedRequest {
+                id,
+                tenant: envelope.tenant.clone(),
+                progress: envelope.progress,
+                work,
+                seq: next_request_seq(),
+                cancel,
+                responder: Arc::clone(responder),
+            };
+            if let Err(reason) = shared.admission.admit(&envelope.tenant, queued) {
+                shared
+                    .inflight
+                    .lock()
+                    .expect("inflight poisoned")
+                    .remove(&key);
+                let (err_code, message) = match reason {
+                    ShedReason::QueueFull => (
+                        code::QUEUE_FULL,
+                        format!(
+                            "queue depth {} reached; retry with backoff",
+                            shared.cfg.max_depth
+                        ),
+                    ),
+                    ShedReason::TenantLimit => (
+                        code::TENANT_LIMIT,
+                        format!(
+                            "tenant '{}' already has {} queued request(s); retry with backoff",
+                            envelope.tenant, shared.cfg.max_per_tenant
+                        ),
+                    ),
+                    ShedReason::Draining => (
+                        code::DRAINING,
+                        "server is draining; no new work is admitted".to_string(),
+                    ),
+                };
+                shared.counter(ServeAggregates::SHED);
+                responder.send(&response_error(
+                    Json::UInt(id),
+                    kind,
+                    status::SHED,
+                    err_code,
+                    &message,
+                ));
+            }
+        }
+    }
+    true
+}
+
+fn stats_body(shared: &Shared) -> Json {
+    let queue = shared.admission.stats();
+    let cache = shared.engine.cache().stats();
+    let obs = lockbind_obs::Registry::global().snapshot();
+    Json::obj([
+        (
+            "queue",
+            Json::obj([
+                ("queued", Json::from(queue.queued)),
+                ("in_flight", Json::from(queue.in_flight)),
+                ("admitted", Json::from(queue.admitted)),
+                ("completed", Json::from(queue.completed)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::from(cache.hits)),
+                ("misses", Json::from(cache.misses)),
+                ("entries", Json::from(cache.entries)),
+            ]),
+        ),
+        ("serve", ServeAggregates::from_obs(&obs).to_json()),
+    ])
+}
+
+fn worker_loop(shared: &Arc<Shared>, worker_id: u64) {
+    while let Some(request) = shared.admission.next() {
+        // Panic isolation belongs to `Engine::run_one`; anything that
+        // still unwinds out of `execute` would poison drain accounting,
+        // so the guard below keeps `task_done` on every path.
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute(shared, &request, worker_id)));
+        shared
+            .inflight
+            .lock()
+            .expect("inflight poisoned")
+            .remove(&(request.tenant.clone(), request.id));
+        shared.admission.task_done();
+        match outcome {
+            Ok(response) => request.responder.send(&response),
+            Err(payload) => {
+                shared.counter(ServeAggregates::ERRORS);
+                request.responder.send(&response_error(
+                    Json::UInt(request.id),
+                    request.work.kind_name(),
+                    status::ERROR,
+                    code::EXEC_FAILED,
+                    "internal: request execution panicked outside the job body",
+                ));
+                drop(payload);
+            }
+        }
+    }
+}
+
+/// Executes one admitted request and composes its response frame.
+fn execute(shared: &Arc<Shared>, request: &QueuedRequest, worker_id: u64) -> Json {
+    let id = request.id;
+    // Requests whose fate was sealed while queued never touch the
+    // engine: a deadline that expired in the queue is still a deadline,
+    // and a cancel that landed first still wins.
+    if request.cancel.is_cancelled() {
+        return fate_response(shared, request, "expired while queued");
+    }
+    let _progress_guard = request.progress.then(|| {
+        let responder = Arc::clone(&request.responder);
+        ProgressRouter::global().subscribe(
+            request.seq,
+            Box::new(move |ordinal, span| {
+                responder.send(&progress_event(id, ordinal, span.name));
+            }),
+        )
+    });
+    let job = ServeJob {
+        work: request.work.clone(),
+    };
+    let seed = request.work.seed_from_content();
+    if !request.work.cacheable() {
+        let result =
+            shared
+                .engine
+                .run_one(&job, request.seq, worker_id, seed, request.cancel.clone());
+        return match classify(shared, request, result) {
+            Ok(body) => body_response(shared, request, &body, false),
+            Err(escape) => escape_response(shared, request, &escape),
+        };
+    }
+    // Coalescing: identical work from any connection single-flights
+    // through the content-keyed cache. `built` distinguishes the builder
+    // from coalesced followers.
+    let built = std::cell::Cell::new(false);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        shared
+            .engine
+            .cache()
+            .get_or_insert_with(request.work.cache_key(), || {
+                built.set(true);
+                let result = shared.engine.run_one(
+                    &job,
+                    request.seq,
+                    worker_id,
+                    seed,
+                    request.cancel.clone(),
+                );
+                match classify(shared, request, result) {
+                    Ok(body) => body,
+                    Err(escape) => panic_any(NotCacheable(escape)),
+                }
+            })
+    }));
+    match outcome {
+        Ok(body) => {
+            let coalesced = !built.get();
+            if coalesced {
+                shared.counter(ServeAggregates::COALESCED);
+            }
+            body_response(shared, request, &body, coalesced)
+        }
+        Err(payload) => match payload.downcast::<NotCacheable>() {
+            Ok(escape) => escape_response(shared, request, &escape.0),
+            Err(payload) => resume_unwind(payload),
+        },
+    }
+}
+
+/// Classifies an engine result into a cacheable body or a
+/// request-specific escape.
+fn classify(
+    _shared: &Shared,
+    request: &QueuedRequest,
+    result: CellResult<Json>,
+) -> Result<WorkBody, Escape> {
+    match result {
+        CellResult::Ok { output, .. } => Ok(WorkBody::Ok(output)),
+        CellResult::TimedOut { message, .. } => Err(Escape::DeadlineExceeded(message)),
+        CellResult::Failed { message, .. } => {
+            if request.cancel.reason() == Some(lockbind_resil::CancelReason::Cancelled) {
+                Err(Escape::Interrupted(message))
+            } else {
+                Ok(WorkBody::Err(message))
+            }
+        }
+    }
+}
+
+/// Composes the response for a (possibly cached) work body. A follower
+/// whose own token fired while it waited still reports its own fate.
+fn body_response(
+    shared: &Shared,
+    request: &QueuedRequest,
+    body: &WorkBody,
+    _coalesced: bool,
+) -> Json {
+    if request.cancel.is_cancelled() {
+        return fate_response(shared, request, "while waiting on a coalesced build");
+    }
+    let kind = request.work.kind_name();
+    match body {
+        WorkBody::Ok(result) => {
+            shared.counter(ServeAggregates::OK);
+            response_ok(Json::UInt(request.id), kind, result.clone())
+        }
+        WorkBody::Err(message) => {
+            shared.counter(ServeAggregates::ERRORS);
+            response_error(
+                Json::UInt(request.id),
+                kind,
+                status::ERROR,
+                code::EXEC_FAILED,
+                message,
+            )
+        }
+    }
+}
+
+fn escape_response(shared: &Shared, request: &QueuedRequest, escape: &Escape) -> Json {
+    let kind = request.work.kind_name();
+    match escape {
+        Escape::DeadlineExceeded(message) => {
+            shared.counter(ServeAggregates::DEADLINE_EXCEEDED);
+            response_error(
+                Json::UInt(request.id),
+                kind,
+                status::DEADLINE_EXCEEDED,
+                code::DEADLINE_EXCEEDED,
+                message,
+            )
+        }
+        Escape::Interrupted(message) => {
+            shared.counter(ServeAggregates::INTERRUPTED);
+            response_error(
+                Json::UInt(request.id),
+                kind,
+                status::INTERRUPTED,
+                code::INTERRUPTED,
+                message,
+            )
+        }
+    }
+}
+
+/// The response for a request whose token already fired (`context`
+/// says where that was noticed).
+fn fate_response(shared: &Shared, request: &QueuedRequest, context: &str) -> Json {
+    let kind = request.work.kind_name();
+    if request.cancel.deadline_exceeded() {
+        shared.counter(ServeAggregates::DEADLINE_EXCEEDED);
+        response_error(
+            Json::UInt(request.id),
+            kind,
+            status::DEADLINE_EXCEEDED,
+            code::DEADLINE_EXCEEDED,
+            &format!("deadline exceeded {context}"),
+        )
+    } else {
+        shared.counter(ServeAggregates::INTERRUPTED);
+        response_error(
+            Json::UInt(request.id),
+            kind,
+            status::INTERRUPTED,
+            code::INTERRUPTED,
+            &format!("cancelled {context}"),
+        )
+    }
+}

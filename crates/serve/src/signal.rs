@@ -1,0 +1,62 @@
+//! Minimal SIGTERM/SIGINT latch without a libc dependency.
+//!
+//! The workspace is std-only, and std deliberately exposes no signal
+//! API, so this module carries the crate's single `unsafe` item: a
+//! direct declaration of the C `signal(2)` entry point, used to install
+//! a handler that does the only thing an async-signal-safe handler may
+//! do — store to an atomic flag. The accept loop polls the flag.
+//!
+//! On non-Unix targets the installer is a no-op and drain is reachable
+//! only through [`request_drain`] (used by tests on every platform).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Latched once a termination signal arrives (or a test requests drain).
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// `true` once drain has been requested.
+pub fn drain_requested() -> bool {
+    TERM.load(Ordering::Relaxed)
+}
+
+/// Requests drain programmatically (what the signal handler does).
+pub fn request_drain() {
+    TERM.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod unix {
+    use super::TERM;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    unsafe extern "C" {
+        /// C `signal(2)`: installs `handler` for `signum`, returning the
+        /// previous disposition (as an address; ignored here).
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        // Only async-signal-safe operation: one relaxed atomic store.
+        TERM.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the C standard library's signal installer;
+        // `on_term` is an `extern "C" fn(i32)` that only stores to an
+        // atomic, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_term);
+            signal(SIGINT, on_term);
+        }
+    }
+}
+
+/// Installs the SIGTERM/SIGINT handlers (no-op off Unix).
+pub fn install_handlers() {
+    #[cfg(unix)]
+    unix::install();
+}

@@ -1,0 +1,174 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message — request, progress event, response — is one frame: a
+//! 4-byte big-endian payload length followed by that many bytes of UTF-8
+//! JSON. The prefix makes message boundaries explicit without a
+//! streaming JSON tokenizer, and lets the daemon reject oversize frames
+//! *before* buffering them (the declared length is checked against the
+//! configured cap first).
+//!
+//! [`read_frame`] is drain-aware: it polls the stream with a read
+//! timeout and gives up *between* frames when the drain flag rises, so
+//! connection reader threads exit cleanly on SIGTERM without dropping a
+//! partially received frame.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Default cap on frame payloads (1 MiB) — far above any legitimate
+/// request, far below a memory-exhaustion vector.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Outcome of [`read_frame`].
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+    /// The drain flag rose while waiting between frames.
+    Drained,
+    /// The peer declared a payload larger than the cap. The connection
+    /// is no longer in sync and must be closed after the error response.
+    TooLarge {
+        /// The declared payload length.
+        declared: usize,
+    },
+}
+
+/// Reads exactly `buf.len()` bytes, retrying timeouts. With `stop` set
+/// and zero bytes consumed so far, a timeout returns `Ok(false)` (clean
+/// give-up at a frame boundary); mid-buffer timeouts keep waiting so a
+/// slow frame is never torn.
+fn read_exact_polled(
+    stream: &mut impl Read,
+    buf: &mut [u8],
+    stop: Option<&AtomicBool>,
+) -> io::Result<Option<bool>> {
+    let mut pos = 0;
+    while pos < buf.len() {
+        match stream.read(&mut buf[pos..]) {
+            Ok(0) => {
+                if pos == 0 {
+                    return Ok(None); // clean EOF at a boundary
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if pos == 0 {
+                    if let Some(stop) = stop {
+                        if stop.load(Ordering::Relaxed) {
+                            return Ok(Some(false));
+                        }
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(true))
+}
+
+/// Reads one frame. `max_frame` bounds the payload; `stop` (usually the
+/// server's drain flag) lets the read give up cleanly between frames —
+/// pair it with a read timeout on the stream so the poll actually wakes.
+pub fn read_frame(
+    stream: &mut impl Read,
+    max_frame: usize,
+    stop: Option<&AtomicBool>,
+) -> io::Result<FrameRead> {
+    let mut header = [0u8; 4];
+    match read_exact_polled(stream, &mut header, stop)? {
+        None => return Ok(FrameRead::Eof),
+        Some(false) => return Ok(FrameRead::Drained),
+        Some(true) => {}
+    }
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared > max_frame {
+        return Ok(FrameRead::TooLarge { declared });
+    }
+    let mut payload = vec![0u8; declared];
+    // Once the header is in, the frame is committed: wait it out even
+    // when draining (`stop: None`) so admitted bytes are never torn.
+    match read_exact_polled(stream, &mut payload, None)? {
+        Some(true) => Ok(FrameRead::Frame(payload)),
+        _ => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-frame",
+        )),
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+/// Propagates I/O errors; payloads beyond `u32::MAX` are rejected.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).expect("writes");
+        out
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        wire.extend(frame_bytes(b"{\"id\":1}"));
+        wire.extend(frame_bytes(b""));
+        let mut cursor = Cursor::new(wire);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME, None).expect("reads") {
+            FrameRead::Frame(p) => assert_eq!(p, b"{\"id\":1}"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME, None).expect("reads") {
+            FrameRead::Frame(p) => assert!(p.is_empty()),
+            other => panic!("expected empty frame, got {other:?}"),
+        }
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME, None).expect("reads"),
+            FrameRead::Eof
+        ));
+    }
+
+    #[test]
+    fn oversize_declaration_is_reported_not_buffered() {
+        let mut wire = (10_000u32).to_be_bytes().to_vec();
+        wire.extend([0u8; 8]); // only 8 bytes follow; must not matter
+        let mut cursor = Cursor::new(wire);
+        match read_frame(&mut cursor, 1024, None).expect("reads") {
+            FrameRead::TooLarge { declared } => assert_eq!(declared, 10_000),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut wire = frame_bytes(b"abcdef");
+        wire.truncate(wire.len() - 2);
+        let mut cursor = Cursor::new(wire);
+        let err = read_frame(&mut cursor, 1024, None).expect_err("torn frame");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,283 @@
+//! End-to-end status coverage: every response status (`ok`, `error`,
+//! `shed`, `deadline_exceeded`, `interrupted`) is observable on the
+//! wire with its distinct machine-readable code, exercising the
+//! `resil::CancelToken` plumbing from admission to response.
+
+use std::time::Duration;
+
+use lockbind_obs::Json;
+use lockbind_serve::client::{response_error_code, response_status, result_field, ServeClient};
+use lockbind_serve::server::{start, ServerConfig};
+use lockbind_serve::{code, status};
+
+fn debug_server(
+    workers: usize,
+    max_depth: usize,
+    max_per_tenant: usize,
+) -> lockbind_serve::ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        max_depth,
+        max_per_tenant,
+        debug_kinds: true,
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn client_for(handle: &lockbind_serve::ServerHandle) -> ServeClient {
+    let client = ServeClient::connect(&handle.addr()).expect("connects");
+    client
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("sets timeout");
+    client
+}
+
+fn request(id: u64, kind: &str, extra: &str) -> Json {
+    let text = if extra.is_empty() {
+        format!(r#"{{"id":{id},"kind":"{kind}"}}"#)
+    } else {
+        format!(r#"{{"id":{id},"kind":"{kind}",{extra}}}"#)
+    };
+    lockbind_serve::jsonin::parse(text.as_bytes()).expect("valid request JSON")
+}
+
+#[test]
+fn ok_status_round_trips() {
+    let handle = debug_server(1, 8, 8);
+    let mut client = client_for(&handle);
+    let outcome = client.call(&request(1, "ping", "")).expect("calls");
+    assert_eq!(response_status(&outcome.response), status::OK);
+    assert_eq!(
+        result_field(&outcome.response, "pong"),
+        Some(&Json::Bool(true))
+    );
+    let outcome = client
+        .call(&request(2, "sleep", r#""params":{"ms":1}"#))
+        .expect("calls");
+    assert_eq!(response_status(&outcome.response), status::OK);
+    assert_eq!(handle.drain_and_join().dropped, 0);
+}
+
+#[test]
+fn error_status_distinguishes_validation_and_execution() {
+    let handle = debug_server(1, 8, 8);
+    let mut client = client_for(&handle);
+    // Validation failure: unknown kind.
+    let outcome = client.call(&request(1, "teleport", "")).expect("calls");
+    assert_eq!(response_status(&outcome.response), status::ERROR);
+    assert_eq!(response_error_code(&outcome.response), code::UNKNOWN_KIND);
+    // Execution failure: ecb_enc4 has no multipliers to lock.
+    let outcome = client
+        .call(&request(
+            2,
+            "bind",
+            r#""params":{"kernel":"ecb_enc4","class":"multiplier","frames":40}"#,
+        ))
+        .expect("calls");
+    assert_eq!(response_status(&outcome.response), status::ERROR);
+    assert_eq!(response_error_code(&outcome.response), code::EXEC_FAILED);
+    assert_eq!(handle.drain_and_join().dropped, 0);
+}
+
+#[test]
+fn deadline_exceeded_is_distinct_from_error() {
+    let handle = debug_server(1, 8, 8);
+    let mut client = client_for(&handle);
+    let outcome = client
+        .call(&request(
+            1,
+            "sleep",
+            r#""deadline_ms":40,"params":{"ms":5000}"#,
+        ))
+        .expect("calls");
+    assert_eq!(
+        response_status(&outcome.response),
+        status::DEADLINE_EXCEEDED
+    );
+    assert_eq!(
+        response_error_code(&outcome.response),
+        code::DEADLINE_EXCEEDED
+    );
+    assert_eq!(handle.drain_and_join().dropped, 0);
+}
+
+#[test]
+fn deadline_can_expire_while_queued() {
+    let handle = debug_server(1, 8, 8);
+    let mut client = client_for(&handle);
+    // Occupy the single worker, then queue a request whose deadline is
+    // shorter than the occupancy: it must report deadline_exceeded
+    // without ever executing.
+    client
+        .send(&request(1, "sleep", r#""params":{"ms":400}"#))
+        .expect("sends");
+    client
+        .send(&request(
+            2,
+            "sleep",
+            r#""deadline_ms":50,"params":{"ms":1}"#,
+        ))
+        .expect("sends");
+    let mut statuses = Vec::new();
+    for _ in 0..2 {
+        let (doc, _) = client.read_event().expect("reads");
+        statuses.push((
+            match &doc {
+                Json::Object(pairs) => pairs
+                    .iter()
+                    .find(|(k, _)| k == "id")
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or(Json::Null),
+                _ => Json::Null,
+            },
+            response_status(&doc).to_string(),
+        ));
+    }
+    statuses.sort_by_key(|(id, _)| format!("{id:?}"));
+    assert_eq!(
+        statuses,
+        vec![
+            (Json::UInt(1), status::OK.to_string()),
+            (Json::UInt(2), status::DEADLINE_EXCEEDED.to_string()),
+        ]
+    );
+    assert_eq!(handle.drain_and_join().dropped, 0);
+}
+
+#[test]
+fn interrupted_is_distinct_from_deadline_exceeded() {
+    let handle = debug_server(1, 8, 8);
+    let mut client = client_for(&handle);
+    // Start a long sleep, then cancel it from the same tenant; the
+    // sleep's response must be `interrupted`, not `error` or
+    // `deadline_exceeded`.
+    client
+        .send(&request(7, "sleep", r#""params":{"ms":10000}"#))
+        .expect("sends");
+    std::thread::sleep(Duration::from_millis(100)); // let it start
+    client
+        .send(&request(8, "cancel", r#""params":{"target_id":7}"#))
+        .expect("sends");
+    let mut seen = std::collections::BTreeMap::new();
+    for _ in 0..2 {
+        let (doc, _) = client.read_event().expect("reads");
+        let id = match &doc {
+            Json::Object(pairs) => match pairs.iter().find(|(k, _)| k == "id") {
+                Some((_, Json::UInt(v))) => *v,
+                _ => 0,
+            },
+            _ => 0,
+        };
+        seen.insert(id, doc);
+    }
+    let cancel_resp = seen.get(&8).expect("cancel response");
+    assert_eq!(response_status(cancel_resp), status::OK);
+    assert_eq!(
+        result_field(cancel_resp, "found"),
+        Some(&Json::Bool(true)),
+        "cancel must find the in-flight request"
+    );
+    let sleep_resp = seen.get(&7).expect("sleep response");
+    assert_eq!(response_status(sleep_resp), status::INTERRUPTED);
+    assert_eq!(response_error_code(sleep_resp), code::INTERRUPTED);
+    assert_eq!(handle.drain_and_join().dropped, 0);
+}
+
+#[test]
+fn shed_statuses_carry_distinct_codes() {
+    // One worker, queue depth 2, one queued request per tenant.
+    let handle = debug_server(1, 2, 1);
+    let mut occupant = client_for(&handle);
+    occupant
+        .send(&request(
+            1,
+            "sleep",
+            r#""tenant":"occ","params":{"ms":600}"#,
+        ))
+        .expect("sends");
+    std::thread::sleep(Duration::from_millis(150)); // worker now busy
+    let mut client = client_for(&handle);
+    // Tenant a fills its per-tenant slot...
+    client
+        .send(&request(2, "sleep", r#""tenant":"a","params":{"ms":1}"#))
+        .expect("sends");
+    // ...so its next request sheds with tenant_limit.
+    let outcome = client
+        .call(&request(3, "sleep", r#""tenant":"a","params":{"ms":1}"#))
+        .expect("calls");
+    assert_eq!(response_status(&outcome.response), status::SHED);
+    assert_eq!(response_error_code(&outcome.response), code::TENANT_LIMIT);
+    // Tenant b fills the global queue (depth 2)...
+    client
+        .send(&request(4, "sleep", r#""tenant":"b","params":{"ms":1}"#))
+        .expect("sends");
+    // ...so tenant c sheds with queue_full.
+    let outcome = client
+        .call(&request(5, "sleep", r#""tenant":"c","params":{"ms":1}"#))
+        .expect("calls");
+    assert_eq!(response_status(&outcome.response), status::SHED);
+    assert_eq!(response_error_code(&outcome.response), code::QUEUE_FULL);
+    // After drain begins, everything sheds with draining.
+    handle.begin_drain();
+    let outcome = client
+        .call(&request(6, "sleep", r#""tenant":"d","params":{"ms":1}"#))
+        .expect("calls");
+    assert_eq!(response_status(&outcome.response), status::SHED);
+    assert_eq!(response_error_code(&outcome.response), code::DRAINING);
+    // The occupant and both queued requests still complete.
+    let summary = handle.drain_and_join();
+    assert_eq!(summary.admitted, 3);
+    assert_eq!(summary.dropped, 0);
+}
+
+#[test]
+fn oversize_frames_are_rejected_from_the_prefix_alone() {
+    let handle = debug_server(1, 8, 8);
+    let mut client = client_for(&handle);
+    client
+        .send_oversize_declaration(u32::MAX)
+        .expect("writes header");
+    let (doc, _) = client.read_event().expect("reads error response");
+    assert_eq!(response_status(&doc), status::ERROR);
+    assert_eq!(response_error_code(&doc), code::FRAME_TOO_LARGE);
+    // The server closes the desynchronized stream afterwards.
+    assert!(client.read_event().is_err());
+    assert_eq!(handle.drain_and_join().dropped, 0);
+}
+
+#[test]
+fn progress_frames_stream_span_names() {
+    let handle = debug_server(1, 8, 8);
+    let mut client = client_for(&handle);
+    let outcome = client
+        .call(&request(
+            1,
+            "bind",
+            r#""progress":true,"params":{"kernel":"fir","frames":30}"#,
+        ))
+        .expect("calls");
+    assert_eq!(response_status(&outcome.response), status::OK);
+    let spans: Vec<String> = outcome
+        .progress
+        .iter()
+        .filter_map(|doc| match doc {
+            Json::Object(pairs) => {
+                pairs
+                    .iter()
+                    .find(|(k, _)| k == "span")
+                    .and_then(|(_, v)| match v {
+                        Json::Str(s) => Some(s.clone()),
+                        _ => None,
+                    })
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(
+        spans.iter().any(|s| s == "prepare.kernel"),
+        "expected a prepare.kernel progress frame, got {spans:?}"
+    );
+    assert_eq!(handle.drain_and_join().dropped, 0);
+}
