@@ -34,7 +34,7 @@ pub const METRICS_SCHEMA_VERSION: u64 = 5;
 /// one counter per terminal response status plus the coalescing count.
 /// Derived from the run's obs delta by [`ServeAggregates::from_obs`], so a
 /// batch run (no daemon) reports all zeros.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeAggregates {
     /// Requests read off the wire (every kind, before validation).
     pub requests: u64,
@@ -51,6 +51,12 @@ pub struct ServeAggregates {
     /// Work requests answered from another request's in-flight or cached
     /// build (response-level single-flight).
     pub coalesced: u64,
+    /// Live telemetry snapshot (the `lockbind-telemetry` hub's JSON
+    /// document), attached by the daemon via
+    /// [`with_telemetry`](Self::with_telemetry). `None` for batch runs —
+    /// and omitted from [`to_json`](Self::to_json) when `None`, so the
+    /// committed batch metrics goldens are unchanged by its existence.
+    pub telemetry: Option<Json>,
 }
 
 impl ServeAggregates {
@@ -82,7 +88,16 @@ impl ServeAggregates {
             deadline_exceeded: get(Self::DEADLINE_EXCEEDED),
             interrupted: get(Self::INTERRUPTED),
             coalesced: get(Self::COALESCED),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a live telemetry snapshot document (the serve daemon's
+    /// `introspect` body) to the aggregates.
+    #[must_use]
+    pub fn with_telemetry(mut self, snapshot: Json) -> Self {
+        self.telemetry = Some(snapshot);
+        self
     }
 
     /// `true` when no serve activity was recorded (batch runs).
@@ -90,9 +105,10 @@ impl ServeAggregates {
         *self == ServeAggregates::default()
     }
 
-    /// The aggregates as a JSON object (field order fixed).
+    /// The aggregates as a JSON object (field order fixed; `telemetry`
+    /// appears only when attached).
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("requests", Json::from(self.requests)),
             ("ok", Json::from(self.ok)),
             ("error", Json::from(self.errors)),
@@ -100,7 +116,11 @@ impl ServeAggregates {
             ("deadline_exceeded", Json::from(self.deadline_exceeded)),
             ("interrupted", Json::from(self.interrupted)),
             ("coalesced", Json::from(self.coalesced)),
-        ])
+        ];
+        if let Some(telemetry) = &self.telemetry {
+            fields.push(("telemetry", telemetry.clone()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -435,6 +455,24 @@ mod tests {
             agg.to_json().render(),
             "{\"requests\":40,\"ok\":30,\"error\":0,\"shed\":6,\
              \"deadline_exceeded\":2,\"interrupted\":1,\"coalesced\":12}"
+        );
+    }
+
+    #[test]
+    fn telemetry_attachment_is_optional_and_order_stable() {
+        let base = ServeAggregates::default();
+        assert!(
+            !base.to_json().render().contains("telemetry"),
+            "batch aggregates must not grow a telemetry key"
+        );
+        let with = base
+            .clone()
+            .with_telemetry(Json::obj([("uptime_us", Json::from(5u64))]));
+        assert!(!with.is_empty(), "an attached snapshot is serve activity");
+        assert_eq!(
+            with.to_json().render(),
+            "{\"requests\":0,\"ok\":0,\"error\":0,\"shed\":0,\"deadline_exceeded\":0,\
+             \"interrupted\":0,\"coalesced\":0,\"telemetry\":{\"uptime_us\":5}}"
         );
     }
 

@@ -1,0 +1,100 @@
+//! Edge-case pins for the registry's histogram bucketing and the
+//! prefix-scan used by subsystem exporters (`counters_with_prefix`).
+//!
+//! These behaviours feed the serve daemon's Prometheus exposition and
+//! the deterministic render compared by the determinism tests, so each
+//! is pinned exactly rather than assumed.
+
+use lockbind_obs::{MetricsSnapshot, Registry};
+
+#[test]
+fn zero_observation_histogram_snapshots_as_all_zero_buckets() {
+    let reg = Registry::new();
+    let h = reg.histogram_with("latency", &[10, 100, 1000]);
+    assert_eq!(h.count(), 0);
+    // One count slot per bound plus the overflow slot, all zero.
+    assert_eq!(h.counts(), vec![0, 0, 0, 0]);
+
+    let snap = reg.snapshot();
+    let hist = snap.histograms.get("latency").expect("registered");
+    assert_eq!(hist.bounds, vec![10, 100, 1000]);
+    assert_eq!(hist.counts, vec![0, 0, 0, 0]);
+    assert_eq!(hist.total(), 0);
+    // The deterministic render still lists it (registration is work).
+    assert!(snap
+        .render_deterministic()
+        .contains("histogram latency [0,0,0,0]"));
+}
+
+#[test]
+fn bounds_are_inclusive_and_u64_max_lands_in_the_overflow_slot() {
+    let reg = Registry::new();
+    let h = reg.histogram_with("h", &[10, 100]);
+    h.observe(10); // exactly on a bound: that bucket, not the next
+    h.observe(11);
+    h.observe(100);
+    h.observe(101);
+    h.observe(u64::MAX);
+    h.observe_n(u64::MAX, 2); // bulk import overflows the same slot
+    assert_eq!(h.counts(), vec![1, 2, 4]);
+    assert_eq!(h.count(), 7);
+}
+
+#[test]
+fn overflow_slot_survives_snapshot_and_delta() {
+    let reg = Registry::new();
+    let h = reg.histogram_with("h", &[5]);
+    h.observe(u64::MAX);
+    let before = reg.snapshot();
+    h.observe(u64::MAX);
+    h.observe(1);
+    let after = reg.snapshot();
+    let delta = after.delta_from(&before);
+    let hist = delta.histograms.get("h").expect("active in the window");
+    assert_eq!(hist.counts, vec![1, 1], "delta, not cumulative");
+}
+
+#[test]
+fn counters_with_prefix_scans_exactly_the_namespace() {
+    let reg = Registry::new();
+    for (name, v) in [
+        ("serve.ok", 3u64),
+        ("serve.ok.sub", 4),
+        ("serve.requests", 10),
+        ("serves.other", 7), // shares a byte prefix, not the namespace
+        ("serv", 1),
+        ("zz", 2),
+    ] {
+        reg.counter(name).add(v);
+    }
+    let snap = reg.snapshot();
+
+    let serve: Vec<(&str, u64)> = snap.counters_with_prefix("serve.").collect();
+    assert_eq!(
+        serve,
+        vec![("serve.ok", 3), ("serve.ok.sub", 4), ("serve.requests", 10)],
+        "sorted, namespace-exact, including nested dotted names"
+    );
+
+    // A prefix that is itself a full counter name includes the exact
+    // match and its descendants.
+    let ok: Vec<(&str, u64)> = snap.counters_with_prefix("serve.ok").collect();
+    assert_eq!(ok, vec![("serve.ok", 3), ("serve.ok.sub", 4)]);
+
+    // No matches: empty iterator, not a panic.
+    assert_eq!(snap.counters_with_prefix("nothing.").count(), 0);
+
+    // The empty prefix is a full scan in sorted order.
+    let all: Vec<(&str, u64)> = snap.counters_with_prefix("").collect();
+    assert_eq!(all.len(), 6);
+    assert_eq!(all.first(), Some(&("serv", 1)));
+    assert_eq!(all.last(), Some(&("zz", 2)));
+}
+
+#[test]
+fn empty_snapshot_reports_empty_and_renders_nothing() {
+    let snap = MetricsSnapshot::default();
+    assert!(snap.is_empty());
+    assert_eq!(snap.render_deterministic(), "");
+    assert_eq!(snap.counters_with_prefix("serve.").count(), 0);
+}

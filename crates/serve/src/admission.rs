@@ -22,7 +22,7 @@
 //! queueing — no weights, no virtual time — because requests are coarse
 //! (whole binding problems, not packets).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 
 /// Why admission refused a request.
@@ -55,6 +55,10 @@ struct QueueState<T> {
     admitted: u64,
     /// Total items reported done.
     completed: u64,
+    /// Lifetime per-tenant counters. Unlike `tenants` (which retires a
+    /// tenant's FIFO the moment it runs dry), entries here persist so
+    /// `stats` can report per-tenant in-flight and completion counts.
+    per_tenant: BTreeMap<String, TenantStats>,
     /// `true` once `close` is called; admission refuses from then on.
     closed: bool,
 }
@@ -81,6 +85,20 @@ pub struct QueueStats {
     pub completed: u64,
 }
 
+/// One tenant's lifetime counters (the per-tenant rows of a `stats`
+/// response).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Items of this tenant currently queued.
+    pub queued: usize,
+    /// Items of this tenant currently executing.
+    pub in_flight: usize,
+    /// Total admitted for this tenant since start.
+    pub admitted: u64,
+    /// Total completed for this tenant since start.
+    pub completed: u64,
+}
+
 impl<T> AdmissionQueue<T> {
     /// A queue bounded at `max_depth` total and `max_per_tenant` per
     /// tenant.
@@ -93,6 +111,7 @@ impl<T> AdmissionQueue<T> {
                 in_flight: 0,
                 admitted: 0,
                 completed: 0,
+                per_tenant: BTreeMap::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
@@ -130,6 +149,9 @@ impl<T> AdmissionQueue<T> {
         }
         state.queued += 1;
         state.admitted += 1;
+        let per = state.per_tenant.entry(tenant.to_string()).or_default();
+        per.queued += 1;
+        per.admitted += 1;
         drop(state);
         self.ready.notify_one();
         Ok(())
@@ -155,6 +177,10 @@ impl<T> AdmissionQueue<T> {
                     .items
                     .pop_front()
                     .expect("picked a non-empty tenant queue");
+                let tenant = state.tenants[pick].tenant.clone();
+                let per = state.per_tenant.entry(tenant).or_default();
+                per.queued -= 1;
+                per.in_flight += 1;
                 if state.tenants[pick].items.is_empty() {
                     // Retire the empty tenant so the rotation only visits
                     // tenants with work; the cursor stays on the slot that
@@ -179,11 +205,14 @@ impl<T> AdmissionQueue<T> {
         }
     }
 
-    /// Reports one dispatched item finished (any status).
-    pub fn task_done(&self) {
+    /// Reports one dispatched item of `tenant` finished (any status).
+    pub fn task_done(&self, tenant: &str) {
         let mut state = self.state.lock().expect("admission queue poisoned");
         state.in_flight -= 1;
         state.completed += 1;
+        let per = state.per_tenant.entry(tenant.to_string()).or_default();
+        per.in_flight = per.in_flight.saturating_sub(1);
+        per.completed += 1;
         if state.queued == 0 && state.in_flight == 0 {
             self.idle.notify_all();
         }
@@ -221,6 +250,18 @@ impl<T> AdmissionQueue<T> {
             completed: state.completed,
         }
     }
+
+    /// Lifetime per-tenant counters, sorted by tenant name. Tenants stay
+    /// listed after their queues drain (their `admitted`/`completed`
+    /// history is part of the `stats` contract).
+    pub fn tenant_stats(&self) -> Vec<(String, TenantStats)> {
+        let state = self.state.lock().expect("admission queue poisoned");
+        state
+            .per_tenant
+            .iter()
+            .map(|(name, stats)| (name.clone(), *stats))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +296,32 @@ mod tests {
     }
 
     #[test]
+    fn per_tenant_stats_survive_queue_retirement() {
+        let q = AdmissionQueue::new(16, 16);
+        q.admit("a", 1).expect("admits");
+        q.admit("a", 2).expect("admits");
+        q.admit("b", 3).expect("admits");
+        // Dispatch everything: the per-tenant FIFOs retire, the lifetime
+        // counters must not.
+        for _ in 0..3 {
+            q.next().expect("has work");
+        }
+        let stats: std::collections::BTreeMap<_, _> = q.tenant_stats().into_iter().collect();
+        assert_eq!(stats["a"].queued, 0);
+        assert_eq!(stats["a"].in_flight, 2);
+        assert_eq!(stats["a"].admitted, 2);
+        assert_eq!(stats["b"].in_flight, 1);
+        q.task_done("a");
+        q.task_done("a");
+        q.task_done("b");
+        let stats: std::collections::BTreeMap<_, _> = q.tenant_stats().into_iter().collect();
+        assert_eq!(stats["a"].in_flight, 0);
+        assert_eq!(stats["a"].completed, 2);
+        assert_eq!(stats["b"].completed, 1);
+        assert_eq!(stats.len(), 2, "tenants stay listed after draining");
+    }
+
+    #[test]
     fn close_drains_queued_work_then_releases_workers() {
         let q = Arc::new(AdmissionQueue::new(16, 16));
         q.admit("a", 1).expect("admits");
@@ -262,14 +329,14 @@ mod tests {
         q.close();
         // Both queued items are still handed out after close...
         assert_eq!(q.next(), Some(1));
-        q.task_done();
+        q.task_done("a");
         assert_eq!(q.next(), Some(2));
         // ...and only then do workers see the end of the queue.
         let waiter = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.next())
         };
-        q.task_done();
+        q.task_done("a");
         assert_eq!(waiter.join().expect("joins"), None);
         q.wait_idle();
         let stats = q.stats();
@@ -287,7 +354,7 @@ mod tests {
             let q = Arc::clone(&q);
             std::thread::spawn(move || {
                 std::thread::sleep(std::time::Duration::from_millis(20));
-                q.task_done();
+                q.task_done("a");
             })
         };
         q.wait_idle();

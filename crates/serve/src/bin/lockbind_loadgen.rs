@@ -13,13 +13,13 @@ use std::io::Write;
 
 use lockbind_obs::Json;
 use lockbind_serve::client::ServeClient;
-use lockbind_serve::loadgen::{run_fixed, run_load, LoadConfig};
+use lockbind_serve::loadgen::{run_fixed, run_load, scrape, LoadConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: lockbind_loadgen [--addr HOST:PORT] [--requests N] [--concurrency N] \
          [--seed N] [--alpha X] [--scale-ms X] [--tenants N] [--deadline-ms MS] \
-         [--json PATH] [--fixed] [--one-shot KIND]\n\
+         [--json PATH] [--fixed] [--one-shot KIND] [--scrape HOST:PORT]\n\
          \n\
          --addr HOST:PORT   daemon address (default 127.0.0.1:7641)\n\
          --requests N       total requests, 1..=1000000 (default 200)\n\
@@ -31,8 +31,10 @@ fn usage() -> ! {
          --deadline-ms MS   per-request deadline (default: none)\n\
          --json PATH        write the benchmark report JSON\n\
          --fixed            replay the deterministic probe list and print responses\n\
-         --one-shot KIND    send one request of KIND (ping, stats, bind, codesign,\n\
-                            error_rate, locked_sim, sat_attack) and print the response"
+         --one-shot KIND    send one request of KIND (ping, stats, introspect, bind, codesign,\n\
+                            error_rate, locked_sim, sat_attack) and print the response\n\
+         --scrape HOST:PORT fetch one Prometheus exposition document from the daemon's\n\
+                            --telemetry-addr endpoint and print it"
     );
     std::process::exit(2);
 }
@@ -64,7 +66,7 @@ fn parse_f64(flag: &str, value: &str, min: f64) -> f64 {
 
 fn one_shot_request(kind: &str) -> Json {
     let params: Vec<(&str, Json)> = match kind {
-        "ping" | "stats" => Vec::new(),
+        "ping" | "stats" | "introspect" => Vec::new(),
         "bind" => vec![
             ("kernel", Json::from("fir")),
             ("frames", Json::from(60u64)),
@@ -102,6 +104,7 @@ fn main() {
     let mut json_path: Option<std::path::PathBuf> = None;
     let mut fixed = false;
     let mut one_shot: Option<String> = None;
+    let mut scrape_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value_of = |flag: &str| -> String {
@@ -135,12 +138,24 @@ fn main() {
             "--json" => json_path = Some(std::path::PathBuf::from(value_of("--json"))),
             "--fixed" => fixed = true,
             "--one-shot" => one_shot = Some(value_of("--one-shot")),
+            "--scrape" => scrape_addr = Some(value_of("--scrape")),
             "--help" | "-h" => usage(),
             other => bad_arg(&format!("unknown argument '{other}'")),
         }
     }
-    if fixed && one_shot.is_some() {
-        bad_arg("--fixed and --one-shot are mutually exclusive");
+    if (fixed as usize) + (one_shot.is_some() as usize) + (scrape_addr.is_some() as usize) > 1 {
+        bad_arg("--fixed, --one-shot, and --scrape are mutually exclusive");
+    }
+
+    if let Some(addr) = scrape_addr {
+        match scrape(&addr) {
+            Ok(body) => print!("{body}"),
+            Err(e) => {
+                eprintln!("lockbind_loadgen: scrape failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     if let Some(kind) = one_shot {
@@ -191,10 +206,11 @@ fn main() {
         report.interrupted
     );
     println!(
-        "[loadgen] p50 {} us | p90 {} us | p99 {} us | max {} us",
+        "[loadgen] p50 {} us | p90 {} us | p99 {} us | p999 {} us | max {} us",
         report.latency_us(0.50),
         report.latency_us(0.90),
         report.latency_us(0.99),
+        report.latency_us(0.999),
         report.latency_us(1.0)
     );
     println!(

@@ -3,21 +3,27 @@
 //!
 //! Usage: `lockbind-serve [--addr HOST:PORT] [--workers N]
 //! [--max-depth N] [--max-per-tenant N] [--max-frame BYTES]
-//! [--default-deadline-ms MS] [--debug-kinds]`
+//! [--default-deadline-ms MS] [--debug-kinds]
+//! [--telemetry-addr HOST:PORT] [--slo-latency-ms MS] [--slo-target X]
+//! [--epoch-ms MS] [--flight-dir DIR]`
 //!
 //! The daemon serves until SIGTERM/SIGINT, then drains: it stops
 //! accepting connections, sheds new work with status `shed` / code
 //! `draining`, finishes every admitted request, and exits 0 only if
-//! nothing admitted was dropped.
+//! nothing admitted was dropped. SIGUSR1 dumps the flight recorder to
+//! `--flight-dir` (one JSONL file per dump).
 
 use lockbind_serve::server::{start, ServerConfig};
 use lockbind_serve::signal;
 use lockbind_serve::wire::DEFAULT_MAX_FRAME;
+use lockbind_telemetry::recorder::DumpTrigger;
 
 fn usage() -> ! {
     eprintln!(
         "usage: lockbind-serve [--addr HOST:PORT] [--workers N] [--max-depth N] \
-         [--max-per-tenant N] [--max-frame BYTES] [--default-deadline-ms MS] [--debug-kinds]\n\
+         [--max-per-tenant N] [--max-frame BYTES] [--default-deadline-ms MS] [--debug-kinds] \
+         [--telemetry-addr HOST:PORT] [--slo-latency-ms MS] [--slo-target X] [--epoch-ms MS] \
+         [--flight-dir DIR]\n\
          \n\
          --addr HOST:PORT          bind address (default 127.0.0.1:7641; port 0 = ephemeral)\n\
          --workers N               worker threads, 1..=64 (default 2)\n\
@@ -25,7 +31,12 @@ fn usage() -> ! {
          --max-per-tenant N        per-tenant admission bound, 1..=4096 (default 16)\n\
          --max-frame BYTES         frame payload cap, 64..=16777216 (default {DEFAULT_MAX_FRAME})\n\
          --default-deadline-ms MS  deadline for requests that set none, 1..=3600000 (default: none)\n\
-         --debug-kinds             enable debug request kinds (sleep)"
+         --debug-kinds             enable debug request kinds (sleep)\n\
+         --telemetry-addr H:P      serve Prometheus-style exposition here (default: off)\n\
+         --slo-latency-ms MS       per-tenant SLO latency objective, 1..=3600000 (default 250)\n\
+         --slo-target X            SLO success-fraction target in (0,1) (default 0.99)\n\
+         --epoch-ms MS             telemetry window rotation period, 10..=60000 (default 1000)\n\
+         --flight-dir DIR          write flight-recorder dumps here (default: off)"
     );
     std::process::exit(2);
 }
@@ -83,12 +94,38 @@ fn main() {
                 ));
             }
             "--debug-kinds" => cfg.debug_kinds = true,
+            "--telemetry-addr" => cfg.telemetry_addr = Some(value_of("--telemetry-addr")),
+            "--slo-latency-ms" => {
+                cfg.slo_latency_ms = parse_bounded(
+                    "--slo-latency-ms",
+                    &value_of("--slo-latency-ms"),
+                    1,
+                    3_600_000,
+                );
+            }
+            "--slo-target" => {
+                let raw = value_of("--slo-target");
+                let parsed: f64 = raw
+                    .parse()
+                    .unwrap_or_else(|_| bad_arg(&format!("--slo-target: '{raw}' is not a number")));
+                if !parsed.is_finite() || !(0.0..1.0).contains(&parsed) || parsed == 0.0 {
+                    bad_arg("--slo-target: must be in (0, 1)");
+                }
+                cfg.slo_target = parsed;
+            }
+            "--epoch-ms" => {
+                cfg.epoch_ms = parse_bounded("--epoch-ms", &value_of("--epoch-ms"), 10, 60_000);
+            }
+            "--flight-dir" => {
+                cfg.flight_dir = Some(std::path::PathBuf::from(value_of("--flight-dir")));
+            }
             "--help" | "-h" => usage(),
             other => bad_arg(&format!("unknown argument '{other}'")),
         }
     }
 
     signal::install_handlers();
+    let flight_dir = cfg.flight_dir.clone();
     let handle = match start(cfg) {
         Ok(handle) => handle,
         Err(e) => {
@@ -97,9 +134,28 @@ fn main() {
         }
     };
     println!("[serve] listening on {}", handle.addr());
+    if let Some(addr) = handle.telemetry_addr() {
+        println!("[serve] telemetry exposition on http://{addr}/metrics");
+    }
 
+    let telemetry = handle.telemetry();
+    let mut dumps_handled = signal::flight_dump_requests();
     while !signal::drain_requested() {
         std::thread::sleep(std::time::Duration::from_millis(50));
+        let requested = signal::flight_dump_requests();
+        if requested != dumps_handled {
+            dumps_handled = requested;
+            match &flight_dir {
+                Some(dir) => match telemetry.dump(dir, DumpTrigger::Signal) {
+                    Ok(Some(path)) => println!("[serve] flight dump: {}", path.display()),
+                    Ok(None) => println!("[serve] flight dump skipped: no new events"),
+                    Err(e) => eprintln!("[serve] flight dump failed: {e}"),
+                },
+                None => {
+                    eprintln!("[serve] SIGUSR1 ignored: start with --flight-dir to enable dumps")
+                }
+            }
+        }
     }
     println!("[serve] drain requested, completing admitted work");
     let summary = handle.drain_and_join();

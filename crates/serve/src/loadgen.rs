@@ -148,9 +148,13 @@ impl LoadReport {
     }
 
     /// Serializes the report as the committed benchmark JSON.
+    ///
+    /// Schema v2 adds `latency_us.p999` (heavy-tail load makes the
+    /// extreme tail the interesting number) alongside the existing
+    /// `max`.
     pub fn to_json(&self, cfg: &LoadConfig) -> Json {
         Json::obj([
-            ("schema_version", Json::from(1u64)),
+            ("schema_version", Json::from(2u64)),
             ("requests", Json::from(cfg.requests)),
             ("concurrency", Json::from(cfg.concurrency)),
             ("tenants", Json::from(cfg.tenants)),
@@ -171,6 +175,7 @@ impl LoadReport {
                     ("p50", Json::from(self.latency_us(0.50))),
                     ("p90", Json::from(self.latency_us(0.90))),
                     ("p99", Json::from(self.latency_us(0.99))),
+                    ("p999", Json::from(self.latency_us(0.999))),
                     ("max", Json::from(self.latency_us(1.0))),
                 ]),
             ),
@@ -353,6 +358,35 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
         elapsed_ms,
         server_stats,
     })
+}
+
+/// Fetches one Prometheus exposition document from the daemon's
+/// `--telemetry-addr` endpoint (one-shot HTTP/1.0 GET; used by the CI
+/// scrape-validation job and `lockbind_loadgen --scrape`).
+///
+/// # Errors
+/// Propagates I/O failures; a non-200 status line is an error too.
+pub fn scrape(addr: &str) -> io::Result<String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "scrape response has no header/body split",
+        )
+    })?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains(" 200 ") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("scrape failed: {status_line}"),
+        ));
+    }
+    Ok(body.to_string())
 }
 
 /// The deterministic probe list replayed by `--fixed` (and CI): raw

@@ -141,6 +141,10 @@ pub enum RequestKind {
     Ping,
     /// Server counters snapshot (non-deterministic; never coalesced).
     Stats,
+    /// Live telemetry snapshot: windowed latency quantiles, per-tenant
+    /// SLO burn, flight-recorder state (non-deterministic; never
+    /// coalesced). Feeds `lockbind_top`.
+    Introspect,
     /// Cancel an in-flight request of the same tenant by id.
     Cancel {
         /// The `id` of the request to cancel.
@@ -374,9 +378,10 @@ impl Work {
 }
 
 /// All request kind names, for diagnostics.
-pub const KIND_NAMES: [&str; 9] = [
+pub const KIND_NAMES: [&str; 10] = [
     "ping",
     "stats",
+    "introspect",
     "cancel",
     "bind",
     "codesign",
@@ -648,12 +653,12 @@ pub fn decode_request(doc: &Json, debug_kinds: bool) -> Result<RequestEnvelope, 
     let p = "params.";
 
     let kind = match kind_name {
-        "ping" | "stats" => {
+        "ping" | "stats" | "introspect" => {
             check_unknown_fields(p, params, &[])?;
-            if kind_name == "ping" {
-                RequestKind::Ping
-            } else {
-                RequestKind::Stats
+            match kind_name {
+                "ping" => RequestKind::Ping,
+                "stats" => RequestKind::Stats,
+                _ => RequestKind::Introspect,
             }
         }
         "cancel" => {

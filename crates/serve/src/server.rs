@@ -31,15 +31,19 @@
 
 use std::collections::HashMap;
 use std::io;
+use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, Once};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lockbind_engine::{CellResult, Engine, EngineConfig, ServeAggregates};
 use lockbind_obs::Json;
 use lockbind_resil::CancelToken;
+use lockbind_telemetry::recorder::{DumpTrigger, FlightKind};
+use lockbind_telemetry::{expo, Telemetry, TelemetryConfig};
 
 use crate::admission::{AdmissionQueue, ShedReason};
 use crate::jobs::ServeJob;
@@ -69,6 +73,18 @@ pub struct ServerConfig {
     pub default_deadline_ms: Option<u64>,
     /// Enables debug request kinds (`sleep`).
     pub debug_kinds: bool,
+    /// Optional second bind address serving Prometheus-style text
+    /// exposition over one-shot HTTP (`None` = no scrape endpoint).
+    pub telemetry_addr: Option<String>,
+    /// Per-tenant SLO latency objective (admission to response), ms.
+    pub slo_latency_ms: u64,
+    /// Per-tenant SLO success-fraction target in `(0, 1)`.
+    pub slo_target: f64,
+    /// Telemetry window-rotation cadence, ms.
+    pub epoch_ms: u64,
+    /// Directory for flight-recorder dumps (`None` = dumps disabled;
+    /// anomaly detection still runs but writes nothing).
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +97,11 @@ impl Default for ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             default_deadline_ms: None,
             debug_kinds: false,
+            telemetry_addr: None,
+            slo_latency_ms: 250,
+            slo_target: 0.99,
+            epoch_ms: 1000,
+            flight_dir: None,
         }
     }
 }
@@ -135,6 +156,9 @@ struct QueuedRequest {
     work: Work,
     /// Unique cell id tagging this request's spans.
     seq: u64,
+    /// When admission accepted the request; SLO latency is measured
+    /// from here (queue wait counts against the objective).
+    admitted_at: Instant,
     cancel: CancelToken,
     responder: Arc<Responder>,
 }
@@ -142,6 +166,10 @@ struct QueuedRequest {
 struct Shared {
     cfg: ServerConfig,
     engine: Engine,
+    /// Wall-clock telemetry hub: latency windows, SLO trackers, flight
+    /// recorder. Strictly additive — nothing here feeds the obs
+    /// registry's deterministic counters.
+    telemetry: Arc<Telemetry>,
     admission: AdmissionQueue<QueuedRequest>,
     /// Cancel tokens of admitted, unfinished requests, keyed by
     /// `(tenant, id)` so tenants can only cancel their own work. On a
@@ -181,8 +209,11 @@ pub struct DrainSummary {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     local_addr: std::net::SocketAddr,
+    telemetry_addr: Option<std::net::SocketAddr>,
     accept: Option<std::thread::JoinHandle<Vec<std::thread::JoinHandle<()>>>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Rotator + scrape threads; joined after shutdown is raised.
+    aux: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -191,11 +222,28 @@ impl ServerHandle {
         self.local_addr.to_string()
     }
 
+    /// The bound scrape-endpoint address, when configured.
+    pub fn telemetry_addr(&self) -> Option<String> {
+        self.telemetry_addr.map(|a| a.to_string())
+    }
+
+    /// The server's telemetry hub (shared with the request path).
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.shared.telemetry)
+    }
+
     /// Stops accepting connections and admitting work; in-flight and
     /// queued work keeps running, and connected clients keep getting
     /// responses (new work is shed with `draining`). Idempotent.
     pub fn begin_drain(&self) {
-        self.shared.draining.store(true, Ordering::Relaxed);
+        if !self.shared.draining.swap(true, Ordering::Relaxed) {
+            self.shared
+                .telemetry
+                .event(FlightKind::Drain, 0, "", "begin_drain");
+            if let Some(dir) = &self.shared.cfg.flight_dir {
+                let _ = self.shared.telemetry.dump(dir, DumpTrigger::Drain);
+            }
+        }
         self.shared.admission.close();
     }
 
@@ -219,6 +267,9 @@ impl ServerHandle {
         self.shared.shutdown.store(true, Ordering::Relaxed);
         for reader in readers {
             reader.join().expect("reader thread panicked");
+        }
+        for aux in self.aux.drain(..) {
+            aux.join().expect("telemetry thread panicked");
         }
         let stats = self.shared.admission.stats();
         DrainSummary {
@@ -255,9 +306,28 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
+    let scrape_listener = match &cfg.telemetry_addr {
+        Some(addr) => {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            Some(l)
+        }
+        None => None,
+    };
+    let telemetry_addr = match &scrape_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
     let workers = cfg.workers.max(1);
+    let telemetry = Arc::new(Telemetry::new(TelemetryConfig {
+        slo_latency_us: cfg.slo_latency_ms.saturating_mul(1000),
+        slo_target: cfg.slo_target,
+        epoch_ms: cfg.epoch_ms,
+        ..TelemetryConfig::default()
+    }));
     let shared = Arc::new(Shared {
         engine: Engine::new(EngineConfig::default()),
+        telemetry,
         admission: AdmissionQueue::new(cfg.max_depth, cfg.max_per_tenant),
         inflight: Mutex::new(HashMap::new()),
         draining: AtomicBool::new(false),
@@ -275,13 +345,87 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
             std::thread::spawn(move || worker_loop(&shared, worker_id as u64))
         })
         .collect();
+    let mut aux = Vec::new();
+    aux.push({
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || rotator_loop(&shared))
+    });
+    if let Some(listener) = scrape_listener {
+        let shared = Arc::clone(&shared);
+        aux.push(std::thread::spawn(move || scrape_loop(&listener, &shared)));
+    }
 
     Ok(ServerHandle {
         shared,
         local_addr,
+        telemetry_addr,
         accept: Some(accept),
         workers: worker_handles,
+        aux,
     })
+}
+
+/// Advances the telemetry windows every `epoch_ms` and checks anomaly
+/// triggers; sleeps in short chunks so shutdown stays prompt.
+fn rotator_loop(shared: &Arc<Shared>) {
+    let epoch = Duration::from_millis(shared.cfg.epoch_ms.max(10));
+    let mut last = Instant::now();
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(10));
+        if last.elapsed() >= epoch {
+            last = Instant::now();
+            shared.telemetry.rotate();
+            if let Some(dir) = &shared.cfg.flight_dir {
+                shared.telemetry.poll_anomalies(dir);
+            }
+        }
+    }
+}
+
+/// Serves one-shot HTTP scrapes of the Prometheus exposition. The
+/// parser is deliberately minimal: read until the blank line (or EOF),
+/// answer, close — `GET` from curl or a scraper both work.
+fn scrape_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_scrape(stream, shared),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("[serve] telemetry accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+fn serve_scrape(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    // Drain the request head; tolerate clients that skip headers.
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let obs = lockbind_obs::Registry::global().snapshot();
+    let body = expo::render_prometheus(&obs, &shared.telemetry.snapshot());
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<std::thread::JoinHandle<()>> {
@@ -400,6 +544,14 @@ fn handle_frame(frame: &[u8], responder: &Arc<Responder>, shared: &Arc<Shared>) 
             shared.counter(ServeAggregates::OK);
             responder.send(&response_ok(Json::UInt(id), "stats", stats_body(shared)));
         }
+        RequestKind::Introspect => {
+            shared.counter(ServeAggregates::OK);
+            responder.send(&response_ok(
+                Json::UInt(id),
+                "introspect",
+                shared.telemetry.snapshot().to_json(),
+            ));
+        }
         RequestKind::Cancel { target_id } => {
             let token = {
                 let inflight = shared.inflight.lock().expect("inflight poisoned");
@@ -438,43 +590,48 @@ fn handle_frame(frame: &[u8], responder: &Arc<Responder>, shared: &Arc<Shared>) 
                 progress: envelope.progress,
                 work,
                 seq: next_request_seq(),
+                admitted_at: Instant::now(),
                 cancel,
                 responder: Arc::clone(responder),
             };
-            if let Err(reason) = shared.admission.admit(&envelope.tenant, queued) {
-                shared
-                    .inflight
-                    .lock()
-                    .expect("inflight poisoned")
-                    .remove(&key);
-                let (err_code, message) = match reason {
-                    ShedReason::QueueFull => (
-                        code::QUEUE_FULL,
-                        format!(
-                            "queue depth {} reached; retry with backoff",
-                            shared.cfg.max_depth
+            match shared.admission.admit(&envelope.tenant, queued) {
+                Ok(()) => shared.telemetry.on_admit(id, &envelope.tenant),
+                Err(reason) => {
+                    shared
+                        .inflight
+                        .lock()
+                        .expect("inflight poisoned")
+                        .remove(&key);
+                    let (err_code, message) = match reason {
+                        ShedReason::QueueFull => (
+                            code::QUEUE_FULL,
+                            format!(
+                                "queue depth {} reached; retry with backoff",
+                                shared.cfg.max_depth
+                            ),
                         ),
-                    ),
-                    ShedReason::TenantLimit => (
-                        code::TENANT_LIMIT,
-                        format!(
-                            "tenant '{}' already has {} queued request(s); retry with backoff",
-                            envelope.tenant, shared.cfg.max_per_tenant
+                        ShedReason::TenantLimit => (
+                            code::TENANT_LIMIT,
+                            format!(
+                                "tenant '{}' already has {} queued request(s); retry with backoff",
+                                envelope.tenant, shared.cfg.max_per_tenant
+                            ),
                         ),
-                    ),
-                    ShedReason::Draining => (
-                        code::DRAINING,
-                        "server is draining; no new work is admitted".to_string(),
-                    ),
-                };
-                shared.counter(ServeAggregates::SHED);
-                responder.send(&response_error(
-                    Json::UInt(id),
-                    kind,
-                    status::SHED,
-                    err_code,
-                    &message,
-                ));
+                        ShedReason::Draining => (
+                            code::DRAINING,
+                            "server is draining; no new work is admitted".to_string(),
+                        ),
+                    };
+                    shared.counter(ServeAggregates::SHED);
+                    shared.telemetry.on_shed(id, &envelope.tenant, err_code);
+                    responder.send(&response_error(
+                        Json::UInt(id),
+                        kind,
+                        status::SHED,
+                        err_code,
+                        &message,
+                    ));
+                }
             }
         }
     }
@@ -485,6 +642,22 @@ fn stats_body(shared: &Shared) -> Json {
     let queue = shared.admission.stats();
     let cache = shared.engine.cache().stats();
     let obs = lockbind_obs::Registry::global().snapshot();
+    let tenants: Vec<(String, Json)> = shared
+        .admission
+        .tenant_stats()
+        .into_iter()
+        .map(|(tenant, t)| {
+            (
+                tenant,
+                Json::obj([
+                    ("queued", Json::from(t.queued)),
+                    ("in_flight", Json::from(t.in_flight)),
+                    ("admitted", Json::from(t.admitted)),
+                    ("completed", Json::from(t.completed)),
+                ]),
+            )
+        })
+        .collect();
     Json::obj([
         (
             "queue",
@@ -493,8 +666,11 @@ fn stats_body(shared: &Shared) -> Json {
                 ("in_flight", Json::from(queue.in_flight)),
                 ("admitted", Json::from(queue.admitted)),
                 ("completed", Json::from(queue.completed)),
+                ("max_depth", Json::from(shared.cfg.max_depth)),
+                ("max_per_tenant", Json::from(shared.cfg.max_per_tenant)),
             ]),
         ),
+        ("tenants", Json::Object(tenants)),
         (
             "cache",
             Json::obj([
@@ -503,7 +679,12 @@ fn stats_body(shared: &Shared) -> Json {
                 ("entries", Json::from(cache.entries)),
             ]),
         ),
-        ("serve", ServeAggregates::from_obs(&obs).to_json()),
+        (
+            "serve",
+            ServeAggregates::from_obs(&obs)
+                .with_telemetry(shared.telemetry.snapshot().to_json())
+                .to_json(),
+        ),
     ])
 }
 
@@ -518,11 +699,22 @@ fn worker_loop(shared: &Arc<Shared>, worker_id: u64) {
             .lock()
             .expect("inflight poisoned")
             .remove(&(request.tenant.clone(), request.id));
-        shared.admission.task_done();
+        shared.admission.task_done(&request.tenant);
+        let latency_us =
+            u64::try_from(request.admitted_at.elapsed().as_micros()).unwrap_or(u64::MAX);
         match outcome {
-            Ok(response) => request.responder.send(&response),
+            Ok(response) => {
+                let ok = crate::client::response_status(&response) == status::OK;
+                shared
+                    .telemetry
+                    .on_response(request.id, &request.tenant, ok, latency_us);
+                request.responder.send(&response);
+            }
             Err(payload) => {
                 shared.counter(ServeAggregates::ERRORS);
+                shared
+                    .telemetry
+                    .on_response(request.id, &request.tenant, false, latency_us);
                 request.responder.send(&response_error(
                     Json::UInt(request.id),
                     request.work.kind_name(),
@@ -539,6 +731,14 @@ fn worker_loop(shared: &Arc<Shared>, worker_id: u64) {
 /// Executes one admitted request and composes its response frame.
 fn execute(shared: &Arc<Shared>, request: &QueuedRequest, worker_id: u64) -> Json {
     let id = request.id;
+    // End-to-end request span: every engine span produced by this job
+    // nests under one trace node tagged with the wire request id.
+    let _span = lockbind_obs::span!(
+        "serve.request",
+        request_id = id,
+        tenant = request.tenant.as_str(),
+        kind = request.work.kind_name(),
+    );
     // Requests whose fate was sealed while queued never touch the
     // engine: a deadline that expired in the queue is still a deadline,
     // and a cancel that landed first still wins.
@@ -596,6 +796,19 @@ fn execute(shared: &Arc<Shared>, request: &QueuedRequest, worker_id: u64) -> Jso
             let coalesced = !built.get();
             if coalesced {
                 shared.counter(ServeAggregates::COALESCED);
+                shared.telemetry.event(
+                    FlightKind::Coalesce,
+                    request.id,
+                    &request.tenant,
+                    request.work.kind_name(),
+                );
+            } else {
+                shared.telemetry.event(
+                    FlightKind::CacheMiss,
+                    request.id,
+                    &request.tenant,
+                    request.work.kind_name(),
+                );
             }
             body_response(shared, request, &body, coalesced)
         }
@@ -661,6 +874,9 @@ fn escape_response(shared: &Shared, request: &QueuedRequest, escape: &Escape) ->
     match escape {
         Escape::DeadlineExceeded(message) => {
             shared.counter(ServeAggregates::DEADLINE_EXCEEDED);
+            shared
+                .telemetry
+                .event(FlightKind::Deadline, request.id, &request.tenant, message);
             response_error(
                 Json::UInt(request.id),
                 kind,
@@ -671,6 +887,9 @@ fn escape_response(shared: &Shared, request: &QueuedRequest, escape: &Escape) ->
         }
         Escape::Interrupted(message) => {
             shared.counter(ServeAggregates::INTERRUPTED);
+            shared
+                .telemetry
+                .event(FlightKind::Cancel, request.id, &request.tenant, message);
             response_error(
                 Json::UInt(request.id),
                 kind,
@@ -688,6 +907,9 @@ fn fate_response(shared: &Shared, request: &QueuedRequest, context: &str) -> Jso
     let kind = request.work.kind_name();
     if request.cancel.deadline_exceeded() {
         shared.counter(ServeAggregates::DEADLINE_EXCEEDED);
+        shared
+            .telemetry
+            .event(FlightKind::Deadline, request.id, &request.tenant, context);
         response_error(
             Json::UInt(request.id),
             kind,
@@ -697,6 +919,9 @@ fn fate_response(shared: &Shared, request: &QueuedRequest, context: &str) -> Jso
         )
     } else {
         shared.counter(ServeAggregates::INTERRUPTED);
+        shared
+            .telemetry
+            .event(FlightKind::Cancel, request.id, &request.tenant, context);
         response_error(
             Json::UInt(request.id),
             kind,

@@ -9,10 +9,15 @@
 //! On non-Unix targets the installer is a no-op and drain is reachable
 //! only through [`request_drain`] (used by tests on every platform).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Latched once a termination signal arrives (or a test requests drain).
 static TERM: AtomicBool = AtomicBool::new(false);
+
+/// Counts SIGUSR1 deliveries (flight-recorder dump requests). A counter
+/// rather than a flag so back-to-back signals each trigger a dump: the
+/// daemon loop remembers the last count it acted on.
+static USR1: AtomicU64 = AtomicU64::new(0);
 
 /// `true` once drain has been requested.
 pub fn drain_requested() -> bool {
@@ -24,14 +29,30 @@ pub fn request_drain() {
     TERM.store(true, Ordering::Relaxed);
 }
 
+/// How many flight-recorder dumps have been requested via SIGUSR1 (or
+/// [`request_flight_dump`]) since start.
+pub fn flight_dump_requests() -> u64 {
+    USR1.load(Ordering::Relaxed)
+}
+
+/// Requests a flight-recorder dump programmatically (what the SIGUSR1
+/// handler does; used by tests on every platform).
+pub fn request_flight_dump() {
+    USR1.fetch_add(1, Ordering::Relaxed);
+}
+
 #[cfg(unix)]
 #[allow(unsafe_code)]
 mod unix {
-    use super::TERM;
+    use super::{TERM, USR1};
     use std::sync::atomic::Ordering;
 
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    #[cfg(target_os = "macos")]
+    const SIGUSR1: i32 = 30;
+    #[cfg(not(target_os = "macos"))]
+    const SIGUSR1: i32 = 10;
 
     unsafe extern "C" {
         /// C `signal(2)`: installs `handler` for `signum`, returning the
@@ -44,13 +65,19 @@ mod unix {
         TERM.store(true, Ordering::Relaxed);
     }
 
+    extern "C" fn on_usr1(_signum: i32) {
+        // Async-signal-safe: one relaxed atomic increment.
+        USR1.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn install() {
         // SAFETY: `signal` is the C standard library's signal installer;
-        // `on_term` is an `extern "C" fn(i32)` that only stores to an
-        // atomic, which is async-signal-safe.
+        // both handlers are `extern "C" fn(i32)` that only touch
+        // atomics, which is async-signal-safe.
         unsafe {
             signal(SIGTERM, on_term);
             signal(SIGINT, on_term);
+            signal(SIGUSR1, on_usr1);
         }
     }
 }

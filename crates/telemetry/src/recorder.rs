@@ -1,0 +1,274 @@
+//! Flight recorder: a fixed-size ring of recent structured events that
+//! dumps itself as JSONL when something interesting happens.
+//!
+//! The serve request path pushes one [`FlightEvent`] per notable moment
+//! (admission, shed, deadline, cancel, cache miss, coalesce, drain) into
+//! a mutex-guarded ring. Pushes are cheap (one lock, one slot write) and
+//! the ring is bounded, so the recorder costs the same whether the daemon
+//! runs for a minute or a month.
+//!
+//! On an **anomaly trigger** — a shed spike, an SLO burn, a drain, or an
+//! operator `SIGUSR1` — the recorder writes every retained event, oldest
+//! first, as one JSON object per line. Each dump file also starts with a
+//! `flight_dump` header line recording the trigger and event count, so a
+//! dump is self-describing. The JSONL schema is documented in
+//! `DESIGN.md` §12 and validated by the CI `telemetry` job.
+//!
+//! Dumps deduplicate per trigger *generation*: a trigger fires a dump
+//! only if events arrived since the previous dump, so a burning SLO does
+//! not rewrite an identical file every poll tick.
+
+use std::collections::VecDeque;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use lockbind_obs::Json;
+
+/// What happened — the event vocabulary of the serve request path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A request was admitted into the tenant-fair queue.
+    Admit,
+    /// A request was shed (queue full, tenant cap, or draining).
+    Shed,
+    /// A request exceeded its deadline.
+    Deadline,
+    /// A request was cancelled by a `cancel` request.
+    Cancel,
+    /// A cache miss: this request is the builder for its content key.
+    CacheMiss,
+    /// A request coalesced onto an in-flight builder for the same key.
+    Coalesce,
+    /// The daemon entered drain.
+    Drain,
+}
+
+impl FlightKind {
+    /// Stable wire name used in JSONL dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::Admit => "admit",
+            FlightKind::Shed => "shed",
+            FlightKind::Deadline => "deadline",
+            FlightKind::Cancel => "cancel",
+            FlightKind::CacheMiss => "cache_miss",
+            FlightKind::Coalesce => "coalesce",
+            FlightKind::Drain => "drain",
+        }
+    }
+}
+
+/// Why a dump was written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DumpTrigger {
+    /// Shed rate spiked past the configured threshold.
+    ShedSpike,
+    /// A tenant's SLO is burning in both windows.
+    SloBurn,
+    /// The daemon entered drain.
+    Drain,
+    /// Operator sent `SIGUSR1`.
+    Signal,
+}
+
+impl DumpTrigger {
+    /// Stable name used in the dump header and file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DumpTrigger::ShedSpike => "shed_spike",
+            DumpTrigger::SloBurn => "slo_burn",
+            DumpTrigger::Drain => "drain",
+            DumpTrigger::Signal => "signal",
+        }
+    }
+}
+
+/// One recorded moment on the request path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotonic sequence number (1-based, gapless per recorder).
+    pub seq: u64,
+    /// Microseconds since the recorder was created (monotonic clock).
+    pub t_us: u64,
+    /// What happened.
+    pub kind: FlightKind,
+    /// Request id, when the event is tied to one request (0 otherwise).
+    pub request_id: u64,
+    /// Tenant the event belongs to (empty for daemon-level events).
+    pub tenant: String,
+    /// Free-form detail: shed reason, cache key prefix, drain phase…
+    pub detail: String,
+}
+
+impl FlightEvent {
+    /// The JSONL representation — one `event` line of a dump.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("line", Json::from("event")),
+            ("seq", Json::from(self.seq)),
+            ("t_us", Json::from(self.t_us)),
+            ("kind", Json::from(self.kind.name())),
+            ("request_id", Json::from(self.request_id)),
+            ("tenant", Json::from(self.tenant.as_str())),
+            ("detail", Json::from(self.detail.as_str())),
+        ])
+    }
+}
+
+/// The bounded event ring plus dump bookkeeping.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<FlightEvent>>,
+    capacity: usize,
+    epoch: Instant,
+    seq: AtomicU64,
+    dumps: AtomicU64,
+    /// `seq` at the time of the last dump — a trigger only dumps when
+    /// events arrived since.
+    dumped_through: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` events (at least 16).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(16))),
+            capacity: capacity.max(16),
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            dumps: AtomicU64::new(0),
+            dumped_through: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one event, evicting the oldest when full.
+    pub fn record(&self, kind: FlightKind, request_id: u64, tenant: &str, detail: &str) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let event = FlightEvent {
+            seq,
+            t_us: self.epoch.elapsed().as_micros() as u64,
+            kind,
+            request_id,
+            tenant: tenant.to_string(),
+            detail: detail.to_string(),
+        };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Events recorded since creation (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Dumps written so far.
+    pub fn dumps(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+
+    /// Retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Renders a dump: a `flight_dump` header line followed by one
+    /// `event` line per retained event, oldest first, trailing newline.
+    pub fn render_jsonl(&self, trigger: DumpTrigger) -> String {
+        let events = self.snapshot();
+        let mut out = String::new();
+        let header = Json::obj([
+            ("line", Json::from("flight_dump")),
+            ("schema_version", Json::from(1u64)),
+            ("trigger", Json::from(trigger.name())),
+            ("events", Json::from(events.len())),
+            ("recorded_total", Json::from(self.recorded())),
+            ("capacity", Json::from(self.capacity)),
+        ]);
+        out.push_str(&header.render());
+        out.push('\n');
+        for event in &events {
+            out.push_str(&event.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes a dump into `dir` if any events arrived since the last
+    /// dump; returns the path written, `None` when there was nothing
+    /// new. File names are `flight-<n>-<trigger>.jsonl` with a
+    /// per-recorder dump counter, so successive dumps never collide.
+    pub fn dump(&self, dir: &Path, trigger: DumpTrigger) -> io::Result<Option<PathBuf>> {
+        let through = self.seq.load(Ordering::Relaxed);
+        if through == self.dumped_through.swap(through, Ordering::Relaxed) {
+            return Ok(None);
+        }
+        let n = self.dumps.fetch_add(1, Ordering::Relaxed) + 1;
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("flight-{n:04}-{}.jsonl", trigger.name()));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.render_jsonl(trigger).as_bytes())?;
+        file.sync_all()?;
+        Ok(Some(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_seq_gapless() {
+        let r = FlightRecorder::new(16);
+        for i in 0..40u64 {
+            r.record(FlightKind::Admit, i, "t0", "");
+        }
+        let events = r.snapshot();
+        assert_eq!(events.len(), 16);
+        assert_eq!(events.first().unwrap().seq, 25, "oldest retained");
+        assert_eq!(events.last().unwrap().seq, 40);
+        assert!(events.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        assert_eq!(r.recorded(), 40);
+    }
+
+    #[test]
+    fn render_is_header_plus_event_lines() {
+        let r = FlightRecorder::new(16);
+        r.record(FlightKind::Shed, 7, "alpha", "queue_full");
+        r.record(FlightKind::Drain, 0, "", "phase=stop_accept");
+        let dump = r.render_jsonl(DumpTrigger::Drain);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(r#""line":"flight_dump""#));
+        assert!(lines[0].contains(r#""trigger":"drain""#));
+        assert!(lines[0].contains(r#""events":2"#));
+        assert!(lines[1].contains(r#""kind":"shed""#));
+        assert!(lines[1].contains(r#""tenant":"alpha""#));
+        assert!(lines[1].contains(r#""detail":"queue_full""#));
+        assert!(lines[2].contains(r#""kind":"drain""#));
+        assert!(dump.ends_with('\n'));
+    }
+
+    #[test]
+    fn dump_skips_when_nothing_new() {
+        let dir = std::env::temp_dir().join(format!("lockbind-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = FlightRecorder::new(16);
+        r.record(FlightKind::Cancel, 1, "t", "");
+        let first = r.dump(&dir, DumpTrigger::Signal).unwrap();
+        assert!(first.is_some());
+        let again = r.dump(&dir, DumpTrigger::Signal).unwrap();
+        assert!(again.is_none(), "no new events, no new file");
+        r.record(FlightKind::Cancel, 2, "t", "");
+        let third = r.dump(&dir, DumpTrigger::SloBurn).unwrap();
+        assert!(third.is_some());
+        assert_ne!(first, third, "dump files never collide");
+        assert_eq!(r.dumps(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,249 @@
+//! Per-tenant SLO trackers: a latency objective plus an error/shed
+//! budget, with burn rate measured over two windows.
+//!
+//! # Model
+//!
+//! An SLO is a target fraction of *good* requests, e.g. `target = 0.99`
+//! means at most 1% of requests may be *bad*. A request is bad when it
+//! sheds, errors, misses its deadline, or completes slower than the
+//! latency objective. The **burn rate** is how fast the error budget is
+//! being consumed relative to plan:
+//!
+//! ```text
+//! burn = bad_fraction / (1 - target)
+//! ```
+//!
+//! Burn 1.0 means the tenant is spending its budget exactly as fast as
+//! the SLO allows; 10.0 means ten times too fast. Following the
+//! multi-window alerting practice, each tracker reports burn over a
+//! short window (the most recent epochs — catches fast burns quickly)
+//! and a long window (the whole ring — filters one-epoch blips). An
+//! anomaly fires only when **both** exceed the threshold.
+//!
+//! Counters per epoch are plain relaxed atomics, rotated by the same
+//! epoch cadence as the latency windows; everything here is wall-clock
+//! flavored and therefore lives outside the `obs` registry.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One epoch's worth of good/bad counts.
+#[derive(Debug, Default)]
+struct EpochCounts {
+    good: AtomicU64,
+    bad: AtomicU64,
+}
+
+impl EpochCounts {
+    fn clear(&self) {
+        self.good.store(0, Ordering::Relaxed);
+        self.bad.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The outcome of one request, as the SLO tracker sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloOutcome {
+    /// Completed OK within the latency objective.
+    Good,
+    /// Shed, errored, missed a deadline, or exceeded the objective.
+    Bad,
+}
+
+/// A two-window burn-rate tracker for one tenant.
+#[derive(Debug)]
+pub struct SloTracker {
+    epochs: Vec<EpochCounts>,
+    current: AtomicUsize,
+    /// Epochs in the short window (≤ ring size).
+    short_epochs: usize,
+    /// Good-request target fraction in `(0, 1)`.
+    target: f64,
+    /// Latency objective in microseconds; slower-than-this completions
+    /// count as bad even when they succeed.
+    latency_objective_us: u64,
+}
+
+/// A point-in-time reading of one tenant's SLO state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSnapshot {
+    /// Requests observed in the long (full-ring) window.
+    pub total: u64,
+    /// Bad requests in the long window.
+    pub bad: u64,
+    /// Burn rate over the short window.
+    pub burn_short: f64,
+    /// Burn rate over the long window.
+    pub burn_long: f64,
+    /// The configured good-fraction target.
+    pub target: f64,
+    /// The configured latency objective (µs).
+    pub latency_objective_us: u64,
+}
+
+impl SloSnapshot {
+    /// True when both windows burn faster than `threshold` — the
+    /// multi-window anomaly condition used by the flight recorder.
+    pub fn burning(&self, threshold: f64) -> bool {
+        self.burn_short >= threshold && self.burn_long >= threshold
+    }
+}
+
+impl SloTracker {
+    /// A tracker over `slots` epochs, with a short window of
+    /// `short_epochs` (clamped to the ring size), a good-fraction
+    /// `target` clamped into `(0, 1)`, and a latency objective in µs.
+    pub fn new(slots: usize, short_epochs: usize, target: f64, latency_objective_us: u64) -> Self {
+        let slots = slots.max(1);
+        SloTracker {
+            epochs: (0..slots).map(|_| EpochCounts::default()).collect(),
+            current: AtomicUsize::new(0),
+            short_epochs: short_epochs.clamp(1, slots),
+            target: target.clamp(0.0001, 0.9999),
+            latency_objective_us,
+        }
+    }
+
+    /// The configured latency objective (µs).
+    pub fn latency_objective_us(&self) -> u64 {
+        self.latency_objective_us
+    }
+
+    /// Classifies a completed request: `ok` is the wire-level success
+    /// flag, `latency_us` the observed service time.
+    pub fn classify(&self, ok: bool, latency_us: u64) -> SloOutcome {
+        if ok && latency_us <= self.latency_objective_us {
+            SloOutcome::Good
+        } else {
+            SloOutcome::Bad
+        }
+    }
+
+    /// Records one outcome into the current epoch.
+    pub fn record(&self, outcome: SloOutcome) {
+        let cur = self.current.load(Ordering::Relaxed) % self.epochs.len();
+        let epoch = &self.epochs[cur];
+        match outcome {
+            SloOutcome::Good => epoch.good.fetch_add(1, Ordering::Relaxed),
+            SloOutcome::Bad => epoch.bad.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Advances the epoch cursor, clearing the slot it lands on. Driven
+    /// by the same rotation cadence as the latency windows.
+    pub fn rotate(&self) {
+        let next = (self.current.load(Ordering::Relaxed) + 1) % self.epochs.len();
+        self.epochs[next].clear();
+        self.current.store(next, Ordering::Relaxed);
+    }
+
+    /// Sums (good, bad) over the `n` most recent epochs.
+    fn window(&self, n: usize) -> (u64, u64) {
+        let len = self.epochs.len();
+        let cur = self.current.load(Ordering::Relaxed) % len;
+        let mut good = 0;
+        let mut bad = 0;
+        for back in 0..n.min(len) {
+            let idx = (cur + len - back) % len;
+            good += self.epochs[idx].good.load(Ordering::Relaxed);
+            bad += self.epochs[idx].bad.load(Ordering::Relaxed);
+        }
+        (good, bad)
+    }
+
+    fn burn(&self, good: u64, bad: u64) -> f64 {
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        let bad_fraction = bad as f64 / total as f64;
+        bad_fraction / (1.0 - self.target)
+    }
+
+    /// A point-in-time reading over both windows.
+    pub fn snapshot(&self) -> SloSnapshot {
+        let (sg, sb) = self.window(self.short_epochs);
+        let (lg, lb) = self.window(self.epochs.len());
+        SloSnapshot {
+            total: lg + lb,
+            bad: lb,
+            burn_short: self.burn(sg, sb),
+            burn_long: self.burn(lg, lb),
+            target: self.target,
+            latency_objective_us: self.latency_objective_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_is_zero_with_no_traffic() {
+        let t = SloTracker::new(6, 2, 0.99, 1000);
+        let snap = t.snapshot();
+        assert_eq!(snap.total, 0);
+        assert_eq!(snap.burn_short, 0.0);
+        assert_eq!(snap.burn_long, 0.0);
+        assert!(!snap.burning(1.0));
+    }
+
+    #[test]
+    fn burn_one_means_spending_budget_on_plan() {
+        // target 0.99 → 1% budget; 1 bad in 100 burns at exactly 1.0.
+        let t = SloTracker::new(6, 2, 0.99, 1000);
+        for _ in 0..99 {
+            t.record(SloOutcome::Good);
+        }
+        t.record(SloOutcome::Bad);
+        let snap = t.snapshot();
+        assert!(
+            (snap.burn_long - 1.0).abs() < 1e-9,
+            "burn {}",
+            snap.burn_long
+        );
+    }
+
+    #[test]
+    fn classify_applies_latency_objective() {
+        let t = SloTracker::new(6, 2, 0.99, 1000);
+        assert_eq!(t.classify(true, 999), SloOutcome::Good);
+        assert_eq!(t.classify(true, 1000), SloOutcome::Good);
+        assert_eq!(t.classify(true, 1001), SloOutcome::Bad);
+        assert_eq!(t.classify(false, 1), SloOutcome::Bad);
+    }
+
+    #[test]
+    fn short_window_recovers_after_rotation() {
+        // All-bad epoch, then rotate past the short window with good
+        // traffic: short burn recovers, long burn still remembers.
+        let t = SloTracker::new(6, 2, 0.9, 1000);
+        for _ in 0..10 {
+            t.record(SloOutcome::Bad);
+        }
+        assert!(t.snapshot().burning(1.0));
+        for _ in 0..3 {
+            t.rotate();
+            for _ in 0..10 {
+                t.record(SloOutcome::Good);
+            }
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.burn_short, 0.0, "short window is clean");
+        assert!(snap.burn_long > 0.0, "long window remembers the bad epoch");
+        assert!(!snap.burning(1.0), "multi-window condition no longer fires");
+    }
+
+    #[test]
+    fn rotation_expires_bad_epochs_entirely() {
+        let t = SloTracker::new(3, 1, 0.99, 1000);
+        for _ in 0..10 {
+            t.record(SloOutcome::Bad);
+        }
+        for _ in 0..3 {
+            t.rotate();
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.total, 0, "full rotation clears the ring");
+    }
+}
