@@ -1,0 +1,42 @@
+//! Crash-safe persistence for deterministic artifacts.
+//!
+//! The serve daemon's responses are pure functions of a request's
+//! canonical content rendering, which makes durability a *correctness
+//! amplifier*: a persisted record either reproduces the exact bytes a
+//! cold rebuild would produce, or it is corrupt — and this crate is built
+//! to prove which, in the same verify-don't-trust spirit `lockbind-check`
+//! applies to matchings.
+//!
+//! Two layers, both `std`-only:
+//!
+//! * [`SegmentStore`] — an append-only segment log of `(key, value)`
+//!   records with per-record length framing + CRC32C, a fingerprinted
+//!   header so stale stores self-invalidate, atomic whole-file writes
+//!   (temp file → fsync → rename → directory fsync), a recovery scan that
+//!   truncates at the first torn/short/corrupt record and quarantines the
+//!   damaged tail to a `.corrupt` sidecar (evidence is never deleted),
+//!   and size-triggered compaction. Every read re-verifies the record
+//!   CRC, so corrupt bytes are never returned.
+//! * [`tail`] — torn-tail-tolerant JSON-lines scanning and in-place
+//!   repair, used to harden the engine's sweep checkpoints against the
+//!   same kill-mid-write tears.
+//!
+//! Crash-safety is tested, not assumed: writers call
+//! [`lockbind_resil::crash_point`] at each durability-relevant instant
+//! (`durable.append.pre_write` / `.pre_sync` / `.post_sync`,
+//! `durable.create.*` and `durable.compact.*` around the renames), and
+//! the deterministic disk-fault kinds of [`lockbind_resil::FaultPlan`]
+//! (`shortwrite`, `torn(N)`, `fsyncerr`, `bitflip`) inject media failures
+//! into [`SegmentStore::append`] by append ordinal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+mod store;
+pub mod tail;
+
+pub use store::{
+    RecoveryReport, SegmentStore, StoreConfig, StoreStats, MAX_PART_LEN, SEGMENT_MAGIC,
+    SEGMENT_SCHEMA,
+};

@@ -1,0 +1,137 @@
+//! Torn-tail-tolerant JSON-lines scanning and repair.
+//!
+//! A process killed mid-`write` leaves a JSONL file ending in a partial
+//! line — possibly splitting a multi-byte UTF-8 sequence, so even reading
+//! the file line-by-line as text fails. These helpers treat that tail as
+//! the expected artifact of a crash rather than an error: [`read_jsonl`]
+//! returns every complete line and *counts* the torn bytes, and
+//! [`truncate_torn_tail`] repairs a file in place so an append-mode writer
+//! can continue it without concatenating fresh records onto the fragment.
+
+use std::fs::OpenOptions;
+use std::io;
+use std::path::Path;
+
+/// Result of a torn-tail-tolerant JSONL scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlTail {
+    /// Complete, newline-terminated, valid-UTF-8 lines, in file order.
+    pub lines: Vec<String>,
+    /// Bytes *not* returned as lines: an unterminated trailing fragment
+    /// (the classic kill-mid-write tear) plus any complete line that is
+    /// not valid UTF-8 (a tear whose garbage happened to contain `\n`).
+    pub torn_bytes: u64,
+}
+
+/// Reads `path` as JSON-lines, tolerating a torn tail.
+///
+/// # Errors
+/// Propagates the underlying read error (missing file, permissions); a
+/// torn or empty file is *not* an error.
+pub fn read_jsonl(path: &Path) -> io::Result<JsonlTail> {
+    Ok(scan(&std::fs::read(path)?))
+}
+
+fn scan(bytes: &[u8]) -> JsonlTail {
+    let mut lines = Vec::new();
+    let mut torn_bytes = 0u64;
+    let mut rest = bytes;
+    while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+        let (line, with_newline) = rest.split_at(pos);
+        rest = &with_newline[1..];
+        match std::str::from_utf8(line) {
+            Ok(text) => lines.push(text.to_string()),
+            Err(_) => torn_bytes += line.len() as u64 + 1,
+        }
+    }
+    torn_bytes += rest.len() as u64;
+    JsonlTail { lines, torn_bytes }
+}
+
+/// Truncates an unterminated trailing fragment off `path` in place and
+/// fsyncs the shortened file; returns the bytes removed (0 when the file
+/// already ends in a newline, or is empty).
+///
+/// # Errors
+/// Propagates filesystem errors from the read, truncate, or sync.
+pub fn truncate_torn_tail(path: &Path) -> io::Result<u64> {
+    let bytes = std::fs::read(path)?;
+    let keep = match bytes.iter().rposition(|&b| b == b'\n') {
+        Some(pos) => pos as u64 + 1,
+        None => 0,
+    };
+    let removed = bytes.len() as u64 - keep;
+    if removed > 0 {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(keep)?;
+        file.sync_all()?;
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(name: &str, bytes: &[u8]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lockbind-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).expect("write");
+        path
+    }
+
+    #[test]
+    fn clean_files_scan_with_no_torn_bytes() {
+        let path = temp_file("clean.jsonl", b"{\"a\":1}\n{\"b\":2}\n");
+        let tail = read_jsonl(&path).expect("read");
+        assert_eq!(tail.lines, vec!["{\"a\":1}", "{\"b\":2}"]);
+        assert_eq!(tail.torn_bytes, 0);
+        assert_eq!(truncate_torn_tail(&path).expect("truncate"), 0);
+    }
+
+    #[test]
+    fn unterminated_tails_are_counted_and_truncated() {
+        let path = temp_file("torn.jsonl", b"{\"a\":1}\n{\"b\":2,\"pay");
+        let tail = read_jsonl(&path).expect("read");
+        assert_eq!(tail.lines, vec!["{\"a\":1}"]);
+        assert_eq!(tail.torn_bytes, 11);
+        assert_eq!(truncate_torn_tail(&path).expect("truncate"), 11);
+        assert_eq!(std::fs::read(&path).expect("reread"), b"{\"a\":1}\n");
+    }
+
+    #[test]
+    fn tears_inside_multibyte_utf8_are_tolerated() {
+        // "té" truncated between the two bytes of 'é' — BufRead::lines()
+        // would hard-error here; the scanner just counts the fragment.
+        let mut bytes = b"{\"a\":1}\n".to_vec();
+        bytes.extend_from_slice(&"{\"payload\":\"té".as_bytes()[..14]);
+        let path = temp_file("utf8.jsonl", &bytes);
+        let tail = read_jsonl(&path).expect("read");
+        assert_eq!(tail.lines.len(), 1);
+        assert_eq!(tail.torn_bytes, 14);
+    }
+
+    #[test]
+    fn garbage_line_with_embedded_newline_is_skipped_not_fatal() {
+        let mut bytes = b"{\"a\":1}\n".to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+        bytes.extend_from_slice(b"{\"b\":2}\n");
+        let path = temp_file("binary.jsonl", &bytes);
+        let tail = read_jsonl(&path).expect("read");
+        assert_eq!(tail.lines, vec!["{\"a\":1}", "{\"b\":2}"]);
+        assert_eq!(tail.torn_bytes, 3);
+    }
+
+    #[test]
+    fn empty_and_newline_free_files() {
+        let empty = temp_file("empty.jsonl", b"");
+        assert_eq!(read_jsonl(&empty).expect("read").lines.len(), 0);
+        assert_eq!(truncate_torn_tail(&empty).expect("truncate"), 0);
+        let headerless = temp_file("frag.jsonl", b"{\"never-finis");
+        assert_eq!(read_jsonl(&headerless).expect("read").torn_bytes, 13);
+        assert_eq!(truncate_torn_tail(&headerless).expect("truncate"), 13);
+        assert_eq!(std::fs::read(&headerless).expect("reread"), b"");
+    }
+}

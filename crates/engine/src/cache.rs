@@ -77,6 +77,12 @@ impl CacheKey {
         self
     }
 
+    /// The key's canonical byte rendering — stable across processes, so
+    /// persistent stores can index by it directly.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
     /// FNV-1a over the key bytes; used only to pick the bucket.
     fn fnv1a(&self) -> u64 {
         let mut hash = 0xCBF2_9CE4_8422_2325u64;

@@ -13,10 +13,11 @@
 //! is deterministic) if not maximally fast.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::io::{BufWriter, Write as _};
 use std::path::Path;
 use std::sync::Mutex;
 
+use lockbind_obs as obs;
 use lockbind_obs::json::Json;
 
 /// Checkpoint file schema version (the `"schema"` header field).
@@ -60,14 +61,25 @@ pub struct CheckpointEntry {
 /// header is malformed, or its fingerprint does not match `expected` —
 /// callers are expected to warn and fall back to a full run.
 pub fn load(path: &Path, expected: u64) -> Result<Vec<CheckpointEntry>, String> {
-    let file =
-        File::open(path).map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
-    let mut lines = BufReader::new(file).lines();
-    let header = match lines.next() {
-        Some(Ok(line)) => line,
-        Some(Err(e)) => return Err(format!("cannot read checkpoint header: {e}")),
-        None => return Err("checkpoint file is empty".to_string()),
-    };
+    // A byte-level torn-tail-tolerant scan: a writer killed mid-record can
+    // tear the file inside a multi-byte UTF-8 sequence, which a plain
+    // line-by-line text read would report as a hard I/O error. The torn
+    // fragment just means its cell re-runs; it must never fail the resume.
+    let tail = lockbind_durable::tail::read_jsonl(path)
+        .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+    if tail.torn_bytes > 0 {
+        obs::counter!("checkpoint.torn_tail").inc();
+        eprintln!(
+            "[engine] checkpoint {} has a torn trailing record ({} bytes); ignoring it \
+             (the interrupted cell will re-run)",
+            path.display(),
+            tail.torn_bytes
+        );
+    }
+    let mut lines = tail.lines.into_iter();
+    let header = lines
+        .next()
+        .ok_or_else(|| "checkpoint file is empty".to_string())?;
     let found = field_u64(&header, "fingerprint")
         .ok_or_else(|| "checkpoint header has no fingerprint".to_string())?;
     if found != expected {
@@ -78,7 +90,6 @@ pub fn load(path: &Path, expected: u64) -> Result<Vec<CheckpointEntry>, String> 
     }
     let mut entries = Vec::new();
     for line in lines {
-        let line = line.map_err(|e| format!("cannot read checkpoint line: {e}"))?;
         if line.trim().is_empty() {
             continue; // torn final line from a killed writer
         }
@@ -115,11 +126,38 @@ impl CheckpointWriter {
         cells: usize,
         resuming: bool,
     ) -> std::io::Result<Self> {
+        // The header probe is torn-tail tolerant for the same reason
+        // `load` is: a kill can tear the file mid-UTF-8-sequence, and a
+        // whole-file text read would then fail, silently demoting a
+        // resumable checkpoint to a truncating rewrite (losing every
+        // completed cell).
         let append = resuming
-            && std::fs::read_to_string(path)
+            && lockbind_durable::tail::read_jsonl(path)
                 .ok()
-                .and_then(|text| field_u64(text.lines().next().unwrap_or(""), "fingerprint"))
+                .and_then(|tail| field_u64(tail.lines.first().map(String::as_str)?, "fingerprint"))
                 .is_some_and(|found| found == fingerprint);
+        if append {
+            // Continuing after a kill: drop any torn trailing fragment so
+            // the next record does not concatenate with it (which would
+            // corrupt both records, not just lose the torn one).
+            match lockbind_durable::tail::truncate_torn_tail(path) {
+                Ok(0) => {}
+                Ok(removed) => {
+                    obs::counter!("checkpoint.torn_tail").inc();
+                    eprintln!(
+                        "[engine] checkpoint {} had a torn trailing record ({removed} bytes); \
+                         truncated before appending",
+                        path.display()
+                    );
+                }
+                Err(e) => {
+                    eprintln!(
+                        "[engine] cannot repair checkpoint tail {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
@@ -294,6 +332,69 @@ mod tests {
         let entries = load(&path, fp).expect("load");
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].cell, 0);
+    }
+
+    #[test]
+    fn torn_multibyte_tail_is_truncated_not_fatal() {
+        // Regression: a kill mid-write can tear the file *inside* a
+        // multi-byte UTF-8 sequence. `BufRead::lines()` reports that as an
+        // I/O error, which used to fail the whole resume hard.
+        let path = temp_path("torn-utf8");
+        let fp = fingerprint(1, &labels(3));
+        let writer = CheckpointWriter::open(&path, fp, 1, 3, false).expect("open");
+        writer.append(0, "cell/0", "ok").expect("append");
+        drop(writer);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let torn = "{\"cell\":1,\"label\":\"cell/1\",\"payload\":\"té";
+        bytes.extend_from_slice(&torn.as_bytes()[..torn.len() - 1]);
+        std::fs::write(&path, &bytes).expect("write");
+        let entries = load(&path, fp).expect("torn tail must not fail the load");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].cell, 0);
+    }
+
+    #[test]
+    fn resume_append_repairs_a_torn_tail_first() {
+        // Regression: reopening in append mode used to write the next
+        // record directly after a torn fragment, corrupting both.
+        let path = temp_path("append-repair");
+        let fp = fingerprint(2, &labels(4));
+        let writer = CheckpointWriter::open(&path, fp, 2, 4, false).expect("open");
+        writer.append(0, "cell/0", "first").expect("append");
+        drop(writer);
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(b"{\"cell\":1,\"label\":\"cell/1\",\"payl");
+        std::fs::write(&path, &bytes).expect("write");
+        let writer = CheckpointWriter::open(&path, fp, 2, 4, true).expect("reopen");
+        assert!(writer.appended(), "matching header despite the torn tail");
+        writer.append(2, "cell/2", "second").expect("append");
+        drop(writer);
+        let entries = load(&path, fp).expect("load");
+        assert_eq!(entries.len(), 2, "{entries:?}");
+        assert_eq!((entries[0].cell, entries[1].cell), (0, 2));
+        assert_eq!(entries[1].payload, "second");
+    }
+
+    #[test]
+    fn resume_append_survives_a_torn_multibyte_tail() {
+        // Regression: the append-mode header probe used read_to_string,
+        // so an invalid-UTF-8 tear silently demoted the resume to a
+        // truncating rewrite — losing every completed cell.
+        let path = temp_path("append-utf8");
+        let fp = fingerprint(5, &labels(3));
+        let writer = CheckpointWriter::open(&path, fp, 5, 3, false).expect("open");
+        writer.append(0, "cell/0", "kept").expect("append");
+        drop(writer);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let torn = "{\"payload\":\"é";
+        bytes.extend_from_slice(&torn.as_bytes()[..torn.len() - 1]);
+        std::fs::write(&path, &bytes).expect("write");
+        let writer = CheckpointWriter::open(&path, fp, 5, 3, true).expect("reopen");
+        assert!(writer.appended(), "completed cells must survive the tear");
+        drop(writer);
+        let entries = load(&path, fp).expect("load");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].payload, "kept");
     }
 
     #[test]

@@ -715,7 +715,17 @@ fn run_cell<J: Job>(
 fn apply_fault(ctx: &mut JobCtx<'_>) -> Result<(), String> {
     let (index, attempt) = (ctx.index, ctx.attempt);
     match &ctx.fault {
-        None | Some(FaultKind::CacheBuild) => Ok(()),
+        // Cache faults belong to cooperating jobs; disk faults belong to
+        // the `lockbind-durable` writers. Neither is enacted at the cell
+        // boundary.
+        None
+        | Some(
+            FaultKind::CacheBuild
+            | FaultKind::ShortWrite
+            | FaultKind::TornWrite(_)
+            | FaultKind::FsyncError
+            | FaultKind::BitFlip,
+        ) => Ok(()),
         Some(FaultKind::Error) => Err(format!(
             "injected fault: error (cell {index}, attempt {attempt})"
         )),

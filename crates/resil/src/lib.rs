@@ -230,6 +230,23 @@ pub enum FaultKind {
     /// observe it via `JobCtx` and fail their cache build with it
     /// (exercises the cache's failed-build path).
     CacheBuild,
+    /// Disk fault: persist only half of the record being written, then
+    /// report success — models a torn page the durability layer must catch
+    /// on the next recovery scan. Ignored by the execution engine; applied
+    /// by `lockbind-durable` writers.
+    ShortWrite,
+    /// Disk fault: persist only the first `N` bytes of the record being
+    /// written, then report success — a torn write at an exact byte offset
+    /// (`torn(N)` in the spec grammar). Ignored by the execution engine.
+    TornWrite(u64),
+    /// Disk fault: perform the write but fail the subsequent fsync with an
+    /// I/O error, leaving durability of the record undefined. Ignored by
+    /// the execution engine.
+    FsyncError,
+    /// Disk fault: flip one bit of the record before it reaches disk —
+    /// models silent media corruption that only a read-time checksum can
+    /// catch. Ignored by the execution engine.
+    BitFlip,
 }
 
 /// One fault-injection rule: a kind, a probability, an optional explicit
@@ -396,6 +413,25 @@ impl FaultPlan {
     }
 }
 
+/// The environment variable [`crash_point`] reads: the name of the one
+/// synchronisation point at which the process should die.
+pub const CRASH_ENV_VAR: &str = "LOCKBIND_CRASH_AT";
+
+/// Kills the process — `std::process::abort`, the in-process equivalent of
+/// `kill -9` — when [`CRASH_ENV_VAR`] names this sync point.
+///
+/// Durability code calls this at the instants that matter for crash safety
+/// (before a record write, between write and fsync, before a compaction
+/// rename, ...) so the crash harness can prove recovery works from *every*
+/// such state, not just from whatever timing a signal happens to hit. With
+/// the variable unset (the normal case) the call is a cheap no-op.
+pub fn crash_point(name: &str) {
+    if std::env::var(CRASH_ENV_VAR).is_ok_and(|at| at == name) {
+        eprintln!("[resil] crash point {name:?} reached; aborting");
+        std::process::abort();
+    }
+}
+
 fn parse_rule(text: &str) -> Result<FaultRule, String> {
     // KIND[@CELLS][:RATE[:MAX_ATTEMPT]]
     let (head, tail) = match text.find(':') {
@@ -453,6 +489,9 @@ fn parse_kind(text: &str) -> Result<FaultKind, String> {
         "err" | "error" => Ok(FaultKind::Error),
         "hang" => Ok(FaultKind::Hang),
         "cache" => Ok(FaultKind::CacheBuild),
+        "shortwrite" => Ok(FaultKind::ShortWrite),
+        "fsyncerr" => Ok(FaultKind::FsyncError),
+        "bitflip" => Ok(FaultKind::BitFlip),
         _ => {
             if let Some(ms) = text
                 .strip_prefix("delay(")
@@ -463,9 +502,16 @@ fn parse_kind(text: &str) -> Result<FaultKind, String> {
                     .parse()
                     .map_err(|_| format!("bad delay milliseconds {:?}", ms.trim()))?;
                 Ok(FaultKind::Delay(Duration::from_millis(ms)))
+            } else if let Some(off) = text.strip_prefix("torn(").and_then(|t| t.strip_suffix(')')) {
+                let off: u64 = off
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad torn-write byte offset {:?}", off.trim()))?;
+                Ok(FaultKind::TornWrite(off))
             } else {
                 Err(format!(
-                    "unknown fault kind {text:?} (expected panic, err, hang, cache, or delay(MS))"
+                    "unknown fault kind {text:?} (expected panic, err, hang, cache, shortwrite, \
+                     fsyncerr, bitflip, torn(OFFSET), or delay(MS))"
                 ))
             }
         }
@@ -615,8 +661,34 @@ mod tests {
         assert!(FaultPlan::parse("err:2.0", 0).is_err());
         assert!(FaultPlan::parse("panic@x", 0).is_err());
         assert!(FaultPlan::parse("delay(abc)", 0).is_err());
+        assert!(FaultPlan::parse("torn(abc)", 0).is_err());
         assert!(FaultPlan::parse("err:0.5:1:9", 0).is_err());
         assert!(FaultPlan::parse("", 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn disk_fault_kinds_parse() {
+        let plan =
+            FaultPlan::parse("shortwrite:0.5; torn(17)@2; fsyncerr:0.1:1; bitflip", 3).unwrap();
+        assert_eq!(plan.rules.len(), 4);
+        assert_eq!(plan.rules[0].kind, FaultKind::ShortWrite);
+        assert_eq!(plan.rules[0].rate, 0.5);
+        assert_eq!(plan.rules[1].kind, FaultKind::TornWrite(17));
+        assert_eq!(plan.rules[1].cells, Some(vec![2]));
+        assert_eq!(plan.rules[2].kind, FaultKind::FsyncError);
+        assert_eq!(plan.rules[2].max_attempt, 1);
+        assert_eq!(plan.rules[3].kind, FaultKind::BitFlip);
+    }
+
+    #[test]
+    fn crash_point_is_a_noop_when_armed_elsewhere() {
+        // With the variable unset or naming a different point the call
+        // must return; the firing path can only be exercised from a child
+        // process (the serve crash harness covers it).
+        crash_point("resil.test.point");
+        std::env::set_var(CRASH_ENV_VAR, "some.other.point");
+        crash_point("resil.test.point");
+        std::env::remove_var(CRASH_ENV_VAR);
     }
 
     #[test]

@@ -5,13 +5,19 @@
 //! [--max-depth N] [--max-per-tenant N] [--max-frame BYTES]
 //! [--default-deadline-ms MS] [--debug-kinds]
 //! [--telemetry-addr HOST:PORT] [--slo-latency-ms MS] [--slo-target X]
-//! [--epoch-ms MS] [--flight-dir DIR]`
+//! [--epoch-ms MS] [--flight-dir DIR] [--cache-dir DIR]
+//! [--connection-limit N] [--frame-timeout-ms MS]`
 //!
 //! The daemon serves until SIGTERM/SIGINT, then drains: it stops
 //! accepting connections, sheds new work with status `shed` / code
 //! `draining`, finishes every admitted request, and exits 0 only if
 //! nothing admitted was dropped. SIGUSR1 dumps the flight recorder to
 //! `--flight-dir` (one JSONL file per dump).
+//!
+//! With `--cache-dir` the daemon keeps a crash-safe durable cache of
+//! computed responses: a warm restart replays previous answers
+//! byte-identically from disk (CRC-checked on every read) instead of
+//! recomputing them.
 
 use lockbind_serve::server::{start, ServerConfig};
 use lockbind_serve::signal;
@@ -23,7 +29,7 @@ fn usage() -> ! {
         "usage: lockbind-serve [--addr HOST:PORT] [--workers N] [--max-depth N] \
          [--max-per-tenant N] [--max-frame BYTES] [--default-deadline-ms MS] [--debug-kinds] \
          [--telemetry-addr HOST:PORT] [--slo-latency-ms MS] [--slo-target X] [--epoch-ms MS] \
-         [--flight-dir DIR]\n\
+         [--flight-dir DIR] [--cache-dir DIR] [--connection-limit N] [--frame-timeout-ms MS]\n\
          \n\
          --addr HOST:PORT          bind address (default 127.0.0.1:7641; port 0 = ephemeral)\n\
          --workers N               worker threads, 1..=64 (default 2)\n\
@@ -36,7 +42,15 @@ fn usage() -> ! {
          --slo-latency-ms MS       per-tenant SLO latency objective, 1..=3600000 (default 250)\n\
          --slo-target X            SLO success-fraction target in (0,1) (default 0.99)\n\
          --epoch-ms MS             telemetry window rotation period, 10..=60000 (default 1000)\n\
-         --flight-dir DIR          write flight-recorder dumps here (default: off)"
+         --flight-dir DIR          write flight-recorder dumps here (default: off)\n\
+         --cache-dir DIR           durable response cache: warm restarts replay prior\n\
+         \u{20}                         answers byte-identically from disk (default: off)\n\
+         --connection-limit N      cap concurrent connections, 0..=100000; over-cap\n\
+         \u{20}                         connections get one shed/connection_limit response\n\
+         \u{20}                         (default 0 = unlimited)\n\
+         --frame-timeout-ms MS     wall-clock budget to receive one whole frame, measured\n\
+         \u{20}                         from its first byte, 1..=3600000; 0 disables\n\
+         \u{20}                         (default 30000). Idle connections are unaffected"
     );
     std::process::exit(2);
 }
@@ -59,6 +73,7 @@ fn parse_bounded(flag: &str, value: &str, min: u64, max: u64) -> u64 {
 fn main() {
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:7641".to_string(),
+        frame_timeout_ms: Some(30_000),
         ..ServerConfig::default()
     };
     let mut args = std::env::args().skip(1);
@@ -119,6 +134,26 @@ fn main() {
             "--flight-dir" => {
                 cfg.flight_dir = Some(std::path::PathBuf::from(value_of("--flight-dir")));
             }
+            "--cache-dir" => {
+                cfg.cache_dir = Some(std::path::PathBuf::from(value_of("--cache-dir")));
+            }
+            "--connection-limit" => {
+                cfg.connection_limit = parse_bounded(
+                    "--connection-limit",
+                    &value_of("--connection-limit"),
+                    0,
+                    100_000,
+                ) as usize;
+            }
+            "--frame-timeout-ms" => {
+                let ms = parse_bounded(
+                    "--frame-timeout-ms",
+                    &value_of("--frame-timeout-ms"),
+                    0,
+                    3_600_000,
+                );
+                cfg.frame_timeout_ms = (ms > 0).then_some(ms);
+            }
             "--help" | "-h" => usage(),
             other => bad_arg(&format!("unknown argument '{other}'")),
         }
@@ -137,6 +172,9 @@ fn main() {
     if let Some(addr) = handle.telemetry_addr() {
         println!("[serve] telemetry exposition on http://{addr}/metrics");
     }
+    if let Some(recovery) = handle.durable_recovery() {
+        println!("[serve] durable: {recovery}");
+    }
 
     let telemetry = handle.telemetry();
     let mut dumps_handled = signal::flight_dump_requests();
@@ -146,11 +184,17 @@ fn main() {
         if requested != dumps_handled {
             dumps_handled = requested;
             match &flight_dir {
-                Some(dir) => match telemetry.dump(dir, DumpTrigger::Signal) {
-                    Ok(Some(path)) => println!("[serve] flight dump: {}", path.display()),
-                    Ok(None) => println!("[serve] flight dump skipped: no new events"),
-                    Err(e) => eprintln!("[serve] flight dump failed: {e}"),
-                },
+                Some(dir) => {
+                    let failed_before = telemetry.dump_failures();
+                    match telemetry.dump_logged(dir, DumpTrigger::Signal) {
+                        Some(path) => println!("[serve] flight dump: {}", path.display()),
+                        None if telemetry.dump_failures() > failed_before => eprintln!(
+                            "[serve] flight dump failed ({} failures so far)",
+                            telemetry.dump_failures()
+                        ),
+                        None => println!("[serve] flight dump skipped: no new events"),
+                    }
+                }
                 None => {
                     eprintln!("[serve] SIGUSR1 ignored: start with --flight-dir to enable dumps")
                 }
@@ -158,7 +202,11 @@ fn main() {
         }
     }
     println!("[serve] drain requested, completing admitted work");
+    let durable_counts = handle.durable_counts();
     let summary = handle.drain_and_join();
+    if let Some((hits, appends)) = durable_counts {
+        println!("[serve] durable: persisted hits {hits}, appends {appends}");
+    }
     println!(
         "[serve] drain complete: admitted {}, completed {}, dropped {}",
         summary.admitted, summary.completed, summary.dropped

@@ -70,7 +70,7 @@ impl ServeClient {
     /// # Errors
     /// Fails on connection loss or a frame that is not valid JSON.
     pub fn read_event(&mut self) -> io::Result<(Json, Vec<u8>)> {
-        match read_frame(&mut self.stream, DEFAULT_MAX_FRAME, None)? {
+        match read_frame(&mut self.stream, DEFAULT_MAX_FRAME, None, None)? {
             FrameRead::Frame(payload) => {
                 let doc = jsonin::parse(&payload).map_err(|e| {
                     io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}"))
@@ -86,6 +86,7 @@ impl ServeClient {
                 io::ErrorKind::InvalidData,
                 format!("server sent an oversize frame ({declared} bytes)"),
             )),
+            FrameRead::TimedOut => unreachable!("client reads pass no frame timeout"),
         }
     }
 

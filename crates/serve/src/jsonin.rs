@@ -488,3 +488,54 @@ mod tests {
         assert!(parse(b"\"raw\ncontrol\"").is_err());
     }
 }
+
+#[cfg(test)]
+mod fuzz {
+    //! Property fuzzing: the parser must return `Err`, never panic, on
+    //! arbitrary bytes, and parsing must be idempotent on its own output.
+
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// Bytes biased toward JSON-ish structure: raw bytes interleaved
+    /// with JSON punctuation and digits, so the fuzz reaches deep into
+    /// the grammar instead of failing at byte 0 every time.
+    fn jsonish() -> impl Strategy<Value = Vec<u8>> {
+        vec((any::<u8>(), 0..4usize), 0..64).prop_map(|pairs| {
+            let glyphs: &[u8] = b"{}[]\",:0123456789.eE+-truefalsnl \t\n";
+            pairs
+                .into_iter()
+                .map(|(raw, pick)| match pick {
+                    0 => raw,
+                    _ => glyphs[raw as usize % glyphs.len()],
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn arbitrary_bytes_never_panic(bytes in jsonish()) {
+            // Any outcome is fine; reaching this line on every input is
+            // the property (no panic, no abort, no hang).
+            let _ = parse(&bytes);
+        }
+
+        #[test]
+        fn parse_is_idempotent_on_accepted_documents(bytes in jsonish()) {
+            if let Ok(doc) = parse(&bytes) {
+                let rendered = doc.render();
+                let again = parse(rendered.as_bytes())
+                    .expect("the writer's output always re-parses");
+                prop_assert_eq!(
+                    again.render(),
+                    rendered,
+                    "render → parse → render is a fixed point"
+                );
+            }
+        }
+    }
+}

@@ -70,6 +70,9 @@ pub mod code {
     pub const TENANT_LIMIT: &str = "tenant_limit";
     /// Admission control shed the request: the server is draining.
     pub const DRAINING: &str = "draining";
+    /// The connection itself was shed: the concurrent-connection cap is
+    /// reached. Sent once on the fresh connection, which is then closed.
+    pub const CONNECTION_LIMIT: &str = "connection_limit";
     /// The request's deadline fired (while queued or executing).
     pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
     /// The request was cancelled explicitly mid-flight.

@@ -35,10 +35,11 @@ use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, Instant};
 
+use lockbind_durable::{SegmentStore, StoreConfig};
 use lockbind_engine::{CellResult, Engine, EngineConfig, ServeAggregates};
 use lockbind_obs::Json;
 use lockbind_resil::CancelToken;
@@ -85,6 +86,18 @@ pub struct ServerConfig {
     /// Directory for flight-recorder dumps (`None` = dumps disabled;
     /// anomaly detection still runs but writes nothing).
     pub flight_dir: Option<PathBuf>,
+    /// Directory for the durable response cache (`None` = in-memory
+    /// only). Warm restarts serve previously computed responses from
+    /// here, byte-identical, after a CRC check on every read.
+    pub cache_dir: Option<PathBuf>,
+    /// Cap on concurrent connections (0 = unlimited). A connection over
+    /// the cap gets one `shed`/`connection_limit` response and is
+    /// closed — admission never sees it.
+    pub connection_limit: usize,
+    /// Wall-clock budget to receive one whole frame, measured from its
+    /// first byte (`None` = unbounded). Idle connections are unaffected;
+    /// a peer that trickles a frame slower than this is disconnected.
+    pub frame_timeout_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +115,9 @@ impl Default for ServerConfig {
             slo_target: 0.99,
             epoch_ms: 1000,
             flight_dir: None,
+            cache_dir: None,
+            connection_limit: 0,
+            frame_timeout_ms: None,
         }
     }
 }
@@ -182,6 +198,14 @@ struct Shared {
     /// Phase 2 of shutdown, raised once every admitted request has
     /// completed: readers exit at their next poll.
     shutdown: AtomicBool,
+    /// The durable response cache (`--cache-dir`), when configured. The
+    /// mutex is held only across one `get` or one `append`.
+    durable: Option<Mutex<SegmentStore>>,
+    /// Live connections (reader threads), for the connection cap.
+    conns: AtomicUsize,
+    /// Whether a durable persist failure has been logged (log once,
+    /// keep counting — the daemon serves fine without persistence).
+    persist_warned: AtomicBool,
 }
 
 impl Shared {
@@ -232,6 +256,26 @@ impl ServerHandle {
         Arc::clone(&self.shared.telemetry)
     }
 
+    /// What recovery found when the durable cache was opened (`None`
+    /// without `--cache-dir`). One human-readable line — "fresh store",
+    /// "recovery clean: …", or what was truncated/quarantined.
+    pub fn durable_recovery(&self) -> Option<String> {
+        self.shared
+            .durable
+            .as_ref()
+            .map(|s| s.lock().expect("durable poisoned").recovery().summary())
+    }
+
+    /// Durable-cache hit/append counts so far (`None` without
+    /// `--cache-dir`): `(persisted_hits, appends)`.
+    pub fn durable_counts(&self) -> Option<(u64, u64)> {
+        self.shared.durable.as_ref().map(|s| {
+            let store = s.lock().expect("durable poisoned");
+            let stats = store.stats();
+            (stats.persisted_hits, stats.appends)
+        })
+    }
+
     /// Stops accepting connections and admitting work; in-flight and
     /// queued work keeps running, and connected clients keep getting
     /// responses (new work is shed with `draining`). Idempotent.
@@ -241,7 +285,7 @@ impl ServerHandle {
                 .telemetry
                 .event(FlightKind::Drain, 0, "", "begin_drain");
             if let Some(dir) = &self.shared.cfg.flight_dir {
-                let _ = self.shared.telemetry.dump(dir, DumpTrigger::Drain);
+                let _ = self.shared.telemetry.dump_logged(dir, DumpTrigger::Drain);
             }
         }
         self.shared.admission.close();
@@ -276,6 +320,102 @@ impl ServerHandle {
             admitted: stats.admitted,
             completed: stats.completed,
             dropped: stats.admitted - stats.completed,
+        }
+    }
+}
+
+/// Fingerprint binding a durable segment to the response format that
+/// wrote it: FNV-1a over the crate version plus a format tag. Bumping
+/// the crate (or the tag, on any response-shape change) sets stale
+/// stores aside on open instead of replaying bytes from old code.
+fn response_cache_fingerprint() -> u64 {
+    let tag = concat!(
+        "lockbind-serve response-cache v1 ",
+        env!("CARGO_PKG_VERSION")
+    );
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &byte in tag.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Encodes a cacheable [`WorkBody`] for the durable store: a tag byte
+/// (`O`/`E`) plus the rendered result or error message. Returns `None`
+/// when the body would not replay byte-identically (the render →
+/// reparse → render round trip is verified here, so nothing that could
+/// drift is ever persisted).
+fn encode_body(body: &WorkBody) -> Option<Vec<u8>> {
+    match body {
+        WorkBody::Ok(result) => {
+            let rendered = result.render();
+            let reparsed = jsonin::parse(rendered.as_bytes()).ok()?;
+            if reparsed.render() != rendered {
+                return None;
+            }
+            let mut out = Vec::with_capacity(rendered.len() + 1);
+            out.push(b'O');
+            out.extend_from_slice(rendered.as_bytes());
+            Some(out)
+        }
+        WorkBody::Err(message) => {
+            let mut out = Vec::with_capacity(message.len() + 1);
+            out.push(b'E');
+            out.extend_from_slice(message.as_bytes());
+            Some(out)
+        }
+    }
+}
+
+/// Decodes a durable record back into a [`WorkBody`]; `None` (a miss)
+/// on any shape the current code does not recognise.
+fn decode_body(bytes: &[u8]) -> Option<WorkBody> {
+    match bytes.split_first()? {
+        (b'O', rest) => Some(WorkBody::Ok(jsonin::parse(rest).ok()?)),
+        (b'E', rest) => Some(WorkBody::Err(String::from_utf8(rest.to_vec()).ok()?)),
+        _ => None,
+    }
+}
+
+/// Looks the work up in the durable cache. `Some` means the stored
+/// record passed its CRC on read *and* decoded to a known body shape —
+/// corrupt or unrecognised records read as misses, never as responses.
+fn durable_lookup(shared: &Shared, work: &Work) -> Option<WorkBody> {
+    let store = shared.durable.as_ref()?;
+    let key = work.cache_key();
+    let bytes = store
+        .lock()
+        .expect("durable poisoned")
+        .get(key.as_bytes())?;
+    let body = decode_body(&bytes)?;
+    shared.counter("cache.persisted_hit");
+    Some(body)
+}
+
+/// Persists a freshly built body. Failures degrade: the daemon answers
+/// from memory either way, so a full disk costs persistence, not
+/// service. First failure is logged, all are counted.
+fn durable_persist(shared: &Shared, work: &Work, body: &WorkBody) {
+    let Some(store) = shared.durable.as_ref() else {
+        return;
+    };
+    let Some(encoded) = encode_body(body) else {
+        shared.counter("cache.persist_skipped");
+        return;
+    };
+    let key = work.cache_key();
+    if let Err(e) = store
+        .lock()
+        .expect("durable poisoned")
+        .append(key.as_bytes(), &encoded)
+    {
+        shared.counter("cache.persist_failed");
+        if !shared.persist_warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "[serve] durable cache append failed: {e} \
+                 (still serving from memory; further failures counted, not logged)"
+            );
         }
     }
 }
@@ -325,6 +465,24 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         epoch_ms: cfg.epoch_ms,
         ..TelemetryConfig::default()
     }));
+    let durable = match &cfg.cache_dir {
+        Some(dir) => {
+            let (store, report) = SegmentStore::open(
+                dir,
+                StoreConfig {
+                    fingerprint: response_cache_fingerprint(),
+                    ..StoreConfig::default()
+                },
+            )?;
+            eprintln!(
+                "[serve] durable cache at {}: {}",
+                dir.display(),
+                report.summary()
+            );
+            Some(Mutex::new(store))
+        }
+        None => None,
+    };
     let shared = Arc::new(Shared {
         engine: Engine::new(EngineConfig::default()),
         telemetry,
@@ -332,6 +490,9 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
         inflight: Mutex::new(HashMap::new()),
         draining: AtomicBool::new(false),
         shutdown: AtomicBool::new(false),
+        durable,
+        conns: AtomicUsize::new(0),
+        persist_warned: AtomicBool::new(false),
         cfg,
     });
 
@@ -436,6 +597,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<std::thread:
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                let limit = shared.cfg.connection_limit;
+                if limit > 0 && shared.conns.load(Ordering::Relaxed) >= limit {
+                    shed_connection(stream, shared, limit);
+                    continue;
+                }
+                // Count before spawning so a burst of accepts cannot
+                // overshoot the cap while readers are still starting.
+                shared.conns.fetch_add(1, Ordering::Relaxed);
                 let shared = Arc::clone(shared);
                 readers.push(std::thread::spawn(move || connection_loop(stream, &shared)));
             }
@@ -451,11 +620,44 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) -> Vec<std::thread:
     }
 }
 
+/// Sheds a connection over the cap: one `shed`/`connection_limit`
+/// response frame on the fresh stream, then close. No reader thread is
+/// spawned, so a connection flood cannot exhaust threads.
+fn shed_connection(stream: TcpStream, shared: &Arc<Shared>, limit: usize) {
+    shared.counter(ServeAggregates::REQUESTS);
+    shared.counter(ServeAggregates::SHED);
+    shared.counter("serve.connection_limit");
+    shared
+        .telemetry
+        .event(FlightKind::Shed, 0, "", code::CONNECTION_LIMIT);
+    let responder = Responder::new(stream);
+    responder.send(&response_error(
+        Json::Null,
+        "?",
+        status::SHED,
+        code::CONNECTION_LIMIT,
+        &format!("connection limit {limit} reached; retry with backoff"),
+    ));
+}
+
+/// Decrements the live-connection count when a reader exits, on every
+/// path (clean EOF, timeout, error, panic).
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let _guard = ConnGuard(shared);
     let _ = stream.set_nodelay(true);
     // The read timeout is the drain-poll period: between frames the
-    // reader wakes this often to check the drain flag.
+    // reader wakes this often to check the drain flag; the same poll
+    // lets the frame clock fire on a stalled sender.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let frame_timeout = shared.cfg.frame_timeout_ms.map(Duration::from_millis);
     let mut read_half = match stream.try_clone() {
         Ok(clone) => clone,
         Err(e) => {
@@ -465,9 +667,20 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     };
     let responder = Arc::new(Responder::new(stream));
     loop {
-        let frame = match read_frame(&mut read_half, shared.cfg.max_frame, Some(&shared.shutdown)) {
+        let frame = match read_frame(
+            &mut read_half,
+            shared.cfg.max_frame,
+            Some(&shared.shutdown),
+            frame_timeout,
+        ) {
             Ok(FrameRead::Frame(payload)) => payload,
             Ok(FrameRead::Eof | FrameRead::Drained) => return,
+            Ok(FrameRead::TimedOut) => {
+                // Slowloris cutoff: the stream is mid-frame, so no
+                // response can be framed — close and count it.
+                shared.counter("serve.frame_timeout");
+                return;
+            }
             Ok(FrameRead::TooLarge { declared }) => {
                 shared.counter(ServeAggregates::REQUESTS);
                 shared.counter(ServeAggregates::ERRORS);
@@ -679,6 +892,7 @@ fn stats_body(shared: &Shared) -> Json {
                 ("entries", Json::from(cache.entries)),
             ]),
         ),
+        ("durable", durable_body(shared)),
         (
             "serve",
             ServeAggregates::from_obs(&obs)
@@ -686,6 +900,30 @@ fn stats_body(shared: &Shared) -> Json {
                 .to_json(),
         ),
     ])
+}
+
+/// The `durable` member of the `stats` body: store counters plus the
+/// recovery line from open, or `{"enabled": false}` without a cache dir.
+fn durable_body(shared: &Shared) -> Json {
+    match &shared.durable {
+        Some(store) => {
+            let store = store.lock().expect("durable poisoned");
+            let stats = store.stats();
+            Json::obj([
+                ("enabled", Json::from(true)),
+                ("live_records", Json::from(stats.live_records)),
+                ("file_bytes", Json::from(stats.file_bytes)),
+                ("dead_bytes", Json::from(stats.dead_bytes)),
+                ("appends", Json::from(stats.appends)),
+                ("persisted_hits", Json::from(stats.persisted_hits)),
+                ("misses", Json::from(stats.misses)),
+                ("corrupt_reads", Json::from(stats.corrupt_reads)),
+                ("compactions", Json::from(stats.compactions)),
+                ("recovery", Json::from(store.recovery().summary().as_str())),
+            ])
+        }
+        None => Json::obj([("enabled", Json::from(false))]),
+    }
 }
 
 fn worker_loop(shared: &Arc<Shared>, worker_id: u64) {
@@ -778,6 +1016,11 @@ fn execute(shared: &Arc<Shared>, request: &QueuedRequest, worker_id: u64) -> Jso
             .cache()
             .get_or_insert_with(request.work.cache_key(), || {
                 built.set(true);
+                // Warm restart: a durable record for this key replays
+                // the previous run's bytes without touching the engine.
+                if let Some(body) = durable_lookup(shared, &request.work) {
+                    return body;
+                }
                 let result = shared.engine.run_one(
                     &job,
                     request.seq,
@@ -786,7 +1029,10 @@ fn execute(shared: &Arc<Shared>, request: &QueuedRequest, worker_id: u64) -> Jso
                     request.cancel.clone(),
                 );
                 match classify(shared, request, result) {
-                    Ok(body) => body,
+                    Ok(body) => {
+                        durable_persist(shared, &request.work, &body);
+                        body
+                    }
                     Err(escape) => panic_any(NotCacheable(escape)),
                 }
             })

@@ -281,3 +281,79 @@ fn progress_frames_stream_span_names() {
     );
     assert_eq!(handle.drain_and_join().dropped, 0);
 }
+
+#[test]
+fn slow_frames_are_cut_off_but_idle_connections_survive() {
+    use std::io::{Read as _, Write as _};
+
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        debug_kinds: true,
+        frame_timeout_ms: Some(200),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    // An idle keepalive connection outlives the frame timeout: the
+    // clock only arms once a frame's first byte arrives.
+    let mut idle = client_for(&handle);
+    std::thread::sleep(Duration::from_millis(500));
+    let outcome = idle
+        .call(&request(1, "ping", ""))
+        .expect("idle conn serves");
+    assert_eq!(response_status(&outcome.response), status::OK);
+    // A slowloris sends half a header and stalls: the server must close
+    // the connection at the deadline instead of holding the reader
+    // hostage forever.
+    let mut slow = std::net::TcpStream::connect(handle.addr()).expect("connects");
+    slow.write_all(&[0u8, 0]).expect("writes partial header");
+    slow.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("sets timeout");
+    let mut buf = [0u8; 16];
+    let n = slow.read(&mut buf).expect("reads until server close");
+    assert_eq!(n, 0, "server closed the stalled connection");
+    // The cutoff frees the reader; the daemon keeps serving others.
+    let outcome = idle.call(&request(2, "ping", "")).expect("still serving");
+    assert_eq!(response_status(&outcome.response), status::OK);
+    assert_eq!(handle.drain_and_join().dropped, 0);
+}
+
+#[test]
+fn connections_over_the_cap_are_shed_with_a_distinct_code() {
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        debug_kinds: true,
+        connection_limit: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut first = client_for(&handle);
+    let outcome = first.call(&request(1, "ping", "")).expect("calls");
+    assert_eq!(response_status(&outcome.response), status::OK);
+    // A second concurrent connection is over the cap: it gets exactly
+    // one shed response with the connection_limit code, then EOF.
+    let mut second = ServeClient::connect(&handle.addr()).expect("connects");
+    second
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("sets timeout");
+    let (doc, _) = second.read_event().expect("shed frame");
+    assert_eq!(response_status(&doc), status::SHED);
+    assert_eq!(response_error_code(&doc), code::CONNECTION_LIMIT);
+    assert!(second.read_event().is_err(), "shed connection is closed");
+    // Once the first connection goes away, a slot frees up (the reader
+    // notices the EOF within its poll period).
+    drop(first);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut retry = client_for(&handle);
+        match retry.call(&request(3, "ping", "")) {
+            Ok(outcome) if response_status(&outcome.response) == status::OK => break,
+            _ if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            other => panic!("slot never freed: {other:?}"),
+        }
+    }
+    assert_eq!(handle.drain_and_join().dropped, 0);
+}

@@ -206,6 +206,18 @@ pub fn render_prometheus(obs: &MetricsSnapshot, telem: &TelemetrySnapshot) -> St
 
     family(
         &mut out,
+        "lockbind_flight_dump_failures_total",
+        "flight-recorder dumps that failed to write since start",
+        "counter",
+    );
+    let _ = writeln!(
+        out,
+        "lockbind_flight_dump_failures_total {}",
+        telem.flight_dump_failed
+    );
+
+    family(
+        &mut out,
         "lockbind_latency_us",
         "service latency in microseconds (cumulative since start)",
         "histogram",

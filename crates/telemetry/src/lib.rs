@@ -34,7 +34,7 @@ pub mod slo;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -181,6 +181,11 @@ pub struct Telemetry {
     /// Serializes anomaly-triggered dumps so concurrent pollers cannot
     /// interleave file writes.
     dump_gate: Mutex<()>,
+    /// Flight dumps that failed to write (unwritable dir, disk full…).
+    dump_failed: AtomicU64,
+    /// Whether the first dump failure has been logged — later failures
+    /// are only counted, so a permanently broken dir cannot flood logs.
+    dump_fail_logged: AtomicBool,
 }
 
 impl Telemetry {
@@ -200,6 +205,8 @@ impl Telemetry {
             tenants: RwLock::new(BTreeMap::new()),
             started: Instant::now(),
             dump_gate: Mutex::new(()),
+            dump_failed: AtomicU64::new(0),
+            dump_fail_logged: AtomicBool::new(false),
             cfg,
         }
     }
@@ -292,13 +299,40 @@ impl Telemetry {
         self.recorder.dump(dir, trigger)
     }
 
+    /// Like [`Self::dump`], but a write failure degrades instead of
+    /// propagating: the first failure is logged to stderr, every failure
+    /// increments the `flight.dump_failed` snapshot counter, and the
+    /// recorded events stay in the ring for the next trigger. Safe to
+    /// call from the rotator thread — it never panics on I/O errors.
+    pub fn dump_logged(&self, dir: &Path, trigger: DumpTrigger) -> Option<PathBuf> {
+        match self.dump(dir, trigger) {
+            Ok(path) => path,
+            Err(e) => {
+                self.dump_failed.fetch_add(1, Ordering::Relaxed);
+                if !self.dump_fail_logged.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "[telemetry] flight dump to {} failed: {e} \
+                         (events kept in ring; further failures counted, not logged)",
+                        dir.display()
+                    );
+                }
+                None
+            }
+        }
+    }
+
+    /// Flight dumps that failed to write since start.
+    pub fn dump_failures(&self) -> u64 {
+        self.dump_failed.load(Ordering::Relaxed)
+    }
+
     /// Checks anomaly conditions (shed spike, per-tenant SLO burn) and
     /// dumps the flight recorder for each that fires. Returns the dump
     /// paths written. Call periodically alongside [`Self::rotate`].
     pub fn poll_anomalies(&self, dir: &Path) -> Vec<PathBuf> {
         let mut written = Vec::new();
         if self.shed_spike.snapshot().burning(1.0) {
-            if let Ok(Some(path)) = self.dump(dir, DumpTrigger::ShedSpike) {
+            if let Some(path) = self.dump_logged(dir, DumpTrigger::ShedSpike) {
                 written.push(path);
             }
         }
@@ -309,7 +343,7 @@ impl Telemetry {
             .values()
             .any(|t| t.slo.snapshot().burning(self.cfg.slo_burn_threshold));
         if burning {
-            if let Ok(Some(path)) = self.dump(dir, DumpTrigger::SloBurn) {
+            if let Some(path) = self.dump_logged(dir, DumpTrigger::SloBurn) {
                 written.push(path);
             }
         }
@@ -345,6 +379,7 @@ impl Telemetry {
             tenants,
             flight_recorded: self.recorder.recorded(),
             flight_dumps: self.recorder.dumps(),
+            flight_dump_failed: self.dump_failed.load(Ordering::Relaxed),
             flight_capacity: self.cfg.flight_capacity as u64,
         }
     }
@@ -475,6 +510,8 @@ pub struct TelemetrySnapshot {
     pub flight_recorded: u64,
     /// Flight dumps written since start.
     pub flight_dumps: u64,
+    /// Flight dumps that failed to write since start.
+    pub flight_dump_failed: u64,
     /// Flight-recorder ring capacity.
     pub flight_capacity: u64,
 }
@@ -504,6 +541,7 @@ impl TelemetrySnapshot {
                 Json::obj([
                     ("recorded", Json::from(self.flight_recorded)),
                     ("dumps", Json::from(self.flight_dumps)),
+                    ("dump_failed", Json::from(self.flight_dump_failed)),
                     ("capacity", Json::from(self.flight_capacity)),
                 ]),
             ),
@@ -562,6 +600,41 @@ mod tests {
         let body = std::fs::read_to_string(&written[0]).unwrap();
         assert!(body.lines().next().unwrap().contains("flight_dump"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_flight_dir_degrades_without_panicking() {
+        // A path component that is a regular file is unwritable even for
+        // root, unlike a chmod-based read-only directory.
+        let base = std::env::temp_dir().join(format!("lockbind-telem-ro-{}", std::process::id()));
+        let _ = std::fs::remove_file(&base);
+        std::fs::write(&base, b"not a directory").unwrap();
+        let dir = base.join("flight");
+        let t = Telemetry::new(fast_cfg());
+        for id in 0..10u64 {
+            t.on_shed(id, "alpha", "queue_full");
+        }
+        // Repeated polls: no panic, nothing written, every failure counted.
+        assert!(t.poll_anomalies(&dir).is_empty());
+        assert!(t.poll_anomalies(&dir).is_empty());
+        assert!(
+            t.dump_failures() >= 2,
+            "failures counted: {}",
+            t.dump_failures()
+        );
+        let snap = t.snapshot();
+        assert_eq!(snap.flight_dump_failed, t.dump_failures());
+        assert_eq!(snap.flight_dumps, 0, "no dump ever written");
+        assert!(snap.to_json().render().contains("\"dump_failed\":"));
+        // Events survive the failed dumps: a working dir gets them all.
+        let good = std::env::temp_dir().join(format!("lockbind-telem-rw-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&good);
+        let written = t.poll_anomalies(&good);
+        assert!(!written.is_empty(), "events were kept in the ring");
+        let body = std::fs::read_to_string(&written[0]).unwrap();
+        assert!(body.lines().count() >= 11, "all shed events retained");
+        let _ = std::fs::remove_file(&base);
+        let _ = std::fs::remove_dir_all(&good);
     }
 
     #[test]

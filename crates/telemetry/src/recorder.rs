@@ -203,17 +203,26 @@ impl FlightRecorder {
     /// dump; returns the path written, `None` when there was nothing
     /// new. File names are `flight-<n>-<trigger>.jsonl` with a
     /// per-recorder dump counter, so successive dumps never collide.
+    ///
+    /// Bookkeeping only advances on success: a failed write (unwritable
+    /// directory, disk full) leaves the generation and dump counter
+    /// untouched, so the events stay eligible for the next trigger and
+    /// the `dumps` counter never counts files that do not exist.
+    /// Concurrent callers are expected to serialize (the `Telemetry` hub
+    /// holds its dump gate across this call).
     pub fn dump(&self, dir: &Path, trigger: DumpTrigger) -> io::Result<Option<PathBuf>> {
         let through = self.seq.load(Ordering::Relaxed);
-        if through == self.dumped_through.swap(through, Ordering::Relaxed) {
+        if through == self.dumped_through.load(Ordering::Relaxed) {
             return Ok(None);
         }
-        let n = self.dumps.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = self.dumps.load(Ordering::Relaxed) + 1;
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("flight-{n:04}-{}.jsonl", trigger.name()));
         let mut file = std::fs::File::create(&path)?;
         file.write_all(self.render_jsonl(trigger).as_bytes())?;
         file.sync_all()?;
+        self.dumped_through.store(through, Ordering::Relaxed);
+        self.dumps.store(n, Ordering::Relaxed);
         Ok(Some(path))
     }
 }
@@ -252,6 +261,29 @@ mod tests {
         assert!(lines[1].contains(r#""detail":"queue_full""#));
         assert!(lines[2].contains(r#""kind":"drain""#));
         assert!(dump.ends_with('\n'));
+    }
+
+    #[test]
+    fn failed_dumps_do_not_advance_the_generation() {
+        // An unwritable "directory" (a path component that is a regular
+        // file) fails even when the test runs as root, unlike a 0o555
+        // permission bit.
+        let base = std::env::temp_dir().join(format!("lockbind-flight-ro-{}", std::process::id()));
+        let _ = std::fs::remove_file(&base);
+        std::fs::write(&base, b"i am a file, not a directory").unwrap();
+        let dir = base.join("sub");
+        let r = FlightRecorder::new(16);
+        r.record(FlightKind::Admit, 1, "t", "");
+        assert!(r.dump(&dir, DumpTrigger::Signal).is_err());
+        assert_eq!(r.dumps(), 0, "failed dumps are not counted as written");
+        // The same events remain eligible once the directory is fixed.
+        let good = std::env::temp_dir().join(format!("lockbind-flight-ok-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&good);
+        let path = r.dump(&good, DumpTrigger::Signal).unwrap();
+        assert!(path.is_some(), "events survived the failed dump");
+        assert_eq!(r.dumps(), 1);
+        let _ = std::fs::remove_file(&base);
+        let _ = std::fs::remove_dir_all(&good);
     }
 
     #[test]
