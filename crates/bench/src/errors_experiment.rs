@@ -17,11 +17,10 @@
 //!   combinations (the paper does not state its convention).
 
 use lockbind_core::{
-    bind_area_aware, bind_obfuscation_aware, bind_power_aware, codesign_heuristic_cancellable,
-    codesign_optimal_cancellable, combinations, expected_application_errors, CoreError,
-    LockingSpec,
+    bind_area_aware, bind_power_aware, codesign_heuristic_cancellable,
+    codesign_optimal_cancellable, combinations, CoreError, ErrorSweep,
 };
-use lockbind_hls::{Binding, FuClass, FuId, Minterm};
+use lockbind_hls::{Binding, FuClass, FuId, Minterm, OccurrenceProfile};
 use lockbind_obs as obs;
 use lockbind_resil::CancelToken;
 
@@ -322,25 +321,46 @@ fn enumerate_assignments(
     }
 }
 
-/// Builds the [`LockingSpec`] for one combination assignment.
-fn spec_for(
-    prepared: &PreparedKernel,
+/// Per-(slot, combination) Eqn. 2 error contribution of a *fixed* baseline
+/// binding: `table[k][ci]` is the errors that slot `k`'s FU contributes when
+/// locked with combination `ci`, so the baseline errors of any assignment
+/// are the sum of one table entry per slot. Exactly equal (u64 addition is
+/// order-independent) to `expected_application_errors(binding, ..)` on the
+/// assignment's spec, at one table lookup per slot instead of a full
+/// binding walk per assignment.
+fn baseline_tables(
+    profile: &OccurrenceProfile,
+    binding: &Binding,
     fus: &[FuId],
     combos: &[Vec<usize>],
     candidates: &[Minterm],
-    assign: &[usize],
-) -> Result<LockingSpec, CoreError> {
-    let entries: Vec<(FuId, Vec<Minterm>)> = fus
-        .iter()
-        .zip(assign)
-        .map(|(&fu, &ci)| (fu, combos[ci].iter().map(|&i| candidates[i]).collect()))
-        .collect();
-    LockingSpec::new(&prepared.alloc, entries)
+) -> Vec<Vec<u64>> {
+    fus.iter()
+        .map(|&fu| {
+            let ops = binding.ops_on(fu);
+            combos
+                .iter()
+                .map(|combo| {
+                    let ms: Vec<Minterm> = combo.iter().map(|&i| candidates[i]).collect();
+                    ops.iter().map(|&op| profile.count_sum(op, &ms)).sum()
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Obfuscation-aware cell: enumerate (or sample) combination assignments,
-/// bind each with obf-aware binding, and compare against the baselines
+/// score each with obf-aware binding, and compare against the baselines
 /// locked with the *same* assignment.
+///
+/// Scoring goes through [`ErrorSweep`] — per assignment only the slots
+/// whose combination differs from the previous assignment update their
+/// warm-started matrix columns, and the per-cycle optima are the exact
+/// errors a cold `bind_obfuscation_aware` + `expected_application_errors`
+/// pair would produce (the `lockbind-check` mutation suite pins this).
+/// Baseline errors come from [`baseline_tables`]. The f64 accumulation
+/// order is unchanged, so every emitted record is byte-identical to the
+/// legacy per-assignment binding loop.
 #[allow(clippy::too_many_arguments)]
 fn obf_aware_cell(
     prepared: &PreparedKernel,
@@ -357,6 +377,18 @@ fn obf_aware_cell(
     let assignments = enumerate_assignments(params, fus.len(), combos.len(), locked_inputs);
     let _span = obs::span!("cell.obf_aware", assignments = assignments.len());
 
+    let mut sweep = ErrorSweep::new(
+        &prepared.dfg,
+        &prepared.schedule,
+        &prepared.alloc,
+        &prepared.profile,
+        fus,
+        candidates,
+        &combos,
+    )?;
+    let t_area = baseline_tables(&prepared.profile, area, fus, &combos, candidates);
+    let t_power = baseline_tables(&prepared.profile, power, fus, &combos, candidates);
+
     let mut sum_area = 0.0;
     let mut sum_power = 0.0;
     let mut sum_err = 0.0;
@@ -367,17 +399,20 @@ fn obf_aware_cell(
                 stage: "bench.obf_aware",
             });
         }
-        let spec = spec_for(prepared, fus, &combos, candidates, assign)?;
-        let obf = bind_obfuscation_aware(
-            &prepared.dfg,
-            &prepared.schedule,
-            &prepared.alloc,
-            &prepared.profile,
-            &spec,
-        )?;
-        let e_obf = expected_application_errors(&obf, &prepared.profile, &spec);
-        let e_area = expected_application_errors(area, &prepared.profile, &spec);
-        let e_power = expected_application_errors(power, &prepared.profile, &spec);
+        for (k, &ci) in assign.iter().enumerate() {
+            sweep.set_slot(k, ci);
+        }
+        let e_obf = sweep.solve_errors()?;
+        let e_area: u64 = assign
+            .iter()
+            .enumerate()
+            .map(|(k, &ci)| t_area[k][ci])
+            .sum();
+        let e_power: u64 = assign
+            .iter()
+            .enumerate()
+            .map(|(k, &ci)| t_power[k][ci])
+            .sum();
         sum_area += ratio(e_obf, e_area);
         sum_power += ratio(e_obf, e_power);
         sum_err += e_obf as f64;
@@ -422,7 +457,10 @@ fn codesign_cell(
     let assignments = enumerate_assignments(params, fus.len(), combos.len(), locked_inputs);
     let _span = obs::span!("cell.codesign", assignments = assignments.len());
 
-    // Baseline error distribution over the enumerated combinations.
+    // Baseline error distribution over the enumerated combinations, read
+    // off the per-slot tables (one lookup per slot per assignment).
+    let t_area = baseline_tables(&prepared.profile, area, fus, &combos, candidates);
+    let t_power = baseline_tables(&prepared.profile, power, fus, &combos, candidates);
     let mut base_area = Vec::with_capacity(assignments.len());
     let mut base_power = Vec::with_capacity(assignments.len());
     for assign in &assignments {
@@ -431,9 +469,20 @@ fn codesign_cell(
                 stage: "bench.codesign",
             });
         }
-        let spec = spec_for(prepared, fus, &combos, candidates, assign)?;
-        base_area.push(expected_application_errors(area, &prepared.profile, &spec));
-        base_power.push(expected_application_errors(power, &prepared.profile, &spec));
+        base_area.push(
+            assign
+                .iter()
+                .enumerate()
+                .map(|(k, &ci)| t_area[k][ci])
+                .sum(),
+        );
+        base_power.push(
+            assign
+                .iter()
+                .enumerate()
+                .map(|(k, &ci)| t_power[k][ci])
+                .sum(),
+        );
     }
     let mean_ratio = |errors: u64, bases: &[u64]| -> f64 {
         bases.iter().map(|&b| ratio(errors, b)).sum::<f64>() / bases.len() as f64
@@ -572,6 +621,84 @@ mod tests {
                 r.mean_errors,
                 heur.mean_errors
             );
+        }
+    }
+
+    /// The legacy obf-aware cell, reimplemented verbatim: one cold binding
+    /// solve and three full Eqn. 2 walks per assignment. The sweep-backed
+    /// cell must reproduce its record *bitwise* (same f64 accumulation).
+    fn legacy_obf_aware_record(
+        p: &PreparedKernel,
+        params: &ExperimentParams,
+        ctx: &ClassContext,
+        locked_fus: usize,
+        locked_inputs: usize,
+    ) -> ErrorRecord {
+        use lockbind_core::{bind_obfuscation_aware, expected_application_errors, LockingSpec};
+        let fus: Vec<FuId> = (0..locked_fus).map(|i| FuId::new(ctx.class, i)).collect();
+        let combos = combinations(ctx.candidates.len(), locked_inputs);
+        let assignments = enumerate_assignments(params, fus.len(), combos.len(), locked_inputs);
+        let (mut sum_area, mut sum_power, mut sum_err) = (0.0, 0.0, 0.0);
+        for assign in &assignments {
+            let entries: Vec<(FuId, Vec<Minterm>)> = fus
+                .iter()
+                .zip(assign)
+                .map(|(&fu, &ci)| (fu, combos[ci].iter().map(|&i| ctx.candidates[i]).collect()))
+                .collect();
+            let spec = LockingSpec::new(&p.alloc, entries).expect("valid");
+            let obf = bind_obfuscation_aware(&p.dfg, &p.schedule, &p.alloc, &p.profile, &spec)
+                .expect("feasible");
+            let e_obf = expected_application_errors(&obf, &p.profile, &spec);
+            let e_area = expected_application_errors(&ctx.area, &p.profile, &spec);
+            let e_power = expected_application_errors(&ctx.power, &p.profile, &spec);
+            sum_area += ratio(e_obf, e_area);
+            sum_power += ratio(e_obf, e_power);
+            sum_err += e_obf as f64;
+        }
+        let n = assignments.len();
+        ErrorRecord {
+            kernel: p.name.clone(),
+            class: ctx.class,
+            locked_fus,
+            locked_inputs,
+            algo: SecurityAlgo::ObfAware,
+            vs_area: sum_area / n as f64,
+            vs_power: sum_power / n as f64,
+            mean_errors: sum_err / n as f64,
+            samples: n,
+        }
+    }
+
+    #[test]
+    fn sweep_cell_is_bitwise_identical_to_legacy_cell() {
+        for kernel in [Kernel::Fir, Kernel::Motion2] {
+            let p = PreparedKernel::new(kernel, 80, 5);
+            let params = small_params();
+            for class in [FuClass::Adder, FuClass::Multiplier] {
+                let Some(ctx) =
+                    ClassContext::build(&p, class, params.num_candidates).expect("builds")
+                else {
+                    continue;
+                };
+                for locked_fus in 1..=2 {
+                    for locked_inputs in 1..=2 {
+                        let fast = run_error_cell(&p, &ctx, &params, locked_fus, locked_inputs)
+                            .expect("runs");
+                        let Some(fast) = fast.iter().find(|r| r.algo == SecurityAlgo::ObfAware)
+                        else {
+                            continue; // infeasible configuration for this class
+                        };
+                        let slow =
+                            legacy_obf_aware_record(&p, &params, &ctx, locked_fus, locked_inputs);
+                        // Bitwise, not approximate: headline artifacts must
+                        // stay byte-identical across the fast path.
+                        assert_eq!(fast.vs_area.to_bits(), slow.vs_area.to_bits());
+                        assert_eq!(fast.vs_power.to_bits(), slow.vs_power.to_bits());
+                        assert_eq!(fast.mean_errors.to_bits(), slow.mean_errors.to_bits());
+                        assert_eq!(fast.samples, slow.samples);
+                    }
+                }
+            }
         }
     }
 

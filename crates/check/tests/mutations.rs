@@ -7,7 +7,10 @@
 //! CI runs this file with `PROPTEST_CASES=256`; the local default is 64.
 
 use lockbind_check::{check_artifact, Artifact, Report};
-use lockbind_core::{bind_obfuscation_aware_certified, BindingCertificate, LockingSpec};
+use lockbind_core::{
+    bind_obfuscation_aware_certified, codesign_optimal, combinations, BindingCertificate,
+    ErrorSweep, LockingSpec,
+};
 use lockbind_hls::{
     schedule_list, Allocation, Binding, Dfg, FuClass, FuId, Minterm, OccurrenceProfile, OpId,
     Schedule,
@@ -232,5 +235,71 @@ proptest! {
         cert.cycles[ci].certificate.u[r] -= 1;
         let report = check_artifact(&f.artifact().with_certificate(&cert));
         prop_assert!(has_code(&report, "LB0405"), "{}", report.render_human());
+    }
+
+    /// Pruning soundness: the co-design searches skip a combination only
+    /// when the sweep's dual upper bound says it cannot beat the incumbent.
+    /// Replay that exact skip rule while *also* solving every combination:
+    /// the bound must dominate the true score everywhere (so no skipped
+    /// combination could have won), and the pruned scan's incumbent must
+    /// land on the true maximum — which is also what [`codesign_optimal`]
+    /// returns through its Gray-order pruned search.
+    #[test]
+    fn pruning_bound_never_undercuts_a_skipped_combination(k in 0usize..11, seed in 0u64..32) {
+        let f = Fixture::new(k, seed);
+        prop_assume!(f.candidates.len() >= 2);
+        let fus = [FuId::new(FuClass::Adder, 0)];
+        let combos = combinations(f.candidates.len(), 2);
+        let mut sweep = ErrorSweep::new(
+            &f.dfg, &f.schedule, &f.alloc, &f.profile, &fus, &f.candidates, &combos,
+        ).expect("builds");
+        let mut incumbent: Option<u64> = None;
+        let mut true_max = 0u64;
+        for ci in 0..combos.len() {
+            sweep.set_slot(0, ci);
+            let bound = sweep.upper_bound();
+            let exact = sweep.solve_errors().expect("feasible");
+            prop_assert!(bound >= exact, "combo {ci}: bound {bound} < exact {exact}");
+            true_max = true_max.max(exact);
+            match incumbent {
+                Some(best) if bound <= best => {
+                    // The search would skip this combination. A wrongly
+                    // skipped combination would violate the line above;
+                    // assert the consequence directly too.
+                    prop_assert!(exact <= best, "wrongly skipped combo {ci}");
+                }
+                _ => incumbent = Some(incumbent.unwrap_or(0).max(exact)),
+            }
+        }
+        prop_assert_eq!(incumbent, Some(true_max), "pruned scan missed the optimum");
+        let opt = codesign_optimal(
+            &f.dfg, &f.schedule, &f.alloc, &f.profile, &fus, 2, &f.candidates,
+        ).expect("searchable");
+        prop_assert_eq!(opt.errors, true_max, "codesign_optimal missed the optimum");
+    }
+
+    /// Mutation: inflate one column potential of a cycle certificate. The
+    /// potentials are exactly what the sweep's pruning bound is read from —
+    /// an inflated column potential is the forged "certificate" that would
+    /// justify wrongly skipping a combination, and the `LB04xx` family must
+    /// reject it (sign violation, dual infeasibility, or a duality gap,
+    /// depending on where the slack runs out).
+    #[test]
+    fn inflated_column_potential_trips_lb04xx(k in 0usize..11, seed in 0u64..32, pick in any::<u64>()) {
+        let f = Fixture::new(k, seed);
+        prop_assume!(!f.certificate.cycles.is_empty());
+        let mut cert = f.certificate.clone();
+        let ci = (pick % cert.cycles.len() as u64) as usize;
+        let cols = cert.cycles[ci].certificate.v.len();
+        prop_assume!(cols > 0);
+        let c = ((pick >> 32) % cols as u64) as usize;
+        cert.cycles[ci].certificate.v[c] += 1 + (pick % 7) as i64;
+        let report = check_artifact(&f.artifact().with_certificate(&cert));
+        prop_assert!(
+            report.counts_by_code().keys().any(|code| code.starts_with("LB04")),
+            "inflated v[{c}] went undetected:\n{}",
+            report.render_human()
+        );
+        prop_assert!(!report.is_clean());
     }
 }

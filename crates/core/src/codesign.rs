@@ -6,13 +6,27 @@
 //! assignment (exponential but exact); [`codesign_heuristic`] is the paper's
 //! P-time sequential heuristic: fix one FU's locked inputs at a time,
 //! assuming the not-yet-fixed FUs are unlocked.
+//!
+//! Both searches score configurations through an incremental
+//! [`ErrorSweep`] rather than a cold binding solve per configuration. The
+//! optimal search walks the `C(|C|, m)^{|L|}` product in *Gray-code order*
+//! (Knuth 7.2.1.1 Algorithm H), so exactly one FU's combination — hence one
+//! warm-started matrix column per cycle — changes per step, and prunes
+//! configurations whose certified dual upper bound cannot beat the
+//! incumbent (`codesign.combos_pruned`; evaluated + pruned always equals
+//! the full product, so the counters audit search exhaustiveness). The
+//! selected configuration is *identical* to the legacy first-maximum scan:
+//! ties are broken by each configuration's rank in the legacy mixed-radix
+//! iteration order. A final cold [`bind_obfuscation_aware`] solve on the
+//! winner reproduces the byte-exact legacy binding and spec.
 
 use lockbind_hls::{Allocation, Binding, Dfg, FuId, Minterm, OccurrenceProfile, Schedule};
 use lockbind_obs as obs;
 use lockbind_resil::CancelToken;
 
 use crate::{
-    bind_obfuscation_aware, combinations, expected_application_errors, CoreError, LockingSpec,
+    bind_obfuscation_aware, combinations, expected_application_errors, CoreError, ErrorSweep,
+    LockingSpec,
 };
 
 /// Guard on the exhaustive search size (binding evaluations).
@@ -99,8 +113,7 @@ pub fn codesign_optimal(
 }
 
 /// [`codesign_optimal`] with a cooperative cancel token, polled once per
-/// evaluated combination assignment (each evaluation is a full binding
-/// solve, so the poll is effectively free).
+/// visited combination assignment (evaluated or pruned).
 ///
 /// # Errors
 /// Everything [`codesign_optimal`] can return, plus
@@ -133,46 +146,100 @@ pub fn codesign_optimal_cancellable(
         });
     }
 
-    // Mixed-radix counter over one combination index per locked FU.
     let l = locked_fus.len();
-    let mut counter = vec![0usize; l];
-    let mut best: Option<CoDesignOutcome> = None;
+    let r = combos.len();
+    let mut sweep = ErrorSweep::new(
+        dfg, schedule, alloc, profile, locked_fus, candidates, &combos,
+    )?;
+    for k in 0..l {
+        sweep.set_slot(k, 0);
+    }
+    // `rank` is the configuration's index in the legacy mixed-radix scan
+    // (digit 0 fastest). The legacy loop kept the *first* maximum, i.e. the
+    // lowest-rank argmax — tracking rank lets the Gray-order walk select
+    // the identical winner. `evaluations <= OPTIMAL_SEARCH_LIMIT`, so rank
+    // and the power table fit comfortably in u64.
+    let mut pow = vec![1u64; l];
+    for i in 1..l {
+        pow[i] = pow[i - 1] * r as u64;
+    }
+    // Knuth 7.2.1.1 Algorithm H: loopless reflected mixed-radix Gray code.
+    // Exactly one digit changes per visit, so each step updates one sweep
+    // slot (one matrix column per affected cycle).
+    let mut a = vec![0usize; l];
+    let mut o = vec![1i8; l];
+    let mut f: Vec<usize> = (0..=l).collect();
+    let mut rank = 0u64;
+    // (errors, legacy rank, digits) of the incumbent.
+    let mut best: Option<(u64, u64, Vec<usize>)> = None;
     loop {
         if cancel.is_cancelled() {
             return Err(CoreError::Interrupted {
                 stage: "codesign.optimal",
             });
         }
-        let entries: Vec<(FuId, Vec<Minterm>)> = locked_fus
-            .iter()
-            .zip(&counter)
-            .map(|(&fu, &ci)| (fu, combos[ci].iter().map(|&i| candidates[i]).collect()))
-            .collect();
-        let spec = LockingSpec::new(alloc, entries)?;
-        let binding = bind_obfuscation_aware(dfg, schedule, alloc, profile, &spec)?;
-        let errors = expected_application_errors(&binding, profile, &spec);
-        obs::counter!("codesign.combos_evaluated").inc();
-        if best.as_ref().is_none_or(|b| errors > b.errors) {
-            best = Some(CoDesignOutcome {
-                binding,
-                spec,
-                errors,
-            });
+        // Prune when the certified bound cannot beat the incumbent — on an
+        // exact tie, only when this configuration would also lose the
+        // lowest-rank tie-break.
+        let prune = best.as_ref().is_some_and(|&(be, br, _)| {
+            let ub = sweep.upper_bound();
+            ub < be || (ub == be && rank > br)
+        });
+        if prune {
+            obs::counter!("codesign.combos_pruned").inc();
+        } else {
+            let errors = sweep.solve_errors()?;
+            obs::counter!("codesign.combos_evaluated").inc();
+            if best
+                .as_ref()
+                .is_none_or(|&(be, br, _)| errors > be || (errors == be && rank < br))
+            {
+                best = Some((errors, rank, a.clone()));
+            }
         }
-        // Advance the counter.
-        let mut i = 0;
-        loop {
-            if i == l {
-                return Ok(best.expect("at least one combination evaluated"));
-            }
-            counter[i] += 1;
-            if counter[i] < combos.len() {
-                break;
-            }
-            counter[i] = 0;
-            i += 1;
+        if r == 1 {
+            break; // single combination per slot: one configuration total
+        }
+        let j = f[0];
+        f[0] = 0;
+        if j == l {
+            break;
+        }
+        if o[j] > 0 {
+            a[j] += 1;
+            rank += pow[j];
+        } else {
+            a[j] -= 1;
+            rank -= pow[j];
+        }
+        sweep.set_slot(j, a[j]);
+        if a[j] == 0 || a[j] == r - 1 {
+            o[j] = -o[j];
+            f[j] = f[j + 1];
+            f[j + 1] = j + 1;
         }
     }
+
+    // Re-solve the winner cold: reproduces the legacy binding byte-exactly
+    // and double-checks the sweep's score against realized Eqn. 2 errors.
+    let (sweep_errors, _, digits) = best.expect("at least one combination evaluated");
+    let entries: Vec<(FuId, Vec<Minterm>)> = locked_fus
+        .iter()
+        .zip(&digits)
+        .map(|(&fu, &ci)| (fu, combos[ci].iter().map(|&i| candidates[i]).collect()))
+        .collect();
+    let spec = LockingSpec::new(alloc, entries)?;
+    let binding = bind_obfuscation_aware(dfg, schedule, alloc, profile, &spec)?;
+    let errors = expected_application_errors(&binding, profile, &spec);
+    debug_assert_eq!(
+        errors, sweep_errors,
+        "incremental sweep score must equal realized Eqn. 2 errors"
+    );
+    Ok(CoDesignOutcome {
+        binding,
+        spec,
+        errors,
+    })
 }
 
 /// The paper's P-time co-design heuristic (Sec. V-A): locked FUs are
@@ -208,7 +275,7 @@ pub fn codesign_heuristic(
 }
 
 /// [`codesign_heuristic`] with a cooperative cancel token, polled once per
-/// evaluated candidate combination.
+/// visited candidate combination (evaluated or pruned).
 ///
 /// # Errors
 /// Everything [`codesign_heuristic`] can return, plus
@@ -232,33 +299,58 @@ pub fn codesign_heuristic_cancellable(
     validate(dfg, alloc, locked_fus, inputs_per_fu, candidates)?;
     let combos = combinations(candidates.len(), inputs_per_fu);
 
-    let mut fixed: Vec<(FuId, Vec<Minterm>)> = Vec::new();
-    for &fu in locked_fus {
-        let mut best_combo: Option<(u64, Vec<Minterm>)> = None;
-        for combo in &combos {
+    // One sweep serves every stage: slots before `k` hold their frozen
+    // winners, slot `k` varies, slots after `k` stay unlocked (all-zero
+    // columns — exactly the legacy "not-yet-fixed FUs absent from the
+    // spec"). The warm state carries over between combinations *and*
+    // between stages.
+    let mut sweep = ErrorSweep::new(
+        dfg, schedule, alloc, profile, locked_fus, candidates, &combos,
+    )?;
+    let mut winners: Vec<usize> = Vec::with_capacity(locked_fus.len());
+    let mut stage_best = 0u64;
+    for k in 0..locked_fus.len() {
+        let mut best: Option<(u64, usize)> = None;
+        for ci in 0..combos.len() {
             if cancel.is_cancelled() {
                 return Err(CoreError::Interrupted {
                     stage: "codesign.heuristic",
                 });
             }
-            let ms: Vec<Minterm> = combo.iter().map(|&i| candidates[i]).collect();
-            let mut entries = fixed.clone();
-            entries.push((fu, ms.clone()));
-            let spec = LockingSpec::new(alloc, entries)?;
-            let binding = bind_obfuscation_aware(dfg, schedule, alloc, profile, &spec)?;
-            let errors = expected_application_errors(&binding, profile, &spec);
+            sweep.set_slot(k, ci);
+            // Index order + strictly-greater replacement keeps the first
+            // maximum, so a bound that cannot *exceed* the incumbent prunes.
+            if let Some((be, _)) = best {
+                if sweep.upper_bound() <= be {
+                    obs::counter!("codesign.combos_pruned").inc();
+                    continue;
+                }
+            }
+            let errors = sweep.solve_errors()?;
             obs::counter!("codesign.combos_evaluated").inc();
-            if best_combo.as_ref().is_none_or(|(e, _)| errors > *e) {
-                best_combo = Some((errors, ms));
+            if best.is_none_or(|(e, _)| errors > e) {
+                best = Some((errors, ci));
             }
         }
-        let (_, ms) = best_combo.expect("combos non-empty");
-        fixed.push((fu, ms));
+        let (e, ci) = best.expect("combos non-empty");
+        sweep.set_slot(k, ci);
+        winners.push(ci);
+        stage_best = e;
     }
 
-    let spec = LockingSpec::new(alloc, fixed)?;
+    let entries: Vec<(FuId, Vec<Minterm>)> = locked_fus
+        .iter()
+        .zip(&winners)
+        .map(|(&fu, &ci)| (fu, combos[ci].iter().map(|&i| candidates[i]).collect()))
+        .collect();
+    let spec = LockingSpec::new(alloc, entries)?;
     let binding = bind_obfuscation_aware(dfg, schedule, alloc, profile, &spec)?;
     let errors = expected_application_errors(&binding, profile, &spec);
+    debug_assert_eq!(
+        errors,
+        if locked_fus.is_empty() { 0 } else { stage_best },
+        "final-stage sweep score must equal realized Eqn. 2 errors"
+    );
     Ok(CoDesignOutcome {
         binding,
         spec,
@@ -370,6 +462,89 @@ mod tests {
             let e = expected_application_errors(&bind, &profile, &spec);
             assert!(e <= heu.errors);
         }
+    }
+
+    /// The legacy exhaustive scan, reproduced verbatim: mixed-radix counter
+    /// (digit 0 fastest), one cold binding solve per configuration, first
+    /// maximum kept. The Gray-order pruned search must select the identical
+    /// configuration.
+    fn optimal_reference(
+        dfg: &Dfg,
+        sched: &Schedule,
+        alloc: &Allocation,
+        profile: &OccurrenceProfile,
+        locked_fus: &[FuId],
+        inputs_per_fu: usize,
+        candidates: &[Minterm],
+    ) -> CoDesignOutcome {
+        let combos = combinations(candidates.len(), inputs_per_fu);
+        let l = locked_fus.len();
+        let mut counter = vec![0usize; l];
+        let mut best: Option<CoDesignOutcome> = None;
+        loop {
+            let entries: Vec<(FuId, Vec<Minterm>)> = locked_fus
+                .iter()
+                .zip(&counter)
+                .map(|(&fu, &ci)| (fu, combos[ci].iter().map(|&i| candidates[i]).collect()))
+                .collect();
+            let spec = LockingSpec::new(alloc, entries).expect("valid");
+            let binding =
+                bind_obfuscation_aware(dfg, sched, alloc, profile, &spec).expect("feasible");
+            let errors = expected_application_errors(&binding, profile, &spec);
+            if best.as_ref().is_none_or(|b| errors > b.errors) {
+                best = Some(CoDesignOutcome {
+                    binding,
+                    spec,
+                    errors,
+                });
+            }
+            let mut i = 0;
+            loop {
+                if i == l {
+                    return best.expect("at least one combination evaluated");
+                }
+                counter[i] += 1;
+                if counter[i] < combos.len() {
+                    break;
+                }
+                counter[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_gray_search_matches_legacy_scan_exactly() {
+        for kernel in [Kernel::Fir, Kernel::Jdmerge1, Kernel::Motion2] {
+            let (dfg, sched, alloc, profile, candidates) = setup(kernel);
+            let fus = [FuId::new(FuClass::Adder, 0), FuId::new(FuClass::Adder, 2)];
+            let fast = codesign_optimal(&dfg, &sched, &alloc, &profile, &fus, 2, &candidates)
+                .expect("searchable");
+            let slow = optimal_reference(&dfg, &sched, &alloc, &profile, &fus, 2, &candidates);
+            assert_eq!(fast.errors, slow.errors, "{kernel:?}");
+            // Same winner, not merely the same score: spec and binding must
+            // be identical so headline artifacts stay byte-stable.
+            assert_eq!(fast.spec, slow.spec, "{kernel:?}");
+            assert_eq!(fast.binding, slow.binding, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn search_prunes_and_accounts_for_every_configuration() {
+        let (dfg, sched, alloc, profile, candidates) = setup(Kernel::Jdmerge1);
+        let fus = [FuId::new(FuClass::Adder, 0), FuId::new(FuClass::Adder, 1)];
+        let evaluated = obs::counter!("codesign.combos_evaluated");
+        let pruned = obs::counter!("codesign.combos_pruned");
+        let (e0, p0) = (evaluated.get(), pruned.get());
+        codesign_optimal(&dfg, &sched, &alloc, &profile, &fus, 2, &candidates).expect("searchable");
+        let combos = combinations(candidates.len(), 2).len() as u64;
+        let visited = (evaluated.get() - e0) + (pruned.get() - p0);
+        assert_eq!(
+            visited,
+            combos * combos,
+            "evaluated + pruned must cover the full search product"
+        );
+        assert!(pruned.get() > p0, "dual bounds should prune something");
     }
 
     #[test]

@@ -61,6 +61,7 @@ mod pipeline;
 mod power_aware;
 mod random_binding;
 mod spec;
+mod sweep;
 
 pub use app_error::{application_impact, ApplicationImpact};
 pub use area_aware::bind_area_aware;
@@ -81,3 +82,4 @@ pub use pipeline::{minterm_to_pattern, realize_locked_modules, LockedDesign};
 pub use power_aware::bind_power_aware;
 pub use random_binding::bind_random;
 pub use spec::LockingSpec;
+pub use sweep::ErrorSweep;

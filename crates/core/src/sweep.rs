@@ -1,0 +1,440 @@
+//! Incremental Eqn. 2 error scoring across locked-input combinations.
+//!
+//! Every co-design search (and the bench error-cell grids) scores thousands
+//! to millions of *adjacent* locking configurations: the locked FUs and the
+//! candidate list stay fixed while one FU's combination of locked minterms
+//! changes per step. The legacy path rebuilt a [`LockingSpec`], re-solved
+//! every per-cycle assignment problem cold, and re-walked the binding to sum
+//! errors — all to score one changed column per cycle.
+//!
+//! [`ErrorSweep`] keeps the whole stack incremental:
+//!
+//! * per non-empty `(cycle, class)` subproblem, a warm-started
+//!   [`HungarianState`] whose dual potentials survive combination changes;
+//! * per `(op, candidate)` pair, a packed occurrence row
+//!   (counts + occupancy bitset) so an Eqn. 3 weight `w(op, combo)` is a
+//!   word-parallel masked walk over the combo's candidate bitmask instead of
+//!   `|combo|` hash-map probes — and an instant zero when the op never sees
+//!   any candidate (the overwhelmingly common case);
+//! * a cached per-subproblem optimum, so scoring a configuration only
+//!   re-solves the subproblems whose columns actually moved.
+//!
+//! The scored value is *exactly* the legacy one: for any complete
+//! configuration, `Σ` per-cycle max-weight totals over the Eqn. 3 matrices
+//! equals `expected_application_errors(bind_obfuscation_aware(spec), ..)`
+//! — each matrix entry `(i, j)` is precisely op `i`'s error contribution
+//! when bound to FU `j`, so the optimal totals and the realized errors are
+//! the same sum (Thm. 2 separability). [`ErrorSweep::upper_bound`] adds the
+//! branch-and-bound half: a weak-duality bound on the score *without*
+//! solving, which the searches use to prune hopeless combinations.
+
+use lockbind_hls::{Allocation, Dfg, FuClass, FuId, Minterm, OccurrenceProfile, Schedule};
+use lockbind_matching::{HungarianState, IncrementalStats, WeightMatrix};
+
+use crate::CoreError;
+
+/// One packed candidate-occurrence row: for one op, `counts[k]` is
+/// `K[candidates[k], op]` and `occ` has bit `k` set iff that count is
+/// non-zero.
+struct CandRow {
+    counts: Vec<u64>,
+    occ: Vec<u64>,
+}
+
+impl CandRow {
+    /// Eqn. 3 weight of this op against a combination bitmask: the sum of
+    /// occurrence counts over `mask ∩ occ`, word-parallel with an instant
+    /// zero when the intersection is empty.
+    fn weight(&self, mask: &[u64]) -> u64 {
+        let mut sum = 0u64;
+        for (w, (&m, &o)) in mask.iter().zip(&self.occ).enumerate() {
+            let mut bits = m & o;
+            while bits != 0 {
+                let k = bits.trailing_zeros() as usize;
+                sum += self.counts[w * 64 + k];
+                bits &= bits - 1;
+            }
+        }
+        sum
+    }
+}
+
+/// One non-empty `(cycle, class)` assignment subproblem.
+struct Sub {
+    class: FuClass,
+    state: HungarianState,
+    /// Packed candidate rows, one per op — empty when no locked FU has this
+    /// class (the columns then stay all-zero forever).
+    rows: Vec<CandRow>,
+    /// The subproblem's optimal total under the current columns, if solved.
+    total: Option<i64>,
+}
+
+/// One locked-FU slot of the sweep.
+struct Slot {
+    fu: FuId,
+    /// Index into the combination list currently loaded, `None` = unlocked
+    /// (all-zero column, matching the heuristic's "later FUs unlocked").
+    current: Option<usize>,
+}
+
+/// Incremental scorer for locked-input combination sweeps: assign each
+/// locked-FU *slot* a combination out of a fixed list, then read the exact
+/// Eqn. 2 error score or a certified upper bound on it.
+///
+/// Construct once per `(kernel, locked FUs, candidates, combination list)`
+/// context, then drive with [`set_slot`](Self::set_slot) /
+/// [`clear_slot`](Self::clear_slot). Scores are byte-exact equal to binding
+/// with [`bind_obfuscation_aware`](crate::bind_obfuscation_aware) and
+/// evaluating
+/// [`expected_application_errors`](crate::expected_application_errors) on
+/// the same configuration — proven by the `lockbind-check` mutation suite
+/// and the `lockbind-matching` differential suite.
+pub struct ErrorSweep {
+    subs: Vec<Sub>,
+    slots: Vec<Slot>,
+    /// Per combination index, the candidate-set bitmask.
+    masks: Vec<Vec<u64>>,
+    /// Column scratch buffer (one weight per row of the touched subproblem).
+    scratch: Vec<i64>,
+}
+
+impl ErrorSweep {
+    /// Builds the sweep context: one warm-startable assignment problem per
+    /// non-empty `(cycle, class)` subproblem (initially all-zero = fully
+    /// unlocked), plus packed occurrence rows for every op of a locked
+    /// class. `combos` lists candidate-index combinations exactly as
+    /// produced by [`combinations`](crate::combinations).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownFu`] / [`CoreError::DuplicateFu`] for invalid
+    ///   `locked_fus` (same checks as the co-design searches),
+    /// * [`CoreError::Matching`] when some cycle has more concurrent ops of
+    ///   a class than allocated FUs — the same infeasibility
+    ///   [`bind_obfuscation_aware`](crate::bind_obfuscation_aware) reports.
+    pub fn new(
+        dfg: &Dfg,
+        schedule: &Schedule,
+        alloc: &Allocation,
+        profile: &OccurrenceProfile,
+        locked_fus: &[FuId],
+        candidates: &[Minterm],
+        combos: &[Vec<usize>],
+    ) -> Result<Self, CoreError> {
+        for (i, fu) in locked_fus.iter().enumerate() {
+            if fu.index >= alloc.count(fu.class) {
+                return Err(CoreError::UnknownFu { fu: fu.to_string() });
+            }
+            if locked_fus[..i].contains(fu) {
+                return Err(CoreError::DuplicateFu { fu: fu.to_string() });
+            }
+        }
+        let words = candidates.len().div_ceil(64).max(1);
+        let masks: Vec<Vec<u64>> = combos
+            .iter()
+            .map(|combo| {
+                let mut mask = vec![0u64; words];
+                for &i in combo {
+                    assert!(i < candidates.len(), "combo index {i} out of range");
+                    mask[i / 64] |= 1 << (i % 64);
+                }
+                mask
+            })
+            .collect();
+
+        let mut subs = Vec::new();
+        for t in 0..schedule.num_cycles() {
+            for class in FuClass::ALL {
+                let ops = schedule.class_ops_in_cycle(dfg, class, t);
+                if ops.is_empty() {
+                    continue;
+                }
+                let state =
+                    HungarianState::new(&WeightMatrix::zero(ops.len(), alloc.count(class)), true)?;
+                let rows = if locked_fus.iter().any(|fu| fu.class == class) {
+                    ops.iter()
+                        .map(|&op| {
+                            let counts: Vec<u64> =
+                                candidates.iter().map(|&c| profile.count(op, c)).collect();
+                            let mut occ = vec![0u64; words];
+                            for (i, &ct) in counts.iter().enumerate() {
+                                if ct > 0 {
+                                    occ[i / 64] |= 1 << (i % 64);
+                                }
+                            }
+                            CandRow { counts, occ }
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                subs.push(Sub {
+                    class,
+                    state,
+                    rows,
+                    // The all-zero matrix's optimum is 0 — no solve needed
+                    // until a column moves.
+                    total: Some(0),
+                });
+            }
+        }
+        Ok(ErrorSweep {
+            subs,
+            slots: locked_fus
+                .iter()
+                .map(|&fu| Slot { fu, current: None })
+                .collect(),
+            masks,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Number of locked-FU slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Loads combination `combo` into slot `slot`, updating one column per
+    /// subproblem of that FU's class. A no-op when the slot already holds
+    /// `combo` — and when the new combination produces the identical weight
+    /// column (the warm states skip value-equal updates).
+    ///
+    /// # Panics
+    /// Panics on out-of-range `slot` or `combo`.
+    pub fn set_slot(&mut self, slot: usize, combo: usize) {
+        assert!(combo < self.masks.len(), "combo {combo} out of range");
+        if self.slots[slot].current == Some(combo) {
+            return;
+        }
+        self.slots[slot].current = Some(combo);
+        let fu = self.slots[slot].fu;
+        let mask = &self.masks[combo];
+        for sub in &mut self.subs {
+            if sub.class != fu.class {
+                continue;
+            }
+            self.scratch.clear();
+            self.scratch.extend(
+                sub.rows
+                    .iter()
+                    .map(|row| i64::try_from(row.weight(mask)).unwrap_or(i64::MAX / 8)),
+            );
+            let before = sub.state.stats().columns_updated;
+            sub.state.set_column(fu.index, &self.scratch);
+            if sub.state.stats().columns_updated != before {
+                sub.total = None;
+            }
+        }
+    }
+
+    /// Unlocks slot `slot` (all-zero column), the heuristic's "not yet
+    /// fixed" state. A no-op when already unlocked.
+    ///
+    /// # Panics
+    /// Panics on out-of-range `slot`.
+    pub fn clear_slot(&mut self, slot: usize) {
+        if self.slots[slot].current.is_none() {
+            return;
+        }
+        self.slots[slot].current = None;
+        let fu = self.slots[slot].fu;
+        for sub in &mut self.subs {
+            if sub.class != fu.class {
+                continue;
+            }
+            self.scratch.clear();
+            self.scratch.resize(sub.rows.len(), 0);
+            let before = sub.state.stats().columns_updated;
+            sub.state.set_column(fu.index, &self.scratch);
+            if sub.state.stats().columns_updated != before {
+                sub.total = None;
+            }
+        }
+    }
+
+    /// The exact Eqn. 2 error score of the current configuration: the sum
+    /// of per-subproblem max-weight totals, re-solving (warm) only the
+    /// subproblems whose columns moved since the last score.
+    ///
+    /// # Errors
+    /// [`CoreError::Matching`] — unreachable for the all-allowed matrices
+    /// this sweep builds, but kept honest rather than unwrapped.
+    pub fn solve_errors(&mut self) -> Result<u64, CoreError> {
+        let mut errors = 0u64;
+        for sub in &mut self.subs {
+            let total = match sub.total {
+                Some(t) => t,
+                None => {
+                    let t = sub.state.solve_total()?;
+                    sub.total = Some(t);
+                    t
+                }
+            };
+            debug_assert!(total >= 0, "Eqn. 3 weights are non-negative");
+            errors += total.max(0) as u64;
+        }
+        Ok(errors)
+    }
+
+    /// A certified upper bound on [`solve_errors`](Self::solve_errors) for
+    /// the current configuration, *without* solving: solved subproblems
+    /// contribute their exact optimum, moved ones the weak-duality bound of
+    /// their repaired potentials. Never below the true score — the property
+    /// (proptested in `lockbind-check`) that makes pruning on it sound.
+    pub fn upper_bound(&mut self) -> u64 {
+        let mut sum = 0u128;
+        for sub in &mut self.subs {
+            let bound = match sub.total {
+                Some(t) => t,
+                None => sub.state.objective_bound(),
+            };
+            sum += bound.max(0) as u128;
+        }
+        u64::try_from(sum).unwrap_or(u64::MAX)
+    }
+
+    /// Aggregated warm-solver work counters across all subproblems (for the
+    /// matching benchmark's warm-start hit rate).
+    pub fn stats(&self) -> IncrementalStats {
+        let mut agg = IncrementalStats::default();
+        for sub in &self.subs {
+            let s = sub.state.stats();
+            agg.solves += s.solves;
+            agg.rows_total += s.rows_total;
+            agg.rows_reaugmented += s.rows_reaugmented;
+            agg.columns_updated += s.columns_updated;
+            agg.augment_steps += s.augment_steps;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bind_obfuscation_aware, combinations, expected_application_errors, LockingSpec};
+    use lockbind_hls::schedule_list;
+    use lockbind_mediabench::Kernel;
+
+    fn setup(kernel: Kernel) -> (Dfg, Schedule, Allocation, OccurrenceProfile, Vec<Minterm>) {
+        let b = kernel.benchmark(100, 17);
+        let alloc = Allocation::new(3, 3);
+        let sched = schedule_list(&b.dfg, &alloc).expect("schedulable");
+        let profile = OccurrenceProfile::from_trace(&b.dfg, &b.trace).expect("profiled");
+        let adder_ops = b.dfg.ops_of_class(FuClass::Adder);
+        let candidates = profile.top_candidates_among(&adder_ops, 6);
+        (b.dfg, sched, alloc, profile, candidates)
+    }
+
+    /// The legacy score of one configuration: full obf-aware bind + Eqn. 2.
+    #[allow(clippy::too_many_arguments)]
+    fn legacy_score(
+        dfg: &Dfg,
+        sched: &Schedule,
+        alloc: &Allocation,
+        profile: &OccurrenceProfile,
+        fus: &[FuId],
+        combos: &[Vec<usize>],
+        candidates: &[Minterm],
+        assign: &[Option<usize>],
+    ) -> u64 {
+        let entries: Vec<(FuId, Vec<Minterm>)> = fus
+            .iter()
+            .zip(assign)
+            .filter_map(|(&fu, ci)| {
+                ci.map(|ci| (fu, combos[ci].iter().map(|&i| candidates[i]).collect()))
+            })
+            .collect();
+        let spec = LockingSpec::new(alloc, entries).expect("valid");
+        let bind = bind_obfuscation_aware(dfg, sched, alloc, profile, &spec).expect("feasible");
+        expected_application_errors(&bind, profile, &spec)
+    }
+
+    #[test]
+    fn sweep_score_equals_legacy_bind_score() {
+        let (dfg, sched, alloc, profile, candidates) = setup(Kernel::Fir);
+        let fus = [FuId::new(FuClass::Adder, 0), FuId::new(FuClass::Adder, 2)];
+        let combos = combinations(candidates.len(), 2);
+        let mut sweep = ErrorSweep::new(&dfg, &sched, &alloc, &profile, &fus, &candidates, &combos)
+            .expect("builds");
+        // Walk a deterministic pseudo-random sequence of slot assignments,
+        // including partially-locked states, checking exactness everywhere.
+        let mut assign: Vec<Option<usize>> = vec![None; fus.len()];
+        for step in 0usize..40 {
+            let slot = step % fus.len();
+            if step % 7 == 3 {
+                sweep.clear_slot(slot);
+                assign[slot] = None;
+            } else {
+                let ci = (step * 5 + 3) % combos.len();
+                sweep.set_slot(slot, ci);
+                assign[slot] = Some(ci);
+            }
+            let fast = sweep.solve_errors().expect("feasible");
+            let slow = legacy_score(
+                &dfg,
+                &sched,
+                &alloc,
+                &profile,
+                &fus,
+                &combos,
+                &candidates,
+                &assign,
+            );
+            assert_eq!(fast, slow, "step {step}: assign {assign:?}");
+            assert!(sweep.upper_bound() >= fast, "bound must dominate score");
+            // After a solve the bound is exact.
+            assert_eq!(sweep.upper_bound(), fast);
+        }
+        let stats = sweep.stats();
+        assert!(stats.warm_hit_rate() > 0.0, "{stats:?}");
+    }
+
+    #[test]
+    fn upper_bound_dominates_before_solving() {
+        let (dfg, sched, alloc, profile, candidates) = setup(Kernel::Motion2);
+        let fus = [FuId::new(FuClass::Adder, 1)];
+        let combos = combinations(candidates.len(), 1);
+        let mut sweep = ErrorSweep::new(&dfg, &sched, &alloc, &profile, &fus, &candidates, &combos)
+            .expect("builds");
+        for ci in 0..combos.len() {
+            sweep.set_slot(0, ci);
+            let bound = sweep.upper_bound();
+            let exact = sweep.solve_errors().expect("feasible");
+            assert!(bound >= exact, "combo {ci}: bound {bound} < exact {exact}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_locked_fus() {
+        let (dfg, sched, alloc, profile, candidates) = setup(Kernel::Fir);
+        let combos = combinations(candidates.len(), 1);
+        let bad = [FuId::new(FuClass::Adder, 9)];
+        assert!(matches!(
+            ErrorSweep::new(&dfg, &sched, &alloc, &profile, &bad, &candidates, &combos),
+            Err(CoreError::UnknownFu { .. })
+        ));
+        let dup = [FuId::new(FuClass::Adder, 0), FuId::new(FuClass::Adder, 0)];
+        assert!(matches!(
+            ErrorSweep::new(&dfg, &sched, &alloc, &profile, &dup, &candidates, &combos),
+            Err(CoreError::DuplicateFu { .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_allocation_surfaces_matching_error() {
+        let (dfg, _, _, profile, candidates) = setup(Kernel::Fir);
+        let tight = Allocation::new(1, 1);
+        // Schedule against a generous allocation, then sweep with a tight
+        // one: cycles with 2+ concurrent adds cannot be bound.
+        let wide = Allocation::new(3, 3);
+        let sched = schedule_list(&dfg, &wide).expect("schedulable");
+        let combos = combinations(candidates.len(), 1);
+        let fus = [FuId::new(FuClass::Adder, 0)];
+        assert!(matches!(
+            ErrorSweep::new(&dfg, &sched, &tight, &profile, &fus, &candidates, &combos),
+            Err(CoreError::Matching(_))
+        ));
+    }
+}

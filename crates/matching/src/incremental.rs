@@ -1,0 +1,733 @@
+//! Incremental Hungarian solver with warm-started dual potentials.
+//!
+//! The co-design searches of `lockbind-core` solve millions of assignment
+//! problems that differ from their predecessor in a single column (one FU's
+//! locked-minterm set changed). Re-running the cold solver discards the LP
+//! dual potentials it just computed, even though they remain feasible — or
+//! very nearly feasible — for the perturbed instance.
+//!
+//! [`HungarianState`] keeps the matrix, the partial matching, and the dual
+//! potentials alive across edits. A column update triggers a *repair* that
+//! restores the solver invariants (dual feasibility everywhere, matched
+//! edges tight, `v_j = 0` on unmatched columns, `v_j <= 0`) by unmatching
+//! only the rows whose optimality evidence was invalidated; a subsequent
+//! [`HungarianState::solve`] re-augments just those rows. Between repair and
+//! solve, [`HungarianState::objective_bound`] reads the dual objective off
+//! the repaired potentials — by weak duality a valid bound on *any* complete
+//! matching's value, which is what lets callers prune whole solves.
+//!
+//! The solved state always carries a [`DualCertificate`] accepted by
+//! [`verify_dual_certificate`](crate::verify_dual_certificate), so the warm
+//! path is held to exactly the same proof obligations as the cold one.
+
+use lockbind_obs as obs;
+
+use crate::certificate::{CertifiedMatching, DualCertificate};
+use crate::hungarian::dominating_forbidden_cost;
+use crate::{Matching, MatchingError, WeightMatrix};
+
+const INF: i64 = i64::MAX / 2;
+
+/// Cumulative work counters of one [`HungarianState`].
+///
+/// `rows_total` counts the rows a cold re-solve would have augmented (one
+/// per row per solve); `rows_reaugmented` counts the rows the warm path
+/// actually re-augmented. Their ratio is the warm-start hit rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Calls to [`HungarianState::solve`].
+    pub solves: u64,
+    /// Rows a cold solver would have augmented across all solves.
+    pub rows_total: u64,
+    /// Rows actually re-augmented by the warm path.
+    pub rows_reaugmented: u64,
+    /// Column updates applied (no-op updates excluded).
+    pub columns_updated: u64,
+    /// Dijkstra relaxation steps spent in augmentation phases.
+    pub augment_steps: u64,
+}
+
+impl IncrementalStats {
+    /// Fraction of row augmentations the warm start avoided (`1.0` when no
+    /// solve has happened yet).
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.rows_total == 0 {
+            1.0
+        } else {
+            1.0 - self.rows_reaugmented as f64 / self.rows_total as f64
+        }
+    }
+}
+
+/// An assignment-problem instance that survives weight edits: warm-started
+/// duals, incremental re-augmentation, and a pre-solve dual objective bound.
+///
+/// # Example
+///
+/// ```
+/// use lockbind_matching::{HungarianState, WeightMatrix};
+/// # fn main() -> Result<(), lockbind_matching::MatchingError> {
+/// let mut w = WeightMatrix::zero(2, 3);
+/// w.set(0, 0, 6);
+/// w.set(0, 1, 9);
+/// w.set(1, 0, 4);
+/// let mut state = HungarianState::new(&w, true)?;
+/// assert_eq!(state.solve()?.matching.total, 13);
+/// // Perturb one column: only the invalidated rows re-augment.
+/// state.set_column(1, &[1, 0]);
+/// assert_eq!(state.solve()?.matching.total, 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HungarianState {
+    weights: WeightMatrix,
+    maximize: bool,
+    n: usize,
+    m: usize,
+    /// Row potentials, 1-indexed (`u[0]` unused).
+    u: Vec<i64>,
+    /// Column potentials, 1-indexed (`v[0]` is the classic dummy column).
+    v: Vec<i64>,
+    /// `p[j]` = row (1-indexed) matched to column `j`; 0 = unmatched.
+    p: Vec<usize>,
+    /// Inverse of `p`: column matched to each row; 0 = unmatched.
+    row_col: Vec<usize>,
+    /// Rows that must be (re-)augmented by the next solve.
+    dirty: Vec<bool>,
+    /// Columns (1-indexed) edited since the last repair.
+    pending: Vec<usize>,
+    pending_flag: Vec<bool>,
+    /// The forbidden-edge sentinel cost at the last repair.
+    forbidden_cost: i64,
+    /// Forbidden entries per column (0-indexed), to re-flag columns when the
+    /// sentinel itself moves.
+    forbidden_in_col: Vec<u32>,
+    stats: IncrementalStats,
+    // Scratch buffers for the augmentation phase, reused across solves so
+    // the hot path (millions of tiny solves per sweep) never reallocates.
+    scratch_minv: Vec<i64>,
+    scratch_way: Vec<usize>,
+    scratch_used: Vec<bool>,
+}
+
+impl HungarianState {
+    /// Builds a warm-startable instance from `weights`. No solving happens
+    /// yet: every row starts dirty and the first [`solve`](Self::solve) pays
+    /// the full cold cost (with row potentials pre-seeded to the row minima,
+    /// so even the cold pass starts dual-feasible).
+    ///
+    /// # Errors
+    ///
+    /// [`MatchingError::NoColumns`] / [`MatchingError::MoreRowsThanCols`]
+    /// under the same conditions as the cold solver.
+    pub fn new(weights: &WeightMatrix, maximize: bool) -> Result<Self, MatchingError> {
+        let n = weights.rows();
+        let m = weights.cols();
+        if n > 0 && m == 0 {
+            return Err(MatchingError::NoColumns);
+        }
+        if n > m {
+            return Err(MatchingError::MoreRowsThanCols { rows: n, cols: m });
+        }
+        let mut forbidden_in_col = vec![0u32; m];
+        for r in 0..n {
+            for (c, count) in forbidden_in_col.iter_mut().enumerate() {
+                if !weights.is_allowed(r, c) {
+                    *count += 1;
+                }
+            }
+        }
+        let mut state = HungarianState {
+            weights: weights.clone(),
+            maximize,
+            n,
+            m,
+            u: vec![0; n + 1],
+            v: vec![0; m + 1],
+            p: vec![0; m + 1],
+            row_col: vec![0; n + 1],
+            dirty: vec![true; n + 1],
+            pending: Vec::new(),
+            pending_flag: vec![false; m + 1],
+            forbidden_cost: dominating_forbidden_cost(weights),
+            forbidden_in_col,
+            stats: IncrementalStats::default(),
+            scratch_minv: Vec::new(),
+            scratch_way: Vec::new(),
+            scratch_used: Vec::new(),
+        };
+        // Seed u with the row minima: dual feasible for v = 0, so
+        // `objective_bound` is valid even before the first solve.
+        for i in 1..=state.n {
+            state.u[i] = (1..=state.m).map(|j| state.cost(i, j)).min().unwrap_or(0);
+        }
+        Ok(state)
+    }
+
+    /// The current weights (reflecting all edits applied so far).
+    pub fn weights(&self) -> &WeightMatrix {
+        &self.weights
+    }
+
+    /// Work counters accumulated since construction.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// `true` if this state maximizes total weight.
+    pub fn maximize(&self) -> bool {
+        self.maximize
+    }
+
+    /// Internal minimization-space cost, 1-indexed (identical to the cold
+    /// solver's and to certificate verification).
+    fn cost(&self, i: usize, j: usize) -> i64 {
+        match self.weights.get(i - 1, j - 1) {
+            Some(w) => {
+                if self.maximize {
+                    -w
+                } else {
+                    w
+                }
+            }
+            None => self.forbidden_cost,
+        }
+    }
+
+    fn mark_col(&mut self, col: usize) {
+        let j = col + 1;
+        if !self.pending_flag[j] {
+            self.pending_flag[j] = true;
+            self.pending.push(j);
+        }
+    }
+
+    /// Sets one weight (re-allowing the edge if forbidden), invalidating only
+    /// the touched column. A no-op when the cell already holds `weight`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices or `|weight|` above
+    /// [`WeightMatrix::MAX_WEIGHT`], like [`WeightMatrix::set`].
+    pub fn set_weight(&mut self, row: usize, col: usize, weight: i64) {
+        if self.weights.get(row, col) == Some(weight) {
+            return;
+        }
+        if !self.weights.is_allowed(row, col) {
+            self.forbidden_in_col[col] -= 1;
+        }
+        self.weights.set(row, col, weight);
+        self.stats.columns_updated += 1;
+        self.mark_col(col);
+    }
+
+    /// Marks edge `(row, col)` forbidden, invalidating the touched column.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    pub fn forbid(&mut self, row: usize, col: usize) {
+        if !self.weights.is_allowed(row, col) {
+            return;
+        }
+        self.weights.forbid(row, col);
+        self.forbidden_in_col[col] += 1;
+        self.stats.columns_updated += 1;
+        self.mark_col(col);
+    }
+
+    /// Replaces an entire column of weights (all edges allowed). This is the
+    /// co-design hot path: one locked FU's minterm set changed, so exactly
+    /// one column per cycle subproblem moves. Skips the update entirely when
+    /// the column already holds `weights`.
+    ///
+    /// # Panics
+    /// Panics unless `weights.len()` equals the number of rows.
+    pub fn set_column(&mut self, col: usize, weights: &[i64]) {
+        assert_eq!(
+            weights.len(),
+            self.n,
+            "set_column needs one weight per row ({} != {})",
+            weights.len(),
+            self.n
+        );
+        let unchanged = weights
+            .iter()
+            .enumerate()
+            .all(|(r, &w)| self.weights.get(r, col) == Some(w));
+        if unchanged {
+            return;
+        }
+        for (r, &w) in weights.iter().enumerate() {
+            if !self.weights.is_allowed(r, col) {
+                self.forbidden_in_col[col] -= 1;
+            }
+            self.weights.set(r, col, w);
+        }
+        self.stats.columns_updated += 1;
+        self.mark_col(col);
+    }
+
+    /// Restores the solver invariants after pending edits:
+    ///
+    /// 1. the forbidden-edge sentinel is recomputed; if it moved, every
+    ///    column holding a forbidden entry is treated as edited too (their
+    ///    internal costs changed with it);
+    /// 2. each edited column keeps its matched edge only if that edge is
+    ///    still tight *and* the column potential is still feasible against
+    ///    every row; otherwise the row is unmatched (dirty) and the freed
+    ///    column's potential is reset to 0;
+    /// 3. a worklist pass re-caps any row potential that the raised column
+    ///    potentials made infeasible (`u_i > min_j (c_ij - v_j)`), unmatching
+    ///    capped rows. Each column's potential can only rise to 0 once, so
+    ///    the pass terminates.
+    ///
+    /// Afterwards: duals feasible on every edge, matched edges tight,
+    /// unmatched columns at `v = 0`, all `v <= 0` — exactly the state the
+    /// augmentation phases and the weak-duality bound require.
+    fn repair(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let sentinel = dominating_forbidden_cost(&self.weights);
+        if sentinel != self.forbidden_cost {
+            self.forbidden_cost = sentinel;
+            for c in 0..self.m {
+                if self.forbidden_in_col[c] > 0 {
+                    self.mark_col(c);
+                }
+            }
+        }
+        let changed = std::mem::take(&mut self.pending);
+        for &j in &changed {
+            self.pending_flag[j] = false;
+        }
+
+        // Phase 1: per edited column, keep or drop the matched edge.
+        for &j in &changed {
+            let r = self.p[j];
+            if r != 0 {
+                let tight = self.cost(r, j) - self.u[r] == self.v[j];
+                let feasible = (1..=self.n).all(|i| self.u[i] + self.v[j] <= self.cost(i, j));
+                if !(tight && feasible) {
+                    self.p[j] = 0;
+                    self.row_col[r] = 0;
+                    self.dirty[r] = true;
+                    self.v[j] = 0;
+                }
+            } else {
+                // Unmatched columns sit at v = 0 by invariant; keep them
+                // there (costs moving cannot change that).
+                self.v[j] = 0;
+            }
+        }
+
+        // Phase 2: re-establish dual feasibility for every row against the
+        // edited / re-zeroed columns.
+        let mut work = changed;
+        let mut in_work = vec![false; self.m + 1];
+        for &j in &work {
+            in_work[j] = true;
+        }
+        while let Some(j) = work.pop() {
+            in_work[j] = false;
+            for i in 1..=self.n {
+                if self.u[i] + self.v[j] > self.cost(i, j) {
+                    let cap = (1..=self.m)
+                        .map(|jj| self.cost(i, jj) - self.v[jj])
+                        .min()
+                        .unwrap_or(0);
+                    debug_assert!(cap < self.u[i]);
+                    self.u[i] = cap;
+                    let j0 = self.row_col[i];
+                    if j0 != 0 {
+                        self.p[j0] = 0;
+                        self.row_col[i] = 0;
+                        self.v[j0] = 0;
+                        if !in_work[j0] {
+                            in_work[j0] = true;
+                            work.push(j0);
+                        }
+                    }
+                    self.dirty[i] = true;
+                }
+            }
+        }
+    }
+
+    /// A bound on the value of **any** complete matching of the current
+    /// weights, read off the (repaired) dual potentials without solving: an
+    /// *upper* bound on the total weight when maximizing, a *lower* bound on
+    /// the total cost when minimizing (weak LP duality; see DESIGN.md §14).
+    ///
+    /// After [`solve`](Self::solve) the bound is exact (zero duality gap).
+    /// The forbidden-edge sentinel makes the bound valid for matchings that
+    /// avoid forbidden edges too.
+    pub fn objective_bound(&mut self) -> i64 {
+        self.repair();
+        let dual: i128 = self.u[1..=self.n]
+            .iter()
+            .chain(&self.v[1..=self.m])
+            .map(|&x| i128::from(x))
+            .sum();
+        let bound = if self.maximize { -dual } else { dual };
+        bound.clamp(i128::from(-INF), i128::from(INF)) as i64
+    }
+
+    /// Repairs pending edits and re-augments every dirty row — the shared
+    /// core of [`solve`](Self::solve) and [`solve_total`](Self::solve_total).
+    fn run_solve(&mut self) {
+        self.repair();
+        obs::counter!("matching.warm_solves").inc();
+        obs::counter!("matching.warm_rows_total").add(self.n as u64);
+        self.stats.solves += 1;
+        self.stats.rows_total += self.n as u64;
+
+        let mut reaugmented = 0u64;
+        let mut augment_steps = 0u64;
+        for i in 1..=self.n {
+            if self.dirty[i] {
+                self.augment_row(i, &mut augment_steps);
+                self.dirty[i] = false;
+                reaugmented += 1;
+            }
+        }
+        self.stats.rows_reaugmented += reaugmented;
+        obs::counter!("matching.warm_rows_reaugmented").add(reaugmented);
+        obs::counter!("matching.augment_paths").add(reaugmented);
+        obs::counter!("matching.augment_steps").add(augment_steps);
+        self.stats.augment_steps += augment_steps;
+
+        // Refresh the row -> column view from p.
+        for rc in self.row_col.iter_mut() {
+            *rc = 0;
+        }
+        for j in 1..=self.m {
+            if self.p[j] != 0 {
+                self.row_col[self.p[j]] = j;
+            }
+        }
+    }
+
+    /// Repairs pending edits and re-augments every dirty row, returning the
+    /// optimal matching with its dual certificate. Rows untouched by the
+    /// edits are never re-augmented — that is the warm start.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchingError::Infeasible`] when forbidden edges rule out every
+    /// complete matching (the state stays consistent: later edits can
+    /// restore feasibility).
+    pub fn solve(&mut self) -> Result<CertifiedMatching, MatchingError> {
+        self.run_solve();
+        let mut row_to_col = vec![usize::MAX; self.n];
+        for j in 1..=self.m {
+            if self.p[j] != 0 {
+                row_to_col[self.p[j] - 1] = j - 1;
+            }
+        }
+        debug_assert!(row_to_col.iter().all(|&c| c != usize::MAX));
+
+        let mut total = 0i64;
+        for (r, &c) in row_to_col.iter().enumerate() {
+            match self.weights.get(r, c) {
+                Some(w) => total += w,
+                None => return Err(MatchingError::Infeasible),
+            }
+        }
+        Ok(CertifiedMatching {
+            matching: Matching { row_to_col, total },
+            certificate: DualCertificate {
+                u: self.u[1..=self.n].to_vec(),
+                v: self.v[1..=self.m].to_vec(),
+                maximize: self.maximize,
+            },
+        })
+    }
+
+    /// Like [`solve`](Self::solve), but returns only the optimal total —
+    /// no matching vector, no certificate, no allocation. This is the
+    /// co-design hot path, where only the objective value is scored and the
+    /// full certified solve is reserved for the winning configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve`](Self::solve).
+    pub fn solve_total(&mut self) -> Result<i64, MatchingError> {
+        self.run_solve();
+        let mut total = 0i64;
+        for j in 1..=self.m {
+            if self.p[j] != 0 {
+                match self.weights.get(self.p[j] - 1, j - 1) {
+                    Some(w) => total += w,
+                    None => return Err(MatchingError::Infeasible),
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// One shortest-augmenting-path phase for row `i` — the exact inner loop
+    /// of the cold solver, operating on the live potentials.
+    fn augment_row(&mut self, i: usize, augment_steps: &mut u64) {
+        self.p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = std::mem::take(&mut self.scratch_minv);
+        let mut way = std::mem::take(&mut self.scratch_way);
+        let mut used = std::mem::take(&mut self.scratch_used);
+        minv.clear();
+        minv.resize(self.m + 1, INF);
+        way.clear();
+        way.resize(self.m + 1, 0);
+        used.clear();
+        used.resize(self.m + 1, false);
+        loop {
+            *augment_steps += 1;
+            used[j0] = true;
+            let i0 = self.p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=self.m {
+                if !used[j] {
+                    let cur = self.cost(i0, j) - self.u[i0] - self.v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            debug_assert!(delta < INF, "augmenting path search stalled");
+            for j in 0..=self.m {
+                if used[j] {
+                    self.u[self.p[j]] += delta;
+                    self.v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if self.p[j0] == 0 {
+                break;
+            }
+        }
+        // Unwind the augmenting path.
+        loop {
+            let j1 = way[j0];
+            self.p[j0] = self.p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+        self.scratch_minv = minv;
+        self.scratch_way = way;
+        self.scratch_used = used;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{brute_force, max_weight_matching, min_cost_matching, verify_dual_certificate};
+
+    fn grid(rows: usize, cols: usize, salt: u64) -> WeightMatrix {
+        WeightMatrix::from_fn(rows, cols, |r, c| {
+            Some(((r as u64 * 31 + c as u64 * 17 + salt * 7) % 23) as i64 - 11)
+        })
+    }
+
+    fn check_state(state: &mut HungarianState) -> CertifiedMatching {
+        let solved = state.solve().expect("feasible");
+        verify_dual_certificate(state.weights(), &solved.matching, &solved.certificate)
+            .expect("warm certificate verifies");
+        solved
+    }
+
+    #[test]
+    fn cold_solve_matches_reference() {
+        for salt in 0..20 {
+            for (rows, cols) in [(0, 0), (0, 3), (1, 1), (2, 3), (4, 4), (5, 7)] {
+                let w = grid(rows, cols, salt);
+                let mut state = HungarianState::new(&w, true).expect("valid shape");
+                let warm = check_state(&mut state);
+                let cold = max_weight_matching(&w).expect("feasible");
+                assert_eq!(warm.matching.total, cold.total);
+                let mut state = HungarianState::new(&w, false).expect("valid shape");
+                let warm = check_state(&mut state);
+                let cold = min_cost_matching(&w).expect("feasible");
+                assert_eq!(warm.matching.total, cold.total);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors_match_cold_solver() {
+        assert_eq!(
+            HungarianState::new(&WeightMatrix::zero(2, 0), true).err(),
+            Some(MatchingError::NoColumns)
+        );
+        assert_eq!(
+            HungarianState::new(&WeightMatrix::zero(3, 2), true).err(),
+            Some(MatchingError::MoreRowsThanCols { rows: 3, cols: 2 })
+        );
+    }
+
+    #[test]
+    fn column_update_tracks_cold_solver() {
+        let w = grid(4, 5, 3);
+        let mut state = HungarianState::new(&w, true).expect("valid");
+        check_state(&mut state);
+        for step in 0..30 {
+            let col = step % 5;
+            let weights: Vec<i64> = (0..4)
+                .map(|r| ((r * 7 + step * 13) % 19) as i64 - 9)
+                .collect();
+            state.set_column(col, &weights);
+            let warm = check_state(&mut state);
+            let cold = max_weight_matching(state.weights()).expect("feasible");
+            assert_eq!(warm.matching.total, cold.total, "step {step}");
+        }
+        // Warm start must have saved work relative to 31 cold solves.
+        let stats = state.stats();
+        assert!(stats.rows_reaugmented < stats.rows_total);
+        assert!(stats.warm_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn objective_bound_is_sound_and_tight_after_solve() {
+        let w = grid(4, 6, 8);
+        let mut state = HungarianState::new(&w, true).expect("valid");
+        let opt = brute_force(&w, true).expect("feasible").total;
+        assert!(
+            state.objective_bound() >= opt,
+            "pre-solve bound must dominate"
+        );
+        let solved = check_state(&mut state);
+        assert_eq!(solved.matching.total, opt);
+        assert_eq!(state.objective_bound(), opt, "zero gap after solve");
+        // Perturb a column down: the bound may stay above the new optimum but
+        // never below it.
+        state.set_column(2, &[-5, -5, -5, -5]);
+        let new_opt = brute_force(state.weights(), true).expect("feasible").total;
+        assert!(state.objective_bound() >= new_opt);
+        assert_eq!(check_state(&mut state).matching.total, new_opt);
+    }
+
+    #[test]
+    fn minimize_bound_is_lower_bound() {
+        let w = grid(3, 4, 5);
+        let mut state = HungarianState::new(&w, false).expect("valid");
+        let opt = brute_force(&w, false).expect("feasible").total;
+        assert!(state.objective_bound() <= opt);
+        check_state(&mut state);
+        assert_eq!(state.objective_bound(), opt);
+    }
+
+    #[test]
+    fn previously_matched_cell_forbidden_mid_sequence() {
+        // Pin the behavior the incremental co-design path depends on: when
+        // the cell under the current matching is forbidden, the matched row
+        // goes dirty and re-augments around it; certificates stay clean.
+        let mut w = WeightMatrix::zero(2, 3);
+        w.set(0, 0, 10);
+        w.set(0, 1, 1);
+        w.set(1, 1, 8);
+        w.set(1, 2, 2);
+        let mut state = HungarianState::new(&w, true).expect("valid");
+        let first = check_state(&mut state);
+        assert_eq!(first.matching.row_to_col, vec![0, 1]);
+        state.forbid(0, 0);
+        let second = check_state(&mut state);
+        // Best without (0,0): row 0 -> col 2 (0) + row 1 -> col 1 (8).
+        assert_eq!(second.matching.total, 8);
+        let cold = max_weight_matching(state.weights()).expect("feasible");
+        assert_eq!(second.matching.total, cold.total);
+        assert_ne!(
+            second.matching.row_to_col[0], 0,
+            "forbidden edge must not be used"
+        );
+        // Re-allowing the cell restores the original optimum.
+        state.set_weight(0, 0, 10);
+        let third = check_state(&mut state);
+        assert_eq!(third.matching.total, 18);
+    }
+
+    #[test]
+    fn fully_forbidden_row_is_infeasible_then_recovers() {
+        let mut w = WeightMatrix::from_fn(2, 2, |_, _| Some(4));
+        w.forbid(0, 0);
+        let mut state = HungarianState::new(&w, true).expect("valid");
+        check_state(&mut state);
+        state.forbid(0, 1);
+        assert_eq!(state.solve().unwrap_err(), MatchingError::Infeasible);
+        // The state is still consistent: restoring an edge recovers.
+        state.set_weight(0, 1, 6);
+        let solved = check_state(&mut state);
+        assert_eq!(solved.matching.total, 10);
+    }
+
+    #[test]
+    fn noop_updates_do_not_dirty_the_state() {
+        let w = grid(3, 4, 2);
+        let mut state = HungarianState::new(&w, true).expect("valid");
+        check_state(&mut state);
+        let before = state.stats();
+        let col: Vec<i64> = (0..3).map(|r| state.weights().get(r, 1).unwrap()).collect();
+        state.set_column(1, &col);
+        state.set_weight(0, 0, state.weights().get(0, 0).unwrap());
+        check_state(&mut state);
+        let after = state.stats();
+        assert_eq!(after.columns_updated, before.columns_updated);
+        assert_eq!(after.rows_reaugmented, before.rows_reaugmented);
+    }
+
+    #[test]
+    fn solve_total_agrees_with_certified_solve() {
+        let w = grid(3, 5, 11);
+        let mut a = HungarianState::new(&w, true).expect("valid");
+        let mut b = HungarianState::new(&w, true).expect("valid");
+        for step in 0..20 {
+            let col = step % 5;
+            let weights: Vec<i64> = (0..3)
+                .map(|r| ((r * 5 + step * 3) % 13) as i64 - 6)
+                .collect();
+            a.set_column(col, &weights);
+            b.set_column(col, &weights);
+            assert_eq!(
+                a.solve_total().expect("feasible"),
+                check_state(&mut b).matching.total
+            );
+        }
+        // Infeasibility is reported identically by both entry points.
+        let mut w = WeightMatrix::zero(1, 1);
+        w.forbid(0, 0);
+        let mut s = HungarianState::new(&w, true).expect("valid");
+        assert_eq!(s.solve_total().unwrap_err(), MatchingError::Infeasible);
+    }
+
+    #[test]
+    fn empty_instance_solves_trivially() {
+        let mut state = HungarianState::new(&WeightMatrix::zero(0, 0), true).expect("valid");
+        let solved = state.solve().expect("empty");
+        assert_eq!(solved.matching.total, 0);
+        assert_eq!(state.objective_bound(), 0);
+    }
+
+    #[test]
+    fn sentinel_shift_reflags_forbidden_columns() {
+        // Raising the max weight moves the forbidden sentinel; the forbidden
+        // column's internal cost changes with it and certificates must still
+        // verify against the recomputed sentinel.
+        let mut w = WeightMatrix::from_fn(2, 3, |r, c| Some((r + c) as i64));
+        w.forbid(0, 2);
+        let mut state = HungarianState::new(&w, true).expect("valid");
+        check_state(&mut state);
+        state.set_weight(1, 0, 4000);
+        let solved = check_state(&mut state);
+        let cold = max_weight_matching(state.weights()).expect("feasible");
+        assert_eq!(solved.matching.total, cold.total);
+    }
+}

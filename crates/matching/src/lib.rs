@@ -19,6 +19,11 @@
 //!   potentials as a [`DualCertificate`]; [`verify_dual_certificate`] proves
 //!   optimality offline (dual feasibility + zero duality gap) without
 //!   re-running the solver,
+//! * [`HungarianState`] — an incremental solver that keeps the LP dual
+//!   potentials alive across weight edits: after a column update only the
+//!   invalidated rows are re-augmented, and [`HungarianState::objective_bound`]
+//!   reads a weak-duality bound off the repaired duals without solving (the
+//!   co-design branch-and-bound pruning hook),
 //! * [`brute_force`] — an exponential reference implementation used by the
 //!   test-suite to validate the Hungarian solver on small instances.
 //!
@@ -53,6 +58,7 @@ mod brute;
 mod certificate;
 mod error;
 mod hungarian;
+mod incremental;
 mod matrix;
 
 pub use brute::brute_force;
@@ -64,4 +70,5 @@ pub use hungarian::{
     max_weight_matching, max_weight_matching_certified, min_cost_matching,
     min_cost_matching_certified,
 };
+pub use incremental::{HungarianState, IncrementalStats};
 pub use matrix::{Matching, WeightMatrix};

@@ -162,6 +162,13 @@ impl Matching {
     /// Inverse view: `col_to_row()[c]` is `Some(r)` if row `r` was assigned to
     /// column `c`.
     ///
+    /// # Panics
+    /// Panics if any assigned column is `>= cols` or if two rows claim the
+    /// same column — either means the matching does not belong to a
+    /// `cols`-wide instance, and a silent wrap or overwrite here would
+    /// corrupt every downstream consumer (the incremental solver's repair
+    /// path indexes column state through this view).
+    ///
     /// # Example
     /// ```
     /// use lockbind_matching::Matching;
@@ -171,6 +178,15 @@ impl Matching {
     pub fn col_to_row(&self, cols: usize) -> Vec<Option<usize>> {
         let mut inv = vec![None; cols];
         for (r, &c) in self.row_to_col.iter().enumerate() {
+            assert!(
+                c < cols,
+                "matching assigns row {r} to column {c}, out of range for {cols} columns"
+            );
+            assert!(
+                inv[c].is_none(),
+                "matching assigns column {c} to two rows ({} and {r})",
+                inv[c].unwrap_or(0)
+            );
             inv[c] = Some(r);
         }
         inv
@@ -239,6 +255,26 @@ mod tests {
             total: 0,
         };
         assert_eq!(m.col_to_row(4), vec![Some(2), Some(0), None, Some(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn col_to_row_rejects_out_of_range_column() {
+        let m = Matching {
+            row_to_col: vec![1, 3],
+            total: 0,
+        };
+        let _ = m.col_to_row(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two rows")]
+    fn col_to_row_rejects_duplicate_columns() {
+        let m = Matching {
+            row_to_col: vec![1, 1],
+            total: 0,
+        };
+        let _ = m.col_to_row(3);
     }
 
     #[test]

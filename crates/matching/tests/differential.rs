@@ -1,0 +1,310 @@
+//! Differential matching oracle suite: the warm-started incremental solver
+//! ([`HungarianState`]) cross-checked against the cold Hungarian solver and
+//! against brute-force enumeration, on random weight matrices — rectangular
+//! shapes, forbidden-entry patterns, negative and near-`MAX_WEIGHT` extreme
+//! weights, degenerate all-tied instances — and across mutation chains that
+//! perturb one cell, one row, or one column per step, re-checking the LP dual
+//! certificate after every incremental solve. This is the harness that keeps
+//! the co-design fast path pinned to the exact Eqn. 3 / Thm. 2 optimum: the
+//! warm path may never differ from the cold path by a single unit of weight,
+//! and its duals must verify clean at every step.
+//!
+//! CI runs this file with `PROPTEST_CASES=512`; the local default is 256
+//! cases per property (the acceptance floor for this suite).
+
+use lockbind_matching::{
+    brute_force, max_weight_matching_certified, min_cost_matching_certified,
+    verify_dual_certificate, HungarianState, MatchingError, WeightMatrix,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const EXTREME: i64 = WeightMatrix::MAX_WEIGHT;
+
+/// One random instance: shape, weights, forbidden pattern.
+#[derive(Debug, Clone)]
+struct Instance {
+    rows: usize,
+    cols: usize,
+    /// Row-major; `None` = forbidden.
+    cells: Vec<Option<i64>>,
+}
+
+impl Instance {
+    fn matrix(&self) -> WeightMatrix {
+        WeightMatrix::from_fn(self.rows, self.cols, |r, c| self.cells[r * self.cols + c])
+    }
+}
+
+/// A single mutation step applied to a live [`HungarianState`].
+#[derive(Debug, Clone)]
+enum Mutation {
+    /// Set one cell (re-allows it if forbidden).
+    Cell { row: usize, col: usize, weight: i64 },
+    /// Forbid one cell.
+    Forbid { row: usize, col: usize },
+    /// Replace one whole column (the co-design hot path).
+    Column { col: usize, weights: Vec<i64> },
+    /// Replace one whole row, cell by cell.
+    Row { row: usize, weights: Vec<i64> },
+}
+
+/// Weight strategy spanning the regimes the suite must cover: small values
+/// with many degenerate ties, mid-range negatives, and near-`MAX_WEIGHT`
+/// extremes (the vendored proptest has no `prop_oneof!`, so regimes are
+/// selected by an explicit discriminant).
+fn weight_strategy() -> impl Strategy<Value = i64> + Clone {
+    (0u32..8, -3i64..=3, -1000i64..=1000, 0usize..4).prop_map(|(sel, small, mid, ext)| match sel {
+        0..=3 => small,
+        4..=6 => mid,
+        _ => [EXTREME, -EXTREME, EXTREME - 1, -EXTREME + 1][ext],
+    })
+}
+
+/// `Some(weight)` most of the time, `None` (forbidden) with weight 1/8.
+fn cell_strategy() -> impl Strategy<Value = Option<i64>> + Clone {
+    (0u32..8, weight_strategy()).prop_map(|(sel, w)| if sel == 0 { None } else { Some(w) })
+}
+
+/// Random solvable shape (`rows <= cols`), including empty matrices.
+fn instance_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Instance> {
+    (0..=max_rows)
+        .prop_flat_map(move |rows| (Just(rows), rows.max(1)..=max_cols))
+        .prop_flat_map(|(rows, cols)| {
+            proptest::collection::vec(cell_strategy(), rows * cols)
+                .prop_map(move |cells| Instance { rows, cols, cells })
+        })
+}
+
+fn mutation_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mutation> {
+    (
+        0u32..9,
+        0..rows.max(1),
+        0..cols.max(1),
+        weight_strategy(),
+        proptest::collection::vec(weight_strategy(), rows.max(cols)),
+    )
+        .prop_map(move |(kind, row, col, weight, mut vec)| match kind {
+            0..=2 => Mutation::Cell { row, col, weight },
+            3 => Mutation::Forbid { row, col },
+            4..=6 => {
+                vec.truncate(rows);
+                Mutation::Column { col, weights: vec }
+            }
+            _ => {
+                vec.truncate(cols);
+                Mutation::Row { row, weights: vec }
+            }
+        })
+}
+
+/// An instance with at least one row plus a chain of mutations sized to it.
+fn chain_strategy() -> impl Strategy<Value = (Instance, Vec<Mutation>)> {
+    (1usize..=4)
+        .prop_flat_map(|rows| (Just(rows), rows..=6))
+        .prop_flat_map(|(rows, cols)| {
+            let inst = proptest::collection::vec(cell_strategy(), rows * cols)
+                .prop_map(move |cells| Instance { rows, cols, cells });
+            let muts = proptest::collection::vec(mutation_strategy(rows, cols), 1..=12);
+            (inst, muts)
+        })
+}
+
+/// Solves `weights` three ways and cross-checks totals, matching validity,
+/// and the warm certificate. Returns the agreed optimum (or `None` when all
+/// three agree the instance is infeasible).
+fn check_all_solvers(
+    state: &mut HungarianState,
+    maximize: bool,
+) -> Result<Option<i64>, TestCaseError> {
+    let weights = state.weights().clone();
+    let warm = state.solve();
+    let cold = if maximize {
+        max_weight_matching_certified(&weights)
+    } else {
+        min_cost_matching_certified(&weights)
+    };
+    let brute = brute_force(&weights, maximize);
+
+    match (&warm, &cold, &brute) {
+        (Ok(w), Ok(c), Ok(b)) => {
+            prop_assert_eq!(w.matching.total, c.matching.total, "warm vs cold total");
+            prop_assert_eq!(w.matching.total, b.total, "warm vs brute total");
+            // The warm matching must be a valid injection over allowed edges
+            // whose weights really sum to `total`.
+            let mut used = vec![false; weights.cols()];
+            let mut sum = 0i64;
+            for (r, &c) in w.matching.row_to_col.iter().enumerate() {
+                prop_assert!(c < weights.cols(), "column {} out of range", c);
+                prop_assert!(!used[c], "column {} reused", c);
+                used[c] = true;
+                let cell = weights.get(r, c);
+                prop_assert!(cell.is_some(), "matched forbidden cell ({}, {})", r, c);
+                sum += cell.unwrap_or(0);
+            }
+            prop_assert_eq!(sum, w.matching.total, "total must equal edge sum");
+            // The warm duals must verify as an optimality certificate.
+            let verdict = verify_dual_certificate(&weights, &w.matching, &w.certificate);
+            prop_assert!(verdict.is_ok(), "warm certificate rejected: {:?}", verdict);
+            Ok(Some(w.matching.total))
+        }
+        (
+            Err(MatchingError::Infeasible),
+            Err(MatchingError::Infeasible),
+            Err(MatchingError::Infeasible),
+        ) => Ok(None),
+        _ => {
+            prop_assert!(
+                false,
+                "solver disagreement: warm={:?} cold={:?} brute={:?}",
+                warm.as_ref().map(|s| s.matching.total),
+                cold.as_ref().map(|s| s.matching.total),
+                brute.as_ref().map(|m| m.total)
+            );
+            Ok(None)
+        }
+    }
+}
+
+fn apply(state: &mut HungarianState, m: &Mutation) {
+    match m {
+        Mutation::Cell { row, col, weight } => state.set_weight(*row, *col, *weight),
+        Mutation::Forbid { row, col } => state.forbid(*row, *col),
+        Mutation::Column { col, weights } => state.set_column(*col, weights),
+        Mutation::Row { row, weights } => {
+            for (col, &w) in weights.iter().enumerate() {
+                state.set_weight(*row, col, w);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Cold-start agreement: on a fresh state the warm solver is just a
+    /// Hungarian solver, and must agree with the cold path and brute force
+    /// on every random instance (both objectives), certificates included.
+    #[test]
+    fn fresh_state_matches_cold_and_brute(inst in instance_strategy(5, 7), maximize in proptest::bool::ANY) {
+        let w = inst.matrix();
+        let mut state = HungarianState::new(&w, maximize).expect("shape is solvable");
+        check_all_solvers(&mut state, maximize)?;
+    }
+
+    /// Mutation chains: one cell / row / column perturbed per step, with the
+    /// three-way differential check and a certificate verification after
+    /// every single step. This is the property that makes warm-start reuse
+    /// safe to ship: no edit sequence may leave stale potentials behind.
+    #[test]
+    fn mutation_chain_stays_exact((inst, muts) in chain_strategy(), maximize in proptest::bool::ANY) {
+        let w = inst.matrix();
+        let mut state = HungarianState::new(&w, maximize).expect("shape is solvable");
+        check_all_solvers(&mut state, maximize)?;
+        for m in &muts {
+            apply(&mut state, m);
+            check_all_solvers(&mut state, maximize)?;
+        }
+        // The chain must have driven the warm path, not fresh states.
+        let stats = state.stats();
+        prop_assert_eq!(stats.solves, muts.len() as u64 + 1);
+    }
+
+    /// The pre-solve dual bound must dominate the true optimum (upper bound
+    /// when maximizing, lower bound when minimizing) after every mutation,
+    /// and collapse to the exact optimum after each solve — the property the
+    /// co-design pruning relies on to never skip the true best combo.
+    #[test]
+    fn objective_bound_brackets_optimum((inst, muts) in chain_strategy(), maximize in proptest::bool::ANY) {
+        let w = inst.matrix();
+        let mut state = HungarianState::new(&w, maximize).expect("shape is solvable");
+        for m in &muts {
+            apply(&mut state, m);
+            let bound = state.objective_bound();
+            match brute_force(state.weights(), maximize) {
+                Ok(best) => {
+                    if maximize {
+                        prop_assert!(bound >= best.total, "bound {} < optimum {}", bound, best.total);
+                    } else {
+                        prop_assert!(bound <= best.total, "bound {} > optimum {}", bound, best.total);
+                    }
+                    let solved = state.solve();
+                    prop_assert!(solved.is_ok());
+                    prop_assert_eq!(state.objective_bound(), best.total, "zero gap after solve");
+                }
+                Err(_) => {
+                    prop_assert_eq!(state.solve().err(), Some(MatchingError::Infeasible));
+                }
+            }
+        }
+    }
+
+    /// Degenerate ties: constant matrices make every matching optimal and
+    /// every dual step a tie-break. Warm and cold must agree on the total
+    /// and produce verifying certificates under column perturbations.
+    #[test]
+    fn all_tied_instances_stay_consistent(
+        rows in 1usize..=4,
+        extra in 0usize..=3,
+        value in -5i64..=5,
+        col in 0usize..=6,
+        bump in weight_strategy(),
+    ) {
+        let cols = rows + extra;
+        let w = WeightMatrix::from_fn(rows, cols, |_, _| Some(value));
+        let mut state = HungarianState::new(&w, true).expect("solvable");
+        check_all_solvers(&mut state, true)?;
+        state.set_column(col % cols, &vec![bump; rows]);
+        check_all_solvers(&mut state, true)?;
+    }
+
+    /// Extreme weights near ±MAX_WEIGHT: potentials and bounds must not
+    /// overflow or mis-compare even when the forbidden sentinel dwarfs the
+    /// real entries.
+    #[test]
+    fn extreme_weights_stay_exact(
+        signs in proptest::collection::vec(proptest::bool::ANY, 9),
+        forbid_at in 0usize..9,
+    ) {
+        let w = WeightMatrix::from_fn(3, 3, |r, c| {
+            let idx = r * 3 + c;
+            if idx == forbid_at {
+                None
+            } else {
+                Some(if signs[idx] { EXTREME } else { -EXTREME })
+            }
+        });
+        let mut state = HungarianState::new(&w, true).expect("solvable");
+        check_all_solvers(&mut state, true)?;
+        // Flip the forbidden cell back to an extreme value and re-check.
+        state.set_weight(forbid_at / 3, forbid_at % 3, EXTREME);
+        check_all_solvers(&mut state, true)?;
+    }
+}
+
+/// Warm-start effectiveness is part of the contract, not just correctness:
+/// a long chain of single-column edits must re-augment strictly fewer rows
+/// than cold re-solves would.
+#[test]
+fn warm_start_saves_work_on_column_chains() {
+    let w = WeightMatrix::from_fn(5, 7, |r, c| Some(((r * 13 + c * 7) % 19) as i64 - 9));
+    let mut state = HungarianState::new(&w, true).expect("solvable");
+    state.solve().expect("feasible");
+    for step in 0u64..100 {
+        let col = (step as usize * 3) % 7;
+        let weights: Vec<i64> = (0..5)
+            .map(|r| ((r as u64 * 11 + step * 5) % 17) as i64 - 8)
+            .collect();
+        state.set_column(col, &weights);
+        let warm = state.solve().expect("feasible");
+        let cold = max_weight_matching_certified(state.weights()).expect("feasible");
+        assert_eq!(warm.matching.total, cold.matching.total, "step {step}");
+    }
+    let stats = state.stats();
+    assert_eq!(stats.solves, 101);
+    assert!(
+        stats.rows_reaugmented < stats.rows_total / 2,
+        "warm start should skip most row augmentations: {stats:?}"
+    );
+    assert!(stats.warm_hit_rate() > 0.5, "{stats:?}");
+}
