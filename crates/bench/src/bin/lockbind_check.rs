@@ -21,22 +21,30 @@ use std::process::ExitCode;
 
 use lockbind_bench::codec;
 use lockbind_bench::PreparedKernel;
-use lockbind_check::{check_artifact, Artifact, Report};
+use lockbind_check::{audit_netlist, check_artifact, Artifact, AuditSummary, Report};
 use lockbind_core::{
     bind_area_aware, bind_obfuscation_aware_certified, bind_power_aware, codesign_heuristic,
     LockingSpec,
 };
-use lockbind_hls::{binding::bind_naive, FuId};
+use lockbind_hls::{binding::bind_naive, FuClass, FuId};
+use lockbind_locking::{
+    lock_anti_sat, lock_critical_minterms, lock_permutation, lock_rll, lock_sfll_hd, LockError,
+    LockedNetlist,
+};
 use lockbind_mediabench::Kernel;
+use lockbind_netlist::builders::{adder_fu, multiplier_fu};
+use lockbind_netlist::Netlist;
 
 fn usage() -> &'static str {
     "lockbind-check — offline linter for HLS/locking artifacts\n\
      \n\
      Usage:\n\
      \x20 lockbind-check kernels [FRAMES] [SEED]   lint every suite kernel x binding algorithm\n\
+     \x20 lockbind-check audit [FRAMES] [SEED]     LB07xx structural audit, kernel x scheme family\n\
      \x20 lockbind-check checkpoint PATH           validate a sweep checkpoint file\n\
      \n\
-     Defaults: FRAMES=60, SEED=5 (the committed golden in results/CHECK_baseline.txt)."
+     Defaults: FRAMES=60, SEED=5 (the committed goldens in results/CHECK_baseline.txt\n\
+     and results/AUDIT_baseline.txt)."
 }
 
 fn main() -> ExitCode {
@@ -54,6 +62,19 @@ fn main() -> ExitCode {
                 Some(Err(_)) => return bad_usage("SEED must be an integer"),
             };
             lint_kernels(frames, seed)
+        }
+        Some("audit") => {
+            let frames = match args.get(1).map(|s| s.parse::<usize>()) {
+                None => 60,
+                Some(Ok(n)) => n,
+                Some(Err(_)) => return bad_usage("FRAMES must be an integer"),
+            };
+            let seed = match args.get(2).map(|s| s.parse::<u64>()) {
+                None => 5,
+                Some(Ok(n)) => n,
+                Some(Err(_)) => return bad_usage("SEED must be an integer"),
+            };
+            audit_kernels(frames, seed)
         }
         Some("checkpoint") => match args.get(1) {
             Some(path) => lint_checkpoint(Path::new(path)),
@@ -232,6 +253,92 @@ fn lint_kernels(frames: usize, seed: u64) -> ExitCode {
     println!();
     println!(
         "{artifacts} artifact(s) linted: {clean} clean, {errors} error(s), {warnings} warning(s)"
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The locking-scheme families the audit sweep scores, applied to the
+/// kernel's own FU module at its datapath width. The RLL placement seed is
+/// the sweep seed, so `audit FRAMES SEED` is fully reproducible.
+fn audit_schemes(
+    base: &Netlist,
+    seed: u64,
+) -> [(&'static str, Result<LockedNetlist, LockError>); 5] {
+    [
+        ("critical-minterm", lock_critical_minterms(base, &[5, 11])),
+        ("rll", lock_rll(base, 6, seed)),
+        ("anti-sat", lock_anti_sat(base)),
+        ("permutation", lock_permutation(base, 2)),
+        ("sfll-hd", lock_sfll_hd(base, 5, 1)),
+    ]
+}
+
+fn audit_kernels(frames: usize, seed: u64) -> ExitCode {
+    println!("lockbind-check audit sweep: frames={frames} seed={seed}");
+    println!(
+        "{:<12} {:<10} {:<16} {:>4} {:>5}  {:<8} verdict",
+        "kernel", "class", "scheme", "keys", "nets", "max-skew"
+    );
+
+    let mut audited = 0usize;
+    let mut clean = 0usize;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut totals: std::collections::BTreeMap<&'static str, usize> = Default::default();
+
+    for kernel in Kernel::ALL {
+        let p = PreparedKernel::new(kernel, frames, seed);
+        let width = p.dfg.width();
+        for class in p.classes() {
+            let base = match class {
+                FuClass::Adder => adder_fu(width),
+                FuClass::Multiplier => multiplier_fu(width),
+            };
+            let class_label = format!("{class:?}");
+            for (scheme, locked) in audit_schemes(&base, seed) {
+                let locked = match locked {
+                    Ok(locked) => locked,
+                    Err(e) => {
+                        eprintln!("lockbind-check: {kernel:?}/{class}/{scheme}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let report = audit_netlist(locked.netlist());
+                let summary = AuditSummary::compute(locked.netlist(), &report);
+                audited += 1;
+                if report.diagnostics().is_empty() {
+                    clean += 1;
+                }
+                errors += report.error_count();
+                warnings += report.warning_count();
+                for (code, count) in report.counts_by_code() {
+                    *totals.entry(code).or_default() += count;
+                }
+                println!(
+                    "{:<12} {:<10} {:<16} {:>4} {:>5}  {:<8.4} {}",
+                    p.name,
+                    class_label,
+                    scheme,
+                    summary.keys,
+                    summary.nets,
+                    summary.max_skew,
+                    row(&report)
+                );
+            }
+        }
+    }
+
+    println!();
+    if !totals.is_empty() {
+        let codes: Vec<String> = totals.iter().map(|(c, n)| format!("{c}x{n}")).collect();
+        println!("finding totals: {}", codes.join(" "));
+    }
+    println!(
+        "{audited} locked module(s) audited: {clean} clean, {errors} error(s), {warnings} warning(s)"
     );
     if errors > 0 {
         ExitCode::FAILURE

@@ -9,8 +9,16 @@
 //! cell errors carrying [`lockbind_check::CHECK_FAILURE_PREFIX`], which the
 //! engine classifies into `cells_check_failed` and per-`LBxxxx`-code counts
 //! in the run metrics.
+//!
+//! The engine's `--audit` mode works the same way but runs the LB07xx
+//! structural-security audit ([`lockbind_check::audit_netlist`]) over the
+//! same final locked netlists. Audit *warnings* are a leakage scorecard,
+//! not a defect — they feed the `audit.*` obs counters (and the `audit`
+//! object of the run-metrics JSON) without touching the cell result, so
+//! enabling the audit leaves every grid byte-identical. Only error-severity
+//! findings (`LB0701`, an unobservable key bit) fail the cell.
 
-use lockbind_check::{check_artifact, Artifact, Report};
+use lockbind_check::{audit_passed, check_artifact, Artifact, Report};
 use lockbind_core::{bind_obfuscation_aware_certified, LockingSpec};
 use lockbind_hls::{Binding, Minterm};
 use lockbind_netlist::Netlist;
@@ -69,6 +77,24 @@ pub fn lint_locked_binding(
 /// Returns the prefixed check failure message when the netlist is rejected.
 pub fn lint_netlist(netlist: &Netlist) -> Result<(), String> {
     finish(check_artifact(&Artifact::new().with_netlist(netlist)))
+}
+
+/// Runs the LB07xx structural-security audit over a locked netlist.
+///
+/// Findings are exported as `audit.*` obs counters as a side effect of
+/// [`lockbind_check::audit_netlist`]; warning-severity findings are
+/// *accepted* (they describe leakage, not brokenness).
+///
+/// # Errors
+/// Returns the prefixed failure message only when an error-severity
+/// finding fires (a structurally broken lock, e.g. an unobservable key).
+pub fn audit_locked_netlist(netlist: &Netlist) -> Result<(), String> {
+    let report = lockbind_check::audit_netlist(netlist);
+    if audit_passed(&report) {
+        Ok(())
+    } else {
+        finish(report)
+    }
 }
 
 fn finish(report: Report) -> Result<(), String> {
@@ -139,5 +165,24 @@ mod tests {
     #[test]
     fn locked_adder_netlist_lints_clean() {
         lint_netlist(&adder_fu(4)).expect("plain adder FU is sane");
+    }
+
+    #[test]
+    fn audit_accepts_warning_heavy_schemes_and_rejects_orphaned_keys() {
+        // Every real scheme carries audit warnings (that is the scorecard);
+        // none of them should fail a cell.
+        let base = adder_fu(4);
+        let locked = lockbind_locking::lock_critical_minterms(&base, &[5, 11]).expect("locks");
+        audit_locked_netlist(locked.netlist()).expect("warnings never fail cells");
+
+        // An orphaned key input is a genuine structural defect (LB0701).
+        let mut broken = base.clone();
+        broken.add_key();
+        let err = audit_locked_netlist(&broken).expect_err("orphaned key is an error");
+        assert!(
+            err.starts_with(lockbind_check::CHECK_FAILURE_PREFIX),
+            "{err}"
+        );
+        assert!(err.contains("LB0701"), "{err}");
     }
 }

@@ -155,6 +155,25 @@ impl Job for ErrorCell {
                     .map_err(|e| format!("check spec: {e}"))?;
                     crate::check::lint_locked_binding(&prepared, None, &spec, &cc.candidates)?;
                 }
+                // `--audit` mode: realize the representative lock as
+                // gate-level modules and score their structural leakage.
+                if ctx.audit && !records.is_empty() {
+                    let fus: Vec<FuId> = (0..self.locked_fus)
+                        .map(|i| FuId::new(self.class, i))
+                        .collect();
+                    let minterms = cc.candidates[..self.locked_inputs].to_vec();
+                    let spec = LockingSpec::new(
+                        &prepared.alloc,
+                        fus.into_iter().map(|fu| (fu, minterms.clone())).collect(),
+                    )
+                    .map_err(|e| format!("audit spec: {e}"))?;
+                    let modules =
+                        lockbind_core::realize_locked_modules(&spec, prepared.dfg.width())
+                            .map_err(|e| format!("audit realize: {e}"))?;
+                    for (_, locked) in &modules {
+                        crate::check::audit_locked_netlist(locked.netlist())?;
+                    }
+                }
                 Ok(records)
             }
         }

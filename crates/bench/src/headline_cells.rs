@@ -94,6 +94,14 @@ impl Job for ImpactCell {
         }
         let modules = realize_locked_modules(&design.spec, prepared.dfg.width())
             .map_err(|e| e.to_string())?;
+        // `--audit` mode: score every realized locked module's structural
+        // leakage (findings land in the `audit.*` run metrics; only an
+        // error-severity finding fails the cell).
+        if ctx.audit {
+            for (_, locked) in &modules {
+                crate::check::audit_locked_netlist(locked.netlist())?;
+            }
+        }
         let keys = wrong_keys(&modules, 1);
         let corruption = output_corruption(
             &prepared.dfg,
@@ -200,6 +208,11 @@ impl Job for SatCell {
         // `--check` mode: lint the locked gate graph before attacking it.
         if ctx.check {
             crate::check::lint_netlist(locked.netlist())?;
+        }
+        // `--audit` mode: the structural-leakage scorecard of the scheme
+        // under attack (warnings expected for weak schemes; errors fail).
+        if ctx.audit {
+            crate::check::audit_locked_netlist(locked.netlist())?;
         }
         let out = sat_attack_with_cancel(&locked, &AttackConfig::default(), &ctx.cancel);
         if out.stop == AttackStop::Interrupted {

@@ -26,7 +26,7 @@ pub mod overhead;
 pub mod prepared;
 pub mod report;
 
-pub use check::{lint_locked_binding, lint_netlist};
+pub use check::{audit_locked_netlist, lint_locked_binding, lint_netlist};
 pub use errors_experiment::{
     run_error_cell, run_error_cell_cancellable, run_error_experiment, ClassContext, ErrorRecord,
     ExperimentParams, SecurityAlgo,

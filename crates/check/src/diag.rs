@@ -13,7 +13,10 @@ use lockbind_hls::{FuId, Minterm};
 /// * `LB03xx` — binding legality,
 /// * `LB04xx` — matching-optimality certificates,
 /// * `LB05xx` — locking-config validity,
-/// * `LB06xx` — netlist sanity.
+/// * `LB06xx` — netlist sanity,
+/// * `LB07xx` — structural-security audit of locked netlists
+///   (`LB070x` key-dependency cones, `LB071x` constant/X-propagation
+///   under key hypotheses, `LB072x` signal-probability skew).
 ///
 /// Codes are append-only: a released code never changes meaning, so goldens
 /// and CI greps stay valid across versions.
@@ -81,11 +84,56 @@ pub enum Code {
     FloatingNet,
     /// `LB0603`: a key input reaches no gate, so the key bit is inert.
     DeadKeyInput,
+    /// `LB0701`: a key bit's fan-out cone contains no primary output — the
+    /// bit is structurally unobservable and any guess for it is correct.
+    KeyUnobservable,
+    /// `LB0702`: the netlist has key inputs, but this output's transitive
+    /// key support is empty — the output is entirely unprotected.
+    UnprotectedOutput,
+    /// `LB0703`: an output whose key support is exactly one key bit — that
+    /// bit is learnable from this output alone.
+    SingleKeyOutput,
+    /// `LB0704`: a key bit reaches an output along a path on which every
+    /// net depends on no other key — a bypassable unit-key-gate chain
+    /// (classic XOR/XNOR random-insertion signature).
+    IsolatedKeyPath,
+    /// `LB0705`: a net computing a pure multi-key function (two or more
+    /// key bits, no primary-input dependence) — key-space collapse logic.
+    KeyMixingLogic,
+    /// `LB0706`: two key bits with identical fan-out cones — the bits are
+    /// structurally interchangeable.
+    RedundantKeyBit,
+    /// `LB0711`: a key-dependent net that becomes constant when a single
+    /// key bit is hypothesised (all else unknown) — an AND/OR unit-gate
+    /// removal signature.
+    HypothesisConstantNet,
+    /// `LB0712`: a primary output that becomes constant under a single
+    /// key-bit hypothesis with all inputs unknown.
+    HypothesisConstantOutput,
+    /// `LB0713`: a net with key bits in its fan-in whose value is already
+    /// constant with everything unknown — a vacuous key gate, removable
+    /// outright.
+    VacuousKeyGate,
+    /// `LB0714`: an output known under both hypotheses of some key bit
+    /// with different values — one oracle query reveals the bit.
+    HypothesisDistinguishedKey,
+    /// `LB0721`: a key-dependent net with extreme estimated signal
+    /// probability (ProbLock-style skew).
+    SkewedKeyNet,
+    /// `LB0722`: a skewed net feeding a key-dependent XOR on an output
+    /// path — the point-function comparator + corruption-XOR signature.
+    PointFunctionSignature,
+    /// `LB0723`: a skewed key-free input-dependent net feeding key logic —
+    /// a hardcoded comparator leaking the protected minterm.
+    HardcodedComparator,
+    /// `LB0724`: a primary output with extreme estimated signal
+    /// probability.
+    SkewedOutput,
 }
 
 impl Code {
     /// Every code, in `LBxxxx` order (used by renderers and docs).
-    pub const ALL: [Code; 28] = [
+    pub const ALL: [Code; 42] = [
         Code::DanglingOpRef,
         Code::DfgCycle,
         Code::WidthMismatch,
@@ -114,6 +162,20 @@ impl Code {
         Code::CombinationalCycle,
         Code::FloatingNet,
         Code::DeadKeyInput,
+        Code::KeyUnobservable,
+        Code::UnprotectedOutput,
+        Code::SingleKeyOutput,
+        Code::IsolatedKeyPath,
+        Code::KeyMixingLogic,
+        Code::RedundantKeyBit,
+        Code::HypothesisConstantNet,
+        Code::HypothesisConstantOutput,
+        Code::VacuousKeyGate,
+        Code::HypothesisDistinguishedKey,
+        Code::SkewedKeyNet,
+        Code::PointFunctionSignature,
+        Code::HardcodedComparator,
+        Code::SkewedOutput,
     ];
 
     /// The stable `LBxxxx` string for this code.
@@ -147,15 +209,47 @@ impl Code {
             Code::CombinationalCycle => "LB0601",
             Code::FloatingNet => "LB0602",
             Code::DeadKeyInput => "LB0603",
+            Code::KeyUnobservable => "LB0701",
+            Code::UnprotectedOutput => "LB0702",
+            Code::SingleKeyOutput => "LB0703",
+            Code::IsolatedKeyPath => "LB0704",
+            Code::KeyMixingLogic => "LB0705",
+            Code::RedundantKeyBit => "LB0706",
+            Code::HypothesisConstantNet => "LB0711",
+            Code::HypothesisConstantOutput => "LB0712",
+            Code::VacuousKeyGate => "LB0713",
+            Code::HypothesisDistinguishedKey => "LB0714",
+            Code::SkewedKeyNet => "LB0721",
+            Code::PointFunctionSignature => "LB0722",
+            Code::HardcodedComparator => "LB0723",
+            Code::SkewedOutput => "LB0724",
         }
     }
 
     /// The default severity this code is reported at.
+    ///
+    /// Audit (`LB07xx`) findings are warnings except `LB0701`: a key bit
+    /// that cannot reach any output is unconditionally broken, while the
+    /// rest grade *weakness* of legal netlists — real schemes trip them by
+    /// design (a point-function comparator *is* skewed).
     pub fn severity(self) -> Severity {
         match self {
-            Code::DegenerateMintermSet | Code::BudgetInconsistent | Code::FloatingNet => {
-                Severity::Warning
-            }
+            Code::DegenerateMintermSet
+            | Code::BudgetInconsistent
+            | Code::FloatingNet
+            | Code::UnprotectedOutput
+            | Code::SingleKeyOutput
+            | Code::IsolatedKeyPath
+            | Code::KeyMixingLogic
+            | Code::RedundantKeyBit
+            | Code::HypothesisConstantNet
+            | Code::HypothesisConstantOutput
+            | Code::VacuousKeyGate
+            | Code::HypothesisDistinguishedKey
+            | Code::SkewedKeyNet
+            | Code::PointFunctionSignature
+            | Code::HardcodedComparator
+            | Code::SkewedOutput => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -222,6 +316,8 @@ pub enum Span {
     Net(usize),
     /// A netlist key input, by key index.
     KeyInput(usize),
+    /// A netlist primary output, by output index.
+    Output(usize),
 }
 
 impl fmt::Display for Span {
@@ -237,6 +333,7 @@ impl fmt::Display for Span {
             Span::MintermOn(fu, m) => write!(f, "{fu}/{m}"),
             Span::Net(i) => write!(f, "n{i}"),
             Span::KeyInput(i) => write!(f, "key{i}"),
+            Span::Output(i) => write!(f, "out{i}"),
         }
     }
 }

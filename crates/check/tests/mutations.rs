@@ -303,3 +303,172 @@ proptest! {
         prop_assert!(!report.is_clean());
     }
 }
+
+// ---------------------------------------------------------------------------
+// LB07xx structural-audit mutations: start from a *sound* locked (or
+// unlocked) FU netlist, seed exactly one known structural weakness, and
+// assert the audit reports the expected stable code. The dual direction —
+// clean artifacts audit silent, real schemes audit warning-only — anchors
+// the false-positive side.
+// ---------------------------------------------------------------------------
+
+use lockbind_check::{audit_netlist, audit_passed};
+use lockbind_locking::{
+    lock_anti_sat, lock_critical_minterms, lock_permutation, lock_rll, lock_sfll_hd,
+};
+use lockbind_netlist::builders::{adder_fu, multiplier_fu};
+use lockbind_netlist::Netlist;
+
+fn audit_codes(netlist: &Netlist) -> Vec<&'static str> {
+    audit_netlist(netlist)
+        .counts_by_code()
+        .into_keys()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Baseline: unlocked FU modules carry no keys, so the audit is
+    /// trivially silent — zero findings at any width.
+    #[test]
+    fn unlocked_fus_audit_silent(width in 3u32..8) {
+        for base in [adder_fu(width), multiplier_fu(width)] {
+            let report = audit_netlist(&base);
+            prop_assert!(
+                report.diagnostics().is_empty(),
+                "{}:\n{}",
+                base.name(),
+                report.render_human()
+            );
+        }
+    }
+
+    /// Mutation: a key input that drives nothing. Structurally inert key
+    /// bits are free for the attacker — the one error-severity finding.
+    #[test]
+    fn orphaned_key_trips_lb0701(width in 3u32..8, seed in 0u64..16) {
+        let locked = lock_rll(&adder_fu(width), 4, seed).expect("lockable");
+        prop_assert!(audit_passed(&audit_netlist(locked.netlist())));
+        let mut broken = locked.netlist().clone();
+        broken.add_key();
+        let report = audit_netlist(&broken);
+        prop_assert!(has_code(&report, "LB0701"), "{}", report.render_human());
+        prop_assert!(!audit_passed(&report), "an inert key must fail the audit");
+    }
+
+    /// Mutation: a lone XOR key gate spliced right onto an output — the
+    /// bypassable unit key gate (remove it, recover the function).
+    #[test]
+    fn output_key_xor_trips_lb0704(width in 3u32..8) {
+        let mut nl = adder_fu(width);
+        let out = nl.outputs()[0];
+        let k = nl.add_key();
+        let keyed = nl.xor(out, k);
+        nl.mark_output(keyed);
+        let report = audit_netlist(&nl);
+        prop_assert!(has_code(&report, "LB0704"), "{}", report.render_human());
+        prop_assert!(audit_passed(&report), "isolation is a warning, not an error");
+    }
+
+    /// Mutation: AND an output with a key bit. Under the `k = 0` hypothesis
+    /// the gate (and the output) collapse to a constant — a removable key
+    /// gate (LB0711) and a hypothesis-constant output (LB0712).
+    #[test]
+    fn hypothesis_constant_and_trips_lb0711_lb0712(width in 3u32..8) {
+        let mut nl = adder_fu(width);
+        let out = nl.outputs()[0];
+        let k = nl.add_key();
+        let gated = nl.and(out, k);
+        nl.mark_output(gated);
+        let report = audit_netlist(&nl);
+        prop_assert!(has_code(&report, "LB0711"), "{}", report.render_human());
+        prop_assert!(has_code(&report, "LB0712"), "{}", report.render_human());
+    }
+
+    /// Mutation: route a key bit straight to an output. Any input vector
+    /// distinguishes the two key hypotheses by inspection.
+    #[test]
+    fn key_as_output_trips_lb0714(width in 3u32..8) {
+        let mut nl = adder_fu(width);
+        let k = nl.add_key();
+        nl.mark_output(k);
+        let report = audit_netlist(&nl);
+        prop_assert!(has_code(&report, "LB0714"), "{}", report.render_human());
+    }
+
+    /// Mutation: AND a key with constant false, then OR the result into an
+    /// output. The key gate reads a key-dependent, input-independent,
+    /// already-constant operand — vacuous by constant propagation alone.
+    #[test]
+    fn constant_key_operand_trips_lb0713(width in 3u32..8) {
+        let mut nl = adder_fu(width);
+        let out = nl.outputs()[0];
+        let k = nl.add_key();
+        let f = nl.lit_false();
+        let vacuous = nl.and(k, f);
+        let merged = nl.or(out, vacuous);
+        nl.mark_output(merged);
+        let report = audit_netlist(&nl);
+        prop_assert!(has_code(&report, "LB0713"), "{}", report.render_human());
+    }
+
+    /// Mutation: XOR two key bits together before they touch the logic.
+    /// Only the parity reaches the function — key-mixing logic (LB0705)
+    /// whose two bits are mutually redundant (LB0706).
+    #[test]
+    fn paired_keys_trip_lb0705_lb0706(width in 3u32..8) {
+        let mut nl = adder_fu(width);
+        let out = nl.outputs()[0];
+        let k0 = nl.add_key();
+        let k1 = nl.add_key();
+        let parity = nl.xor(k0, k1);
+        let keyed = nl.xor(out, parity);
+        nl.mark_output(keyed);
+        let report = audit_netlist(&nl);
+        prop_assert!(has_code(&report, "LB0705"), "{}", report.render_human());
+        prop_assert!(has_code(&report, "LB0706"), "{}", report.render_human());
+    }
+
+    /// Scheme character: the point-function comparator of critical-minterm
+    /// locking shows the ProbLock skew signature — a skewed key-dependent
+    /// net (LB0721) feeding a restore XOR (LB0722), plus the hard-coded
+    /// input-side comparators (LB0723) — and still passes (warnings only).
+    #[test]
+    fn critical_minterm_shows_skew_signature(width in 3u32..8) {
+        let locked = lock_critical_minterms(&adder_fu(width), &[5, 11]).expect("lockable");
+        let report = audit_netlist(locked.netlist());
+        for code in ["LB0721", "LB0722", "LB0723"] {
+            prop_assert!(has_code(&report, code), "missing {code}:\n{}", report.render_human());
+        }
+        prop_assert!(audit_passed(&report));
+    }
+
+    /// Scheme character: every shipped scheme family audits error-free —
+    /// the audit is a leakage scorecard over sound locks, not a gate that
+    /// real schemes trip.
+    #[test]
+    fn shipped_schemes_audit_error_free(width in 3u32..8, seed in 0u64..16) {
+        let base = adder_fu(width);
+        let locked = [
+            lock_critical_minterms(&base, &[5, 11]).expect("cml locks"),
+            lock_rll(&base, 6, seed).expect("rll locks"),
+            lock_anti_sat(&base).expect("anti-sat locks"),
+            lock_permutation(&base, 2).expect("permutation locks"),
+            lock_sfll_hd(&base, 5, 1).expect("sfll-hd locks"),
+        ];
+        for lock in &locked {
+            let report = audit_netlist(lock.netlist());
+            prop_assert!(
+                audit_passed(&report),
+                "{}:\n{}",
+                lock.netlist().name(),
+                report.render_human()
+            );
+        }
+        // Permutation networks are the quiet end of the scorecard: balanced
+        // mux trees carry no skew and no isolated paths.
+        let perm = audit_codes(locked[3].netlist());
+        prop_assert!(perm.is_empty(), "permutation flagged: {perm:?}");
+    }
+}

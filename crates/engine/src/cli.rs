@@ -7,6 +7,7 @@
 //!       [--json PATH] [--fail-fast] [--trace PATH] [--profile]
 //!       [--cell-timeout SECS] [--retries N] [--retry-backoff-ms MS]
 //!       [--checkpoint PATH] [--resume PATH] [--check] [--no-check]
+//!       [--audit] [--no-audit]
 //! ```
 //!
 //! The two positionals predate the engine (`fig4 300 2021`) and remain
@@ -69,6 +70,10 @@ pub struct EngineArgs {
     /// (`--check` / `--no-check`). Defaults to on in debug builds, off in
     /// release builds.
     pub check: bool,
+    /// Run the LB07xx structural-security audit over every cell's locked
+    /// netlists (`--audit` / `--no-audit`). Findings only feed `audit.*`
+    /// run metrics — they never fail cells — so the flag defaults to off.
+    pub audit: bool,
 }
 
 impl EngineArgs {
@@ -89,6 +94,7 @@ impl EngineArgs {
             resume: None,
             faults: None,
             check: cfg!(debug_assertions),
+            audit: false,
         }
     }
 
@@ -117,7 +123,7 @@ impl EngineArgs {
     /// Usage string for `bin`.
     pub fn usage(bin: &str) -> String {
         format!(
-            "usage: {bin} [FRAMES] [SEED] [--frames N] [--seed S] [--threads N] [--json PATH] [--fail-fast] [--trace PATH] [--profile] [--cell-timeout SECS] [--retries N] [--retry-backoff-ms MS] [--checkpoint PATH] [--resume PATH] [--check] [--no-check]"
+            "usage: {bin} [FRAMES] [SEED] [--frames N] [--seed S] [--threads N] [--json PATH] [--fail-fast] [--trace PATH] [--profile] [--cell-timeout SECS] [--retries N] [--retry-backoff-ms MS] [--checkpoint PATH] [--resume PATH] [--check] [--no-check] [--audit] [--no-audit]"
         )
     }
 
@@ -172,6 +178,8 @@ impl EngineArgs {
                 "--resume" => out.resume = Some(PathBuf::from(value_for("--resume")?)),
                 "--check" => out.check = true,
                 "--no-check" => out.check = false,
+                "--audit" => out.audit = true,
+                "--no-audit" => out.audit = false,
                 flag if flag.starts_with("--") => {
                     return Err(format!("unknown flag {flag}"));
                 }
@@ -224,6 +232,7 @@ impl EngineArgs {
             checkpoint: self.checkpoint.clone(),
             resume: self.resume.clone(),
             check: self.check,
+            audit: self.audit,
         }
     }
 
@@ -355,6 +364,7 @@ mod tests {
             cfg!(debug_assertions),
             "checks default on in debug builds only"
         );
+        assert!(!args.audit, "the audit is opt-in in every build profile");
     }
 
     #[test]
@@ -368,6 +378,19 @@ mod tests {
                 .unwrap()
                 .engine_config()
                 .check
+        );
+    }
+
+    #[test]
+    fn audit_flags_toggle_both_ways() {
+        assert!(parse(&["--audit"]).unwrap().audit);
+        assert!(!parse(&["--no-audit"]).unwrap().audit);
+        assert!(parse(&["--no-audit", "--audit"]).unwrap().audit);
+        assert!(
+            !parse(&["--audit", "--no-audit"])
+                .unwrap()
+                .engine_config()
+                .audit
         );
     }
 
@@ -535,6 +558,8 @@ mod tests {
             "--resume",
             "--check",
             "--no-check",
+            "--audit",
+            "--no-audit",
         ] {
             assert!(usage.contains(flag), "usage is missing {flag}: {usage}");
         }

@@ -51,5 +51,7 @@ pub use cache::{ArtifactCache, CacheKey, CacheStats};
 pub use checkpoint::{CheckpointEntry, CHECKPOINT_SCHEMA};
 pub use cli::{EngineArgs, ObsSession};
 pub use json::Json;
-pub use metrics::{CellTiming, RunMetrics, ServeAggregates, StageMetrics, METRICS_SCHEMA_VERSION};
+pub use metrics::{
+    AuditAggregates, CellTiming, RunMetrics, ServeAggregates, StageMetrics, METRICS_SCHEMA_VERSION,
+};
 pub use pool::{CellResult, Engine, EngineConfig, Job, JobCtx, RunReport, CHECK_FAILURE_PREFIX};

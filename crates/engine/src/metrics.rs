@@ -19,6 +19,11 @@
 //! aggregates derived from the `serve.*` counters the `lockbind-serve`
 //! daemon records on the obs registry — all zeros for batch (figure / CLI)
 //! runs; all earlier fields are unchanged.
+//! Version 6 added the `audit` object ([`AuditAggregates`]): LB07xx
+//! structural-security findings derived from the `audit.*` counters the
+//! `lockbind-check` audit passes record on the obs registry — all zeros
+//! unless the run enabled the audit (`--audit`); all earlier fields are
+//! unchanged.
 
 use std::time::Duration;
 
@@ -28,7 +33,7 @@ use crate::cache::CacheStats;
 use crate::json::Json;
 
 /// JSON schema version written by [`RunMetrics::to_json`].
-pub const METRICS_SCHEMA_VERSION: u64 = 5;
+pub const METRICS_SCHEMA_VERSION: u64 = 6;
 
 /// Request aggregates recorded by the serve daemon on the obs registry,
 /// one counter per terminal response status plus the coalescing count.
@@ -124,6 +129,84 @@ impl ServeAggregates {
     }
 }
 
+/// LB07xx structural-audit aggregates recorded by the `lockbind-check`
+/// audit passes on the obs registry. Derived from the run's obs delta by
+/// [`AuditAggregates::from_obs`], so a run without `--audit` reports all
+/// zeros.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditAggregates {
+    /// Locked netlists audited.
+    pub netlists: u64,
+    /// Findings emitted, at any severity.
+    pub findings: u64,
+    /// Error-severity findings (structural security defects).
+    pub errors: u64,
+    /// Warning-severity findings (leakage scorecard entries).
+    pub warnings: u64,
+    /// Per-code finding counts (`LBxxxx` → count), sorted by code. Pulled
+    /// from the `audit.code.*` counter namespace.
+    pub codes: Vec<(String, u64)>,
+}
+
+impl AuditAggregates {
+    /// Counter name: netlists audited.
+    pub const NETLISTS: &'static str = "audit.netlists";
+    /// Counter name: findings at any severity.
+    pub const FINDINGS: &'static str = "audit.findings";
+    /// Counter name: error-severity findings.
+    pub const ERRORS: &'static str = "audit.errors";
+    /// Counter name: warning-severity findings.
+    pub const WARNINGS: &'static str = "audit.warnings";
+    /// Prefix of the per-code counters (`audit.code.LB0704` etc.).
+    pub const CODE_PREFIX: &'static str = "audit.code.";
+
+    /// Pulls the `audit.*` aggregates out of an obs snapshot (typically a
+    /// per-run delta). Missing counters read as zero; every counter under
+    /// [`CODE_PREFIX`](Self::CODE_PREFIX) becomes a per-code entry.
+    pub fn from_obs(obs: &MetricsSnapshot) -> Self {
+        let get = |name: &str| obs.counters.get(name).copied().unwrap_or(0);
+        let mut codes: Vec<(String, u64)> = obs
+            .counters
+            .iter()
+            .filter_map(|(name, count)| {
+                name.strip_prefix(Self::CODE_PREFIX)
+                    .map(|code| (code.to_string(), *count))
+            })
+            .collect();
+        codes.sort();
+        AuditAggregates {
+            netlists: get(Self::NETLISTS),
+            findings: get(Self::FINDINGS),
+            errors: get(Self::ERRORS),
+            warnings: get(Self::WARNINGS),
+            codes,
+        }
+    }
+
+    /// `true` when no audit activity was recorded (runs without `--audit`).
+    pub fn is_empty(&self) -> bool {
+        *self == AuditAggregates::default()
+    }
+
+    /// The aggregates as a JSON object (field order fixed).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("netlists", Json::from(self.netlists)),
+            ("findings", Json::from(self.findings)),
+            ("errors", Json::from(self.errors)),
+            ("warnings", Json::from(self.warnings)),
+            (
+                "codes",
+                Json::obj(
+                    self.codes
+                        .iter()
+                        .map(|(code, count)| (code.as_str(), Json::from(*count))),
+                ),
+            ),
+        ])
+    }
+}
+
 impl CacheStats {
     /// The stats accumulated *since* `earlier` (the cache is shared across
     /// runs, so per-run metrics subtract the pre-run snapshot).
@@ -203,6 +286,9 @@ pub struct RunMetrics {
     /// Serve-daemon request aggregates from the run's `serve.*` counters
     /// (all zeros for batch runs).
     pub serve: ServeAggregates,
+    /// LB07xx structural-audit aggregates from the run's `audit.*`
+    /// counters (all zeros unless the run enabled the audit).
+    pub audit: AuditAggregates,
 }
 
 impl RunMetrics {
@@ -231,6 +317,7 @@ impl RunMetrics {
             0.0
         };
         let serve = ServeAggregates::from_obs(&obs);
+        let audit = AuditAggregates::from_obs(&obs);
         RunMetrics {
             threads,
             root_seed,
@@ -257,6 +344,7 @@ impl RunMetrics {
             cells,
             obs,
             serve,
+            audit,
         }
     }
 
@@ -351,6 +439,7 @@ impl RunMetrics {
                 })),
             ),
             ("serve", self.serve.to_json()),
+            ("audit", self.audit.to_json()),
             ("obs", self.obs.to_json()),
         ])
     }
@@ -411,7 +500,7 @@ mod tests {
         assert!(!summary.contains("skipped"), "{summary}");
         assert!(summary.contains("1 check-failed"), "{summary}");
         let json = metrics.to_json().render();
-        assert!(json.contains("\"schema_version\":5"));
+        assert!(json.contains("\"schema_version\":6"));
         assert!(json.contains("\"cells_check_failed\":1"));
         assert!(json.contains("\"check_codes\":{\"LB0304\":2}"));
         assert!(json.contains("\"root_seed\":2021"));
@@ -424,6 +513,44 @@ mod tests {
                  \"deadline_exceeded\":0,\"interrupted\":0,\"coalesced\":0}"
             ),
             "batch runs export all-zero serve aggregates: {json}"
+        );
+        assert!(
+            json.contains(
+                "\"audit\":{\"netlists\":0,\"findings\":0,\"errors\":0,\
+                 \"warnings\":0,\"codes\":{}}"
+            ),
+            "non-audit runs export all-zero audit aggregates: {json}"
+        );
+    }
+
+    #[test]
+    fn audit_aggregates_read_the_audit_namespace() {
+        let mut obs = MetricsSnapshot::default();
+        obs.counters
+            .insert(AuditAggregates::NETLISTS.to_string(), 5);
+        obs.counters
+            .insert(AuditAggregates::FINDINGS.to_string(), 9);
+        obs.counters
+            .insert(AuditAggregates::WARNINGS.to_string(), 9);
+        obs.counters.insert("audit.code.LB0721".to_string(), 3);
+        obs.counters.insert("audit.code.LB0704".to_string(), 6);
+        obs.counters.insert("audit.unrelated".to_string(), 99);
+        let agg = AuditAggregates::from_obs(&obs);
+        assert_eq!(agg.netlists, 5);
+        assert_eq!(agg.findings, 9);
+        assert_eq!(agg.errors, 0, "missing counters read as zero");
+        assert_eq!(agg.warnings, 9);
+        assert_eq!(
+            agg.codes,
+            vec![("LB0704".to_string(), 6), ("LB0721".to_string(), 3)],
+            "codes are sorted"
+        );
+        assert!(!agg.is_empty());
+        assert!(AuditAggregates::default().is_empty());
+        assert_eq!(
+            agg.to_json().render(),
+            "{\"netlists\":5,\"findings\":9,\"errors\":0,\"warnings\":9,\
+             \"codes\":{\"LB0704\":6,\"LB0721\":3}}"
         );
     }
 

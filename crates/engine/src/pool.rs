@@ -144,9 +144,17 @@ pub struct JobCtx<'a> {
     /// artifacts with `lockbind-check` and fail the cell with a
     /// [`CHECK_FAILURE_PREFIX`]-prefixed message on diagnostics.
     pub check: bool,
+    /// Whether the run asked for the LB07xx structural-security audit
+    /// ([`EngineConfig::audit`]). Audit-aware jobs run
+    /// `lockbind-check`'s audit passes over their locked netlists; the
+    /// findings feed the `audit.*` obs counters (and thus
+    /// `RunMetrics.audit`) without ever failing a cell, so enabling the
+    /// audit cannot perturb cell outputs.
+    pub audit: bool,
 }
 
 impl<'a> JobCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         index: usize,
         attempt: u32,
@@ -155,6 +163,7 @@ impl<'a> JobCtx<'a> {
         cancel: CancelToken,
         fault: Option<FaultKind>,
         check: bool,
+        audit: bool,
     ) -> Self {
         let mut rng = ChaCha12Rng::seed_from_u64(root_seed);
         rng.set_stream(index as u64 + (u64::from(attempt) << 32));
@@ -168,6 +177,7 @@ impl<'a> JobCtx<'a> {
             cancel,
             fault,
             check,
+            audit,
         }
     }
 }
@@ -255,6 +265,10 @@ pub struct EngineConfig {
     /// failures with a [`CHECK_FAILURE_PREFIX`]-prefixed message, counted
     /// separately in [`RunMetrics::cells_check_failed`].
     pub check: bool,
+    /// Ask audit-aware jobs to run the LB07xx structural-security audit
+    /// over their locked netlists (surfaced as [`JobCtx::audit`]).
+    /// Findings only feed `audit.*` run metrics; they never fail cells.
+    pub audit: bool,
 }
 
 impl Default for EngineConfig {
@@ -270,6 +284,7 @@ impl Default for EngineConfig {
             checkpoint: None,
             resume: None,
             check: false,
+            audit: false,
         }
     }
 }
@@ -377,6 +392,7 @@ impl Engine {
             cancel.clone(),
             None,
             self.cfg.check,
+            self.cfg.audit,
         );
         let outcome = {
             let _cell_scope = obs::CellScope::enter(request, worker);
@@ -665,6 +681,7 @@ fn run_cell<J: Job>(
             cancel.clone(),
             fault,
             cfg.check,
+            cfg.audit,
         );
         let outcome = {
             let _cell_scope = obs::CellScope::enter(index as u64, worker as u64);

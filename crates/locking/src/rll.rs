@@ -4,14 +4,21 @@
 //! SAT attack recovers the key in a handful of iterations — the
 //! high-corruption end of the paper's corruption/resilience trade-off.
 
+use lockbind_netlist::analysis::{eval_tv, fanin_cone, Tv};
 use lockbind_netlist::{Gate, Netlist, Signal};
 
 use crate::{splitmix64, LockError, LockedNetlist};
 
 /// Inserts up to `key_bits` XOR/XNOR key gates on distinct internal wires of
 /// `original`, chosen pseudo-randomly from `seed`. If the module has fewer
-/// internal gates than `key_bits`, one key gate per internal wire is
-/// inserted (the effective key is shorter).
+/// eligible internal gates than `key_bits`, one key gate per eligible wire
+/// is inserted (the effective key is shorter).
+///
+/// Eligible wires are *live* (in the fan-in cone of a declared output) and
+/// *non-constant* (not fixed by constant propagation alone): a key gate on
+/// a dead wire is unobservable and a key gate on a constant wire reduces to
+/// a constant or inverter under either hypothesis — both weaknesses the
+/// `LB07xx` structural audit flags, and both free key bits for an attacker.
 ///
 /// The polarity (XOR vs XNOR) of each key gate is also seed-chosen; the
 /// correct key bit is `0` for XOR and `1` for XNOR insertions.
@@ -32,14 +39,22 @@ pub fn lock_rll(
     if key_bits == 0 {
         return Err(LockError::EmptyConfiguration);
     }
-    // Candidate wires: outputs of real logic gates.
+    // Candidate wires: outputs of real logic gates that are live (reach a
+    // declared output) and not constant under X-propagation.
+    let live = fanin_cone(original, original.outputs());
+    let baseline = eval_tv(
+        original,
+        &vec![Tv::X; original.num_inputs()],
+        &vec![Tv::X; original.num_keys()],
+    );
     let candidates: Vec<usize> = original
         .iter_gates()
-        .filter(|(_, g)| {
+        .filter(|(s, g)| {
             matches!(
                 g,
                 Gate::And(..) | Gate::Or(..) | Gate::Xor(..) | Gate::Not(_)
-            )
+            ) && live[s.index()]
+                && baseline[s.index()] == Tv::X
         })
         .map(|(s, _)| s.index())
         .collect();

@@ -1,0 +1,359 @@
+//! Structural analyses over netlists: fan-in/fan-out cones, per-net key
+//! dependency supports, three-valued (0/1/X) evaluation, and topological
+//! signal-probability estimation.
+//!
+//! These are the traversal primitives behind the `lockbind-check` LB07xx
+//! audit passes, exposed here because they are generally useful (attack
+//! prototyping, visualisation) and because [`Signal`] indices can only be
+//! manufactured inside this crate. Everything is a single forward or
+//! backward sweep over the append-only gate array, so all functions are
+//! `O(gates × key-words)` or better and allocation-light.
+
+use crate::netlist::{Gate, Netlist, Signal};
+
+/// All key-input nets of `nl`, as `(key_index, signal)` pairs sorted by
+/// key index. A well-formed netlist declares each key index exactly once;
+/// duplicates are returned as-is (the checker flags them separately).
+pub fn key_signals(nl: &Netlist) -> Vec<(usize, Signal)> {
+    let mut keys: Vec<(usize, Signal)> = nl
+        .iter_gates()
+        .filter_map(|(s, g)| match g {
+            Gate::Key(k) => Some((k, s)),
+            _ => None,
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Marks every net reachable *from* any seed by following gate fan-out
+/// (the transitive set of nets whose value can be influenced by a seed).
+/// Seeds themselves are marked. Returns one flag per net.
+pub fn fanout_cone(nl: &Netlist, seeds: &[Signal]) -> Vec<bool> {
+    let mut mark = vec![false; nl.num_nodes()];
+    for s in seeds {
+        mark[s.index()] = true;
+    }
+    for (s, g) in nl.iter_gates() {
+        if !mark[s.index()] && g.operands().any(|op| mark[op.index()]) {
+            mark[s.index()] = true;
+        }
+    }
+    mark
+}
+
+/// Marks every net any seed transitively reads (the input cone). Seeds
+/// themselves are marked. Returns one flag per net.
+pub fn fanin_cone(nl: &Netlist, seeds: &[Signal]) -> Vec<bool> {
+    let mut mark = vec![false; nl.num_nodes()];
+    for s in seeds {
+        mark[s.index()] = true;
+    }
+    // Gates only reference earlier nets, so one reverse sweep suffices.
+    for i in (0..nl.num_nodes()).rev() {
+        if mark[i] {
+            for op in nl.gate(Signal(i as u32)).operands() {
+                mark[op.index()] = true;
+            }
+        }
+    }
+    mark
+}
+
+/// Per-net key-dependency analysis: for every net, the exact set of key
+/// bits in its structural fan-in (a bitset), plus whether any primary
+/// input is in its fan-in. Computed in one forward pass.
+#[derive(Debug, Clone)]
+pub struct KeyDependence {
+    words: usize,
+    num_keys: usize,
+    support: Vec<u64>,
+    depends_on_input: Vec<bool>,
+}
+
+impl KeyDependence {
+    /// Runs the forward dependency sweep over `nl`.
+    pub fn compute(nl: &Netlist) -> Self {
+        let num_keys = nl.num_keys();
+        let words = num_keys.div_ceil(64).max(1);
+        let n = nl.num_nodes();
+        let mut support = vec![0u64; n * words];
+        let mut depends_on_input = vec![false; n];
+        for (s, g) in nl.iter_gates() {
+            let i = s.index();
+            match g {
+                Gate::False => {}
+                Gate::Input(_) => depends_on_input[i] = true,
+                Gate::Key(k) => {
+                    if k < num_keys {
+                        support[i * words + k / 64] |= 1u64 << (k % 64);
+                    }
+                }
+                _ => {
+                    for op in g.operands() {
+                        let o = op.index();
+                        depends_on_input[i] |= depends_on_input[o];
+                        for w in 0..words {
+                            support[i * words + w] |= support[o * words + w];
+                        }
+                    }
+                }
+            }
+        }
+        KeyDependence {
+            words,
+            num_keys,
+            support,
+            depends_on_input,
+        }
+    }
+
+    /// The number of key bits the netlist declares.
+    pub fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    /// The key-support bitset of `s` (little-endian 64-bit words).
+    pub fn support(&self, s: Signal) -> &[u64] {
+        &self.support[s.index() * self.words..(s.index() + 1) * self.words]
+    }
+
+    /// How many distinct key bits are in the fan-in of `s`.
+    pub fn support_count(&self, s: Signal) -> u32 {
+        self.support(s).iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether key bit `k` is in the fan-in of `s`.
+    pub fn depends_on_key(&self, s: Signal, k: usize) -> bool {
+        k < self.num_keys && self.support(s)[k / 64] >> (k % 64) & 1 == 1
+    }
+
+    /// If the fan-in of `s` contains exactly one key bit, returns it.
+    pub fn sole_key(&self, s: Signal) -> Option<usize> {
+        if self.support_count(s) != 1 {
+            return None;
+        }
+        let ws = self.support(s);
+        let w = ws.iter().position(|&x| x != 0)?;
+        Some(w * 64 + ws[w].trailing_zeros() as usize)
+    }
+
+    /// Whether any primary input is in the fan-in of `s`.
+    pub fn depends_on_input(&self, s: Signal) -> bool {
+        self.depends_on_input[s.index()]
+    }
+
+    /// The key bits in the fan-in of `s`, ascending.
+    pub fn support_keys(&self, s: Signal) -> Vec<usize> {
+        (0..self.num_keys)
+            .filter(|&k| self.depends_on_key(s, k))
+            .collect()
+    }
+}
+
+/// A three-valued logic value: known 0, known 1, or unknown (X).
+///
+/// The lattice is the standard ternary extension of Boolean logic
+/// (Kleene strong logic): X absorbs unless a controlling value decides
+/// the gate (`0 AND X = 0`, `1 OR X = 1`, `X XOR anything = X`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tv {
+    /// Known logic 0.
+    Zero,
+    /// Known logic 1.
+    One,
+    /// Unknown.
+    X,
+}
+
+impl Tv {
+    /// Lifts a Boolean into the lattice.
+    pub fn from_bool(b: bool) -> Tv {
+        if b {
+            Tv::One
+        } else {
+            Tv::Zero
+        }
+    }
+
+    /// `Some(bool)` when the value is known, `None` for X.
+    pub fn known(self) -> Option<bool> {
+        match self {
+            Tv::Zero => Some(false),
+            Tv::One => Some(true),
+            Tv::X => None,
+        }
+    }
+
+    fn and(self, o: Tv) -> Tv {
+        match (self, o) {
+            (Tv::Zero, _) | (_, Tv::Zero) => Tv::Zero,
+            (Tv::One, Tv::One) => Tv::One,
+            _ => Tv::X,
+        }
+    }
+
+    fn or(self, o: Tv) -> Tv {
+        match (self, o) {
+            (Tv::One, _) | (_, Tv::One) => Tv::One,
+            (Tv::Zero, Tv::Zero) => Tv::Zero,
+            _ => Tv::X,
+        }
+    }
+
+    fn xor(self, o: Tv) -> Tv {
+        match (self.known(), o.known()) {
+            (Some(a), Some(b)) => Tv::from_bool(a ^ b),
+            _ => Tv::X,
+        }
+    }
+
+    fn not(self) -> Tv {
+        match self {
+            Tv::Zero => Tv::One,
+            Tv::One => Tv::Zero,
+            Tv::X => Tv::X,
+        }
+    }
+}
+
+/// Evaluates every net of `nl` under three-valued input/key assignments.
+/// `inputs` and `keys` must match `num_inputs()` / `num_keys()`. Returns
+/// one [`Tv`] per net, in net order.
+pub fn eval_tv(nl: &Netlist, inputs: &[Tv], keys: &[Tv]) -> Vec<Tv> {
+    assert_eq!(inputs.len(), nl.num_inputs(), "input arity mismatch");
+    assert_eq!(keys.len(), nl.num_keys(), "key arity mismatch");
+    let mut vals = vec![Tv::X; nl.num_nodes()];
+    for (s, g) in nl.iter_gates() {
+        let v = |sig: Signal| vals[sig.index()];
+        vals[s.index()] = match g {
+            Gate::False => Tv::Zero,
+            Gate::Input(i) => inputs[i],
+            Gate::Key(k) => keys[k],
+            Gate::And(a, b) => v(a).and(v(b)),
+            Gate::Or(a, b) => v(a).or(v(b)),
+            Gate::Xor(a, b) => v(a).xor(v(b)),
+            Gate::Not(a) => v(a).not(),
+        };
+    }
+    vals
+}
+
+/// ProbLock-style signal-probability estimation: every primary and key
+/// input is assumed an independent fair coin and probabilities propagate
+/// topologically (`AND: pq`, `OR: p+q-pq`, `XOR: p+q-2pq`, `NOT: 1-p`).
+///
+/// One reconvergence pattern is handled exactly: the structural 2:1 mux
+/// `or(and(s, t), and(not(s), f))` emitted by [`crate::Netlist::mux`],
+/// whose two legs share the select and are never 1 together, gets
+/// `p = p(s)·p(t) + (1-p(s))·p(f)`. Without this, the legs'
+/// anti-correlation is lost and mux trees (permutation networks) drift
+/// away from 0.5, drowning real skew. Other reconvergent fan-out still
+/// makes this an estimate — but point-function comparators stand out as
+/// extreme skew regardless. Returns one probability-of-1 per net.
+pub fn signal_probabilities(nl: &Netlist) -> Vec<f64> {
+    let mut p = vec![0.0f64; nl.num_nodes()];
+    for (s, g) in nl.iter_gates() {
+        let v = |sig: Signal| p[sig.index()];
+        p[s.index()] = match g {
+            Gate::False => 0.0,
+            Gate::Input(_) | Gate::Key(_) => 0.5,
+            Gate::And(a, b) => v(a) * v(b),
+            Gate::Or(a, b) => match mux_legs(nl, a, b) {
+                Some((sel, t, f)) => v(sel) * v(t) + (1.0 - v(sel)) * v(f),
+                None => v(a) + v(b) - v(a) * v(b),
+            },
+            Gate::Xor(a, b) => v(a) + v(b) - 2.0 * v(a) * v(b),
+            Gate::Not(a) => 1.0 - v(a),
+        };
+    }
+    p
+}
+
+/// Recognizes the structural mux `or(and(sel, t), and(not(sel), f))` (in
+/// either leg order) and returns `(sel, t, f)`.
+fn mux_legs(nl: &Netlist, a: Signal, b: Signal) -> Option<(Signal, Signal, Signal)> {
+    let (Gate::And(a0, a1), Gate::And(b0, b1)) = (nl.gate(a), nl.gate(b)) else {
+        return None;
+    };
+    // One leg's first operand must be the inverse of the other's.
+    for (sel, t, nsel, f) in [
+        (a0, a1, b0, b1),
+        (a0, a1, b1, b0),
+        (a1, a0, b0, b1),
+        (a1, a0, b1, b0),
+    ] {
+        if nl.gate(nsel) == Gate::Not(sel) {
+            return Some((sel, t, f));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn locked_toy() -> Netlist {
+        // out = xor(and(a, b), k0); k1 is dangling.
+        let mut nl = Netlist::new("toy");
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let k0 = nl.add_key();
+        let _k1 = nl.add_key();
+        let g = nl.and(a, b);
+        let out = nl.xor(g, k0);
+        nl.mark_output(out);
+        nl
+    }
+
+    #[test]
+    fn key_dependence_tracks_supports() {
+        let nl = locked_toy();
+        let dep = KeyDependence::compute(&nl);
+        let out = nl.outputs()[0];
+        assert_eq!(dep.support_keys(out), vec![0]);
+        assert_eq!(dep.sole_key(out), Some(0));
+        assert!(dep.depends_on_input(out));
+        let keys = key_signals(&nl);
+        assert_eq!(keys.len(), 2);
+        assert_eq!(dep.support_count(keys[1].1), 1);
+        assert!(!dep.depends_on_input(keys[1].1));
+    }
+
+    #[test]
+    fn cones_are_transitive() {
+        let nl = locked_toy();
+        let keys = key_signals(&nl);
+        let cone = fanout_cone(&nl, &[keys[0].1]);
+        let out = nl.outputs()[0];
+        assert!(cone[out.index()]);
+        let dangling = fanout_cone(&nl, &[keys[1].1]);
+        assert!(!dangling[out.index()]);
+        let fi = fanin_cone(&nl, &[out]);
+        assert!(fi[keys[0].1.index()] && !fi[keys[1].1.index()]);
+    }
+
+    #[test]
+    fn tv_eval_matches_kleene_lattice() {
+        let nl = locked_toy();
+        let out = nl.outputs()[0];
+        // a=0 controls the AND; k0 known => output known.
+        let vals = eval_tv(&nl, &[Tv::Zero, Tv::X], &[Tv::One, Tv::X]);
+        assert_eq!(vals[out.index()], Tv::One);
+        // all-X leaves the output unknown.
+        let vals = eval_tv(&nl, &[Tv::X, Tv::X], &[Tv::X, Tv::X]);
+        assert_eq!(vals[out.index()], Tv::X);
+    }
+
+    #[test]
+    fn probabilities_propagate_topologically() {
+        let nl = locked_toy();
+        let p = signal_probabilities(&nl);
+        let out = nl.outputs()[0];
+        // and(a,b) = 1/4; xor with fair key = 1/2.
+        assert!((p[out.index()] - 0.5).abs() < 1e-12);
+        let keys = key_signals(&nl);
+        assert!((p[keys[0].1.index()] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,5 +1,6 @@
 //! Graphviz DOT export for netlists (debuggability aid).
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::{Gate, Netlist};
@@ -20,41 +21,72 @@ use crate::{Gate, Netlist};
 /// assert!(dot.contains("xor"));
 /// ```
 pub fn to_dot(netlist: &Netlist) -> String {
+    render(netlist, &BTreeMap::new())
+}
+
+/// Extra per-net decoration for [`to_dot_annotated`]: a Graphviz fill
+/// color plus a tooltip (typically the owning LB07xx audit finding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeAnnotation {
+    /// Graphviz color name or `#rrggbb` used as the node's fill.
+    pub color: String,
+    /// Tooltip text, e.g. `"LB0704 isolated key path (key 3)"`.
+    pub tooltip: String,
+}
+
+/// Like [`to_dot`], but nets present in `annotations` (keyed by net
+/// index) are filled with the annotation's color and carry its tooltip —
+/// the audit passes use this to paint key cones by owning finding.
+pub fn to_dot_annotated(
+    netlist: &Netlist,
+    annotations: &BTreeMap<usize, NodeAnnotation>,
+) -> String {
+    render(netlist, annotations)
+}
+
+fn render(netlist: &Netlist, annotations: &BTreeMap<usize, NodeAnnotation>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
     let _ = writeln!(out, "  rankdir=LR;");
     for (sig, gate) in netlist.iter_gates() {
         let id = sig.index();
+        let extra = match annotations.get(&id) {
+            Some(a) => format!(
+                ", style=filled, fillcolor=\"{}\", tooltip=\"{}\"",
+                a.color, a.tooltip
+            ),
+            None => String::new(),
+        };
         match gate {
             Gate::False => {
-                let _ = writeln!(out, "  n{id} [label=\"0\", shape=plaintext];");
+                let _ = writeln!(out, "  n{id} [label=\"0\", shape=plaintext{extra}];");
             }
             Gate::Input(i) => {
-                let _ = writeln!(out, "  n{id} [label=\"in{i}\", shape=box];");
+                let _ = writeln!(out, "  n{id} [label=\"in{i}\", shape=box{extra}];");
             }
             Gate::Key(i) => {
                 let _ = writeln!(
                     out,
-                    "  n{id} [label=\"key{i}\", shape=box, color=red, fontcolor=red];"
+                    "  n{id} [label=\"key{i}\", shape=box, color=red, fontcolor=red{extra}];"
                 );
             }
             Gate::And(a, b) => {
-                let _ = writeln!(out, "  n{id} [label=\"and\"];");
+                let _ = writeln!(out, "  n{id} [label=\"and\"{extra}];");
                 let _ = writeln!(out, "  n{} -> n{id};", a.index());
                 let _ = writeln!(out, "  n{} -> n{id};", b.index());
             }
             Gate::Or(a, b) => {
-                let _ = writeln!(out, "  n{id} [label=\"or\"];");
+                let _ = writeln!(out, "  n{id} [label=\"or\"{extra}];");
                 let _ = writeln!(out, "  n{} -> n{id};", a.index());
                 let _ = writeln!(out, "  n{} -> n{id};", b.index());
             }
             Gate::Xor(a, b) => {
-                let _ = writeln!(out, "  n{id} [label=\"xor\"];");
+                let _ = writeln!(out, "  n{id} [label=\"xor\"{extra}];");
                 let _ = writeln!(out, "  n{} -> n{id};", a.index());
                 let _ = writeln!(out, "  n{} -> n{id};", b.index());
             }
             Gate::Not(a) => {
-                let _ = writeln!(out, "  n{id} [label=\"not\"];");
+                let _ = writeln!(out, "  n{id} [label=\"not\"{extra}];");
                 let _ = writeln!(out, "  n{} -> n{id};", a.index());
             }
         }
@@ -90,5 +122,29 @@ mod tests {
         let x = nl.and(a, k);
         nl.mark_output(x);
         assert!(to_dot(&nl).contains("color=red"));
+    }
+
+    #[test]
+    fn annotations_fill_and_tooltip_marked_nodes() {
+        let mut nl = Netlist::new("k");
+        let a = nl.add_input();
+        let k = nl.add_key();
+        let x = nl.xor(a, k);
+        nl.mark_output(x);
+        let mut ann = BTreeMap::new();
+        ann.insert(
+            x.index(),
+            NodeAnnotation {
+                color: "orange".into(),
+                tooltip: "LB0704 isolated key path (key 0)".into(),
+            },
+        );
+        let dot = to_dot_annotated(&nl, &ann);
+        assert!(dot.contains("fillcolor=\"orange\""));
+        assert!(dot.contains("tooltip=\"LB0704 isolated key path (key 0)\""));
+        // unannotated nodes stay plain
+        assert_eq!(dot.matches("style=filled").count(), 1);
+        // and the plain export is unchanged by the feature
+        assert!(!to_dot(&nl).contains("style=filled"));
     }
 }

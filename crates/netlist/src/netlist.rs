@@ -39,6 +39,19 @@ pub enum Gate {
     Not(Signal),
 }
 
+impl Gate {
+    /// The signals this gate reads, in operand order. Terminals
+    /// ([`Gate::False`], [`Gate::Input`], [`Gate::Key`]) have none.
+    pub fn operands(&self) -> impl Iterator<Item = Signal> + '_ {
+        let (a, b) = match *self {
+            Gate::False | Gate::Input(_) | Gate::Key(_) => (None, None),
+            Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => (Some(a), Some(b)),
+            Gate::Not(a) => (Some(a), None),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
 /// A combinational gate-level netlist with primary inputs, key inputs, and
 /// declared outputs. Construction is append-only, so the graph is acyclic by
 /// construction.
@@ -174,6 +187,13 @@ impl Netlist {
             .iter()
             .filter(|g| !matches!(g, Gate::Input(_) | Gate::Key(_) | Gate::False))
             .count()
+    }
+
+    /// The signal handle for net index `i` (the inverse of
+    /// [`Signal::index`]). Panics when `i` is out of range.
+    pub fn signal(&self, i: usize) -> Signal {
+        assert!(i < self.gates.len(), "net index {i} out of range");
+        Signal(i as u32)
     }
 
     /// The gate driving `s`.

@@ -27,6 +27,9 @@
 //! wire kind, the `--telemetry-addr` scrape endpoint, and the
 //! `telemetry` member of the engine's `ServeAggregates`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod expo;
 pub mod hist;
 pub mod recorder;
